@@ -1,0 +1,250 @@
+//! # tamp-analysis — the paper's §4 scalability model
+//!
+//! Closed-form expressions for the three schemes' failure-detection time,
+//! view-convergence time, bandwidth, and the two combined metrics the
+//! paper defines:
+//!
+//! * **BDT** — bandwidth–detection-time product: `B × T_detect`;
+//! * **BCT** — bandwidth–convergence-time product: `B × T_converge`.
+//!
+//! Lower is better for both ("protocols with lower BDT values are
+//! better, because they use less time to detect a failure with a fixed
+//! bandwidth"). Summary of §4 (k = heartbeats missed before declaring
+//! death, s = per-node record size, n = nodes, g = group size, B = total
+//! bandwidth budget):
+//!
+//! | scheme | detection time at budget B | total bandwidth at fixed freq | BDT |
+//! |---|---|---|---|
+//! | all-to-all   | `k·n²·s / B`        | `O(n²)` | `O(n²·s·k)` |
+//! | gossip       | `k'·n²·s·log n / B` | `O(n²)` | `O(n²·s·log n)` |
+//! | hierarchical | `k·n·g·s / B`       | `O(n)`  | `O(n·s·k·g)`  |
+//!
+//! and convergence adds `O(log_g n · d)` tree-propagation delay for the
+//! hierarchical scheme (`d` = per-hop transmission time), leaving its BCT
+//! asymptotically the same.
+//!
+//! The harness prints these analytic curves next to the measured ones so
+//! a reader can check the simulation against the model (the paper does
+//! the same in §6: "These results are in line with our analysis results
+//! in Section 4").
+
+/// Model parameters shared by the three schemes.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParams {
+    /// Cluster size.
+    pub n: usize,
+    /// Per-node membership record size in bytes (the paper measures 228).
+    pub record_bytes: f64,
+    /// Heartbeats missed before declaring a node dead (`MAX_LOSS`).
+    pub max_loss: f64,
+    /// Heartbeat / gossip period in seconds (at fixed-frequency
+    /// operation).
+    pub period_s: f64,
+    /// Hierarchical group size `g`.
+    pub group_size: usize,
+    /// One-hop update transmission time in seconds (tree propagation).
+    pub hop_time_s: f64,
+    /// Gossip mistake probability (bounds `T_fail`).
+    pub mistake_probability: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            n: 100,
+            record_bytes: 228.0,
+            max_loss: 5.0,
+            period_s: 1.0,
+            group_size: 20,
+            hop_time_s: 0.001,
+            mistake_probability: 0.001,
+        }
+    }
+}
+
+/// Analytic predictions for one scheme at fixed per-node send frequency
+/// (the operating mode of the paper's experiments: "we fix the multicast
+/// or gossip frequency as one packet per second").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Aggregate *received* bytes per second across the cluster.
+    pub bandwidth_bytes_per_s: f64,
+    /// Failure detection time, seconds.
+    pub detection_s: f64,
+    /// View convergence time, seconds.
+    pub convergence_s: f64,
+}
+
+impl Prediction {
+    /// Bandwidth × detection-time product.
+    pub fn bdt(&self) -> f64 {
+        self.bandwidth_bytes_per_s * self.detection_s
+    }
+
+    /// Bandwidth × convergence-time product.
+    pub fn bct(&self) -> f64 {
+        self.bandwidth_bytes_per_s * self.convergence_s
+    }
+}
+
+/// All-to-all: every node multicasts once per period; every other node
+/// receives it. Aggregate received bandwidth `n·(n−1)·s / T`; detection
+/// after `k` missed heartbeats; convergence equals detection because
+/// every node watches every other directly.
+pub fn all_to_all(p: &ModelParams) -> Prediction {
+    let n = p.n as f64;
+    let bw = n * (n - 1.0) * p.record_bytes / p.period_s;
+    let detect = p.max_loss * p.period_s;
+    Prediction {
+        bandwidth_bytes_per_s: bw,
+        detection_s: detect,
+        convergence_s: detect,
+    }
+}
+
+/// Gossip (van Renesse): each node unicasts its whole `n·s`-byte view to
+/// one random peer per period → aggregate `n²·s / T`. Detection needs a
+/// counter to stay flat for `T_fail = T·(log₂ n + log₂(1/P_mistake)/2)`
+/// (propagation rounds plus the safety margin that keeps the mistake
+/// probability below the bound). Convergence adds another `log₂ n`
+/// propagation of the *suspicion*, but since every node applies its own
+/// `T_fail` to the same silent counter, the spread is one propagation
+/// depth of the last pre-failure gossip: ≈ `T·log₂ n`.
+pub fn gossip(p: &ModelParams) -> Prediction {
+    let n = p.n as f64;
+    let bw = n * n * p.record_bytes / p.period_s;
+    let rounds = n.log2() + (1.0 / p.mistake_probability).log2() / 2.0;
+    let detect = rounds * p.period_s;
+    Prediction {
+        bandwidth_bytes_per_s: bw,
+        detection_s: detect,
+        convergence_s: detect + n.log2() * p.period_s,
+    }
+}
+
+/// Hierarchical: groups of `g` nodes; each node heartbeats in its group
+/// (`g·(g−1)·s/T` received per group, `n/g` level-0 groups, plus a
+/// geometrically shrinking tree of higher-level groups — the `(1 +
+/// 1/g + …) ≈ g/(g−1)` factor). Detection is local: `k` missed
+/// heartbeats. Convergence adds two tree traversals (up to the root,
+/// down to the leaves): `2·log_g n` hops.
+pub fn hierarchical(p: &ModelParams) -> Prediction {
+    let n = p.n as f64;
+    let g = (p.group_size as f64).min(n).max(2.0);
+    // Total group membership across levels: n + n/g + n/g² + … ≈ n·g/(g−1).
+    let members_all_levels = n * g / (g - 1.0);
+    let bw = members_all_levels * (g - 1.0) * p.record_bytes / p.period_s;
+    let detect = p.max_loss * p.period_s;
+    let height = (n.ln() / g.ln()).ceil().max(1.0);
+    Prediction {
+        bandwidth_bytes_per_s: bw,
+        detection_s: detect,
+        convergence_s: detect + 2.0 * height * p.hop_time_s,
+    }
+}
+
+/// Convenience: predictions for all three schemes.
+pub fn all_schemes(p: &ModelParams) -> [(&'static str, Prediction); 3] {
+    [
+        ("all-to-all", all_to_all(p)),
+        ("gossip", gossip(p)),
+        ("hierarchical", hierarchical(p)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize) -> ModelParams {
+        ModelParams {
+            n,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_to_all_bandwidth_is_quadratic() {
+        let b100 = all_to_all(&params(100)).bandwidth_bytes_per_s;
+        let b200 = all_to_all(&params(200)).bandwidth_bytes_per_s;
+        let ratio = b200 / b100;
+        assert!((3.9..4.2).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn hierarchical_bandwidth_is_linear() {
+        let b100 = hierarchical(&params(100)).bandwidth_bytes_per_s;
+        let b200 = hierarchical(&params(200)).bandwidth_bytes_per_s;
+        let ratio = b200 / b100;
+        assert!((1.9..2.1).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn gossip_detection_grows_with_log_n() {
+        let d20 = gossip(&params(20)).detection_s;
+        let d40 = gossip(&params(40)).detection_s;
+        let d80 = gossip(&params(80)).detection_s;
+        // Each doubling adds exactly one period.
+        assert!((d40 - d20 - 1.0).abs() < 1e-9);
+        assert!((d80 - d40 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heartbeat_schemes_have_constant_detection() {
+        assert_eq!(all_to_all(&params(20)).detection_s, 5.0);
+        assert_eq!(all_to_all(&params(4000)).detection_s, 5.0);
+        assert_eq!(hierarchical(&params(4000)).detection_s, 5.0);
+    }
+
+    #[test]
+    fn hierarchical_has_best_bdt_at_scale() {
+        let p = params(1000);
+        let h = hierarchical(&p).bdt();
+        let a = all_to_all(&p).bdt();
+        let g = gossip(&p).bdt();
+        assert!(h < a, "hierarchical {h} vs all-to-all {a}");
+        assert!(h < g, "hierarchical {h} vs gossip {g}");
+    }
+
+    #[test]
+    fn hierarchical_has_best_bct_at_scale() {
+        let p = params(1000);
+        let h = hierarchical(&p).bct();
+        assert!(h < all_to_all(&p).bct());
+        assert!(h < gossip(&p).bct());
+    }
+
+    #[test]
+    fn all_equal_at_group_size_n_single_group() {
+        // With one group of n, hierarchical degenerates to all-to-all.
+        let p = ModelParams {
+            n: 20,
+            group_size: 20,
+            ..Default::default()
+        };
+        let h = hierarchical(&p);
+        let a = all_to_all(&p);
+        let rel =
+            (h.bandwidth_bytes_per_s - a.bandwidth_bytes_per_s).abs() / a.bandwidth_bytes_per_s;
+        assert!(rel < 0.06, "rel err {rel}");
+    }
+
+    #[test]
+    fn convergence_at_least_detection() {
+        for n in [20, 100, 1000] {
+            let p = params(n);
+            for (_, pred) in all_schemes(&p) {
+                assert!(pred.convergence_s >= pred.detection_s);
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_matches_simulated_t_fail_formula() {
+        // The simulator's GossipConfig::t_fail uses the same expression;
+        // keep the two in lockstep.
+        let p = params(100);
+        let d = gossip(&p).detection_s;
+        assert!((11.0..13.0).contains(&d), "{d}");
+    }
+}

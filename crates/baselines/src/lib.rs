@@ -1,0 +1,26 @@
+//! # tamp-baselines — the paper's two comparison protocols
+//!
+//! The evaluation (paper §6) compares the hierarchical membership service
+//! against:
+//!
+//! * [`AllToAllNode`] — every node multicasts a heartbeat to the whole
+//!   cluster once per period and independently tracks everyone else
+//!   (§2). Perfect fault isolation, `O(n²)` aggregate traffic: the
+//!   motivation for the hierarchical design (Fig. 2).
+//! * [`GossipNode`] — the gossip-style failure-detection service of
+//!   van Renesse et al. (§2, \[23\]): each node keeps a heartbeat counter
+//!   per member, periodically sends its whole view to a few random peers,
+//!   and declares a member failed when its counter has not advanced for
+//!   `T_fail`. Probabilistic, `Θ(n·s)` bytes *per message*, detection
+//!   time growing with `log n`.
+//!
+//! Both implement the same sans-io [`tamp_netsim::Actor`] interface as
+//! the hierarchical node, publish the same [`tamp_directory`] yellow
+//! pages, and emit the same add/remove observations, so the experiment
+//! harness can swap protocols behind one interface.
+
+mod alltoall;
+mod gossip;
+
+pub use alltoall::{AllToAllConfig, AllToAllNode};
+pub use gossip::{GossipConfig, GossipNode};

@@ -1,0 +1,169 @@
+//! End-to-end tests for the two baseline protocols in the simulator.
+
+use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode};
+use tamp_directory::DirectoryClient;
+use tamp_netsim::{Control, Engine, EngineConfig, SECS};
+use tamp_topology::{generators, HostId};
+use tamp_wire::NodeId;
+
+fn all_to_all_cluster(
+    n_segments: usize,
+    per_seg: usize,
+    seed: u64,
+) -> (Engine, Vec<DirectoryClient>) {
+    let topo = generators::star_of_segments(n_segments, per_seg);
+    let mut engine = Engine::new(topo, EngineConfig::default(), seed);
+    let mut clients = Vec::new();
+    for h in engine.hosts() {
+        let node = AllToAllNode::new(NodeId(h.0), AllToAllConfig::default());
+        clients.push(node.directory_client());
+        engine.add_actor(h, Box::new(node));
+    }
+    engine.start();
+    (engine, clients)
+}
+
+fn gossip_cluster(n: usize, seed: u64) -> (Engine, Vec<DirectoryClient>) {
+    let topo = generators::star_of_segments(2, n / 2);
+    let mut engine = Engine::new(topo, EngineConfig::default(), seed);
+    let seeds: Vec<NodeId> = engine.hosts().iter().map(|h| NodeId(h.0)).collect();
+    let mut clients = Vec::new();
+    for h in engine.hosts() {
+        let cfg = GossipConfig {
+            expected_cluster_size: n,
+            seeds: seeds.clone(),
+            ..Default::default()
+        };
+        let node = GossipNode::new(NodeId(h.0), cfg);
+        clients.push(node.directory_client());
+        engine.add_actor(h, Box::new(node));
+    }
+    engine.start();
+    (engine, clients)
+}
+
+#[test]
+fn all_to_all_converges_fast() {
+    let (mut engine, clients) = all_to_all_cluster(2, 5, 3);
+    engine.run_until(4 * SECS);
+    assert!(clients.iter().all(|c| c.member_count() == 10));
+}
+
+#[test]
+fn all_to_all_detects_failure_in_max_loss_periods() {
+    let (mut engine, clients) = all_to_all_cluster(2, 5, 5);
+    engine.run_until(10 * SECS);
+    engine.schedule(10 * SECS, Control::Kill(HostId(7)));
+    engine.run_until(30 * SECS);
+    assert!(clients
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 7)
+        .all(|(_, c)| c.member_count() == 9));
+    let first = engine.stats().first_removal(NodeId(7)).unwrap();
+    let last = engine.stats().last_removal(NodeId(7)).unwrap();
+    let detect = first - 10 * SECS;
+    assert!(
+        (4 * SECS..=7 * SECS).contains(&detect),
+        "detection {}ms",
+        detect / 1_000_000
+    );
+    // Convergence ≈ detection: everyone watches everyone (within one
+    // heartbeat phase of each other).
+    assert!(
+        last - first <= 2 * SECS,
+        "spread {}ms",
+        (last - first) / 1_000_000
+    );
+}
+
+#[test]
+fn all_to_all_traffic_is_quadratic() {
+    // Aggregate received bytes/s should grow ~quadratically: 2× nodes →
+    // ~4× received bytes.
+    let rate = |n_per_seg: usize| {
+        let (mut engine, _c) = all_to_all_cluster(2, n_per_seg, 7);
+        engine.run_until(10 * SECS);
+        engine.stats_mut().reset_traffic();
+        engine.run_until(30 * SECS);
+        engine.stats().totals().recv_bytes as f64 / 20.0
+    };
+    let r10 = rate(5);
+    let r20 = rate(10);
+    let ratio = r20 / r10;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "expected ~4x growth, got {ratio:.2} ({r10:.0} -> {r20:.0} B/s)"
+    );
+}
+
+#[test]
+fn gossip_converges_to_full_view() {
+    let (mut engine, clients) = gossip_cluster(20, 11);
+    engine.run_until(30 * SECS);
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.member_count(), 20, "node {i}");
+    }
+}
+
+#[test]
+fn gossip_detects_failure_slower_than_heartbeats() {
+    let (mut engine, clients) = gossip_cluster(20, 13);
+    engine.run_until(30 * SECS);
+    engine.schedule(30 * SECS, Control::Kill(HostId(19)));
+    engine.run_until(90 * SECS);
+    for (i, c) in clients.iter().enumerate().take(19) {
+        assert_eq!(c.member_count(), 19, "node {i} still sees the dead node");
+    }
+    let first = engine.stats().first_removal(NodeId(19)).unwrap();
+    let detect = first - 30 * SECS;
+    // T_fail(20) ≈ 9.3 s — well above the heartbeat schemes' 5 s.
+    assert!(
+        detect > 7 * SECS && detect < 20 * SECS,
+        "gossip detection {}ms",
+        detect / 1_000_000
+    );
+}
+
+#[test]
+fn gossip_rejoin_with_higher_incarnation_clears_blacklist() {
+    let (mut engine, clients) = gossip_cluster(10, 17);
+    engine.run_until(20 * SECS);
+    engine.schedule(20 * SECS, Control::Kill(HostId(9)));
+    engine.schedule(60 * SECS, Control::Revive(HostId(9)));
+    engine.run_until(140 * SECS);
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.member_count(), 10, "node {i} missing the rejoined node");
+    }
+}
+
+#[test]
+fn gossip_message_bytes_scale_with_view() {
+    // The defining cost of gossip: message size grows with n. Compare
+    // per-node sent bytes at two sizes; with fixed fanout the per-node
+    // send rate should roughly double when n doubles.
+    let per_node_rate = |n: usize| {
+        let (mut engine, _c) = gossip_cluster(n, 19);
+        engine.run_until(20 * SECS);
+        engine.stats_mut().reset_traffic();
+        engine.run_until(40 * SECS);
+        engine.stats().totals().sent_bytes as f64 / n as f64 / 20.0
+    };
+    let r10 = per_node_rate(10);
+    let r20 = per_node_rate(20);
+    let ratio = r20 / r10;
+    assert!(
+        (1.6..2.5).contains(&ratio),
+        "expected ~2x per-node bytes, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn deterministic_baselines() {
+    let run = |seed: u64| {
+        let (mut engine, clients) = gossip_cluster(10, seed);
+        engine.run_until(25 * SECS);
+        clients.iter().map(|c| c.member_count()).collect::<Vec<_>>()
+    };
+    assert_eq!(run(42), run(42));
+}

@@ -1,0 +1,26 @@
+//! Ablation benches (A1/A3): group-size and scale sweeps, shortened.
+//! Full tables come from `tamp-exp ablation-*`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tamp_harness::ablations;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for group_size in [5usize, 20] {
+        g.bench_with_input(
+            BenchmarkId::new("group_size", group_size),
+            &group_size,
+            |b, &gs| {
+                b.iter(|| ablations::group_size_sweep(40, &[gs], 7));
+            },
+        );
+    }
+    g.bench_function("scale_200", |b| {
+        b.iter(|| ablations::scale_sweep(&[200], 7));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

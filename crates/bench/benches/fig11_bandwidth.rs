@@ -1,0 +1,27 @@
+//! Fig. 11 bench: time to measure steady-state bandwidth per scheme at a
+//! scaled-down size. The figure itself is produced by `tamp-exp fig11`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tamp_harness::{bandwidth, Scheme};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_bandwidth");
+    g.sample_size(10);
+    for scheme in Scheme::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let row = bandwidth::measure(scheme, 40, 20, 7);
+                    assert!(row.agg_recv_bytes_per_s > 0.0);
+                    row
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 12 bench: time to run one failure-detection measurement per
+//! scheme. The figure itself is produced by `tamp-exp fig12`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tamp_harness::detection::{measure, Victim};
+use tamp_harness::Scheme;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_detection");
+    g.sample_size(10);
+    for scheme in Scheme::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let row = measure(scheme, 40, 20, Victim::Leaf, 7);
+                    assert!(row.detect_s.is_finite());
+                    row
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 13 bench: convergence measurement cost, and a root-leader
+//! variant (the worst case for the hierarchical scheme). The figure
+//! itself is produced by `tamp-exp fig13`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tamp_harness::detection::{measure, Victim};
+use tamp_harness::Scheme;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_convergence");
+    g.sample_size(10);
+    for victim in [Victim::Leaf, Victim::RootLeader] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("hierarchical/{victim:?}")),
+            &victim,
+            |b, &victim| {
+                b.iter(|| {
+                    let row = measure(Scheme::Hierarchical, 40, 20, victim, 7);
+                    assert!(row.converge_s.is_finite());
+                    row
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

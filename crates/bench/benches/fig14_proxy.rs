@@ -1,0 +1,21 @@
+//! Fig. 14 bench: the two-datacenter failover timeline (shortened).
+//! The figure itself is produced by `tamp-exp fig14`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tamp_harness::fig14;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_proxy");
+    g.sample_size(10);
+    g.bench_function("fail_over_and_recover_30s", |b| {
+        b.iter(|| {
+            let pts = fig14::run(30, 10, 20, 7);
+            assert_eq!(pts.len(), 30);
+            pts
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 2 bench: time to run the all-to-all CPU/pps emulation at one
+//! sweep point. The figure itself is produced by `tamp-exp fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tamp_harness::fig2;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_alltoall");
+    g.sample_size(10);
+    for n in [250usize, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let row = fig2::measure(n, 7);
+                assert!(row.recv_pps > 0.0);
+                row
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the hot paths: wire codec, directory lookup,
+//! regex matching, and raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tamp_directory::{Directory, Provenance};
+use tamp_regexlite::Regex;
+use tamp_wire::{codec, Heartbeat, Message, NodeId, NodeRecord, PartitionSet, ServiceDecl};
+
+fn heartbeat_228() -> Message {
+    let mut r = NodeRecord::new(NodeId(7), 3).with_service(ServiceDecl::new(
+        "index",
+        PartitionSet::from_iter([0, 1, 2]),
+    ));
+    r.pad_to_encoded_size(228);
+    Message::Heartbeat(Heartbeat {
+        from: NodeId(7),
+        level: 0,
+        seq: 42,
+        is_leader: true,
+        backup: Some(NodeId(9)),
+        latest_update_seq: 17,
+        record: r,
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = heartbeat_228();
+    let bytes = codec::encode(&msg);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_heartbeat_228B", |b| b.iter(|| codec::encode(&msg)));
+    g.bench_function("decode_heartbeat_228B", |b| {
+        b.iter(|| codec::decode(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut d = Directory::new();
+    for i in 0..1000u32 {
+        let rec = NodeRecord::new(NodeId(i), 1).with_service(ServiceDecl::new(
+            format!("svc{}", i % 10),
+            PartitionSet::from_iter([(i % 8) as u16]),
+        ));
+        d.apply_join(rec, Provenance::Direct, 0);
+    }
+    let q = tamp_directory::LookupQuery::new("svc[0-4]", "3").unwrap();
+    let mut g = c.benchmark_group("directory");
+    g.bench_function("lookup_regex_1000_nodes", |b| b.iter(|| d.lookup(&q)));
+    g.bench_function("service_summary_1000_nodes", |b| {
+        b.iter(|| d.service_summary())
+    });
+    g.finish();
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let re = Regex::new("(doc|index)-server[0-9]+").unwrap();
+    let mut g = c.benchmark_group("regexlite");
+    g.bench_function("match_service_name", |b| {
+        b.iter(|| re.matches_full("index-server42"))
+    });
+    let pathological = Regex::new("(a+)+$").unwrap();
+    let input = format!("{}b", "a".repeat(64));
+    g.bench_function("pathological_linear_time", |b| {
+        b.iter(|| pathological.matches_full(&input))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use tamp_membership::{MembershipConfig, MembershipNode};
+    use tamp_netsim::{Engine, EngineConfig, SECS};
+    use tamp_topology::generators;
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("hierarchical_100_nodes_10s", |b| {
+        b.iter(|| {
+            let topo = generators::star_of_segments(5, 20);
+            let mut engine = Engine::new(topo, EngineConfig::default(), 7);
+            for h in engine.hosts() {
+                engine.add_actor(
+                    h,
+                    Box::new(MembershipNode::new(
+                        tamp_wire::NodeId(h.0),
+                        MembershipConfig::default(),
+                    )),
+                );
+            }
+            engine.start();
+            engine.run_until(10 * SECS);
+            engine.stats().totals().recv_pkts
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_directory,
+    bench_regex,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! # tamp-bench — Criterion benchmarks
+//!
+//! One bench target per paper figure (each runs a scaled-down,
+//! deterministic version of the corresponding experiment and reports the
+//! time to simulate it), plus micro-benchmarks of the hot paths (codec,
+//! directory lookup, regex matching, simulator event throughput) and
+//! ablation benches for the design choices in DESIGN.md.
+//!
+//! The *numbers the paper reports* come from the `tamp-exp` binary in
+//! `tamp-harness` (bandwidth, detection times, …); these benches track
+//! the *cost of reproducing them* so regressions in the simulator or
+//! protocol hot paths are caught.
+//!
+//! Run everything:
+//!
+//! ```sh
+//! cargo bench --workspace
+//! ```

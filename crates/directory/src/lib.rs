@@ -1,0 +1,590 @@
+//! # tamp-directory — the membership "yellow page" directory
+//!
+//! Every node in a TAMP cluster keeps a full local copy of the service
+//! directory: one [`Entry`] per known node, holding its yellow-page
+//! [`NodeRecord`] (services, partitions, machine attributes), how the
+//! entry got here (heard directly vs relayed by a group leader), and when
+//! it was last refreshed.
+//!
+//! Key protocol rules implemented here:
+//!
+//! * **Incarnation ordering** — a record with a higher incarnation always
+//!   wins; a `Leave` only kills the incarnation it names, so a stale death
+//!   report cannot cancel a newer rejoin.
+//! * **Relayed lifetimes** — "membership information relayed by a group
+//!   leader has the same life time as the leader itself" (§3.1.2). When a
+//!   relayer is purged, everything it relayed goes with it, which is what
+//!   lets the protocol detect switch/partition failures quickly.
+//! * **Soft state** — entries expire unless refreshed; expiry deadlines
+//!   are supplied by the caller because they are level-dependent in the
+//!   hierarchical protocol.
+//!
+//! The lookup side ([`Directory::lookup`]) implements the paper's §5 API:
+//! regex matching on the service name and on the partition list.
+
+mod lookup;
+mod shared;
+
+pub use lookup::{LookupQuery, Machine};
+pub use shared::{DirectoryClient, SharedDirectory};
+
+use std::collections::HashMap;
+use tamp_wire::{MemberEvent, NodeId, NodeRecord, RelayedRecord, ServiceAvail};
+
+/// Nanosecond timestamps, matching `tamp_topology::Nanos`.
+pub type Nanos = u64;
+
+/// How an entry is known to this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// This entry is the local node itself.
+    Local,
+    /// Heard directly (shares a multicast group with us).
+    Direct,
+    /// Relayed by a group leader; carries the relayer's id.
+    Relayed(NodeId),
+}
+
+impl Provenance {
+    pub fn relayer(&self) -> Option<NodeId> {
+        match self {
+            Provenance::Relayed(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One directory entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub record: NodeRecord,
+    pub provenance: Provenance,
+    /// Last time a heartbeat or update touched this entry.
+    pub last_refresh: Nanos,
+}
+
+/// Result of applying an event to the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// The directory changed (new node, newer incarnation, or removal).
+    Changed,
+    /// Event was stale or redundant; directory unchanged. Idempotent
+    /// redundant delivery is a feature: "because the operation caused by
+    /// an update message at each node is idempotent, redundant messages
+    /// will not cause confusion" (§3.1.1).
+    Ignored,
+}
+
+impl Applied {
+    pub fn changed(self) -> bool {
+        self == Applied::Changed
+    }
+}
+
+/// The yellow-page directory: complete view of cluster membership.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    entries: HashMap<NodeId, Entry>,
+    /// Incarnations known dead: `dead[n]` is the highest incarnation of
+    /// `n` declared dead plus when it was declared. Records must exceed
+    /// the incarnation to be accepted while the tombstone is fresh.
+    dead: HashMap<NodeId, (u64, Nanos)>,
+    /// How long a death declaration suppresses same-incarnation rejoins.
+    /// Finite TTL keeps the directory soft-state: after a false positive
+    /// (e.g. a healed partition), the node's own heartbeats re-add it
+    /// once the tombstone ages out, without requiring re-incarnation.
+    tombstone_ttl: Nanos,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory {
+            entries: HashMap::new(),
+            dead: HashMap::new(),
+            tombstone_ttl: DEFAULT_TOMBSTONE_TTL,
+        }
+    }
+}
+
+/// Default [`Directory::set_tombstone_ttl`]: 15 s — comfortably longer
+/// than update-propagation time (so in-flight stale leaves stay
+/// suppressed) but short enough that partition false-positives heal fast.
+pub const DEFAULT_TOMBSTONE_TTL: Nanos = 15_000_000_000;
+
+impl Directory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the tombstone TTL (0 disables suppression entirely).
+    pub fn set_tombstone_ttl(&mut self, ttl: Nanos) {
+        self.tombstone_ttl = ttl;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Live node ids, unordered.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Look up one entry.
+    pub fn get(&self, node: NodeId) -> Option<&Entry> {
+        self.entries.get(&node)
+    }
+
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.contains_key(&node)
+    }
+
+    /// All entries, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+
+    /// Insert or refresh a record.
+    ///
+    /// Acceptance rules, in order:
+    /// 1. rejected if its incarnation was already declared dead;
+    /// 2. accepted as [`Applied::Changed`] if the node is unknown or the
+    ///    incarnation is newer, or (same incarnation) the record content
+    ///    differs (a node republished its services via `update_value`);
+    /// 3. otherwise refreshes `last_refresh` (and upgrades provenance
+    ///    from relayed to direct if we now hear it ourselves) but reports
+    ///    [`Applied::Ignored`].
+    pub fn apply_join(
+        &mut self,
+        record: NodeRecord,
+        provenance: Provenance,
+        now: Nanos,
+    ) -> Applied {
+        if let Some(&(dead_inc, at)) = self.dead.get(&record.node) {
+            if record.incarnation <= dead_inc && now.saturating_sub(at) < self.tombstone_ttl {
+                return Applied::Ignored;
+            }
+        }
+        match self.entries.get_mut(&record.node) {
+            None => {
+                self.entries.insert(
+                    record.node,
+                    Entry {
+                        record,
+                        provenance,
+                        last_refresh: now,
+                    },
+                );
+                Applied::Changed
+            }
+            Some(e) => {
+                if record.incarnation > e.record.incarnation
+                    || (record.incarnation == e.record.incarnation && record != e.record)
+                {
+                    e.record = record;
+                    e.provenance = provenance;
+                    e.last_refresh = now;
+                    Applied::Changed
+                } else if record.incarnation == e.record.incarnation {
+                    e.last_refresh = now;
+                    // Provenance re-stamping: relayed knowledge may be
+                    // upgraded to direct, or re-attributed to a new
+                    // relayer (the takeover leader re-announcing its
+                    // directory). Direct knowledge never downgrades to
+                    // relayed — we keep detecting the failure ourselves.
+                    if matches!(e.provenance, Provenance::Relayed(_))
+                        && !matches!(provenance, Provenance::Local)
+                    {
+                        e.provenance = provenance;
+                    }
+                    Applied::Ignored
+                } else {
+                    Applied::Ignored
+                }
+            }
+        }
+    }
+
+    /// Declare `node`'s given incarnation dead. A stale leave (for an
+    /// incarnation older than the live record) is ignored.
+    pub fn apply_leave(&mut self, node: NodeId, incarnation: u64, now: Nanos) -> Applied {
+        let dead = self.dead.entry(node).or_insert((0, now));
+        if incarnation >= dead.0 {
+            *dead = (incarnation, now);
+        }
+        match self.entries.get(&node) {
+            Some(e) if e.record.incarnation <= incarnation => {
+                self.entries.remove(&node);
+                Applied::Changed
+            }
+            _ => Applied::Ignored,
+        }
+    }
+
+    /// Apply a wire event.
+    pub fn apply_event(&mut self, ev: &MemberEvent, provenance: Provenance, now: Nanos) -> Applied {
+        match ev {
+            MemberEvent::Join(r) => self.apply_join(r.clone(), provenance, now),
+            MemberEvent::Leave(n, inc) => self.apply_leave(*n, *inc, now),
+        }
+    }
+
+    /// The incarnation of `node` most recently declared dead, if that
+    /// declaration is still fresh (within the tombstone TTL). Lets the
+    /// protocol push death knowledge back at peers that still advertise
+    /// the node (digest reconciliation).
+    pub fn fresh_tombstone(&self, node: NodeId, now: Nanos) -> Option<u64> {
+        self.dead
+            .get(&node)
+            .and_then(|&(inc, at)| (now.saturating_sub(at) < self.tombstone_ttl).then_some(inc))
+    }
+
+    /// Raw tombstone record for `node`: `(incarnation, declared_at)`.
+    pub fn tombstone_of(&self, node: NodeId) -> Option<(u64, Nanos)> {
+        self.dead.get(&node).copied()
+    }
+
+    /// The configured tombstone TTL.
+    pub fn tombstone_ttl(&self) -> Nanos {
+        self.tombstone_ttl
+    }
+
+    /// Remove an entry without recording a tombstone — used by digest
+    /// reconciliation, where the node may well be alive and simply no
+    /// longer vouched for by this relayer.
+    pub fn remove(&mut self, node: NodeId) -> Option<NodeRecord> {
+        self.entries.remove(&node).map(|e| e.record)
+    }
+
+    /// Touch `node`'s entry (heartbeat received) without changing content.
+    /// Returns false if the node is unknown.
+    pub fn refresh(&mut self, node: NodeId, now: Nanos) -> bool {
+        match self.entries.get_mut(&node) {
+            Some(e) => {
+                if now > e.last_refresh {
+                    e.last_refresh = now;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove every entry whose age exceeds the deadline computed by
+    /// `deadline_for`, then cascade: entries relayed by a node removed in
+    /// the same sweep are removed too (repeat to fixpoint). Returns the
+    /// removed records (so the caller can announce departures).
+    pub fn expire<F>(&mut self, now: Nanos, mut deadline_for: F) -> Vec<NodeRecord>
+    where
+        F: FnMut(&Entry) -> Nanos,
+    {
+        let mut removed = Vec::new();
+        let stale: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                !matches!(e.provenance, Provenance::Local)
+                    && now.saturating_sub(e.last_refresh) >= deadline_for(e)
+            })
+            .map(|(&n, _)| n)
+            .collect();
+        let mut frontier = stale;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for n in frontier {
+                if let Some(e) = self.entries.remove(&n) {
+                    // Cascade to everything this node relayed to us.
+                    for (&m, me) in &self.entries {
+                        if me.provenance.relayer() == Some(n) {
+                            next.push(m);
+                        }
+                    }
+                    removed.push(e.record);
+                }
+            }
+            frontier = next;
+        }
+        removed
+    }
+
+    /// Remove every entry relayed by `relayer` ("the membership
+    /// information relayed by a group leader has the same life time as the
+    /// leader itself"). Cascades like [`Directory::expire`]. Does not
+    /// remove `relayer` itself.
+    pub fn purge_relayed_by(&mut self, relayer: NodeId) -> Vec<NodeRecord> {
+        let mut removed = Vec::new();
+        let mut frontier = vec![relayer];
+        while let Some(r) = frontier.pop() {
+            let victims: Vec<NodeId> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.provenance.relayer() == Some(r))
+                .map(|(&n, _)| n)
+                .collect();
+            for v in victims {
+                if let Some(e) = self.entries.remove(&v) {
+                    removed.push(e.record);
+                    frontier.push(v);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Snapshot all entries as wire records with their relay provenance,
+    /// for bootstrap/sync responses.
+    pub fn snapshot(&self) -> Vec<RelayedRecord> {
+        self.entries
+            .values()
+            .map(|e| RelayedRecord {
+                record: e.record.clone(),
+                relayed_by: e.provenance.relayer(),
+            })
+            .collect()
+    }
+
+    /// Aggregate per-service availability for the proxy summary: one
+    /// [`ServiceAvail`] per service name, with the union of partitions and
+    /// the instance count, sorted by name for deterministic comparison.
+    pub fn service_summary(&self) -> Vec<ServiceAvail> {
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<&str, (Vec<u16>, u16)> = BTreeMap::new();
+        for e in self.entries.values() {
+            for s in &e.record.services {
+                let slot = agg.entry(s.name.as_str()).or_default();
+                slot.0.extend(s.partitions.iter());
+                slot.1 += 1;
+            }
+        }
+        agg.into_iter()
+            .map(|(name, (parts, instances))| ServiceAvail {
+                name: name.to_string(),
+                partitions: tamp_wire::PartitionSet::from_iter(parts),
+                instances,
+            })
+            .collect()
+    }
+
+    /// Forget the dead-incarnation memory for nodes no longer present —
+    /// bounded-memory hygiene for long-running simulations. Retains
+    /// tombstones for live nodes (still needed for ordering).
+    pub fn compact_tombstones(&mut self) {
+        let entries = &self.entries;
+        self.dead.retain(|n, _| entries.contains_key(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_wire::{PartitionSet, ServiceDecl};
+
+    fn rec(id: u32, inc: u64) -> NodeRecord {
+        NodeRecord::new(NodeId(id), inc)
+            .with_service(ServiceDecl::new("svc", PartitionSet::from_iter([0])))
+    }
+
+    #[test]
+    fn join_then_get() {
+        let mut d = Directory::new();
+        assert!(d.apply_join(rec(1, 1), Provenance::Direct, 10).changed());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(NodeId(1)).unwrap().last_refresh, 10);
+        assert!(d.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn duplicate_join_is_idempotent_refresh() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 10);
+        let r = d.apply_join(rec(1, 1), Provenance::Direct, 20);
+        assert_eq!(r, Applied::Ignored);
+        assert_eq!(d.get(NodeId(1)).unwrap().last_refresh, 20);
+    }
+
+    #[test]
+    fn newer_incarnation_wins() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 2), Provenance::Direct, 0);
+        assert_eq!(
+            d.apply_join(rec(1, 1), Provenance::Direct, 5),
+            Applied::Ignored
+        );
+        assert!(d.apply_join(rec(1, 3), Provenance::Direct, 5).changed());
+        assert_eq!(d.get(NodeId(1)).unwrap().record.incarnation, 3);
+    }
+
+    #[test]
+    fn same_incarnation_content_change_is_change() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        let updated = rec(1, 1).with_attr("load", "0.5");
+        assert!(d.apply_join(updated, Provenance::Direct, 1).changed());
+    }
+
+    #[test]
+    fn leave_removes_and_blocks_stale_rejoin() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        assert!(d.apply_leave(NodeId(1), 1, 1).changed());
+        assert!(d.is_empty());
+        // Same-incarnation rejoin rejected; newer accepted.
+        assert_eq!(
+            d.apply_join(rec(1, 1), Provenance::Direct, 2),
+            Applied::Ignored
+        );
+        assert!(d.apply_join(rec(1, 2), Provenance::Direct, 2).changed());
+    }
+
+    #[test]
+    fn stale_leave_does_not_kill_newer_incarnation() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 5), Provenance::Direct, 0);
+        assert_eq!(d.apply_leave(NodeId(1), 3, 1), Applied::Ignored);
+        assert!(d.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn leave_unknown_node_records_tombstone() {
+        let mut d = Directory::new();
+        assert_eq!(d.apply_leave(NodeId(9), 4, 0), Applied::Ignored);
+        // Join of that incarnation later is rejected.
+        assert_eq!(
+            d.apply_join(rec(9, 4), Provenance::Direct, 1),
+            Applied::Ignored
+        );
+        assert!(d.apply_join(rec(9, 5), Provenance::Direct, 1).changed());
+    }
+
+    #[test]
+    fn refresh_touches_known_only() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        assert!(d.refresh(NodeId(1), 7));
+        assert!(!d.refresh(NodeId(2), 7));
+        assert_eq!(d.get(NodeId(1)).unwrap().last_refresh, 7);
+    }
+
+    #[test]
+    fn refresh_never_moves_time_backwards() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 10);
+        d.refresh(NodeId(1), 5);
+        assert_eq!(d.get(NodeId(1)).unwrap().last_refresh, 10);
+    }
+
+    #[test]
+    fn expire_removes_stale_spares_fresh() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        d.apply_join(rec(2, 1), Provenance::Direct, 90);
+        let removed = d.expire(100, |_| 50);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].node, NodeId(1));
+        assert!(d.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn expire_never_removes_local() {
+        let mut d = Directory::new();
+        d.apply_join(rec(0, 1), Provenance::Local, 0);
+        let removed = d.expire(1_000_000, |_| 1);
+        assert!(removed.is_empty());
+        assert!(d.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn expire_cascades_to_relayed_entries() {
+        let mut d = Directory::new();
+        // Leader 5 heard directly; nodes 6,7 relayed by 5; node 8 direct.
+        d.apply_join(rec(5, 1), Provenance::Direct, 0);
+        d.apply_join(rec(6, 1), Provenance::Relayed(NodeId(5)), 100);
+        d.apply_join(rec(7, 1), Provenance::Relayed(NodeId(5)), 100);
+        d.apply_join(rec(8, 1), Provenance::Direct, 100);
+        // Only node 5 is stale, but 6 and 7 must cascade with it.
+        let removed = d.expire(100, |e| if e.record.node == NodeId(5) { 50 } else { 500 });
+        let mut ids: Vec<u32> = removed.iter().map(|r| r.node.0).collect();
+        ids.sort();
+        assert_eq!(ids, vec![5, 6, 7]);
+        assert!(d.contains(NodeId(8)));
+    }
+
+    #[test]
+    fn purge_relayed_by_cascades_transitively() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        d.apply_join(rec(2, 1), Provenance::Relayed(NodeId(1)), 0);
+        d.apply_join(rec(3, 1), Provenance::Relayed(NodeId(2)), 0);
+        d.apply_join(rec(4, 1), Provenance::Direct, 0);
+        let removed = d.purge_relayed_by(NodeId(1));
+        let mut ids: Vec<u32> = removed.iter().map(|r| r.node.0).collect();
+        ids.sort();
+        assert_eq!(ids, vec![2, 3]);
+        assert!(d.contains(NodeId(1)));
+        assert!(d.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn direct_supersedes_relayed_provenance() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Relayed(NodeId(9)), 0);
+        d.apply_join(rec(1, 1), Provenance::Direct, 1);
+        assert_eq!(d.get(NodeId(1)).unwrap().provenance, Provenance::Direct);
+        // But relayed does not downgrade direct.
+        d.apply_join(rec(1, 1), Provenance::Relayed(NodeId(9)), 2);
+        assert_eq!(d.get(NodeId(1)).unwrap().provenance, Provenance::Direct);
+    }
+
+    #[test]
+    fn snapshot_carries_relayers() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        d.apply_join(rec(2, 1), Provenance::Relayed(NodeId(1)), 0);
+        let snap = d.snapshot();
+        assert_eq!(snap.len(), 2);
+        let relayed = snap.iter().find(|r| r.record.node == NodeId(2)).unwrap();
+        assert_eq!(relayed.relayed_by, Some(NodeId(1)));
+    }
+
+    #[test]
+    fn service_summary_aggregates() {
+        let mut d = Directory::new();
+        let a = NodeRecord::new(NodeId(1), 1)
+            .with_service(ServiceDecl::new("idx", PartitionSet::from_iter([0, 1])));
+        let b = NodeRecord::new(NodeId(2), 1)
+            .with_service(ServiceDecl::new("idx", PartitionSet::from_iter([1, 2])))
+            .with_service(ServiceDecl::new("doc", PartitionSet::from_iter([0])));
+        d.apply_join(a, Provenance::Direct, 0);
+        d.apply_join(b, Provenance::Direct, 0);
+        let sum = d.service_summary();
+        assert_eq!(sum.len(), 2);
+        assert_eq!(sum[0].name, "doc");
+        assert_eq!(sum[1].name, "idx");
+        assert_eq!(sum[1].instances, 2);
+        assert_eq!(sum[1].partitions.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn compact_tombstones_drops_departed() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        d.apply_leave(NodeId(1), 1, 0);
+        d.apply_join(rec(2, 1), Provenance::Direct, 0);
+        d.apply_leave(NodeId(2), 1, 0);
+        d.apply_join(rec(2, 2), Provenance::Direct, 0);
+        d.compact_tombstones();
+        // Node 1 tombstone gone: an old-incarnation join now sneaks in —
+        // acceptable soft-state behaviour; heartbeat absence re-kills it.
+        assert!(d.apply_join(rec(1, 1), Provenance::Direct, 1).changed());
+        // Node 2 tombstone kept (node present).
+        assert_eq!(
+            d.apply_join(rec(2, 1), Provenance::Direct, 1),
+            Applied::Ignored
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Paper Fig. 11: aggregate bandwidth consumption of the three schemes
+//! as the cluster grows from 20 to 100 nodes (20 nodes per layer-2
+//! network, 1–5 networks).
+//!
+//! "Bandwidth consumption is measured on each node by counting the
+//! incoming heartbeat packets. Then all numbers are added up to get the
+//! aggregated bandwidth consumption."
+
+use crate::common::{build_cluster, paper_topology, view_accuracy, Cluster, Scheme, SETTLE};
+use tamp_netsim::{EngineConfig, SECS};
+
+/// One (scheme, n) measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthRow {
+    pub scheme: Scheme,
+    pub n: usize,
+    /// Aggregate received bytes/s across all nodes.
+    pub agg_recv_bytes_per_s: f64,
+    /// Aggregate received packets/s.
+    pub agg_recv_pps: f64,
+    /// Mean per-node received bytes/s.
+    pub per_node_bytes_per_s: f64,
+    /// Fraction of nodes with a complete view at measurement end.
+    pub accuracy: f64,
+}
+
+/// Measure steady-state bandwidth for one scheme and size.
+pub fn measure(scheme: Scheme, n: usize, seg_size: usize, seed: u64) -> BandwidthRow {
+    let mut c: Cluster = build_cluster(
+        scheme,
+        paper_topology(n, seg_size),
+        seed,
+        EngineConfig::default(),
+    );
+    c.engine.run_until(SETTLE);
+    c.engine.stats_mut().reset_traffic();
+    let window = 30 * SECS;
+    c.engine.run_until(SETTLE + window);
+    let totals = c.engine.stats().totals();
+    let secs = window as f64 / 1e9;
+    BandwidthRow {
+        scheme,
+        n,
+        agg_recv_bytes_per_s: totals.recv_bytes as f64 / secs,
+        agg_recv_pps: totals.recv_pkts as f64 / secs,
+        per_node_bytes_per_s: totals.recv_bytes as f64 / secs / n as f64,
+        accuracy: view_accuracy(&c),
+    }
+}
+
+/// The paper's sweep: 20..=100 nodes in 20-node networks.
+pub const PAPER_SIZES: [usize; 5] = [20, 40, 60, 80, 100];
+
+pub fn sweep(sizes: &[usize], seg_size: usize, seed: u64) -> Vec<BandwidthRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for scheme in Scheme::ALL {
+            rows.push(measure(scheme, n, seg_size, seed));
+        }
+    }
+    rows
+}
+
+pub fn run_and_print(sizes: &[usize], seed: u64) {
+    let rows = sweep(sizes, 20, seed);
+    let mut t = crate::report::Table::new(
+        "Fig. 11 — aggregate bandwidth consumption (steady state)",
+        &[
+            "nodes",
+            "scheme",
+            "agg KB/s",
+            "agg pkts/s",
+            "per-node KB/s",
+            "accuracy",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.scheme.name().to_string(),
+            crate::report::kbps(r.agg_recv_bytes_per_s),
+            format!("{:.0}", r.agg_recv_pps),
+            crate::report::kbps(r.per_node_bytes_per_s),
+            format!("{:.2}", r.accuracy),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig11");
+    println!(
+        "\nPaper shape: hierarchical grows ~linearly (flat per-node); all-to-all and gossip grow\n\
+         quadratically (per-node linear in n); all three coincide at n=20 (single network)."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_per_node_bandwidth_stays_flat() {
+        let b20 = measure(Scheme::Hierarchical, 20, 20, 5);
+        let b60 = measure(Scheme::Hierarchical, 60, 20, 5);
+        let growth = b60.per_node_bytes_per_s / b20.per_node_bytes_per_s;
+        assert!(
+            growth < 1.6,
+            "hierarchical per-node bandwidth grew {growth:.2}x from 20 to 60 nodes"
+        );
+        assert_eq!(b60.accuracy, 1.0);
+    }
+
+    #[test]
+    fn all_to_all_per_node_bandwidth_grows_linearly() {
+        let b20 = measure(Scheme::AllToAll, 20, 20, 5);
+        let b60 = measure(Scheme::AllToAll, 60, 20, 5);
+        let growth = b60.per_node_bytes_per_s / b20.per_node_bytes_per_s;
+        assert!(
+            (2.5..3.6).contains(&growth),
+            "expected ~3x for 3x nodes, got {growth:.2}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_cheapest_at_100() {
+        let h = measure(Scheme::Hierarchical, 100, 20, 6);
+        let a = measure(Scheme::AllToAll, 100, 20, 6);
+        let g = measure(Scheme::Gossip, 100, 20, 6);
+        assert!(
+            h.agg_recv_bytes_per_s < a.agg_recv_bytes_per_s,
+            "hier {} vs a2a {}",
+            h.agg_recv_bytes_per_s,
+            a.agg_recv_bytes_per_s
+        );
+        assert!(h.agg_recv_bytes_per_s < g.agg_recv_bytes_per_s);
+    }
+}

@@ -1,0 +1,143 @@
+//! `tamp-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! tamp-exp fig2                # Fig. 2: all-to-all CPU / pps emulation
+//! tamp-exp fig11               # Fig. 11: bandwidth vs cluster size
+//! tamp-exp fig12               # Fig. 12: failure detection time
+//! tamp-exp fig13               # Fig. 13: view convergence time
+//! tamp-exp fig14               # Fig. 14: proxy failover timeline
+//! tamp-exp analysis            # §4 closed-form model + BDT/BCT
+//! tamp-exp ablation-group-size # A1
+//! tamp-exp ablation-loss       # A2
+//! tamp-exp ablation-scale      # A3
+//! tamp-exp ablation-leader     # A4
+//! tamp-exp all                 # everything above
+//! ```
+//!
+//! Options: `--seed <u64>` (default 2005), `--quick` (smaller sweeps).
+
+use tamp_harness::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = String::from("all");
+    let mut seed = 2005u64;
+    let mut quick = false;
+    let mut trials = 1usize;
+    let mut topo_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--quick" => quick = true,
+            "--trials" => {
+                trials = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--trials needs a number"));
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other if !other.starts_with('-') => {
+                if cmd == "topo" && topo_file.is_none() {
+                    topo_file = Some(other.to_string());
+                } else {
+                    cmd = other.to_string();
+                }
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+
+    let fig2_sizes: Vec<usize> = if quick {
+        vec![250, 1000, 4000]
+    } else {
+        fig2::PAPER_SIZES.to_vec()
+    };
+    let fig11_sizes: Vec<usize> = if quick {
+        vec![20, 60, 100]
+    } else {
+        bandwidth::PAPER_SIZES.to_vec()
+    };
+    let analysis_sizes: Vec<usize> = vec![20, 100, 500, 1000, 4000];
+
+    let run = |name: &str| {
+        println!("\n================================================================");
+        println!("  {name}");
+        println!("================================================================");
+    };
+
+    match cmd.as_str() {
+        "fig2" => fig2::run_and_print(&fig2_sizes, seed),
+        "fig11" => bandwidth::run_and_print(&fig11_sizes, seed),
+        "fig12" if trials > 1 => {
+            detection::run_and_print_trials(&fig11_sizes, seed, trials, "fig12")
+        }
+        "fig12" => detection::run_and_print(&fig11_sizes, seed, "fig12"),
+        "fig13" if trials > 1 => {
+            detection::run_and_print_trials(&fig11_sizes, seed, trials, "fig13")
+        }
+        "fig13" => detection::run_and_print(&fig11_sizes, seed, "fig13"),
+        "fig14" => fig14::run_and_print(seed),
+        "analysis" => analysis_tables::run_and_print(&analysis_sizes),
+        "ablation-group-size" => ablations::run_group_size(seed),
+        "ablation-loss" => ablations::run_loss(seed),
+        "ablation-scale" => ablations::run_scale(seed),
+        "ablation-leader" => ablations::run_leader(seed),
+        "ablation-piggyback" => ablations::run_piggyback(seed),
+        "ablation-topology" => ablations::run_topology(seed),
+        "ablation-detector" => ablations::run_detector(seed),
+        "trace" => trace_tool::run(seed),
+        "topo" => {
+            let path = topo_file.unwrap_or_else(|| die("usage: tamp-exp topo <file.topo>"));
+            if let Err(e) = topo_tool::run(&path, seed) {
+                die(&e);
+            }
+        }
+        "all" => {
+            run("Fig. 2");
+            fig2::run_and_print(&fig2_sizes, seed);
+            run("§4 analysis");
+            analysis_tables::run_and_print(&analysis_sizes);
+            run("Fig. 11");
+            bandwidth::run_and_print(&fig11_sizes, seed);
+            run("Figs. 12 & 13");
+            detection::run_and_print(&fig11_sizes, seed, "fig12");
+            detection::run_and_print(&fig11_sizes, seed, "fig13");
+            run("Fig. 14");
+            fig14::run_and_print(seed);
+            run("Ablations");
+            ablations::run_group_size(seed);
+            ablations::run_loss(seed);
+            ablations::run_scale(seed);
+            ablations::run_leader(seed);
+            ablations::run_piggyback(seed);
+            ablations::run_topology(seed);
+            ablations::run_detector(seed);
+        }
+        other => die(&format!("unknown command {other}; try --help")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "tamp-exp — regenerate the paper's evaluation\n\n\
+         commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector\n\u{20}         topo <file.topo>  trace  all\n\
+         options:  --seed <u64>    deterministic seed (default 2005)\n\
+         \u{20}         --quick         smaller sweeps for smoke runs\n\
+         \u{20}         --trials <n>    fig12/fig13: statistics over n seeds"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tamp-exp: {msg}");
+    std::process::exit(2);
+}

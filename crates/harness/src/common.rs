@@ -1,0 +1,174 @@
+//! Shared cluster construction and measurement plumbing.
+
+use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode};
+use tamp_directory::DirectoryClient;
+use tamp_membership::{MembershipConfig, MembershipNode};
+use tamp_netsim::{Engine, EngineConfig, SimTime, SECS};
+use tamp_topology::{generators, HostId, Topology};
+use tamp_wire::{NodeId, PartitionSet, ServiceDecl};
+
+/// Which membership protocol a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    AllToAll,
+    Gossip,
+    Hierarchical,
+}
+
+impl Scheme {
+    pub const ALL: [Scheme; 3] = [Scheme::AllToAll, Scheme::Gossip, Scheme::Hierarchical];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::AllToAll => "all-to-all",
+            Scheme::Gossip => "gossip",
+            Scheme::Hierarchical => "hierarchical",
+        }
+    }
+}
+
+/// A running cluster of one scheme.
+pub struct Cluster {
+    pub engine: Engine,
+    pub clients: Vec<DirectoryClient>,
+    pub scheme: Scheme,
+}
+
+/// The paper's testbed topology family: layer-2 networks of
+/// `seg_size` nodes behind one router core ("Each multicast channel
+/// hosts 20 nodes … five networks for 100 nodes").
+pub fn paper_topology(n: usize, seg_size: usize) -> Topology {
+    let segs = n.div_ceil(seg_size);
+    generators::star_of_segments(segs, n / segs)
+}
+
+fn demo_services(h: HostId) -> Vec<ServiceDecl> {
+    vec![ServiceDecl::new(
+        "svc",
+        PartitionSet::from_iter([(h.0 % 4) as u16]),
+    )]
+}
+
+/// Build a cluster of `scheme` on `topo`, started and ready to run.
+pub fn build_cluster(scheme: Scheme, topo: Topology, seed: u64, cfg: EngineConfig) -> Cluster {
+    let n = topo.num_hosts();
+    let mut engine = Engine::new(topo, cfg, seed);
+    let mut clients = Vec::new();
+    match scheme {
+        Scheme::AllToAll => {
+            for h in engine.hosts() {
+                let node = AllToAllNode::new(
+                    NodeId(h.0),
+                    AllToAllConfig {
+                        services: demo_services(h),
+                        ..Default::default()
+                    },
+                );
+                clients.push(node.directory_client());
+                engine.add_actor(h, Box::new(node));
+            }
+        }
+        Scheme::Gossip => {
+            let seeds: Vec<NodeId> = engine.hosts().iter().map(|h| NodeId(h.0)).collect();
+            for h in engine.hosts() {
+                let node = GossipNode::new(
+                    NodeId(h.0),
+                    GossipConfig {
+                        expected_cluster_size: n,
+                        seeds: seeds.clone(),
+                        services: demo_services(h),
+                        ..Default::default()
+                    },
+                );
+                clients.push(node.directory_client());
+                engine.add_actor(h, Box::new(node));
+            }
+        }
+        Scheme::Hierarchical => {
+            for h in engine.hosts() {
+                let node = MembershipNode::new(
+                    NodeId(h.0),
+                    MembershipConfig {
+                        services: demo_services(h),
+                        ..Default::default()
+                    },
+                );
+                clients.push(node.directory_client());
+                engine.add_actor(h, Box::new(node));
+            }
+        }
+    }
+    engine.start();
+    Cluster {
+        engine,
+        clients,
+        scheme,
+    }
+}
+
+/// How long clusters get to reach steady state before measurements.
+pub const SETTLE: SimTime = 30 * SECS;
+
+/// Mean [`view_accuracy`] over `samples` instants spaced `gap` apart
+/// (runs the engine forward); one instant can catch the cluster
+/// mid-heal and under-read.
+pub fn view_accuracy_sampled(c: &mut Cluster, samples: usize, gap: SimTime) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..samples.max(1) {
+        c.engine.run_for(gap);
+        total += view_accuracy(c);
+    }
+    total / samples.max(1) as f64
+}
+
+/// Fraction of live nodes with a complete view — the *membership
+/// accuracy* the paper's abstract claims.
+pub fn view_accuracy(c: &Cluster) -> f64 {
+    let alive: Vec<usize> = (0..c.clients.len())
+        .filter(|&i| c.engine.is_alive(HostId(i as u32)))
+        .collect();
+    let expect = alive.len();
+    let good = alive
+        .iter()
+        .filter(|&&i| c.clients[i].member_count() == expect)
+        .count();
+    good as f64 / expect.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_shapes() {
+        let t = paper_topology(100, 20);
+        assert_eq!(t.num_hosts(), 100);
+        assert_eq!(t.num_segments(), 5);
+        let t = paper_topology(20, 20);
+        assert_eq!(t.num_segments(), 1);
+    }
+
+    #[test]
+    fn all_three_schemes_converge_on_small_cluster() {
+        for scheme in Scheme::ALL {
+            let mut c = build_cluster(scheme, paper_topology(20, 20), 9, EngineConfig::default());
+            c.engine.run_until(SETTLE);
+            let acc = view_accuracy(&c);
+            if scheme == Scheme::Gossip {
+                // "Its probabilistic property does not guarantee 100%
+                // accuracy" (§2): an early false positive blacklists a
+                // peer for 2×T_fail, so a node can still be catching up
+                // at the settle point. It must heal soon after.
+                if acc < 1.0 {
+                    c.engine.run_for(SETTLE);
+                    assert!(
+                        view_accuracy(&c) >= 0.95,
+                        "gossip accuracy {acc} never healed"
+                    );
+                }
+            } else {
+                assert_eq!(acc, 1.0, "{} did not converge", scheme.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # tamp-harness — experiment drivers for every paper figure
+//!
+//! One module per experiment; the `tamp-exp` binary exposes them as
+//! subcommands. Each experiment returns structured rows (so the Criterion
+//! benches and tests can reuse them) and can render an aligned text table
+//! — the same rows/series the paper's figures report.
+//!
+//! | Paper figure | Module | Subcommand |
+//! |---|---|---|
+//! | Fig. 2 (all-to-all CPU & pps)            | [`fig2`]      | `fig2` |
+//! | Fig. 11 (bandwidth vs n)                 | [`bandwidth`] | `fig11` |
+//! | Fig. 12 (failure detection time vs n)    | [`detection`] | `fig12` |
+//! | Fig. 13 (view convergence time vs n)     | [`detection`] | `fig13` |
+//! | Fig. 14 (proxy failover timeline)        | [`fig14`]     | `fig14` |
+//! | §4 analysis (BDT/BCT model)              | [`analysis_tables`] | `analysis` |
+//! | Ablations A1–A4 (DESIGN.md)              | [`ablations`] | `ablation-*` |
+
+pub mod ablations;
+pub mod analysis_tables;
+pub mod bandwidth;
+pub mod common;
+pub mod detection;
+pub mod fig14;
+pub mod fig2;
+pub mod report;
+pub mod topo_tool;
+pub mod trace_tool;
+
+pub use common::Scheme;

@@ -1,0 +1,345 @@
+//! Membership service configuration, including the paper's Fig. 7
+//! configuration-file format.
+//!
+//! ```text
+//! *SYSTEM
+//! SHM_KEY    = 999
+//! MAX_TTL    = 4
+//! MCAST_ADDR = 239.255.0.2
+//! MCAST_PORT = 10050
+//! MCAST_FREQ = 1
+//! MAX_LOSS   = 5
+//!
+//! *SERVICE
+//! [HTTP]
+//!     PARTITION = 0
+//!     Port      = 8080
+//! [Cache]
+//!     PARTITION = 2
+//! ```
+
+use tamp_netsim::ChannelId;
+use tamp_topology::{Nanos, MILLIS, SECS};
+use tamp_wire::{PartitionSet, ServiceDecl};
+
+/// All tunables of one membership node.
+#[derive(Debug, Clone)]
+pub struct MembershipConfig {
+    /// Base multicast channel; level `k` uses `base_channel + k`
+    /// ("all other channels can be derived from the base channel and a
+    /// TTL value").
+    pub base_channel: ChannelId,
+    /// Highest TTL the group-formation process may use (`MAX_TTL`). The
+    /// top group level is `max_ttl - 1`.
+    pub max_ttl: u8,
+    /// Heartbeat multicast period (1 / `MCAST_FREQ`).
+    pub heartbeat_period: Nanos,
+    /// Consecutive heartbeat losses tolerated before declaring a node
+    /// dead (`MAX_LOSS`): the level-0 failure timeout is
+    /// `max_loss × heartbeat_period`.
+    pub max_loss: u32,
+    /// Shared-memory key from the paper's config format. Cosmetic here
+    /// (identifies the directory handle).
+    pub shm_key: u32,
+    /// Events carried per update message (new event + piggybacked
+    /// predecessors). The paper uses 4 (current + last 3).
+    pub piggyback_window: usize,
+    /// Per-level timeout scaling: `timeout(ℓ) = max_loss × period ×
+    /// (1 + ℓ × level_timeout_factor)`. "Higher level groups are assigned
+    /// with larger timeout values" so a lower group can re-elect before
+    /// the higher group purges its subtree.
+    pub level_timeout_factor: f64,
+    /// Random phase jitter applied to the first heartbeat so nodes do not
+    /// beat in lockstep.
+    pub startup_jitter: Nanos,
+    /// How long a node listens on a newly joined channel before starting
+    /// an election (it must first learn of any existing leader).
+    pub listen_period: Nanos,
+    /// How long an election candidate waits for an objection (`Alive`)
+    /// or a rival `Coordinator` before claiming leadership.
+    pub election_timeout: Nanos,
+    /// How long non-backup members wait for the backup leader's takeover
+    /// before starting a full election.
+    pub backup_grace: Nanos,
+    /// Sweep granularity for timeout checks.
+    pub sweep_period: Nanos,
+    /// Anti-entropy period: each group leader multicasts a compact
+    /// (id, incarnation) digest of its directory into the groups it
+    /// leads every this often, letting members detect and repair missing
+    /// or orphaned entries. 0 disables. Robustness extension over the
+    /// paper; ablation A2 quantifies it.
+    pub anti_entropy_period: Nanos,
+    /// How long a death declaration suppresses same-incarnation rejoins
+    /// in the local directory (see `tamp_directory`).
+    pub tombstone_ttl: Nanos,
+    /// Use the adaptive (EWMA inter-arrival) failure detector instead of
+    /// the paper's fixed `max_loss × period` timeout. Under packet loss
+    /// the adaptive deadline stretches automatically; ablation A7
+    /// quantifies the trade-off. Off by default (paper-faithful).
+    pub adaptive_timeout: bool,
+    /// Services this node exports (`*SERVICE` sections).
+    pub services: Vec<ServiceDecl>,
+    /// Machine attributes published in this node's record.
+    pub attrs: Vec<(String, String)>,
+    /// If nonzero, pad this node's heartbeat record to this encoded size
+    /// (the paper's measured heartbeat is 228 bytes).
+    pub pad_heartbeat_to: usize,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            base_channel: ChannelId(0),
+            max_ttl: 4,
+            heartbeat_period: SECS,
+            max_loss: 5,
+            shm_key: 999,
+            piggyback_window: 4,
+            level_timeout_factor: 0.5,
+            startup_jitter: 500 * MILLIS,
+            listen_period: 2 * SECS + 500 * MILLIS,
+            election_timeout: 500 * MILLIS,
+            backup_grace: 500 * MILLIS,
+            sweep_period: 100 * MILLIS,
+            anti_entropy_period: 10 * SECS,
+            tombstone_ttl: 15 * SECS,
+            adaptive_timeout: false,
+            services: Vec::new(),
+            attrs: Vec::new(),
+            pad_heartbeat_to: 228,
+        }
+    }
+}
+
+/// Error from [`MembershipConfig::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl MembershipConfig {
+    /// Failure timeout for group level `level`.
+    pub fn timeout(&self, level: u8) -> Nanos {
+        let base = self.max_loss as u64 * self.heartbeat_period;
+        let scaled = base as f64 * (1.0 + level as f64 * self.level_timeout_factor);
+        scaled as Nanos
+    }
+
+    /// Multicast channel for group level `level`.
+    pub fn channel(&self, level: u8) -> ChannelId {
+        self.base_channel.for_level(level)
+    }
+
+    /// TTL used by group level `level`.
+    pub fn ttl(&self, level: u8) -> u8 {
+        level + 1
+    }
+
+    /// Highest group level (`max_ttl - 1`).
+    pub fn top_level(&self) -> u8 {
+        self.max_ttl.saturating_sub(1)
+    }
+
+    /// Parse the paper's Fig. 7 configuration format. Unknown `*SYSTEM`
+    /// keys are rejected; unknown keys inside a `[Service]` section become
+    /// service attributes (the paper's "service specific parameters").
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = MembershipConfig::default();
+        let err = |line: usize, m: &str| ConfigError {
+            line,
+            message: m.to_string(),
+        };
+
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            System,
+            Service,
+        }
+        let mut section = Section::None;
+        let mut current_service: Option<ServiceDecl> = None;
+
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('*') {
+                if let Some(s) = current_service.take() {
+                    cfg.services.push(s);
+                }
+                section = match rest.trim() {
+                    "SYSTEM" => Section::System,
+                    "SERVICE" => Section::Service,
+                    other => return Err(err(line_no, &format!("unknown section *{other}"))),
+                };
+                continue;
+            }
+            if line.starts_with('[') {
+                if section != Section::Service {
+                    return Err(err(line_no, "service block outside *SERVICE"));
+                }
+                let name = line
+                    .strip_prefix('[')
+                    .and_then(|l| l.strip_suffix(']'))
+                    .ok_or_else(|| err(line_no, "malformed [Service] header"))?;
+                if let Some(s) = current_service.take() {
+                    cfg.services.push(s);
+                }
+                current_service = Some(ServiceDecl::new(name.trim(), PartitionSet::empty()));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(line_no, "expected KEY = VALUE"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match section {
+                Section::System => match key {
+                    "SHM_KEY" => {
+                        cfg.shm_key = value.parse().map_err(|_| err(line_no, "bad SHM_KEY"))?
+                    }
+                    "MAX_TTL" => {
+                        cfg.max_ttl = value.parse().map_err(|_| err(line_no, "bad MAX_TTL"))?
+                    }
+                    "MCAST_ADDR" => {
+                        // Hash the dotted-quad into a channel id so distinct
+                        // addresses get distinct simulated channels.
+                        let h: u32 = value
+                            .split('.')
+                            .filter_map(|p| p.parse::<u32>().ok())
+                            .fold(0, |a, b| a.wrapping_mul(31).wrapping_add(b));
+                        cfg.base_channel = ChannelId((h % 60000) as u16);
+                    }
+                    "MCAST_PORT" => { /* folded into the channel id space */ }
+                    "MCAST_FREQ" => {
+                        let f: f64 = value.parse().map_err(|_| err(line_no, "bad MCAST_FREQ"))?;
+                        if f <= 0.0 {
+                            return Err(err(line_no, "MCAST_FREQ must be positive"));
+                        }
+                        cfg.heartbeat_period = (SECS as f64 / f) as Nanos;
+                    }
+                    "MAX_LOSS" => {
+                        cfg.max_loss = value.parse().map_err(|_| err(line_no, "bad MAX_LOSS"))?
+                    }
+                    other => return Err(err(line_no, &format!("unknown *SYSTEM key {other}"))),
+                },
+                Section::Service => {
+                    let svc = current_service
+                        .as_mut()
+                        .ok_or_else(|| err(line_no, "key before any [Service] header"))?;
+                    if key == "PARTITION" {
+                        svc.partitions = PartitionSet::parse(value)
+                            .ok_or_else(|| err(line_no, "bad PARTITION list"))?;
+                    } else {
+                        svc.attrs.push((key.to_string(), value.to_string()));
+                    }
+                }
+                Section::None => return Err(err(line_no, "key before any *SECTION")),
+            }
+        }
+        if let Some(s) = current_service.take() {
+            cfg.services.push(s);
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG7: &str = r#"
+*SYSTEM
+SHM_KEY = 999
+MAX_TTL = 4
+MCAST_ADDR = 239.255.0.2
+MCAST_PORT = 10050
+MCAST_FREQ = 1
+MAX_LOSS = 5
+
+*SERVICE
+[HTTP]
+    PARTITION = 0
+    Port = 8080
+[Cache]
+    PARTITION = 2
+"#;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let cfg = MembershipConfig::parse(FIG7).unwrap();
+        assert_eq!(cfg.shm_key, 999);
+        assert_eq!(cfg.max_ttl, 4);
+        assert_eq!(cfg.heartbeat_period, SECS);
+        assert_eq!(cfg.max_loss, 5);
+        assert_eq!(cfg.services.len(), 2);
+        assert_eq!(cfg.services[0].name, "HTTP");
+        assert!(cfg.services[0].partitions.contains(0));
+        assert_eq!(cfg.services[0].attrs, vec![("Port".into(), "8080".into())]);
+        assert_eq!(cfg.services[1].name, "Cache");
+        assert!(cfg.services[1].partitions.contains(2));
+    }
+
+    #[test]
+    fn mcast_freq_scales_period() {
+        let cfg = MembershipConfig::parse("*SYSTEM\nMCAST_FREQ = 2\n").unwrap();
+        assert_eq!(cfg.heartbeat_period, SECS / 2);
+        assert!(MembershipConfig::parse("*SYSTEM\nMCAST_FREQ = 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_system_key() {
+        let e = MembershipConfig::parse("*SYSTEM\nBOGUS = 1\n").unwrap_err();
+        assert!(e.message.contains("BOGUS"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_stray_lines() {
+        assert!(MembershipConfig::parse("KEY = 1").is_err());
+        assert!(MembershipConfig::parse("*SERVICE\nPARTITION = 1").is_err());
+        assert!(MembershipConfig::parse("*SYSTEM\nnot-an-assignment").is_err());
+        assert!(MembershipConfig::parse("*WHAT").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = MembershipConfig::parse("# hi\n\n*SYSTEM\n# mid\nMAX_LOSS = 3\n").unwrap();
+        assert_eq!(cfg.max_loss, 3);
+    }
+
+    #[test]
+    fn timeout_scales_with_level() {
+        let cfg = MembershipConfig::default();
+        assert_eq!(cfg.timeout(0), 5 * SECS);
+        assert_eq!(cfg.timeout(1), 7 * SECS + SECS / 2);
+        assert_eq!(cfg.timeout(2), 10 * SECS);
+        assert!(cfg.timeout(3) > cfg.timeout(2));
+    }
+
+    #[test]
+    fn channel_and_ttl_per_level() {
+        let cfg = MembershipConfig::default();
+        assert_eq!(cfg.channel(0), ChannelId(0));
+        assert_eq!(cfg.channel(2), ChannelId(2));
+        assert_eq!(cfg.ttl(0), 1);
+        assert_eq!(cfg.ttl(3), 4);
+        assert_eq!(cfg.top_level(), 3);
+    }
+
+    #[test]
+    fn bad_partition_rejected() {
+        let e = MembershipConfig::parse("*SERVICE\n[A]\nPARTITION = x-y\n").unwrap_err();
+        assert!(e.message.contains("PARTITION"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Per-level group state: peers, leadership, and election bookkeeping.
+//!
+//! A node holds one [`GroupState`] per membership level it participates
+//! in: level 0 always, level `k+1` exactly while it is the leader at
+//! level `k`. The state is this node's *local view* of "the group on
+//! channel `base + level` reachable within TTL `level + 1`" — overlapping
+//! groups in non-transitive topologies (paper Fig. 4) need no special
+//! representation because each node only ever sees the members within its
+//! own TTL horizon.
+
+use tamp_topology::Nanos;
+use tamp_wire::NodeId;
+
+use std::collections::BTreeMap;
+
+/// What we know about one peer heard on a group channel.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerState {
+    /// Last time any packet from this peer arrived on this channel.
+    pub last_heard: Nanos,
+    /// Whether its latest heartbeat carried the leader flag.
+    pub claims_leader: bool,
+    /// The node's record incarnation as of the last heartbeat.
+    pub incarnation: u64,
+    /// EWMA of inter-arrival times (ns) — feeds the adaptive failure
+    /// detector. 0 until two arrivals have been seen.
+    pub ewma_interval: f64,
+    /// EWMA of squared deviation from `ewma_interval`.
+    pub ewma_var: f64,
+    /// Last *heartbeat* arrival (cadence reference; `last_heard` also
+    /// counts control traffic).
+    pub last_heartbeat: Nanos,
+}
+
+/// EWMA smoothing factor for inter-arrival tracking (TCP-RTT-style).
+const EWMA_ALPHA: f64 = 0.125;
+
+impl PeerState {
+    /// Adaptive failure timeout for this peer: `max_loss` expected
+    /// inter-arrivals plus a 4-sigma safety margin. Falls back to
+    /// `fallback` until enough samples exist. Under packet loss the
+    /// observed inter-arrivals stretch, so the timeout stretches with
+    /// them — no operator retuning of MAX_LOSS required (extension over
+    /// the paper; ablation A7).
+    pub fn adaptive_timeout(&self, max_loss: u32, fallback: Nanos) -> Nanos {
+        if self.ewma_interval <= 0.0 {
+            return fallback;
+        }
+        let t = max_loss as f64 * self.ewma_interval + 4.0 * self.ewma_var.sqrt();
+        (t as Nanos).max(fallback / 2)
+    }
+}
+
+/// Election progress within one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Election {
+    /// No election in progress.
+    Idle,
+    /// We noticed the leader (and backup) are gone; waiting out
+    /// `backup_grace` for the backup's takeover before we act.
+    AwaitingBackup { deadline: Nanos },
+    /// We multicast `Election` and are waiting for an objection from a
+    /// lower-id node or a rival `Coordinator` until `deadline`.
+    Candidate { deadline: Nanos },
+}
+
+/// This node's view of one membership group.
+#[derive(Debug, Clone)]
+pub struct GroupState {
+    pub level: u8,
+    /// Peers currently heard on this channel (not including ourselves),
+    /// ordered by id for deterministic iteration.
+    pub peers: BTreeMap<NodeId, PeerState>,
+    /// Current believed leader (may be ourselves).
+    pub leader: Option<NodeId>,
+    /// Backup designated by the current leader.
+    pub backup: Option<NodeId>,
+    pub election: Election,
+    /// When we joined this channel (listen period reference).
+    pub joined_at: Nanos,
+    /// Heartbeat sequence for our own beats on this channel.
+    pub hb_seq: u64,
+    /// Whether we have pulled the directory from this group's leader yet.
+    pub bootstrapped: bool,
+    /// When we last sent a bootstrap request (for lossy-network retry).
+    pub last_bootstrap_attempt: Nanos,
+}
+
+impl GroupState {
+    pub fn new(level: u8, now: Nanos) -> Self {
+        GroupState {
+            level,
+            peers: BTreeMap::new(),
+            leader: None,
+            backup: None,
+            election: Election::Idle,
+            joined_at: now,
+            hb_seq: 0,
+            bootstrapped: false,
+            last_bootstrap_attempt: 0,
+        }
+    }
+
+    /// Record a non-heartbeat packet from `peer`: refreshes liveness but
+    /// not the cadence statistics (control traffic arrives irregularly
+    /// and would corrupt the adaptive detector's inter-arrival model).
+    pub fn heard(&mut self, peer: NodeId, now: Nanos, claims_leader: bool, incarnation: u64) {
+        let e = self.peers.entry(peer).or_insert(PeerState {
+            last_heard: now,
+            claims_leader,
+            incarnation,
+            ewma_interval: 0.0,
+            ewma_var: 0.0,
+            last_heartbeat: 0,
+        });
+        e.last_heard = e.last_heard.max(now);
+        e.claims_leader = claims_leader;
+        e.incarnation = e.incarnation.max(incarnation);
+    }
+
+    /// Record a *heartbeat* from `peer`: refreshes liveness and feeds
+    /// the adaptive detector's inter-arrival EWMA (heartbeats are the
+    /// only periodic signal).
+    pub fn heard_heartbeat(
+        &mut self,
+        peer: NodeId,
+        now: Nanos,
+        claims_leader: bool,
+        incarnation: u64,
+    ) {
+        let e = self.peers.entry(peer).or_insert(PeerState {
+            last_heard: now,
+            claims_leader,
+            incarnation,
+            ewma_interval: 0.0,
+            ewma_var: 0.0,
+            last_heartbeat: 0,
+        });
+        if e.last_heartbeat > 0 && now > e.last_heartbeat {
+            let interval = (now - e.last_heartbeat) as f64;
+            if e.ewma_interval <= 0.0 {
+                e.ewma_interval = interval;
+            } else {
+                let dev = (interval - e.ewma_interval).abs();
+                e.ewma_var = (1.0 - EWMA_ALPHA) * e.ewma_var + EWMA_ALPHA * dev * dev;
+                e.ewma_interval = (1.0 - EWMA_ALPHA) * e.ewma_interval + EWMA_ALPHA * interval;
+            }
+        }
+        if now > e.last_heartbeat {
+            e.last_heartbeat = now;
+        }
+        e.last_heard = e.last_heard.max(now);
+        e.claims_leader = claims_leader;
+        e.incarnation = e.incarnation.max(incarnation);
+    }
+
+    /// Remove a peer; returns its last known state.
+    pub fn remove_peer(&mut self, peer: NodeId) -> Option<PeerState> {
+        if self.leader == Some(peer) {
+            self.leader = None;
+        }
+        if self.backup == Some(peer) {
+            self.backup = None;
+        }
+        self.peers.remove(&peer)
+    }
+
+    /// Peers whose last contact is older than `timeout` at `now`.
+    pub fn expired_peers(&self, now: Nanos, timeout: Nanos) -> Vec<NodeId> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| now.saturating_sub(p.last_heard) >= timeout)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Like [`GroupState::expired_peers`], but each peer gets its own
+    /// adaptive deadline (see [`PeerState::adaptive_timeout`]).
+    pub fn expired_peers_adaptive(
+        &self,
+        now: Nanos,
+        max_loss: u32,
+        fallback: Nanos,
+    ) -> Vec<NodeId> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| {
+                now.saturating_sub(p.last_heard) >= p.adaptive_timeout(max_loss, fallback)
+            })
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// True if `me` has the lowest id among `me` and all live peers —
+    /// the bully winner-to-be.
+    pub fn am_lowest(&self, me: NodeId) -> bool {
+        self.peers.keys().all(|&p| me < p)
+    }
+
+    /// Lowest-id peer currently claiming leadership, if any.
+    pub fn claimed_leader(&self) -> Option<NodeId> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.claims_leader)
+            .map(|(&n, _)| n)
+            .min()
+    }
+
+    /// Is the believed leader actually present (or us)?
+    pub fn leader_present(&self, me: NodeId) -> bool {
+        match self.leader {
+            None => false,
+            Some(l) => l == me || self.peers.contains_key(&l),
+        }
+    }
+
+    /// Pick a backup deterministically-pseudorandomly: the peer whose id
+    /// hashes lowest with `salt`. The paper picks a random member; using a
+    /// salted hash keeps simulation runs reproducible while still
+    /// spreading the choice.
+    pub fn pick_backup(&self, salt: u64) -> Option<NodeId> {
+        self.peers
+            .keys()
+            .min_by_key(|n| {
+                let x = (n.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+                x.rotate_left(17).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            })
+            .copied()
+    }
+
+    /// Members (peers + us) count.
+    pub fn size_with_me(&self) -> usize {
+        self.peers.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> GroupState {
+        GroupState::new(0, 0)
+    }
+
+    #[test]
+    fn heard_inserts_and_refreshes() {
+        let mut s = g();
+        s.heard(NodeId(5), 10, false, 1);
+        s.heard(NodeId(5), 20, true, 1);
+        let p = s.peers[&NodeId(5)];
+        assert_eq!(p.last_heard, 20);
+        assert!(p.claims_leader);
+    }
+
+    #[test]
+    fn heard_never_regresses_time_or_incarnation() {
+        let mut s = g();
+        s.heard(NodeId(5), 20, false, 3);
+        s.heard(NodeId(5), 10, false, 2);
+        let p = s.peers[&NodeId(5)];
+        assert_eq!(p.last_heard, 20);
+        assert_eq!(p.incarnation, 3);
+    }
+
+    #[test]
+    fn expired_peers_respects_timeout() {
+        let mut s = g();
+        s.heard(NodeId(1), 0, false, 1);
+        s.heard(NodeId(2), 90, false, 1);
+        assert_eq!(s.expired_peers(100, 50), vec![NodeId(1)]);
+        assert!(s.expired_peers(100, 200).is_empty());
+    }
+
+    #[test]
+    fn remove_peer_clears_roles() {
+        let mut s = g();
+        s.heard(NodeId(1), 0, true, 1);
+        s.heard(NodeId(2), 0, false, 1);
+        s.leader = Some(NodeId(1));
+        s.backup = Some(NodeId(2));
+        s.remove_peer(NodeId(1));
+        assert_eq!(s.leader, None);
+        assert_eq!(s.backup, Some(NodeId(2)));
+        s.remove_peer(NodeId(2));
+        assert_eq!(s.backup, None);
+    }
+
+    #[test]
+    fn am_lowest_and_claimed_leader() {
+        let mut s = g();
+        assert!(s.am_lowest(NodeId(9)), "alone means lowest");
+        s.heard(NodeId(3), 0, false, 1);
+        s.heard(NodeId(7), 0, true, 1);
+        assert!(s.am_lowest(NodeId(2)));
+        assert!(!s.am_lowest(NodeId(5)));
+        assert_eq!(s.claimed_leader(), Some(NodeId(7)));
+    }
+
+    #[test]
+    fn leader_present_logic() {
+        let mut s = g();
+        let me = NodeId(0);
+        assert!(!s.leader_present(me));
+        s.leader = Some(me);
+        assert!(s.leader_present(me));
+        s.leader = Some(NodeId(4));
+        assert!(!s.leader_present(me), "leader not among peers");
+        s.heard(NodeId(4), 0, true, 1);
+        assert!(s.leader_present(me));
+    }
+
+    #[test]
+    fn pick_backup_is_deterministic_and_salt_sensitive() {
+        let mut s = g();
+        for i in 1..=10 {
+            s.heard(NodeId(i), 0, false, 1);
+        }
+        let a = s.pick_backup(42).unwrap();
+        let b = s.pick_backup(42).unwrap();
+        assert_eq!(a, b);
+        // Different salts should usually pick different peers; check a few.
+        let picks: std::collections::HashSet<_> = (0..20u64)
+            .map(|salt| s.pick_backup(salt).unwrap())
+            .collect();
+        assert!(picks.len() > 1, "backup choice never varies");
+        assert!(s.pick_backup(0).is_some());
+        assert_eq!(g().pick_backup(7), None);
+    }
+}

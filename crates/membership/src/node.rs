@@ -1,0 +1,1492 @@
+//! The hierarchical membership protocol state machine.
+//!
+//! One [`MembershipNode`] runs on every cluster host. It implements, as a
+//! sans-io [`Actor`], all the sub-protocols of paper §3.1:
+//!
+//! * **Topology-aware group formation** — join the level-0 channel with
+//!   TTL 1; when elected leader of level `k`, also join level `k+1` with
+//!   TTL `k+2`, up to `MAX_TTL`. Group boundaries emerge purely from TTL
+//!   scoping, so the tree adapts to the physical topology with zero
+//!   configuration.
+//! * **Failure detection** — every member independently declares a peer
+//!   dead after `MAX_LOSS` heartbeat periods of silence, with larger
+//!   timeouts at higher levels.
+//! * **Leader election** — sticky bully (lowest id wins, an incumbent is
+//!   never deposed by a lower-id newcomer) with a leader-designated
+//!   backup for fast takeover.
+//! * **Bootstrap** — a joining node pulls the directory from the first
+//!   leader it hears, and symmetrically offers its own (it may be a
+//!   lower-level leader bringing a subtree).
+//! * **Update propagation** — leaders relay joins/leaves up the tree;
+//!   members relay into the groups they lead, flooding the whole cluster
+//!   in one up-pass and one down-pass.
+//! * **Timeout protocol** — relayed entries live exactly as long as their
+//!   relayer: when a leader heard at level > 0 dies, everything it relayed
+//!   is purged (how switch/partition failures are detected quickly), while
+//!   the longer high-level timeouts give lower groups time to re-elect.
+//! * **Message-loss handling** — updates carry sequence numbers and
+//!   piggyback the previous `piggyback_window - 1` events; a gap beyond
+//!   the window triggers a full-directory resynchronization poll.
+
+use crate::config::MembershipConfig;
+use crate::group::{Election, GroupState};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tamp_directory::{Applied, Provenance, SharedDirectory};
+use tamp_netsim::{Actor, ChannelId, Context, PacketMeta};
+
+use tamp_wire::piggyback::UpdateLog;
+use tamp_wire::seqnum::SeqTracker;
+use tamp_wire::{
+    DigestEntry, DigestMsg, DirectoryExchange, ElectionMsg, Heartbeat, MemberEvent, Message,
+    NodeId, NodeRecord, RelayedRecord, SeqEvent, SyncRequest, SyncResponse, UpdateMsg,
+};
+
+/// Timer tokens: kind in the low byte, group level in the next byte.
+const T_HEARTBEAT: u64 = 1;
+const T_SWEEP: u64 = 2;
+const T_ELECTION: u64 = 3;
+const T_DIGEST: u64 = 4;
+
+fn election_token(level: u8) -> u64 {
+    T_ELECTION | ((level as u64) << 8)
+}
+
+fn token_kind(token: u64) -> (u64, u8) {
+    (token & 0xff, ((token >> 8) & 0xff) as u8)
+}
+
+/// Shared introspection snapshot, updated by the node as it runs. Lets
+/// tests and the experiment harness observe protocol state without
+/// reaching into the actor.
+#[derive(Debug, Default, Clone)]
+pub struct ProbeState {
+    /// `leaders[ℓ]` = believed leader of our level-ℓ group (None when
+    /// the level is inactive or leaderless).
+    pub leaders: Vec<Option<NodeId>>,
+    /// Levels this node currently participates in.
+    pub active_levels: Vec<u8>,
+    pub incarnation: u64,
+    /// Live entries in the local directory.
+    pub member_count: usize,
+    /// Lifetime protocol-activity counters.
+    pub counters: ProtocolCounters,
+}
+
+/// How often each sub-protocol has fired on this node — cheap
+/// observability for operators and tests ("is this node electing in a
+/// loop?", "how many full syncs did that outage cost?").
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolCounters {
+    /// Election candidacies we announced.
+    pub elections_started: u64,
+    /// Times we claimed leadership (Coordinator sent).
+    pub leaderships_claimed: u64,
+    /// Sync polls we sent (loss-repair round trips).
+    pub sync_polls_sent: u64,
+    /// Sync requests we answered with a full directory image.
+    pub full_syncs_served: u64,
+    /// Sync requests we answered cheaply from the update-log window.
+    pub backfills_served: u64,
+    /// Anti-entropy digests we multicast.
+    pub digests_sent: u64,
+    /// Update messages we originated or re-originated.
+    pub updates_sent: u64,
+    /// Peers we declared dead.
+    pub deaths_declared: u64,
+}
+
+/// Cloneable handle to a node's [`ProbeState`].
+pub type Probe = Arc<Mutex<ProbeState>>;
+
+/// A deferred mutation of this node's published record, applied on the
+/// next sweep — how application code calls the paper's
+/// `register_service` / `update_value` / `delete_value` *while the
+/// daemon is running* (the node itself is owned by the driver).
+#[derive(Debug, Clone)]
+pub enum ServiceCommand {
+    Register(tamp_wire::ServiceDecl),
+    Unregister(String),
+    UpdateValue(String, String),
+    DeleteValue(String),
+    /// Graceful departure: announce our own leave to every group before
+    /// going quiet, so peers remove us immediately instead of waiting
+    /// out the failure timeout (an extension — the paper handles
+    /// departures by timeout only).
+    GracefulLeave,
+}
+
+/// Cloneable command queue attached to a running node.
+pub type ControlHandle = Arc<Mutex<Vec<ServiceCommand>>>;
+
+/// One cluster node running the hierarchical membership protocol.
+pub struct MembershipNode {
+    cfg: MembershipConfig,
+    me: NodeId,
+    incarnation: u64,
+    crashed: bool,
+    record: NodeRecord,
+    directory: SharedDirectory,
+    /// Events this node originated, with its own sequence numbers.
+    log: UpdateLog,
+    /// Highest applied update seq per origin.
+    seqs: SeqTracker<NodeId>,
+    /// `groups[ℓ]` = state of our level-ℓ group, if active.
+    groups: Vec<Option<GroupState>>,
+    /// Last time we sync-polled each peer (suppresses duplicate polls
+    /// while a response is in flight).
+    sync_polls: std::collections::HashMap<NodeId, u64>,
+    /// Deferred record mutations from application code.
+    control: ControlHandle,
+    counters: ProtocolCounters,
+    probe: Probe,
+}
+
+impl MembershipNode {
+    pub fn new(me: NodeId, cfg: MembershipConfig) -> Self {
+        let levels = cfg.top_level() as usize + 1;
+        let mut node = MembershipNode {
+            record: NodeRecord::new(me, 0),
+            me,
+            incarnation: 0,
+            crashed: false,
+            directory: SharedDirectory::new(),
+            log: UpdateLog::with_max_age(cfg.piggyback_window, cfg.tombstone_ttl / 2),
+            seqs: SeqTracker::new(),
+            groups: (0..levels).map(|_| None).collect(),
+            sync_polls: std::collections::HashMap::new(),
+            control: Arc::new(Mutex::new(Vec::new())),
+            counters: ProtocolCounters::default(),
+            probe: Arc::new(Mutex::new(ProbeState::default())),
+            cfg,
+        };
+        node.rebuild_record();
+        node
+    }
+
+    /// Read-only handle to this node's yellow pages (the paper's
+    /// `MClient` attach point). Valid before and after the node is boxed
+    /// into a driver.
+    pub fn directory_client(&self) -> tamp_directory::DirectoryClient {
+        self.directory.client()
+    }
+
+    /// Introspection handle for tests/harness.
+    pub fn probe(&self) -> Probe {
+        Arc::clone(&self.probe)
+    }
+
+    /// Command queue for mutating this node's published services and
+    /// attributes at runtime (applied on the next sweep, announced on
+    /// the heartbeat that follows).
+    pub fn control_handle(&self) -> ControlHandle {
+        Arc::clone(&self.control)
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn rebuild_record(&mut self) {
+        let mut r = NodeRecord::new(self.me, self.incarnation);
+        r.services = self.cfg.services.clone();
+        r.attrs = self.cfg.attrs.clone();
+        if self.cfg.pad_heartbeat_to > 0 {
+            r.pad_to_encoded_size(self.cfg.pad_heartbeat_to);
+        }
+        self.record = r;
+    }
+
+    /// Publish or update a service at runtime (the paper's
+    /// `register_service`). Takes effect on the next heartbeat; peers
+    /// pick up the change as a same-incarnation content update.
+    pub fn register_service(&mut self, svc: tamp_wire::ServiceDecl) {
+        self.cfg.services.retain(|s| s.name != svc.name);
+        self.cfg.services.push(svc);
+        self.rebuild_record();
+    }
+
+    /// Publish a key-value attribute (the paper's `update_value`).
+    pub fn update_value(&mut self, key: &str, value: &str) {
+        self.cfg.attrs.retain(|(k, _)| k != key);
+        self.cfg.attrs.push((key.to_string(), value.to_string()));
+        self.rebuild_record();
+    }
+
+    /// Remove a key (the paper's `delete_value`).
+    pub fn delete_value(&mut self, key: &str) {
+        self.cfg.attrs.retain(|(k, _)| k != key);
+        self.rebuild_record();
+    }
+
+    // ----------------------------------------------------------- helpers
+
+    fn level_of_channel(&self, ch: ChannelId) -> Option<u8> {
+        let base = self.cfg.base_channel.0;
+        if ch.0 < base {
+            return None;
+        }
+        let level = (ch.0 - base) as u8;
+        (level <= self.cfg.top_level()).then_some(level)
+    }
+
+    fn active_levels(&self) -> Vec<u8> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_some())
+            .map(|(l, _)| l as u8)
+            .collect()
+    }
+
+    fn am_leader(&self, level: u8) -> bool {
+        self.groups[level as usize]
+            .as_ref()
+            .is_some_and(|g| g.leader == Some(self.me))
+    }
+
+    fn update_probe(&self) {
+        let mut p = self.probe.lock();
+        p.leaders = self
+            .groups
+            .iter()
+            .map(|g| g.as_ref().and_then(|g| g.leader))
+            .collect();
+        p.active_levels = self.active_levels();
+        p.incarnation = self.incarnation;
+        p.member_count = self.directory.read(|d| d.len());
+        p.counters = self.counters;
+    }
+
+    /// Apply a record heard *directly* (heartbeat or unicast from the
+    /// node itself); returns whether the directory changed and whether
+    /// the node is newly known.
+    fn apply_direct(&mut self, ctx: &mut Context, record: NodeRecord) -> (bool, bool) {
+        let node = record.node;
+        let now = ctx.now();
+        let (was_known, applied) = self.directory.update(|d| {
+            let was = d.contains(node);
+            let applied = d.apply_join(record, Provenance::Direct, now);
+            (applied.changed(), (was, applied))
+        });
+        if applied == Applied::Changed && !was_known {
+            ctx.observe_added(node);
+        }
+        (applied == Applied::Changed, !was_known)
+    }
+
+    /// Groups to relay an event into, given the level it arrived on
+    /// (`arrival`): every group we lead, plus every higher-level group we
+    /// participate in (upward path). `arrival` itself is excluded.
+    fn relay_levels(&self, arrival: u8) -> Vec<u8> {
+        self.active_levels()
+            .into_iter()
+            .filter(|&l| l != arrival && (self.am_leader(l) || l > arrival))
+            .collect()
+    }
+
+    /// Relay set for information that arrived point-to-point (directory
+    /// exchanges, sync responses) and therefore has no arrival group:
+    /// every group we lead plus every higher-level group we sit in.
+    fn relay_levels_all(&self) -> Vec<u8> {
+        self.active_levels()
+            .into_iter()
+            .filter(|&l| self.am_leader(l) || l > 0)
+            .collect()
+    }
+
+    /// Poll `peer` for a full directory image, at most once per two
+    /// heartbeat periods (a response is probably already in flight).
+    fn maybe_sync_poll(&mut self, ctx: &mut Context, peer: NodeId) {
+        let now = ctx.now();
+        let recently = self
+            .sync_polls
+            .get(&peer)
+            .is_some_and(|&t| now.saturating_sub(t) < 2 * self.cfg.heartbeat_period);
+        if recently {
+            return;
+        }
+        self.sync_polls.insert(peer, now);
+        self.counters.sync_polls_sent += 1;
+        let since_seq = self.seqs.last_applied(peer).unwrap_or(0);
+        ctx.send_unicast(
+            peer,
+            Message::SyncRequest(SyncRequest {
+                from: self.me,
+                since_seq,
+            }),
+        );
+    }
+
+    /// Record freshly learned events in our log and multicast them to the
+    /// given levels as one update message per level.
+    fn relay_events(&mut self, ctx: &mut Context, events: Vec<MemberEvent>, levels: Vec<u8>) {
+        if events.is_empty() || levels.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let mut seq_events: Vec<SeqEvent> = Vec::with_capacity(events.len());
+        for ev in events {
+            // `push` returns the current window; we only need the seq of
+            // the newly appended event (last in the window).
+            let window = self.log.push(ev, now);
+            seq_events.push(window.into_iter().last().unwrap());
+        }
+        // Prepend the piggyback window (older fresh events) for loss
+        // tolerance, dedup by seq.
+        let mut window = self.log.window_events(now);
+        window.retain(|w| !seq_events.iter().any(|e| e.seq == w.seq));
+        window.extend(seq_events);
+        window.sort_by_key(|e| e.seq);
+        let msg = Message::Update(UpdateMsg {
+            origin: self.me,
+            events: window,
+        });
+        for l in levels {
+            self.counters.updates_sent += 1;
+            ctx.send_multicast(self.cfg.channel(l), self.cfg.ttl(l), msg.clone());
+        }
+    }
+
+    fn send_heartbeats(&mut self, ctx: &mut Context) {
+        for l in self.active_levels() {
+            let g = self.groups[l as usize].as_mut().unwrap();
+            g.hb_seq += 1;
+            let msg = Message::Heartbeat(Heartbeat {
+                from: self.me,
+                level: l,
+                seq: g.hb_seq,
+                is_leader: g.leader == Some(self.me),
+                backup: if g.leader == Some(self.me) {
+                    g.backup
+                } else {
+                    None
+                },
+                latest_update_seq: self.log.latest_seq(),
+                record: self.record.clone(),
+            });
+            ctx.send_multicast(self.cfg.channel(l), self.cfg.ttl(l), msg);
+        }
+    }
+
+    fn activate_level(&mut self, ctx: &mut Context, level: u8) {
+        if self.groups[level as usize].is_some() {
+            return;
+        }
+        self.groups[level as usize] = Some(GroupState::new(level, ctx.now()));
+        ctx.subscribe(self.cfg.channel(level));
+        // Announce ourselves on the new channel immediately so existing
+        // members learn of us within one heartbeat period.
+        let latest = self.log.latest_seq();
+        let g = self.groups[level as usize].as_mut().unwrap();
+        g.hb_seq += 1;
+        let msg = Message::Heartbeat(Heartbeat {
+            from: self.me,
+            level,
+            seq: g.hb_seq,
+            is_leader: false,
+            backup: None,
+            latest_update_seq: latest,
+            record: self.record.clone(),
+        });
+        ctx.send_multicast(self.cfg.channel(level), self.cfg.ttl(level), msg);
+    }
+
+    /// Leave every level above `level` (used when we lose leadership of
+    /// `level`'s lower group, or crash).
+    fn deactivate_above(&mut self, ctx: &mut Context, level: u8) {
+        for l in (level as usize + 1)..self.groups.len() {
+            if self.groups[l].is_some() {
+                self.groups[l] = None;
+                ctx.unsubscribe(self.cfg.channel(l as u8));
+            }
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Context, level: u8) {
+        let salt = ctx.rand_below(u64::MAX);
+        let now = ctx.now();
+        self.counters.leaderships_claimed += 1;
+        let g = self.groups[level as usize].as_mut().unwrap();
+        g.leader = Some(self.me);
+        g.election = Election::Idle;
+        g.backup = g.pick_backup(salt);
+        let backup = g.backup;
+        ctx.send_multicast(
+            self.cfg.channel(level),
+            self.cfg.ttl(level),
+            Message::Election(ElectionMsg::Coordinator {
+                from: self.me,
+                level,
+                backup,
+            }),
+        );
+        // Re-announce everything we know into the group so members
+        // re-stamp the provenance of entries previously relayed by the
+        // old leader ("the newly elected leader will join the same group
+        // and exchange the membership information with other group
+        // members", §3.1.2). reply_wanted: members answer with their own
+        // snapshots — in overlapping-group topologies a member may hold
+        // knowledge from its *other* group that this leader has never
+        // seen, and the exchange must flow both ways.
+        let records = self.directory.read(|d| d.snapshot());
+        if !records.is_empty() {
+            ctx.send_multicast(
+                self.cfg.channel(level),
+                self.cfg.ttl(level),
+                Message::DirectoryExchange(DirectoryExchange {
+                    from: self.me,
+                    reply_wanted: true,
+                    latest_seq: self.log.latest_seq(),
+                    records,
+                }),
+            );
+        }
+        // Group leaders join the next level up (TTL grows by one).
+        let next = level + 1;
+        if next <= self.cfg.top_level() {
+            self.activate_level(ctx, next);
+        }
+        let _ = now;
+        self.update_probe();
+    }
+
+    /// A peer stopped being heard in our level-`level` group.
+    fn handle_peer_death(&mut self, ctx: &mut Context, peer: NodeId, level: u8) {
+        // Still heard elsewhere? Then it is not dead, we just fell out of
+        // one shared channel (e.g. it abdicated a leadership).
+        let heard_elsewhere = self
+            .groups
+            .iter()
+            .flatten()
+            .any(|g| g.peers.contains_key(&peer));
+        if heard_elsewhere {
+            return;
+        }
+        self.counters.deaths_declared += 1;
+
+        let now = ctx.now();
+        let mut events: Vec<MemberEvent> = Vec::new();
+
+        // Direct death: remove from the directory.
+        let inc = self
+            .directory
+            .read(|d| d.get(peer).map(|e| e.record.incarnation));
+        if let Some(inc) = inc {
+            let applied = self.directory.update(|d| {
+                let a = d.apply_leave(peer, inc, now);
+                (a.changed(), a)
+            });
+            if applied.changed() {
+                ctx.observe_removed(peer);
+                events.push(MemberEvent::Leave(peer, inc));
+            }
+        }
+
+        // Timeout protocol: a dead node detected at level > 0 takes down
+        // everything it relayed to us (switch/partition detection). At
+        // level 0 the relayed entries survive — the backup leader
+        // re-stamps them after takeover.
+        if level > 0 {
+            let purged = self.directory.update(|d| {
+                let v = d.purge_relayed_by(peer);
+                (!v.is_empty(), v)
+            });
+            for r in purged {
+                ctx.observe_removed(r.node);
+                events.push(MemberEvent::Leave(r.node, r.incarnation));
+                self.seqs.forget(r.node);
+            }
+        }
+
+        self.seqs.forget(peer);
+        let levels = self.relay_levels(level);
+        self.relay_events(ctx, events, levels);
+    }
+
+    fn start_or_progress_election(&mut self, ctx: &mut Context, level: u8) {
+        let now = ctx.now();
+        let me = self.me;
+        let cfg_listen = self.cfg.listen_period;
+        let cfg_backup_grace = self.cfg.backup_grace;
+        let cfg_election = self.cfg.election_timeout;
+
+        let g = self.groups[level as usize].as_mut().unwrap();
+        if g.leader_present(me) {
+            return;
+        }
+        // Give a fresh channel time to reveal an existing leader first.
+        if now < g.joined_at + cfg_listen {
+            return;
+        }
+        match g.election {
+            Election::Idle => {
+                if g.backup == Some(me) {
+                    // Fast path: the paper's backup takeover.
+                    self.become_leader(ctx, level);
+                } else if g.backup.is_some_and(|b| g.peers.contains_key(&b)) {
+                    // A live backup exists; give it a grace period.
+                    g.election = Election::AwaitingBackup {
+                        deadline: now + cfg_backup_grace,
+                    };
+                    ctx.set_timer(cfg_backup_grace, election_token(level));
+                } else if g.am_lowest(me) {
+                    // Bully: the lowest id claims directly.
+                    self.become_leader(ctx, level);
+                } else {
+                    // Wait for the lower-id member to claim; if it does
+                    // not (it may be deaf or about to fail), escalate by
+                    // announcing our own candidacy at the deadline.
+                    self.counters.elections_started += 1;
+                    let g = self.groups[level as usize].as_mut().unwrap();
+                    ctx.send_multicast(
+                        self.cfg.channel(level),
+                        self.cfg.ttl(level),
+                        Message::Election(ElectionMsg::Election { from: me, level }),
+                    );
+                    g.election = Election::Candidate {
+                        deadline: now + cfg_election,
+                    };
+                    ctx.set_timer(cfg_election, election_token(level));
+                }
+            }
+            Election::AwaitingBackup { deadline } => {
+                if now >= deadline {
+                    // Backup never took over; strike it and retry.
+                    g.backup = None;
+                    g.election = Election::Idle;
+                    self.start_or_progress_election(ctx, level);
+                }
+            }
+            Election::Candidate { deadline } => {
+                if now >= deadline {
+                    // No objection from a lower id, no rival coordinator.
+                    self.become_leader(ctx, level);
+                }
+            }
+        }
+    }
+
+    fn sweep(&mut self, ctx: &mut Context) {
+        let now = ctx.now();
+        // Apply deferred application commands; an actual change is
+        // announced immediately (peers apply it as a same-incarnation
+        // content update and relay it on).
+        let cmds: Vec<ServiceCommand> = std::mem::take(&mut *self.control.lock());
+        if !cmds.is_empty() {
+            for cmd in cmds {
+                match cmd {
+                    ServiceCommand::Register(svc) => self.register_service(svc),
+                    ServiceCommand::Unregister(name) => {
+                        self.cfg.services.retain(|s| s.name != name);
+                        self.rebuild_record();
+                    }
+                    ServiceCommand::UpdateValue(k, v) => self.update_value(&k, &v),
+                    ServiceCommand::DeleteValue(k) => self.delete_value(&k),
+                    ServiceCommand::GracefulLeave => {
+                        // Announce our own departure into every active
+                        // group, then stop participating: peers apply the
+                        // leave at once (no 5 s timeout) and the next
+                        // restart's higher incarnation re-adds us cleanly.
+                        let inc = self.incarnation;
+                        let me = self.me;
+                        let levels = self.active_levels();
+                        self.relay_events(ctx, vec![MemberEvent::Leave(me, inc)], levels);
+                        for l in self.active_levels() {
+                            ctx.unsubscribe(self.cfg.channel(l));
+                        }
+                        for g in &mut self.groups {
+                            *g = None;
+                        }
+                        self.directory.update(|d| {
+                            *d = tamp_directory::Directory::new();
+                            (true, ())
+                        });
+                        self.crashed = true; // a future on_start is a fresh life
+                        self.update_probe();
+                        return;
+                    }
+                }
+            }
+            let me_rec = self.record.clone();
+            self.directory
+                .update(|d| (d.apply_join(me_rec, Provenance::Local, now).changed(), ()));
+            self.send_heartbeats(ctx);
+        }
+        for level in self.active_levels() {
+            let timeout = self.cfg.timeout(level);
+            let adaptive = self.cfg.adaptive_timeout;
+            let max_loss = self.cfg.max_loss;
+            let expired = {
+                let g = self.groups[level as usize].as_mut().unwrap();
+                let ex = if adaptive {
+                    // Level scaling carries over: the fixed per-level
+                    // timeout acts as the floor/fallback.
+                    g.expired_peers_adaptive(now, max_loss, timeout)
+                } else {
+                    g.expired_peers(now, timeout)
+                };
+                for &p in &ex {
+                    g.remove_peer(p);
+                }
+                ex
+            };
+            for peer in expired {
+                self.handle_peer_death(ctx, peer, level);
+            }
+        }
+        // Leadership invariant: we sit at level ℓ+1 only while leading ℓ.
+        for level in self.active_levels() {
+            if level > 0 && !self.am_leader(level - 1) {
+                self.groups[level as usize] = None;
+                ctx.unsubscribe(self.cfg.channel(level));
+            }
+        }
+        // Elections and backup maintenance.
+        for level in self.active_levels() {
+            self.start_or_progress_election(ctx, level);
+            // A leader whose backup died picks a fresh one.
+            if self.am_leader(level) {
+                let salt = ctx.rand_below(u64::MAX);
+                let g = self.groups[level as usize].as_mut().unwrap();
+                let backup_alive = g.backup.is_some_and(|b| g.peers.contains_key(&b));
+                if !backup_alive && !g.peers.is_empty() {
+                    g.backup = g.pick_backup(salt);
+                    let backup = g.backup;
+                    ctx.send_multicast(
+                        self.cfg.channel(level),
+                        self.cfg.ttl(level),
+                        Message::Election(ElectionMsg::Coordinator {
+                            from: self.me,
+                            level,
+                            backup,
+                        }),
+                    );
+                }
+            }
+        }
+        // Catch-all expiry for direct entries no longer covered by any
+        // group (rare; e.g. heard during a transient overlap).
+        let top_timeout = 2 * self.cfg.timeout(self.cfg.top_level());
+        let in_groups: std::collections::HashSet<NodeId> = self
+            .groups
+            .iter()
+            .flatten()
+            .flat_map(|g| g.peers.keys().copied())
+            .collect();
+        // Relayed entries must be re-vouched by *somebody's* digest
+        // within a few anti-entropy periods, or they rot: the last line
+        // of defense against ghost members that no live node actually
+        // hears. Disabled together with anti-entropy (paper mode keeps
+        // relayed lifetimes purely relayer-bound).
+        let relayed_rot = if self.cfg.anti_entropy_period > 0 {
+            6 * self.cfg.anti_entropy_period
+        } else {
+            u64::MAX
+        };
+        let removed = self.directory.update(|d| {
+            let v = d.expire(now, |e| match e.provenance {
+                Provenance::Local => u64::MAX,
+                Provenance::Relayed(_) => relayed_rot,
+                Provenance::Direct => {
+                    if in_groups.contains(&e.record.node) {
+                        u64::MAX // group sweeps own this entry
+                    } else {
+                        top_timeout
+                    }
+                }
+            });
+            (!v.is_empty(), v)
+        });
+        if !removed.is_empty() {
+            let mut events = Vec::new();
+            for r in removed {
+                ctx.observe_removed(r.node);
+                events.push(MemberEvent::Leave(r.node, r.incarnation));
+            }
+            let levels = self.relay_levels(u8::MAX); // lateral only: groups we lead
+            self.relay_events(ctx, events, levels);
+        }
+        self.update_probe();
+    }
+
+    fn own_digest_entries(&self) -> Vec<DigestEntry> {
+        self.directory.read(|d| {
+            let mut v: Vec<DigestEntry> = d
+                .entries()
+                .map(|e| DigestEntry {
+                    node: e.record.node,
+                    incarnation: e.record.incarnation,
+                })
+                .collect();
+            v.sort_by_key(|e| e.node);
+            v
+        })
+    }
+
+    /// Anti-entropy tick: multicast an (id, incarnation) digest into
+    /// every group we lead.
+    fn send_digests(&mut self, ctx: &mut Context) {
+        let entries: Vec<DigestEntry> = self.own_digest_entries();
+        for l in self.active_levels() {
+            if self.am_leader(l) {
+                self.counters.digests_sent += 1;
+                ctx.send_multicast(
+                    self.cfg.channel(l),
+                    self.cfg.ttl(l),
+                    Message::Digest(DigestMsg {
+                        from: self.me,
+                        level: l,
+                        entries: entries.clone(),
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Reconcile against a leader's digest: pull what we miss, drop what
+    /// this relayer no longer vouches for.
+    fn handle_digest(&mut self, ctx: &mut Context, meta: PacketMeta, d: &DigestMsg) {
+        if d.from == self.me {
+            return;
+        }
+        if let Some(g) = self
+            .groups
+            .get_mut(d.level as usize)
+            .and_then(|g| g.as_mut())
+        {
+            g.heard(d.from, ctx.now(), false, 0);
+        }
+        let in_digest: std::collections::HashMap<NodeId, u64> =
+            d.entries.iter().map(|e| (e.node, e.incarnation)).collect();
+        // A digest is the leader vouching for everything it lists:
+        // refresh matching entries so vouched-for relayed knowledge never
+        // hits the staleness expiry below (sweep's relayed-entry rot).
+        let now = ctx.now();
+        self.directory.update(|dir| {
+            for e in &d.entries {
+                if dir
+                    .get(e.node)
+                    .is_some_and(|have| have.record.incarnation == e.incarnation)
+                {
+                    dir.refresh(e.node, now);
+                }
+            }
+            (false, ())
+        });
+        // Death knowledge must flow *against* the vouching direction
+        // too: if the digest lists a node we hold a fresh tombstone for,
+        // the digesting leader is advertising a ghost — push the death
+        // back at it before our tombstone ages out and the ghost
+        // re-infects us. (Presence propagates by pull; without this,
+        // absence always loses the race after a partition of knowledge —
+        // found by the `views_always_converge_to_live_set` property.)
+        // Settling gate: a *young* tombstone may be a false positive
+        // about to be refuted by the victim's own heartbeats — pushing
+        // it would amplify a local mistake into a global one. After a
+        // few heartbeat periods of continued silence, the death is
+        // considered confirmed.
+        let settled = 3 * self.cfg.heartbeat_period;
+        let dead_listed: Vec<(NodeId, u64)> = self.directory.read(|dir| {
+            d.entries
+                .iter()
+                .filter(|e| !dir.contains(e.node))
+                .filter_map(|e| {
+                    dir.tombstone_of(e.node).and_then(|(dead_inc, at)| {
+                        let age = now.saturating_sub(at);
+                        (dead_inc >= e.incarnation && age >= settled && age < dir.tombstone_ttl())
+                            .then_some((e.node, dead_inc))
+                    })
+                })
+                .collect()
+        });
+        if !dead_listed.is_empty() {
+            let mut events = Vec::new();
+            for (n, inc) in dead_listed {
+                let window = self.log.push(MemberEvent::Leave(n, inc), now);
+                events.push(window.into_iter().last().unwrap());
+            }
+            ctx.send_unicast(
+                d.from,
+                Message::Update(UpdateMsg {
+                    origin: self.me,
+                    events,
+                }),
+            );
+        }
+
+        // Anything the leader knows that we lack (or only know at an
+        // older incarnation) is worth a full pull — ignoring nodes whose
+        // death we just pushed back.
+        let missing = self.directory.read(|dir| {
+            d.entries.iter().any(|e| {
+                e.node != self.me
+                    && dir
+                        .fresh_tombstone(e.node, now)
+                        .is_none_or(|i| i < e.incarnation)
+                    && dir
+                        .get(e.node)
+                        .is_none_or(|have| have.record.incarnation < e.incarnation)
+            })
+        });
+        if missing {
+            self.maybe_sync_poll(ctx, d.from);
+        }
+        // Entries we hold *on this leader's word* that it no longer
+        // vouches for are orphans: drop them (no tombstone — the node may
+        // be alive and will come back via the normal paths if so). The
+        // freshness gate matters under heavy loss: an entry refreshed
+        // since the digest was cut (a sync response or update racing the
+        // digest) must not be dropped on the digest's older word.
+        let stale_before = ctx.now().saturating_sub(self.cfg.anti_entropy_period / 2);
+        let orphans: Vec<NodeId> = self.directory.read(|dir| {
+            dir.entries()
+                .filter(|e| {
+                    e.provenance == Provenance::Relayed(d.from)
+                        && !in_digest.contains_key(&e.record.node)
+                        && e.last_refresh <= stale_before
+                })
+                .map(|e| e.record.node)
+                .collect()
+        });
+        if !orphans.is_empty() {
+            let mut events = Vec::new();
+            for n in orphans {
+                let removed = self.directory.update(|dir| {
+                    let r = dir.remove(n);
+                    (r.is_some(), r)
+                });
+                if let Some(rec) = removed {
+                    ctx.observe_removed(n);
+                    events.push(MemberEvent::Leave(n, rec.incarnation));
+                }
+            }
+            let levels = self.relay_levels(d.level);
+            self.relay_events(ctx, events, levels);
+        }
+
+        // Digests are bidirectional: a *multicast* digest from our group
+        // leader gets a unicast digest echo, so the leader's entries are
+        // vouched too (in particular the tree root, which no one else
+        // digests to), and the death back-push above also fires in the
+        // member → leader direction at the leader's side.
+        if meta.channel.is_some() {
+            ctx.send_unicast(
+                d.from,
+                Message::Digest(DigestMsg {
+                    from: self.me,
+                    level: d.level,
+                    entries: self.own_digest_entries(),
+                }),
+            );
+        }
+        self.update_probe();
+    }
+
+    // ---------------------------------------------------------- handlers
+
+    fn handle_heartbeat(&mut self, ctx: &mut Context, hb: &Heartbeat) {
+        if hb.from == self.me {
+            return;
+        }
+        let Some(g) = self
+            .groups
+            .get_mut(hb.level as usize)
+            .and_then(|g| g.as_mut())
+        else {
+            return;
+        };
+        let now = ctx.now();
+        g.heard_heartbeat(hb.from, now, hb.is_leader, hb.record.incarnation);
+
+        // Leader adoption & rivalry resolution.
+        let mut reassert = false;
+        let mut lost_leadership = false;
+        if hb.is_leader {
+            match g.leader {
+                Some(l) if l == self.me => {
+                    if hb.from < self.me {
+                        // Sticky rule does not protect us from a *lower*
+                        // id that already considers itself leader (group
+                        // merge after a partition heals): lowest wins.
+                        g.leader = Some(hb.from);
+                        g.backup = hb.backup;
+                        g.election = Election::Idle;
+                        lost_leadership = true;
+                    } else {
+                        reassert = true;
+                    }
+                }
+                Some(l) => {
+                    // Prefer the incumbent we already track if it is
+                    // alive; otherwise adopt the claimant. Two live
+                    // claimants resolve to the lower id.
+                    let incumbent_alive = g.peers.contains_key(&l);
+                    if !incumbent_alive || hb.from < l {
+                        g.leader = Some(hb.from);
+                        g.backup = hb.backup;
+                        g.election = Election::Idle;
+                    }
+                }
+                None => {
+                    g.leader = Some(hb.from);
+                    g.backup = hb.backup;
+                    g.election = Election::Idle;
+                }
+            }
+        }
+        let level = hb.level;
+        let leader_now = g.leader;
+        // Bootstrap pull, retried every two heartbeat periods until the
+        // leader's reply arrives (the request or reply may be lost).
+        let needs_bootstrap = !g.bootstrapped
+            && hb.is_leader
+            && leader_now == Some(hb.from)
+            && (g.last_bootstrap_attempt == 0
+                || now.saturating_sub(g.last_bootstrap_attempt) >= 2 * self.cfg.heartbeat_period);
+        if needs_bootstrap {
+            g.last_bootstrap_attempt = now;
+        }
+
+        if lost_leadership {
+            self.deactivate_above(ctx, level);
+        }
+        if reassert {
+            let g = self.groups[level as usize].as_ref().unwrap();
+            let backup = g.backup;
+            ctx.send_multicast(
+                self.cfg.channel(level),
+                self.cfg.ttl(level),
+                Message::Election(ElectionMsg::Coordinator {
+                    from: self.me,
+                    level,
+                    backup,
+                }),
+            );
+        }
+
+        // Yellow-page maintenance + join detection.
+        let (changed, _is_new) = self.apply_direct(ctx, hb.record.clone());
+        if changed {
+            let levels = self.relay_levels(level);
+            self.relay_events(ctx, vec![MemberEvent::Join(hb.record.clone())], levels);
+        }
+
+        // Bootstrap pull: first leader heard on this channel.
+        if needs_bootstrap {
+            let records = self.directory.read(|d| d.snapshot());
+            ctx.send_unicast(
+                hb.from,
+                Message::DirectoryExchange(DirectoryExchange {
+                    from: self.me,
+                    reply_wanted: true,
+                    latest_seq: self.log.latest_seq(),
+                    records,
+                }),
+            );
+        }
+
+        // Loss repair: the heartbeat advertises how many updates its
+        // sender has originated. If we have applied fewer, an update
+        // multicast was lost — poll the sender for a resync.
+        let advertised = hb.latest_update_seq;
+        if advertised > self.seqs.last_applied(hb.from).unwrap_or(0) {
+            self.maybe_sync_poll(ctx, hb.from);
+        }
+        self.update_probe();
+    }
+
+    fn apply_relayed_records(
+        &mut self,
+        ctx: &mut Context,
+        relayer: NodeId,
+        records: &[RelayedRecord],
+    ) -> Vec<MemberEvent> {
+        let now = ctx.now();
+        let mut fresh = Vec::new();
+        for rr in records {
+            let node = rr.record.node;
+            if node == self.me {
+                continue;
+            }
+            let provenance = if node == relayer {
+                Provenance::Direct
+            } else {
+                Provenance::Relayed(relayer)
+            };
+            let (was_known, applied) = self.directory.update(|d| {
+                let was = d.contains(node);
+                let a = d.apply_join(rr.record.clone(), provenance, now);
+                (a.changed(), (was, a))
+            });
+            if applied == Applied::Changed {
+                if !was_known {
+                    ctx.observe_added(node);
+                }
+                fresh.push(MemberEvent::Join(rr.record.clone()));
+            }
+        }
+        fresh
+    }
+
+    fn handle_exchange(&mut self, ctx: &mut Context, meta: PacketMeta, d: &DirectoryExchange) {
+        if d.from == self.me {
+            return;
+        }
+        // Adopt the sender's update baseline: its past updates are
+        // subsumed by this snapshot and must not register as gaps.
+        self.seqs.advance(d.from, d.latest_seq);
+        // Only a *unicast* reply from our group leader completes the
+        // bootstrap handshake. A leader's multicast snapshot (provenance
+        // re-stamping after takeover) must not: the paper's bootstrap is
+        // two-way — "the group leader also asks the new node for the
+        // membership information that it is aware of" — and our offer has
+        // not been made yet.
+        if !d.reply_wanted && meta.channel.is_none() {
+            for g in self.groups.iter_mut().flatten() {
+                if g.leader == Some(d.from) {
+                    g.bootstrapped = true;
+                }
+            }
+        }
+        let fresh = self.apply_relayed_records(ctx, d.from, &d.records);
+        // Anything new travels onward: up the tree and into every group
+        // we lead (the exchange was point-to-point, so no group already
+        // carried it).
+        let levels = self.relay_levels_all();
+        self.relay_events(ctx, fresh, levels);
+        if d.reply_wanted {
+            let records = self.directory.read(|d| d.snapshot());
+            ctx.send_unicast(
+                d.from,
+                Message::DirectoryExchange(DirectoryExchange {
+                    from: self.me,
+                    reply_wanted: false,
+                    latest_seq: self.log.latest_seq(),
+                    records,
+                }),
+            );
+        }
+        self.update_probe();
+    }
+
+    fn handle_update(&mut self, ctx: &mut Context, meta: PacketMeta, u: &UpdateMsg) {
+        if u.origin == self.me || u.events.is_empty() {
+            return;
+        }
+        let arrival = meta
+            .channel
+            .and_then(|c| self.level_of_channel(c))
+            .unwrap_or(0);
+        let now = ctx.now();
+        let newest = u.events.iter().map(|e| e.seq).max().unwrap();
+        let last = self.seqs.last_applied(u.origin);
+
+        // Loss detection: if even the oldest piggybacked event leaves a
+        // gap, the window cannot repair us — poll the origin for a full
+        // directory image.
+        if let Some(last) = last {
+            let oldest = u.events.iter().map(|e| e.seq).min().unwrap();
+            if oldest > last + 1 {
+                self.maybe_sync_poll(ctx, u.origin);
+            }
+        }
+
+        let relayer = NodeId(meta.src.0);
+        let mut effective: Vec<MemberEvent> = Vec::new();
+        for ev in &u.events {
+            // No staleness gate here: relay paths of different lengths
+            // (plus delivery jitter) can reorder messages from one
+            // origin, so a sequence high-water mark must not suppress
+            // events. Idempotence does the deduplication — the directory
+            // is incarnation-ordered, a replayed event comes back
+            // `Ignored`, and only *effective* events are forwarded, which
+            // is what terminates the relay flood. The sequence numbers
+            // exist for gap detection (sync polling) above.
+            // A leave naming us with a current/future incarnation is a
+            // false positive — refute by re-incarnating (robustness
+            // extension; see DESIGN.md).
+            if let MemberEvent::Leave(n, inc) = ev.event {
+                if n == self.me {
+                    if inc >= self.incarnation {
+                        self.incarnation = inc + 1;
+                        self.rebuild_record();
+                        let me_rec = self.record.clone();
+                        self.directory.update(|d| {
+                            (d.apply_join(me_rec, Provenance::Local, now).changed(), ())
+                        });
+                        self.send_heartbeats(ctx);
+                    }
+                    continue;
+                }
+            }
+            let provenance = match &ev.event {
+                MemberEvent::Join(r) if r.node == relayer => Provenance::Direct,
+                _ => Provenance::Relayed(relayer),
+            };
+            let (changed, was_known) = self.directory.update(|d| {
+                let was = d.contains(ev.event.subject());
+                let a = d.apply_event(&ev.event, provenance, now);
+                (a.changed(), (a.changed(), was))
+            });
+            if changed {
+                // Anything that changed the directory — joins, leaves,
+                // *and* same-incarnation content updates (the paper's
+                // update_value flow) — relays onward. Observations track
+                // membership transitions only.
+                effective.push(ev.event.clone());
+                match &ev.event {
+                    MemberEvent::Join(_) if !was_known => ctx.observe_added(ev.event.subject()),
+                    MemberEvent::Leave(..) => ctx.observe_removed(ev.event.subject()),
+                    _ => {}
+                }
+            }
+        }
+        self.seqs.advance(u.origin, newest);
+
+        if !effective.is_empty() {
+            // Relay onward, *re-originated* under our own sequence
+            // numbers: within every group, updates then carry the direct
+            // sender's contiguous seqs, so the sender's heartbeat
+            // (advertising its latest seq) detects losses and "the
+            // receiver polls the sender". Only events that actually
+            // changed our directory are relayed, which terminates the
+            // flood (a cycle re-delivers them as no-ops).
+            let levels = self.relay_levels(arrival);
+            self.relay_events(ctx, effective, levels);
+        }
+        self.update_probe();
+    }
+
+    fn handle_sync_request(&mut self, ctx: &mut Context, q: &SyncRequest) {
+        // Cheap path: if the requester's gap fits inside our retained
+        // piggyback window, backfill with just those events — this is
+        // what bounds the cost of ≤ window-1 consecutive losses (§3.1.2).
+        // Only beyond-window gaps pay for a full directory image.
+        let now = ctx.now();
+        if q.since_seq < self.log.latest_seq() && self.log.can_backfill(q.since_seq, now) {
+            let events = self.log.events_after(q.since_seq, now);
+            if !events.is_empty() {
+                self.counters.backfills_served += 1;
+                ctx.send_unicast(
+                    q.from,
+                    Message::Update(UpdateMsg {
+                        origin: self.me,
+                        events,
+                    }),
+                );
+                return;
+            }
+        }
+        self.counters.full_syncs_served += 1;
+        let records = self.directory.read(|d| d.snapshot());
+        ctx.send_unicast(
+            q.from,
+            Message::SyncResponse(SyncResponse {
+                from: self.me,
+                latest_seq: self.log.latest_seq(),
+                records,
+            }),
+        );
+    }
+
+    fn handle_sync_response(&mut self, ctx: &mut Context, r: &SyncResponse) {
+        let fresh = self.apply_relayed_records(ctx, r.from, &r.records);
+        self.seqs.advance(r.from, r.latest_seq);
+        let levels = self.relay_levels_all();
+        self.relay_events(ctx, fresh, levels);
+        self.update_probe();
+    }
+
+    fn handle_election(&mut self, ctx: &mut Context, e: &ElectionMsg) {
+        match *e {
+            ElectionMsg::Election { from, level } => {
+                if from == self.me {
+                    return;
+                }
+                let Some(g) = self.groups.get_mut(level as usize).and_then(|g| g.as_mut()) else {
+                    return;
+                };
+                g.heard(from, ctx.now(), false, 0);
+                // Non-participation rule (§3.1.1): a node that already
+                // follows a live leader at this level stays out of other
+                // groups' elections on the same (channel, TTL) — in an
+                // overlapping-group topology the candidate may simply be
+                // unable to see our leader, and it must be allowed to win
+                // its own group. The leader itself still objects.
+                let follows_other_leader = g
+                    .leader
+                    .is_some_and(|l| l != self.me && g.peers.contains_key(&l));
+                if follows_other_leader {
+                    return;
+                }
+                if self.me < from {
+                    // Objection: we outrank the candidate.
+                    ctx.send_multicast(
+                        self.cfg.channel(level),
+                        self.cfg.ttl(level),
+                        Message::Election(ElectionMsg::Alive {
+                            from: self.me,
+                            level,
+                        }),
+                    );
+                    if self.am_leader(level) {
+                        let backup = self.groups[level as usize].as_ref().unwrap().backup;
+                        ctx.send_multicast(
+                            self.cfg.channel(level),
+                            self.cfg.ttl(level),
+                            Message::Election(ElectionMsg::Coordinator {
+                                from: self.me,
+                                level,
+                                backup,
+                            }),
+                        );
+                    }
+                } else {
+                    // A lower-id candidate is running; stand down if we
+                    // were one.
+                    let g = self.groups[level as usize].as_mut().unwrap();
+                    if matches!(g.election, Election::Candidate { .. }) {
+                        g.election = Election::Idle;
+                    }
+                }
+            }
+            ElectionMsg::Alive { from, level } => {
+                let Some(g) = self.groups.get_mut(level as usize).and_then(|g| g.as_mut()) else {
+                    return;
+                };
+                g.heard(from, ctx.now(), false, 0);
+                if from < self.me && matches!(g.election, Election::Candidate { .. }) {
+                    g.election = Election::Idle;
+                }
+            }
+            ElectionMsg::Coordinator {
+                from,
+                level,
+                backup,
+            } => {
+                if from == self.me {
+                    return;
+                }
+                let Some(g) = self.groups.get_mut(level as usize).and_then(|g| g.as_mut()) else {
+                    return;
+                };
+                g.heard(from, ctx.now(), true, 0);
+                let mut lost = false;
+                match g.leader {
+                    Some(l) if l == self.me => {
+                        if from < self.me {
+                            g.leader = Some(from);
+                            g.backup = backup;
+                            g.election = Election::Idle;
+                            lost = true;
+                        } else {
+                            // We outrank the claimant; re-assert.
+                            let my_backup = g.backup;
+                            ctx.send_multicast(
+                                self.cfg.channel(level),
+                                self.cfg.ttl(level),
+                                Message::Election(ElectionMsg::Coordinator {
+                                    from: self.me,
+                                    level,
+                                    backup: my_backup,
+                                }),
+                            );
+                        }
+                    }
+                    _ => {
+                        g.leader = Some(from);
+                        g.backup = backup;
+                        g.election = Election::Idle;
+                    }
+                }
+                if lost {
+                    self.deactivate_above(ctx, level);
+                }
+                self.update_probe();
+            }
+        }
+    }
+}
+
+impl Actor for MembershipNode {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if self.crashed {
+            // A restart loses all soft state; the incarnation bump makes
+            // the rebirth unambiguous to everyone else.
+            self.crashed = false;
+            // The directory was already cleared in place by `on_crash`
+            // (clearing rather than replacing keeps externally held
+            // DirectoryClient handles attached, like re-initializing the
+            // same shm segment after a daemon restart).
+            self.seqs = SeqTracker::new();
+            self.log =
+                UpdateLog::with_max_age(self.cfg.piggyback_window, self.cfg.tombstone_ttl / 2);
+            self.sync_polls.clear();
+            for g in &mut self.groups {
+                *g = None;
+            }
+        }
+        self.incarnation += 1;
+        self.rebuild_record();
+        let me_rec = self.record.clone();
+        let now = ctx.now();
+        self.directory
+            .update(|d| (d.apply_join(me_rec, Provenance::Local, now).changed(), ()));
+
+        let ttl = self.cfg.tombstone_ttl;
+        self.directory.update(|d| {
+            d.set_tombstone_ttl(ttl);
+            (false, ())
+        });
+
+        self.activate_level(ctx, 0);
+        let phase = ctx.jitter(self.cfg.startup_jitter);
+        ctx.set_timer(phase + self.cfg.heartbeat_period, T_HEARTBEAT);
+        ctx.set_timer(self.cfg.sweep_period, T_SWEEP);
+        if self.cfg.anti_entropy_period > 0 {
+            ctx.set_timer(phase + self.cfg.anti_entropy_period, T_DIGEST);
+        }
+        self.update_probe();
+    }
+
+    fn on_crash(&mut self) {
+        self.crashed = true;
+        // Model the process dying: its published directory vanishes with
+        // it. Clear in place so externally held clients see it empty.
+        self.directory.update(|d| {
+            *d = tamp_directory::Directory::new();
+            (true, ())
+        });
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context, meta: PacketMeta, msg: &Message) {
+        match msg {
+            Message::Heartbeat(hb) => self.handle_heartbeat(ctx, hb),
+            Message::Update(u) => self.handle_update(ctx, meta, u),
+            Message::DirectoryExchange(d) => self.handle_exchange(ctx, meta, d),
+            Message::SyncRequest(q) => self.handle_sync_request(ctx, q),
+            Message::SyncResponse(r) => self.handle_sync_response(ctx, r),
+            Message::Election(e) => self.handle_election(ctx, e),
+            Message::Digest(d) => self.handle_digest(ctx, meta, d),
+            // Proxy / gossip / RPC traffic is handled by other actors.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, token: u64) {
+        let (kind, level) = token_kind(token);
+        match kind {
+            T_HEARTBEAT => {
+                self.send_heartbeats(ctx);
+                ctx.set_timer(self.cfg.heartbeat_period, T_HEARTBEAT);
+            }
+            T_SWEEP => {
+                self.sweep(ctx);
+                ctx.set_timer(self.cfg.sweep_period, T_SWEEP);
+            }
+            T_DIGEST => {
+                self.send_digests(ctx);
+                ctx.set_timer(self.cfg.anti_entropy_period, T_DIGEST);
+            }
+            T_ELECTION if self.groups.get(level as usize).is_some_and(|g| g.is_some()) => {
+                self.start_or_progress_election(ctx, level);
+                self.update_probe();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_encoding_roundtrip() {
+        for level in [0u8, 1, 3, 255] {
+            let t = election_token(level);
+            assert_eq!(token_kind(t), (T_ELECTION, level));
+        }
+        assert_eq!(token_kind(T_HEARTBEAT), (T_HEARTBEAT, 0));
+    }
+
+    #[test]
+    fn node_exposes_client_and_probe() {
+        let node = MembershipNode::new(NodeId(4), MembershipConfig::default());
+        assert_eq!(node.id(), NodeId(4));
+        let c = node.directory_client();
+        assert_eq!(c.member_count(), 0, "empty before start");
+        let p = node.probe();
+        assert_eq!(p.lock().incarnation, 0);
+    }
+
+    #[test]
+    fn register_service_and_update_value_rebuild_record() {
+        let mut node = MembershipNode::new(NodeId(1), MembershipConfig::default());
+        node.register_service(tamp_wire::ServiceDecl::new(
+            "cache",
+            tamp_wire::PartitionSet::from_iter([1]),
+        ));
+        node.update_value("load", "0.3");
+        assert!(node.record.services.iter().any(|s| s.name == "cache"));
+        assert!(node
+            .record
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "load" && v == "0.3"));
+        node.update_value("load", "0.9");
+        assert_eq!(
+            node.record
+                .attrs
+                .iter()
+                .filter(|(k, _)| k == "load")
+                .count(),
+            1,
+            "update_value must replace, not append"
+        );
+        node.delete_value("load");
+        assert!(!node.record.attrs.iter().any(|(k, _)| k == "load"));
+    }
+
+    #[test]
+    fn heartbeat_is_padded_to_paper_size() {
+        let cfg = MembershipConfig::default();
+        let node = MembershipNode::new(NodeId(1), cfg);
+        let msg = Message::Heartbeat(Heartbeat {
+            from: node.me,
+            level: 0,
+            seq: 1,
+            is_leader: false,
+            backup: None,
+            latest_update_seq: 0,
+            record: node.record.clone(),
+        });
+        assert_eq!(tamp_wire::codec::encoded_len(&msg), 228);
+    }
+
+    #[test]
+    fn level_of_channel_maps_back() {
+        let node = MembershipNode::new(NodeId(1), MembershipConfig::default());
+        assert_eq!(node.level_of_channel(ChannelId(0)), Some(0));
+        assert_eq!(node.level_of_channel(ChannelId(3)), Some(3));
+        assert_eq!(node.level_of_channel(ChannelId(9)), None);
+    }
+
+    #[test]
+    fn relay_levels_excludes_arrival_and_respects_roles() {
+        let mut node = MembershipNode::new(NodeId(1), MembershipConfig::default());
+        // Manually wire: active at 0 (member), 1 (leader of 0), leader at 1 too.
+        node.groups[0] = Some(GroupState::new(0, 0));
+        node.groups[0].as_mut().unwrap().leader = Some(NodeId(1));
+        node.groups[1] = Some(GroupState::new(1, 0));
+        node.groups[1].as_mut().unwrap().leader = Some(NodeId(0));
+        // Event arrived at level 1: relay into level 0 (we lead it), not
+        // level 1 (arrival), nothing above.
+        assert_eq!(node.relay_levels(1), vec![0]);
+        // Event arrived at level 0: we lead level 0? yes (but arrival) —
+        // relay upward into level 1.
+        assert_eq!(node.relay_levels(0), vec![1]);
+    }
+}

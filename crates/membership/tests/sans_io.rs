@@ -1,0 +1,326 @@
+//! Sans-io handler tests: drive a single `MembershipNode` with crafted
+//! packets and inspect the effects it emits — no simulator, no peers,
+//! pure protocol-rule checks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tamp_membership::{MembershipConfig, MembershipNode};
+use tamp_netsim::{collect_effects, Actor, ChannelId, Destination, Effect, PacketMeta, SECS};
+use tamp_topology::HostId;
+use tamp_wire::{
+    DirectoryExchange, ElectionMsg, Heartbeat, MemberEvent, Message, NodeId, NodeRecord, SeqEvent,
+    SyncRequest, UpdateMsg,
+};
+
+struct Harness {
+    node: MembershipNode,
+    rng: StdRng,
+    host: HostId,
+}
+
+impl Harness {
+    fn new(id: u32) -> Self {
+        let mut h = Harness {
+            node: MembershipNode::new(NodeId(id), MembershipConfig::default()),
+            rng: StdRng::seed_from_u64(7),
+            host: HostId(id),
+        };
+        let _ = h.start(0);
+        h
+    }
+
+    fn start(&mut self, now: u64) -> Vec<Effect> {
+        let (node, host, rng) = (&mut self.node, self.host, &mut self.rng);
+        collect_effects(now, host, rng, |ctx| node.on_start(ctx))
+    }
+
+    fn packet(&mut self, now: u64, meta: PacketMeta, msg: Message) -> Vec<Effect> {
+        let (node, host, rng) = (&mut self.node, self.host, &mut self.rng);
+        collect_effects(now, host, rng, |ctx| node.on_packet(ctx, meta, &msg))
+    }
+
+    fn timer(&mut self, now: u64, token: u64) -> Vec<Effect> {
+        let (node, host, rng) = (&mut self.node, self.host, &mut self.rng);
+        collect_effects(now, host, rng, |ctx| node.on_timer(ctx, token))
+    }
+
+    /// Run the sweep timer (token 2 in the node's scheme).
+    fn sweep(&mut self, now: u64) -> Vec<Effect> {
+        self.timer(now, 2)
+    }
+}
+
+fn hb(from: u32, level: u8, is_leader: bool, latest: u64) -> (PacketMeta, Message) {
+    let rec = NodeRecord::new(NodeId(from), 1);
+    (
+        PacketMeta::multicast(HostId(from), ChannelId(level as u16), level + 1, 228),
+        Message::Heartbeat(Heartbeat {
+            from: NodeId(from),
+            level,
+            seq: 1,
+            is_leader,
+            backup: None,
+            latest_update_seq: latest,
+            record: rec,
+        }),
+    )
+}
+
+fn sends_of(effects: &[Effect]) -> Vec<(&Destination, &Message)> {
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { dest, msg } => Some((dest, msg)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn start_subscribes_level_zero_and_arms_timers() {
+    let mut h = Harness {
+        node: MembershipNode::new(NodeId(3), MembershipConfig::default()),
+        rng: StdRng::seed_from_u64(7),
+        host: HostId(3),
+    };
+    let effects = h.start(0);
+    assert!(effects
+        .iter()
+        .any(|e| matches!(e, Effect::Subscribe(ChannelId(0)))));
+    let timers = effects
+        .iter()
+        .filter(|e| matches!(e, Effect::SetTimer { .. }))
+        .count();
+    assert!(timers >= 2, "heartbeat + sweep timers expected");
+    // Own record in directory immediately.
+    assert_eq!(h.node.directory_client().member_count(), 1);
+}
+
+#[test]
+fn leader_heartbeat_triggers_bootstrap_pull() {
+    let mut h = Harness::new(5);
+    let (meta, msg) = hb(2, 0, true, 0);
+    let effects = h.packet(SECS, meta, msg);
+    let sends = sends_of(&effects);
+    let exchange = sends.iter().find_map(|(d, m)| match m {
+        Message::DirectoryExchange(x) => Some((d, x)),
+        _ => None,
+    });
+    let (dest, x) = exchange.expect("no bootstrap exchange sent");
+    assert!(matches!(dest, Destination::Unicast(h) if h.0 == 2));
+    assert!(x.reply_wanted, "bootstrap must request the reply");
+    assert_eq!(x.from, NodeId(5));
+}
+
+#[test]
+fn non_leader_heartbeat_does_not_bootstrap() {
+    let mut h = Harness::new(5);
+    let (meta, msg) = hb(2, 0, false, 0);
+    let effects = h.packet(SECS, meta, msg);
+    assert!(
+        !sends_of(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::DirectoryExchange(_))),
+        "bootstrapped from a non-leader"
+    );
+    // But the peer's record landed.
+    assert!(h.node.directory_client().is_alive(NodeId(2)));
+}
+
+#[test]
+fn advertised_update_gap_triggers_sync_poll() {
+    let mut h = Harness::new(5);
+    let (meta, msg) = hb(2, 0, false, 7); // peer claims 7 updates; we have 0
+    let effects = h.packet(SECS, meta, msg);
+    let polled = sends_of(&effects).iter().any(|(d, m)| {
+        matches!(m, Message::SyncRequest(q) if q.from == NodeId(5) && q.since_seq == 0)
+            && matches!(d, Destination::Unicast(hh) if hh.0 == 2)
+    });
+    assert!(polled, "no sync poll for the advertised gap");
+}
+
+#[test]
+fn lower_id_objects_to_election() {
+    let mut h = Harness::new(1);
+    let effects = h.packet(
+        SECS,
+        PacketMeta::multicast(HostId(9), ChannelId(0), 1, 20),
+        Message::Election(ElectionMsg::Election {
+            from: NodeId(9),
+            level: 0,
+        }),
+    );
+    let objected = sends_of(&effects)
+        .iter()
+        .any(|(_, m)| matches!(m, Message::Election(ElectionMsg::Alive { from, .. }) if *from == NodeId(1)));
+    assert!(objected, "node 1 must bully node 9's candidacy");
+}
+
+#[test]
+fn higher_id_stays_silent_on_election() {
+    let mut h = Harness::new(9);
+    let effects = h.packet(
+        SECS,
+        PacketMeta::multicast(HostId(1), ChannelId(0), 1, 20),
+        Message::Election(ElectionMsg::Election {
+            from: NodeId(1),
+            level: 0,
+        }),
+    );
+    assert!(
+        sends_of(&effects).is_empty(),
+        "higher id should defer to the lower candidate"
+    );
+}
+
+#[test]
+fn follower_of_live_leader_does_not_participate() {
+    // Paper §3.1.1 non-participation: we follow leader 0; candidate 7
+    // (who cannot see 0) must get no objection from us even though our
+    // id is lower than 7.
+    let mut h = Harness::new(3);
+    let (meta, msg) = hb(0, 0, true, 0);
+    h.packet(SECS, meta, msg); // adopt 0 as leader
+    let effects = h.packet(
+        2 * SECS,
+        PacketMeta::multicast(HostId(7), ChannelId(0), 1, 20),
+        Message::Election(ElectionMsg::Election {
+            from: NodeId(7),
+            level: 0,
+        }),
+    );
+    assert!(
+        !sends_of(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Election(ElectionMsg::Alive { .. }))),
+        "followers must stay out of other groups' elections"
+    );
+}
+
+#[test]
+fn coordinator_conflict_resolves_to_lower_id() {
+    // Become leader (alone): sweep after the listen period.
+    let mut h = Harness::new(4);
+    let effects = h.sweep(3 * SECS);
+    let claimed = sends_of(&effects)
+        .iter()
+        .any(|(_, m)| matches!(m, Message::Election(ElectionMsg::Coordinator { from, .. }) if *from == NodeId(4)));
+    assert!(claimed, "lone node must claim leadership after listening");
+
+    // A higher-id coordinator appears: we re-assert.
+    let effects = h.packet(
+        4 * SECS,
+        PacketMeta::multicast(HostId(8), ChannelId(0), 1, 20),
+        Message::Election(ElectionMsg::Coordinator {
+            from: NodeId(8),
+            level: 0,
+            backup: None,
+        }),
+    );
+    let reasserted = sends_of(&effects)
+        .iter()
+        .any(|(_, m)| matches!(m, Message::Election(ElectionMsg::Coordinator { from, .. }) if *from == NodeId(4)));
+    assert!(reasserted, "lower-id incumbent must re-assert");
+
+    // A lower-id coordinator appears: we abdicate (no re-assert, level-1
+    // group dropped).
+    let effects = h.packet(
+        5 * SECS,
+        PacketMeta::multicast(HostId(2), ChannelId(0), 1, 20),
+        Message::Election(ElectionMsg::Coordinator {
+            from: NodeId(2),
+            level: 0,
+            backup: None,
+        }),
+    );
+    assert!(
+        !sends_of(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Election(ElectionMsg::Coordinator { from, .. }) if *from == NodeId(4))),
+        "must abdicate to the lower id"
+    );
+    assert!(
+        effects
+            .iter()
+            .any(|e| matches!(e, Effect::Unsubscribe(ChannelId(1)))),
+        "abdication must leave the higher level"
+    );
+    let probe = h.node.probe();
+    assert_eq!(probe.lock().leaders[0], Some(NodeId(2)));
+}
+
+#[test]
+fn leave_of_self_is_refuted_with_new_incarnation() {
+    let mut h = Harness::new(6);
+    let before = h.node.probe().lock().incarnation;
+    let effects = h.packet(
+        SECS,
+        PacketMeta::multicast(HostId(2), ChannelId(0), 1, 64),
+        Message::Update(UpdateMsg {
+            origin: NodeId(2),
+            events: vec![SeqEvent {
+                seq: 1,
+                event: MemberEvent::Leave(NodeId(6), before),
+            }],
+        }),
+    );
+    let after = h.node.probe().lock().incarnation;
+    assert_eq!(after, before + 1, "refutation must bump the incarnation");
+    // And we immediately re-announce ourselves.
+    let heartbeated = sends_of(&effects)
+        .iter()
+        .any(|(_, m)| matches!(m, Message::Heartbeat(x) if x.record.incarnation == after));
+    assert!(heartbeated, "no refutation heartbeat");
+    assert!(h.node.directory_client().is_alive(NodeId(6)));
+}
+
+#[test]
+fn sync_request_backfills_from_window_or_ships_snapshot() {
+    let mut h = Harness::new(0);
+    // Learn two peers so the directory and (via relays as sole leader...
+    // not leader yet) — instead exercise the *snapshot* path first: we
+    // have no log, requester asks since 0 → full snapshot.
+    let (meta, msg) = hb(3, 0, false, 0);
+    h.packet(SECS, meta, msg);
+    let effects = h.packet(
+        2 * SECS,
+        PacketMeta::unicast(HostId(3), 41),
+        Message::SyncRequest(SyncRequest {
+            from: NodeId(3),
+            since_seq: 0,
+        }),
+    );
+    let snapshot = sends_of(&effects).iter().any(
+        |(_, m)| matches!(m, Message::SyncResponse(r) if r.records.len() == 2), // us + peer 3
+    );
+    assert!(snapshot, "expected a full snapshot response");
+}
+
+#[test]
+fn exchange_reply_completes_bootstrap_and_merges() {
+    let mut h = Harness::new(5);
+    // Adopt 2 as leader, triggering a bootstrap request.
+    let (meta, msg) = hb(2, 0, true, 0);
+    h.packet(SECS, meta, msg);
+    // The unicast reply arrives with a third node's record.
+    let reply = Message::DirectoryExchange(DirectoryExchange {
+        from: NodeId(2),
+        reply_wanted: false,
+        latest_seq: 0,
+        records: vec![tamp_wire::RelayedRecord {
+            record: NodeRecord::new(NodeId(9), 1),
+            relayed_by: None,
+        }],
+    });
+    h.packet(SECS + 1, PacketMeta::unicast(HostId(2), 300), reply);
+    assert!(h.node.directory_client().is_alive(NodeId(9)));
+    // No further bootstrap requests on later leader heartbeats.
+    let (meta, msg) = hb(2, 0, true, 0);
+    let effects = h.packet(4 * SECS, meta, msg);
+    assert!(
+        !sends_of(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::DirectoryExchange(x) if x.reply_wanted)),
+        "bootstrap must latch after the reply"
+    );
+}

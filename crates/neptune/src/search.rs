@@ -1,0 +1,221 @@
+//! The prototype search-engine deployment of paper Figs. 1 and 14: two
+//! (or more) data centers hosting protocol gateways, partitioned +
+//! replicated index and document services, and membership proxies.
+//!
+//! This module is scenario *construction* only — it wires actors into a
+//! simulator engine; the harness and examples drive it.
+
+use crate::gateway::{GatewayConfig, GatewayNode, LoadBalance, MetricsHandle, Workflow};
+use crate::provider::{ProviderConfig, ProviderNode};
+use tamp_membership::MembershipConfig;
+use tamp_netsim::{Engine, EngineConfig, Nanos, MILLIS, SECS};
+use tamp_proxy::{ProxyConfig, ProxyNode, RemoteView, VipTable};
+use tamp_topology::{generators, HostId};
+use tamp_wire::{DcId, NodeId, PartitionSet, ServiceDecl};
+
+/// Knobs for the search-engine scenario.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Number of data centers (the paper uses 2: "east coast" / "west
+    /// coast").
+    pub datacenters: usize,
+    /// One-way WAN latency between adjacent DCs (paper: ~90 ms RTT).
+    pub wan_one_way: Nanos,
+    /// Replicas per partition per DC (paper: 3).
+    pub replicas: usize,
+    /// Gateways per DC.
+    pub gateways_per_dc: usize,
+    /// Proxies per DC (paper: "multiple membership proxies for each data
+    /// center to improve availability").
+    pub proxies_per_dc: usize,
+    /// Open-loop query inter-arrival per gateway (0 = none).
+    pub arrival_period: Nanos,
+    /// Index / doc service times.
+    pub index_time: Nanos,
+    pub doc_time: Nanos,
+    pub lb: LoadBalance,
+    /// Query all document partitions per search (the paper's Fig. 1
+    /// flow) instead of a random one.
+    pub doc_fanout: bool,
+    pub seed: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            datacenters: 2,
+            wan_one_way: 45 * MILLIS,
+            replicas: 3,
+            gateways_per_dc: 1,
+            proxies_per_dc: 2,
+            arrival_period: 50 * MILLIS,
+            index_time: 5 * MILLIS,
+            doc_time: 10 * MILLIS,
+            lb: LoadBalance::Random,
+            doc_fanout: false,
+            seed: 2005,
+        }
+    }
+}
+
+/// A wired-up scenario: the engine plus handles for driving and
+/// measuring it.
+pub struct SearchScenario {
+    pub engine: Engine,
+    /// Gateway metrics per DC (one handle per gateway).
+    pub gateway_metrics: Vec<Vec<MetricsHandle>>,
+    /// All hosts per DC.
+    pub dc_hosts: Vec<Vec<HostId>>,
+    pub gateways: Vec<Vec<HostId>>,
+    pub proxies: Vec<Vec<HostId>>,
+    pub index_providers: Vec<Vec<HostId>>,
+    pub doc_providers: Vec<Vec<HostId>>,
+    pub vips: VipTable,
+}
+
+/// Index partitions in the prototype (paper Fig. 1: two).
+pub const INDEX_PARTITIONS: u16 = 2;
+/// Document partitions (paper Fig. 1: three).
+pub const DOC_PARTITIONS: u16 = 3;
+
+/// Build the scenario. Call `engine.start()` yourself (after any extra
+/// actors), then run.
+pub fn build(opts: &SearchOptions) -> SearchScenario {
+    let per_dc = opts.gateways_per_dc
+        + opts.proxies_per_dc
+        + (INDEX_PARTITIONS as usize + DOC_PARTITIONS as usize) * opts.replicas;
+    let per_segment = per_dc.div_ceil(2);
+    let dcs: Vec<(usize, usize)> = (0..opts.datacenters).map(|_| (2, per_segment)).collect();
+    let (topo, dc_hosts) = generators::multi_datacenter(&dcs, opts.wan_one_way);
+
+    let engine_cfg = EngineConfig {
+        series_bucket: SECS,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(topo, engine_cfg, opts.seed);
+
+    let vips = VipTable::new();
+    let membership = MembershipConfig::default();
+
+    let mut gateways = vec![Vec::new(); opts.datacenters];
+    let mut proxies = vec![Vec::new(); opts.datacenters];
+    let mut index_providers = vec![Vec::new(); opts.datacenters];
+    let mut doc_providers = vec![Vec::new(); opts.datacenters];
+    let mut gateway_metrics = vec![Vec::new(); opts.datacenters];
+
+    for (dc_idx, hosts) in dc_hosts.iter().enumerate() {
+        let dc = DcId(dc_idx as u16);
+        let remote_dcs: Vec<DcId> = (0..opts.datacenters)
+            .filter(|&d| d != dc_idx)
+            .map(|d| DcId(d as u16))
+            .collect();
+        let mut it = hosts.iter().copied();
+
+        // Gateways.
+        for _ in 0..opts.gateways_per_dc {
+            let h = it.next().expect("not enough hosts for gateways");
+            let workflow = if opts.doc_fanout {
+                Workflow::search_engine_fanout()
+            } else {
+                Workflow::search_engine()
+            };
+            let cfg = GatewayConfig {
+                lb: opts.lb,
+                ..GatewayConfig::new(membership.clone(), workflow, opts.arrival_period)
+            };
+            let gw = GatewayNode::new(NodeId(h.0), cfg);
+            gateway_metrics[dc_idx].push(gw.metrics());
+            gateways[dc_idx].push(h);
+            engine.add_actor(h, Box::new(gw));
+        }
+
+        // Proxies (the first one seeds the DC's virtual IP).
+        let remote_view = RemoteView::new();
+        for i in 0..opts.proxies_per_dc {
+            let h = it.next().expect("not enough hosts for proxies");
+            if i == 0 {
+                vips.set(dc, NodeId(h.0));
+            }
+            let p = ProxyNode::new(
+                NodeId(h.0),
+                ProxyConfig::new(dc, remote_dcs.clone(), membership.clone()),
+                vips.clone(),
+                remote_view.clone(),
+            );
+            proxies[dc_idx].push(h);
+            engine.add_actor(h, Box::new(p));
+        }
+
+        // Index providers: `replicas` instances per partition.
+        for part in 0..INDEX_PARTITIONS {
+            for _ in 0..opts.replicas {
+                let h = it.next().expect("not enough hosts for index");
+                let mut m = membership.clone();
+                m.services = vec![ServiceDecl::new("index", PartitionSet::from_iter([part]))];
+                let p = ProviderNode::new(NodeId(h.0), ProviderConfig::new(m, opts.index_time));
+                index_providers[dc_idx].push(h);
+                engine.add_actor(h, Box::new(p));
+            }
+        }
+
+        // Document providers.
+        for part in 0..DOC_PARTITIONS {
+            for _ in 0..opts.replicas {
+                let h = it.next().expect("not enough hosts for doc");
+                let mut m = membership.clone();
+                m.services = vec![ServiceDecl::new("doc", PartitionSet::from_iter([part]))];
+                let p = ProviderNode::new(NodeId(h.0), ProviderConfig::new(m, opts.doc_time));
+                doc_providers[dc_idx].push(h);
+                engine.add_actor(h, Box::new(p));
+            }
+        }
+    }
+
+    SearchScenario {
+        engine,
+        gateway_metrics,
+        dc_hosts,
+        gateways,
+        proxies,
+        index_providers,
+        doc_providers,
+        vips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_wires_expected_counts() {
+        let opts = SearchOptions::default();
+        let s = build(&opts);
+        assert_eq!(s.dc_hosts.len(), 2);
+        for dc in 0..2 {
+            assert_eq!(s.gateways[dc].len(), 1);
+            assert_eq!(s.proxies[dc].len(), 2);
+            assert_eq!(s.index_providers[dc].len(), 6);
+            assert_eq!(s.doc_providers[dc].len(), 9);
+        }
+        // VIPs seeded with each DC's first proxy.
+        assert_eq!(s.vips.get(DcId(0)), Some(NodeId(s.proxies[0][0].0)));
+        assert_eq!(s.vips.get(DcId(1)), Some(NodeId(s.proxies[1][0].0)));
+    }
+
+    #[test]
+    fn scenario_roles_are_disjoint() {
+        let s = build(&SearchOptions::default());
+        for dc in 0..2 {
+            let mut all: Vec<HostId> = Vec::new();
+            all.extend(&s.gateways[dc]);
+            all.extend(&s.proxies[dc]);
+            all.extend(&s.index_providers[dc]);
+            all.extend(&s.doc_providers[dc]);
+            let mut dedup = all.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(all.len(), dedup.len(), "role overlap in dc {dc}");
+        }
+    }
+}

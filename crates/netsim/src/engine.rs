@@ -1,0 +1,951 @@
+//! The discrete-event engine.
+
+use crate::actor::{Actor, Context, Effect};
+use crate::packet::{ChannelId, Destination, PacketMeta};
+use crate::stats::{Observation, Stats};
+use crate::trace::{DropReason, TraceConfig, TraceEvent, TraceLog};
+use crate::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet};
+use std::sync::Arc;
+use tamp_topology::{HostId, Nanos, SegmentId, Topology};
+use tamp_wire::Message;
+
+/// Probabilistic packet loss. Applied independently per (packet,
+/// receiver) pair, which models the dominant loss causes in the paper
+/// (receiver overrun, congestion at the receiving port).
+#[derive(Debug, Clone, Copy)]
+pub struct LossModel {
+    /// Probability in `[0, 1]` that any given delivery is dropped.
+    pub rate: f64,
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel { rate: 0.0 }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bytes of UDP+IP+Ethernet framing added to every packet for
+    /// accounting (the paper measures on-the-wire packet sizes).
+    pub header_overhead: u32,
+    /// Modeled CPU cost to process one received packet. Default 11 µs,
+    /// calibrated so that ~4000 heartbeats/s costs ~4.5% of one CPU —
+    /// matching the paper's Fig. 2 measurement on a 1.4 GHz P-III.
+    pub cpu_per_packet: Nanos,
+    /// Additional CPU cost per received byte.
+    pub cpu_per_byte: Nanos,
+    /// Per-byte serialization delay (wire time). Default 80 ns/B ≈
+    /// 100 Mb/s Fast Ethernet, the paper's access links. Transmissions
+    /// from one host *queue* behind each other at this rate (a simple
+    /// egress-NIC model), so saturating senders see growing delays.
+    pub wire_time_per_byte: SimTime,
+    /// Max uniform random extra latency per delivery (0 = none).
+    pub latency_jitter: SimTime,
+    /// Bucket width for the cluster-wide time series (0 = disabled).
+    pub series_bucket: SimTime,
+    /// Packet loss model.
+    pub loss: LossModel,
+    /// Event tracing (off by default; see [`crate::trace`]).
+    pub trace: TraceConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            header_overhead: 28,
+            cpu_per_packet: 11_000,
+            cpu_per_byte: 2,
+            wire_time_per_byte: 80,
+            latency_jitter: 200_000, // 0.2 ms
+            series_bucket: 0,
+            loss: LossModel::default(),
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    fn capacity_for_trace(&self) -> usize {
+        if self.trace.enabled {
+            self.trace.capacity
+        } else {
+            0
+        }
+    }
+}
+
+/// Scripted fault-injection actions.
+#[derive(Debug, Clone, Copy)]
+pub enum Control {
+    /// Fail-stop crash: the host stops sending, receiving and ticking.
+    Kill(HostId),
+    /// Restart a crashed host: its actor's `on_start` runs again.
+    Revive(HostId),
+    /// Sever all traffic between two segments (both directions).
+    BlockSegments(SegmentId, SegmentId),
+    /// Restore traffic between two segments.
+    UnblockSegments(SegmentId, SegmentId),
+}
+
+/// An in-flight packet (shared across all its multicast receivers).
+#[derive(Debug)]
+struct Pkt {
+    src: HostId,
+    msg: Message,
+    /// Encoded size + header overhead.
+    size: u32,
+    /// Multicast metadata, `None` for unicast.
+    channel: Option<(ChannelId, u8)>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver {
+        to: HostId,
+        epoch: u32,
+        pkt: Arc<Pkt>,
+    },
+    Timer {
+        host: HostId,
+        epoch: u32,
+        token: u64,
+    },
+    Control(Control),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The deterministic discrete-event simulator. See the crate docs for an
+/// overview and `DESIGN.md` for how it substitutes for the paper's
+/// physical testbed.
+pub struct Engine {
+    topo: Topology,
+    config: EngineConfig,
+    clock: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    alive: Vec<bool>,
+    /// Bumped on every kill/revive; stale events are discarded by epoch.
+    epoch: Vec<u32>,
+    subs: BTreeMap<ChannelId, BTreeSet<HostId>>,
+    blocked: HashSet<(u16, u16)>,
+    rng: StdRng,
+    stats: Stats,
+    started: bool,
+    effects_buf: Vec<Effect>,
+    tracelog: TraceLog,
+    /// Egress-NIC serialization model: when each host's transmit queue
+    /// drains. A burst of sends from one host goes on the wire
+    /// back-to-back, not simultaneously.
+    egress_free: Vec<SimTime>,
+}
+
+impl Engine {
+    pub fn new(topo: Topology, config: EngineConfig, seed: u64) -> Self {
+        let n = topo.num_hosts();
+        Engine {
+            stats: Stats::new(n, config.series_bucket),
+            tracelog: TraceLog::new(config.capacity_for_trace()),
+            topo,
+            config,
+            clock: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: (0..n).map(|_| None).collect(),
+            alive: vec![true; n],
+            epoch: vec![0; n],
+            subs: BTreeMap::new(),
+            blocked: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+            started: false,
+            effects_buf: Vec::new(),
+            egress_free: vec![0; n],
+        }
+    }
+
+    /// The trace log (empty unless tracing was enabled in the config).
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.tracelog
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if self.config.trace.wants(&ev) {
+            self.tracelog.push(self.clock, ev);
+        }
+    }
+
+    /// Install the protocol endpoint for a host. Must be called before
+    /// [`Engine::start`]. Hosts without actors are inert.
+    pub fn add_actor(&mut self, host: HostId, actor: Box<dyn Actor>) {
+        assert!(!self.started, "add_actor after start");
+        self.actors[host.index()] = Some(actor);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.topo.hosts().collect()
+    }
+
+    pub fn is_alive(&self, h: HostId) -> bool {
+        self.alive[h.index()]
+    }
+
+    /// Collected measurements.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable access (e.g. to reset counters at the start of the
+    /// measurement window).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Run `on_start` for every installed actor. Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for h in 0..self.actors.len() {
+            if self.actors[h].is_some() {
+                self.run_callback(HostId(h as u32), |actor, ctx| actor.on_start(ctx));
+            }
+        }
+    }
+
+    /// Schedule a fault-injection action at absolute time `t`.
+    pub fn schedule(&mut self, t: SimTime, control: Control) {
+        assert!(t >= self.clock, "cannot schedule in the past");
+        self.push(t, EventKind::Control(control));
+    }
+
+    /// Crash a host right now.
+    pub fn kill_now(&mut self, h: HostId) {
+        self.apply_control(Control::Kill(h));
+    }
+
+    /// Revive a host right now.
+    pub fn revive_now(&mut self, h: HostId) {
+        self.apply_control(Control::Revive(h));
+    }
+
+    /// Process every event up to and including time `t`, then advance the
+    /// clock to exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(self.started, "call start() before run_until()");
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > t {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().unwrap();
+            self.clock = ev.time;
+            self.dispatch(ev.kind);
+        }
+        self.clock = t;
+    }
+
+    /// Run for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimTime) {
+        self.run_until(self.clock + d);
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { to, epoch, pkt } => self.deliver(to, epoch, pkt),
+            EventKind::Timer { host, epoch, token } => {
+                let idx = host.index();
+                if !self.alive[idx] || self.epoch[idx] != epoch {
+                    return;
+                }
+                self.trace(TraceEvent::Timer { host, token });
+                self.run_callback(host, |actor, ctx| actor.on_timer(ctx, token));
+            }
+            EventKind::Control(c) => self.apply_control(c),
+        }
+    }
+
+    fn apply_control(&mut self, c: Control) {
+        match c {
+            Control::Kill(h) => {
+                let idx = h.index();
+                if !self.alive[idx] {
+                    return;
+                }
+                self.alive[idx] = false;
+                self.epoch[idx] += 1;
+                self.egress_free[idx] = 0;
+                self.trace(TraceEvent::Fault("kill", h));
+                for set in self.subs.values_mut() {
+                    set.remove(&h);
+                }
+                if let Some(actor) = self.actors[idx].as_mut() {
+                    actor.on_crash();
+                }
+            }
+            Control::Revive(h) => {
+                let idx = h.index();
+                if self.alive[idx] {
+                    return;
+                }
+                self.alive[idx] = true;
+                self.epoch[idx] += 1;
+                self.trace(TraceEvent::Fault("revive", h));
+                if self.actors[idx].is_some() {
+                    self.run_callback(h, |actor, ctx| actor.on_start(ctx));
+                }
+            }
+            Control::BlockSegments(a, b) => {
+                self.blocked.insert((a.0.min(b.0), a.0.max(b.0)));
+            }
+            Control::UnblockSegments(a, b) => {
+                self.blocked.remove(&(a.0.min(b.0), a.0.max(b.0)));
+            }
+        }
+    }
+
+    fn segments_blocked(&self, a: HostId, b: HostId) -> bool {
+        if self.blocked.is_empty() {
+            return false;
+        }
+        let (sa, sb) = (self.topo.segment_of(a).0, self.topo.segment_of(b).0);
+        self.blocked.contains(&(sa.min(sb), sa.max(sb)))
+    }
+
+    fn deliver(&mut self, to: HostId, epoch: u32, pkt: Arc<Pkt>) {
+        let idx = to.index();
+        if !self.alive[idx] || self.epoch[idx] != epoch {
+            self.stats.on_drop(to);
+            self.trace(TraceEvent::Drop {
+                src: pkt.src,
+                dst: to,
+                kind: pkt.msg.kind(),
+                reason: DropReason::DeadHost,
+            });
+            return;
+        }
+        // Partitions that appeared while the packet was in flight still
+        // block it: the check happens at delivery time.
+        if self.segments_blocked(pkt.src, to) {
+            self.stats.on_drop(to);
+            self.trace(TraceEvent::Drop {
+                src: pkt.src,
+                dst: to,
+                kind: pkt.msg.kind(),
+                reason: DropReason::Partition,
+            });
+            return;
+        }
+        let cpu = self.config.cpu_per_packet + self.config.cpu_per_byte * pkt.size as u64;
+        self.stats.on_recv(self.clock, to, pkt.size as u64, cpu);
+        self.trace(TraceEvent::Deliver {
+            src: pkt.src,
+            dst: to,
+            kind: pkt.msg.kind(),
+            bytes: pkt.size,
+        });
+        let meta = PacketMeta {
+            src: pkt.src,
+            channel: pkt.channel.map(|(c, _)| c),
+            ttl: pkt.channel.map(|(_, t)| t),
+            size: pkt.size,
+        };
+        self.run_callback(to, |actor, ctx| actor.on_packet(ctx, meta, &pkt.msg));
+    }
+
+    /// Invoke an actor callback and apply its effects. The actor is moved
+    /// out of the slot during the call so the engine stays borrowable.
+    fn run_callback<F>(&mut self, host: HostId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor, &mut Context),
+    {
+        let idx = host.index();
+        let Some(mut actor) = self.actors[idx].take() else {
+            return;
+        };
+        let mut effects = std::mem::take(&mut self.effects_buf);
+        {
+            let mut ctx = Context::new(self.clock, host, &mut self.rng, &mut effects);
+            f(actor.as_mut(), &mut ctx);
+        }
+        self.actors[idx] = Some(actor);
+        for e in effects.drain(..) {
+            self.apply_effect(host, e);
+        }
+        self.effects_buf = effects;
+    }
+
+    fn apply_effect(&mut self, host: HostId, e: Effect) {
+        match e {
+            Effect::Send { dest, msg } => self.send(host, dest, msg),
+            Effect::SetTimer { delay, token } => {
+                let epoch = self.epoch[host.index()];
+                self.push(self.clock + delay, EventKind::Timer { host, epoch, token });
+            }
+            Effect::Subscribe(c) => {
+                self.subs.entry(c).or_default().insert(host);
+            }
+            Effect::Unsubscribe(c) => {
+                if let Some(set) = self.subs.get_mut(&c) {
+                    set.remove(&host);
+                }
+            }
+            Effect::Observe(kind) => {
+                self.stats.observe(Observation {
+                    time: self.clock,
+                    observer: host,
+                    kind,
+                });
+            }
+        }
+    }
+
+    fn send(&mut self, src: HostId, dest: Destination, msg: Message) {
+        let size = tamp_wire::codec::encoded_len(&msg) as u32 + self.config.header_overhead;
+        let channel = match dest {
+            Destination::Unicast(_) => None,
+            Destination::Multicast { channel, ttl } => Some((channel, ttl)),
+        };
+        let pkt = Arc::new(Pkt {
+            src,
+            msg,
+            size,
+            channel,
+        });
+        // One NIC transmission regardless of receiver count (multicast is
+        // switch-replicated, exactly why the paper prefers it).
+        self.stats
+            .on_send(self.clock, src, size as u64, pkt.msg.kind());
+
+        let receivers: Vec<HostId> = match dest {
+            Destination::Unicast(to) => vec![to],
+            Destination::Multicast { channel, ttl } => {
+                match self.subs.get(&channel) {
+                    None => Vec::new(),
+                    Some(set) => set
+                        .iter()
+                        .copied()
+                        // No multicast loopback: senders do not receive
+                        // their own packets.
+                        .filter(|&h| h != src && self.topo.ttl_distance(src, h) <= ttl)
+                        .collect(),
+                }
+            }
+        };
+        // Serialize onto the wire after any transmissions already
+        // queued at this host's NIC.
+        let tx_start = self.egress_free[src.index()].max(self.clock);
+        let on_wire = tx_start + self.config.wire_time_per_byte * size as u64;
+        self.egress_free[src.index()] = on_wire;
+        let serialize = on_wire - self.clock;
+        self.trace(TraceEvent::Send {
+            src,
+            multicast: pkt.channel.map(|(c, t)| (c.0, t)),
+            kind: pkt.msg.kind(),
+            bytes: size,
+            receivers: receivers.len() as u32,
+        });
+        for to in receivers {
+            if self.config.loss.rate > 0.0 && self.rng.gen::<f64>() < self.config.loss.rate {
+                self.stats.on_drop(to);
+                self.trace(TraceEvent::Drop {
+                    src,
+                    dst: to,
+                    kind: pkt.msg.kind(),
+                    reason: DropReason::Loss,
+                });
+                continue;
+            }
+            let jitter = if self.config.latency_jitter > 0 {
+                self.rng.gen_range(0..self.config.latency_jitter)
+            } else {
+                0
+            };
+            let at = self.clock + serialize + self.topo.latency(src, to) + jitter;
+            let epoch = self.epoch[to.index()];
+            self.push(
+                at,
+                EventKind::Deliver {
+                    to,
+                    epoch,
+                    pkt: Arc::clone(&pkt),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SECS;
+    use tamp_topology::generators;
+    use tamp_wire::SyncRequest;
+
+    /// Test actor: every second, multicasts a tiny message with a
+    /// configured TTL; counts everything it receives.
+    struct Beacon {
+        channel: ChannelId,
+        ttl: u8,
+        received: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        sends: bool,
+    }
+
+    impl Beacon {
+        fn msg(&self, ctx: &Context) -> Message {
+            Message::SyncRequest(SyncRequest {
+                from: ctx.node_id(),
+                since_seq: 0,
+            })
+        }
+    }
+
+    impl Actor for Beacon {
+        fn on_start(&mut self, ctx: &mut Context) {
+            ctx.subscribe(self.channel);
+            if self.sends {
+                ctx.set_timer(SECS, 0);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context, _meta: PacketMeta, _msg: &Message) {
+            self.received
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn on_timer(&mut self, ctx: &mut Context, _token: u64) {
+            let m = self.msg(ctx);
+            ctx.send_multicast(self.channel, self.ttl, m);
+            ctx.set_timer(SECS, 0);
+        }
+    }
+
+    fn counter() -> std::sync::Arc<std::sync::atomic::AtomicU64> {
+        std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    fn read(c: &std::sync::Arc<std::sync::atomic::AtomicU64>) -> u64 {
+        c.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    #[test]
+    fn multicast_ttl_scoping() {
+        // 2 segments × 2 hosts. Host 0 beacons with TTL 1: only host 1
+        // (same segment) must receive.
+        let topo = generators::star_of_segments(2, 2);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..4).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 1,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        eng.run_until(10 * SECS + 100 * crate::MILLIS);
+        assert_eq!(read(&counters[0]), 0, "no multicast loopback");
+        assert_eq!(read(&counters[1]), 10, "same-segment host receives");
+        assert_eq!(read(&counters[2]), 0, "TTL 1 must not cross the router");
+        assert_eq!(read(&counters[3]), 0);
+    }
+
+    #[test]
+    fn multicast_ttl_two_crosses_one_router() {
+        let topo = generators::star_of_segments(2, 2);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..4).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 2,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        eng.run_until(5 * SECS + 100 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 5);
+        assert_eq!(read(&counters[2]), 5);
+        assert_eq!(read(&counters[3]), 5);
+    }
+
+    #[test]
+    fn unsubscribed_hosts_do_not_receive() {
+        struct Mute;
+        impl Actor for Mute {
+            fn on_start(&mut self, _ctx: &mut Context) {}
+            fn on_packet(&mut self, _c: &mut Context, _m: PacketMeta, _msg: &Message) {
+                panic!("mute actor must not receive");
+            }
+            fn on_timer(&mut self, _c: &mut Context, _t: u64) {}
+        }
+        let topo = generators::single_segment(2);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let c = counter();
+        let hs = eng.hosts();
+        eng.add_actor(
+            hs[0],
+            Box::new(Beacon {
+                channel: ChannelId(0),
+                ttl: 1,
+                received: c,
+                sends: true,
+            }),
+        );
+        eng.add_actor(hs[1], Box::new(Mute));
+        eng.start();
+        eng.run_until(3 * SECS);
+    }
+
+    #[test]
+    fn killed_host_stops_receiving_and_ticking() {
+        let topo = generators::single_segment(2);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 1,
+                    received: counters[i].clone(),
+                    sends: true,
+                }),
+            );
+        }
+        eng.start();
+        eng.run_until(3 * SECS);
+        let h1 = eng.hosts()[1];
+        eng.kill_now(h1);
+        let before = read(&counters[1]);
+        let sent_before = eng.stats().host(h1).sent_pkts;
+        eng.run_until(10 * SECS);
+        assert_eq!(read(&counters[1]), before, "dead host received packets");
+        assert_eq!(
+            eng.stats().host(h1).sent_pkts,
+            sent_before,
+            "dead host kept sending"
+        );
+        // Host 0 stops hearing host 1: beacons at t=1,2 arrived; the t=3
+        // beacon was still in flight when the crash bumped the... sender's
+        // crash does not affect in-flight packets, so it arrives too.
+        let h0_recv = read(&counters[0]);
+        assert_eq!(h0_recv, 3, "the 3 pre-kill beacons");
+    }
+
+    #[test]
+    fn revive_restarts_actor() {
+        let topo = generators::single_segment(2);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 1,
+                    received: counters[i].clone(),
+                    sends: i == 1,
+                }),
+            );
+        }
+        eng.start();
+        let h1 = eng.hosts()[1];
+        // Kill mid-period so the pre/post beacon counts are unambiguous:
+        // beacons at t=1,2 land before the kill at 2.5; the revive at 5.5
+        // restarts the period, beaconing at 6.5, 7.5, 8.5, 9.5.
+        eng.schedule(2 * SECS + 500 * crate::MILLIS, Control::Kill(h1));
+        eng.schedule(5 * SECS + 500 * crate::MILLIS, Control::Revive(h1));
+        eng.run_until(10 * SECS);
+        let got = read(&counters[0]);
+        assert_eq!(got, 6, "expected 2 pre-kill + 4 post-revive beacons");
+    }
+
+    #[test]
+    fn partition_blocks_cross_segment_traffic() {
+        let topo = generators::star_of_segments(2, 1);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 4,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        // Partition mid-period so beacon sends are clearly on one side.
+        eng.schedule(
+            3 * SECS + 500 * crate::MILLIS,
+            Control::BlockSegments(SegmentId(0), SegmentId(1)),
+        );
+        eng.schedule(
+            6 * SECS + 500 * crate::MILLIS,
+            Control::UnblockSegments(SegmentId(0), SegmentId(1)),
+        );
+        eng.run_until(3 * SECS + 400 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 3);
+        eng.run_until(6 * SECS + 400 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 3, "partitioned traffic leaked");
+        eng.run_until(9 * SECS + 400 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 6, "traffic did not resume");
+    }
+
+    #[test]
+    fn loss_rate_drops_a_fraction() {
+        let topo = generators::single_segment(2);
+        let cfg = EngineConfig {
+            loss: LossModel { rate: 0.5 },
+            ..Default::default()
+        };
+        let mut eng = Engine::new(topo, cfg, 7);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 1,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        eng.run_until(1000 * SECS);
+        let got = read(&counters[1]);
+        assert!(
+            (350..650).contains(&got),
+            "expected ~500 of 1000 beacons, got {got}"
+        );
+        assert_eq!(
+            got + eng.stats().host(eng.hosts()[1]).dropped_pkts,
+            1000,
+            "received + dropped must equal sent"
+        );
+    }
+
+    #[test]
+    fn stats_account_send_and_recv() {
+        let topo = generators::single_segment(3);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..3).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 1,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        eng.run_until(4 * SECS + 100 * crate::MILLIS);
+        let hs = eng.hosts();
+        let sender = eng.stats().host(hs[0]);
+        assert_eq!(sender.sent_pkts, 4, "one multicast = one send");
+        let rcv = eng.stats().host(hs[1]);
+        assert_eq!(rcv.recv_pkts, 4);
+        assert!(rcv.recv_bytes > 0);
+        assert!(rcv.cpu_ns >= 4 * 11_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run(seed: u64) -> (u64, u64) {
+            let topo = generators::star_of_segments(3, 4);
+            let cfg = EngineConfig {
+                loss: LossModel { rate: 0.1 },
+                ..Default::default()
+            };
+            let mut eng = Engine::new(topo, cfg, seed);
+            let c = counter();
+            for (i, h) in eng.hosts().into_iter().enumerate() {
+                eng.add_actor(
+                    h,
+                    Box::new(Beacon {
+                        channel: ChannelId(0),
+                        ttl: 2,
+                        received: c.clone(),
+                        sends: i % 2 == 0,
+                    }),
+                );
+            }
+            eng.start();
+            eng.run_until(20 * SECS);
+            (read(&c), eng.stats().totals().recv_bytes)
+        }
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123), run(456));
+    }
+
+    #[test]
+    #[should_panic(expected = "call start()")]
+    fn run_before_start_panics() {
+        let topo = generators::single_segment(1);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        eng.run_until(SECS);
+    }
+
+    #[test]
+    fn clock_advances_to_run_until_target() {
+        let topo = generators::single_segment(1);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        eng.start();
+        eng.run_until(5 * SECS);
+        assert_eq!(eng.now(), 5 * SECS);
+        eng.run_for(SECS);
+        assert_eq!(eng.now(), 6 * SECS);
+    }
+}
+
+#[cfg(test)]
+mod egress_tests {
+    use super::*;
+    use crate::SECS;
+    use tamp_topology::generators;
+    use tamp_wire::{Message, NodeId, ServiceRequest};
+
+    /// Sends a burst of unicast messages at t=1s; records delivery times
+    /// at the receiver.
+    struct Burst {
+        count: usize,
+        payload: usize,
+        deliveries: std::sync::Arc<std::sync::Mutex<Vec<SimTime>>>,
+        sender: bool,
+    }
+
+    impl Actor for Burst {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if self.sender {
+                ctx.set_timer(SECS, 0);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context, _m: PacketMeta, _msg: &Message) {
+            self.deliveries.lock().unwrap().push(ctx.now());
+        }
+        fn on_timer(&mut self, ctx: &mut Context, _t: u64) {
+            for _ in 0..self.count {
+                ctx.send_unicast(
+                    NodeId(1),
+                    Message::ServiceRequest(ServiceRequest {
+                        id: 0,
+                        from: ctx.node_id(),
+                        service: "x".into(),
+                        partition: 0,
+                        payload: vec![0; self.payload],
+                        hops_left: 0,
+                    }),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_serializes_at_the_nic() {
+        let topo = generators::single_segment(2);
+        let cfg = EngineConfig {
+            latency_jitter: 0,
+            ..Default::default()
+        };
+        let mut eng = Engine::new(topo, cfg, 1);
+        let deliveries = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let hs = eng.hosts();
+        eng.add_actor(
+            hs[0],
+            Box::new(Burst {
+                count: 10,
+                payload: 1000,
+                deliveries: deliveries.clone(),
+                sender: true,
+            }),
+        );
+        eng.add_actor(
+            hs[1],
+            Box::new(Burst {
+                count: 0,
+                payload: 0,
+                deliveries: deliveries.clone(),
+                sender: false,
+            }),
+        );
+        eng.start();
+        eng.run_until(2 * SECS);
+        let d = deliveries.lock().unwrap();
+        assert_eq!(d.len(), 10);
+        // Each ~1060B packet takes ~85µs of wire time: arrivals must be
+        // spaced by at least that, not stacked at one instant.
+        let gaps: Vec<u64> = d.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.iter().all(|&g| g >= 80_000),
+            "burst did not serialize: gaps {gaps:?}"
+        );
+        // Total spread ≈ 9 packets × ~85µs.
+        let spread = d[9] - d[0];
+        assert!(
+            (700_000..1_000_000).contains(&spread),
+            "unexpected burst spread {spread}"
+        );
+    }
+}

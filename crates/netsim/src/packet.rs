@@ -1,0 +1,91 @@
+//! Packet addressing types.
+
+use std::fmt;
+use tamp_topology::HostId;
+
+/// A multicast channel (group address). The hierarchical protocol derives
+/// one channel per group level from a base channel; the proxy protocol
+/// reserves a dedicated channel. Channels carry no topology meaning by
+/// themselves — scoping comes from the TTL on each send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u16);
+
+impl ChannelId {
+    /// The channel for membership group level `level`, derived from this
+    /// base channel — the paper's "all other channels can be derived from
+    /// the base channel and a TTL value".
+    pub fn for_level(self, level: u8) -> ChannelId {
+        ChannelId(self.0 + level as u16)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Where a packet is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// Point-to-point UDP.
+    Unicast(HostId),
+    /// TTL-scoped multicast on a channel.
+    Multicast { channel: ChannelId, ttl: u8 },
+}
+
+/// Receive-side metadata handed to [`crate::Actor::on_packet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Sending host.
+    pub src: HostId,
+    /// The channel the packet arrived on (`None` for unicast).
+    pub channel: Option<ChannelId>,
+    /// The TTL the sender used (`None` for unicast).
+    pub ttl: Option<u8>,
+    /// Encoded size in bytes, including the configured header overhead.
+    pub size: u32,
+}
+
+impl PacketMeta {
+    /// Convenience constructor for unit tests of actors.
+    pub fn unicast(src: HostId, size: u32) -> Self {
+        PacketMeta {
+            src,
+            channel: None,
+            ttl: None,
+            size,
+        }
+    }
+
+    /// Convenience constructor for multicast receipt in actor tests.
+    pub fn multicast(src: HostId, channel: ChannelId, ttl: u8, size: u32) -> Self {
+        PacketMeta {
+            src,
+            channel: Some(channel),
+            ttl: Some(ttl),
+            size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_for_level_offsets() {
+        let base = ChannelId(100);
+        assert_eq!(base.for_level(0), ChannelId(100));
+        assert_eq!(base.for_level(3), ChannelId(103));
+    }
+
+    #[test]
+    fn meta_constructors() {
+        let m = PacketMeta::unicast(HostId(1), 64);
+        assert_eq!(m.channel, None);
+        let m = PacketMeta::multicast(HostId(1), ChannelId(5), 2, 64);
+        assert_eq!(m.channel, Some(ChannelId(5)));
+        assert_eq!(m.ttl, Some(2));
+    }
+}

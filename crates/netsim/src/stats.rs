@@ -1,0 +1,314 @@
+//! Measurement: per-host counters, cluster time series, and protocol
+//! observations.
+
+use crate::SimTime;
+use tamp_topology::HostId;
+use tamp_wire::NodeId;
+
+/// Per-host traffic and CPU accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostStats {
+    pub sent_pkts: u64,
+    pub sent_bytes: u64,
+    pub recv_pkts: u64,
+    pub recv_bytes: u64,
+    /// Packets that were addressed here but dropped (loss, crash,
+    /// partition).
+    pub dropped_pkts: u64,
+    /// Modeled CPU time spent processing received packets.
+    pub cpu_ns: u64,
+}
+
+/// One point of the per-second cluster-wide series.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeriesPoint {
+    pub recv_pkts: u64,
+    pub recv_bytes: u64,
+    pub sent_pkts: u64,
+    pub sent_bytes: u64,
+}
+
+/// What a protocol observation reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservationKind {
+    /// Observer's directory gained `member`.
+    Added(NodeId),
+    /// Observer's directory removed `member`.
+    Removed(NodeId),
+}
+
+/// A timestamped protocol observation by one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    pub time: SimTime,
+    pub observer: HostId,
+    pub kind: ObservationKind,
+}
+
+/// All measurements collected by an [`crate::Engine`] run.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    per_host: Vec<HostStats>,
+    /// Cluster-wide series bucketed by `bucket` ns (0 = disabled).
+    bucket: SimTime,
+    series: Vec<SeriesPoint>,
+    observations: Vec<Observation>,
+    /// Cluster-wide sends per message kind (`Message::kind` tag) —
+    /// lets experiments attribute traffic to sub-protocols.
+    sent_by_kind: std::collections::BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl Stats {
+    pub(crate) fn new(num_hosts: usize, bucket: SimTime) -> Self {
+        Stats {
+            per_host: vec![HostStats::default(); num_hosts],
+            bucket,
+            series: Vec::new(),
+            observations: Vec::new(),
+            sent_by_kind: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn bucket_at(&mut self, t: SimTime) -> Option<&mut SeriesPoint> {
+        if self.bucket == 0 {
+            return None;
+        }
+        let idx = (t / self.bucket) as usize;
+        if self.series.len() <= idx {
+            self.series.resize(idx + 1, SeriesPoint::default());
+        }
+        Some(&mut self.series[idx])
+    }
+
+    pub(crate) fn on_send(&mut self, t: SimTime, host: HostId, bytes: u64, kind: &'static str) {
+        let s = &mut self.per_host[host.index()];
+        s.sent_pkts += 1;
+        s.sent_bytes += bytes;
+        let k = self.sent_by_kind.entry(kind).or_insert((0, 0));
+        k.0 += 1;
+        k.1 += bytes;
+        if let Some(b) = self.bucket_at(t) {
+            b.sent_pkts += 1;
+            b.sent_bytes += bytes;
+        }
+    }
+
+    pub(crate) fn on_recv(&mut self, t: SimTime, host: HostId, bytes: u64, cpu_ns: u64) {
+        let s = &mut self.per_host[host.index()];
+        s.recv_pkts += 1;
+        s.recv_bytes += bytes;
+        s.cpu_ns += cpu_ns;
+        if let Some(b) = self.bucket_at(t) {
+            b.recv_pkts += 1;
+            b.recv_bytes += bytes;
+        }
+    }
+
+    pub(crate) fn on_drop(&mut self, host: HostId) {
+        self.per_host[host.index()].dropped_pkts += 1;
+    }
+
+    pub(crate) fn observe(&mut self, ob: Observation) {
+        self.observations.push(ob);
+    }
+
+    /// Per-host counters.
+    pub fn host(&self, h: HostId) -> &HostStats {
+        &self.per_host[h.index()]
+    }
+
+    /// Sum over all hosts.
+    pub fn totals(&self) -> HostStats {
+        let mut t = HostStats::default();
+        for s in &self.per_host {
+            t.sent_pkts += s.sent_pkts;
+            t.sent_bytes += s.sent_bytes;
+            t.recv_pkts += s.recv_pkts;
+            t.recv_bytes += s.recv_bytes;
+            t.dropped_pkts += s.dropped_pkts;
+            t.cpu_ns += s.cpu_ns;
+        }
+        t
+    }
+
+    /// The cluster-wide bucketed series (empty if disabled).
+    pub fn series(&self) -> &[SeriesPoint] {
+        &self.series
+    }
+
+    /// Bucket width of the series in ns (0 = disabled).
+    pub fn series_bucket(&self) -> SimTime {
+        self.bucket
+    }
+
+    /// All protocol observations in timestamp order (engine processes
+    /// events in time order, so they are naturally sorted).
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Earliest time any host (other than `subject` itself) observed
+    /// `subject` removed — the paper's *failure detection time* reference
+    /// point ("the earliest time when the failure is recorded").
+    pub fn first_removal(&self, subject: NodeId) -> Option<SimTime> {
+        self.observations
+            .iter()
+            .find(|o| o.kind == ObservationKind::Removed(subject) && o.observer.0 != subject.0)
+            .map(|o| o.time)
+    }
+
+    /// Latest removal observation of `subject` — with complete coverage,
+    /// the paper's *view convergence time* ("the latest record time of the
+    /// failure").
+    pub fn last_removal(&self, subject: NodeId) -> Option<SimTime> {
+        self.observations
+            .iter()
+            .filter(|o| o.kind == ObservationKind::Removed(subject) && o.observer.0 != subject.0)
+            .map(|o| o.time)
+            .next_back()
+    }
+
+    /// Hosts that observed `subject` removed.
+    pub fn removal_observers(&self, subject: NodeId) -> Vec<HostId> {
+        let mut v: Vec<HostId> = self
+            .observations
+            .iter()
+            .filter(|o| o.kind == ObservationKind::Removed(subject))
+            .map(|o| o.observer)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Hosts that observed `subject` added.
+    pub fn addition_observers(&self, subject: NodeId) -> Vec<HostId> {
+        let mut v: Vec<HostId> = self
+            .observations
+            .iter()
+            .filter(|o| o.kind == ObservationKind::Added(subject))
+            .map(|o| o.observer)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Latest time any host observed `subject` added.
+    pub fn last_addition(&self, subject: NodeId) -> Option<SimTime> {
+        self.observations
+            .iter()
+            .filter(|o| o.kind == ObservationKind::Added(subject) && o.observer.0 != subject.0)
+            .map(|o| o.time)
+            .next_back()
+    }
+
+    /// Cluster-wide `(packets, bytes)` sent with the given message kind
+    /// (see `tamp_wire::Message::kind`), since the last reset.
+    pub fn sent_of_kind(&self, kind: &str) -> (u64, u64) {
+        self.sent_by_kind.get(kind).copied().unwrap_or((0, 0))
+    }
+
+    /// All kinds seen, with their `(packets, bytes)` counts.
+    pub fn sends_by_kind(&self) -> impl Iterator<Item = (&'static str, (u64, u64))> + '_ {
+        self.sent_by_kind.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Reset traffic counters and series (observations kept). Used by the
+    /// harness to measure only the steady-state window of a run.
+    pub fn reset_traffic(&mut self) {
+        for s in &mut self.per_host {
+            *s = HostStats::default();
+        }
+        self.series.clear();
+        self.sent_by_kind.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut s = Stats::new(2, 0);
+        s.on_send(0, HostId(0), 100, "heartbeat");
+        s.on_recv(0, HostId(1), 100, 5_000);
+        s.on_recv(1, HostId(1), 50, 5_000);
+        s.on_drop(HostId(0));
+        let t = s.totals();
+        assert_eq!(t.sent_pkts, 1);
+        assert_eq!(t.sent_bytes, 100);
+        assert_eq!(t.recv_pkts, 2);
+        assert_eq!(t.recv_bytes, 150);
+        assert_eq!(t.dropped_pkts, 1);
+        assert_eq!(t.cpu_ns, 10_000);
+    }
+
+    #[test]
+    fn series_buckets_by_time() {
+        let mut s = Stats::new(1, 10);
+        s.on_recv(0, HostId(0), 1, 0);
+        s.on_recv(9, HostId(0), 1, 0);
+        s.on_recv(10, HostId(0), 1, 0);
+        s.on_recv(25, HostId(0), 1, 0);
+        assert_eq!(s.series().len(), 3);
+        assert_eq!(s.series()[0].recv_pkts, 2);
+        assert_eq!(s.series()[1].recv_pkts, 1);
+        assert_eq!(s.series()[2].recv_pkts, 1);
+    }
+
+    #[test]
+    fn series_disabled_when_bucket_zero() {
+        let mut s = Stats::new(1, 0);
+        s.on_recv(5, HostId(0), 1, 0);
+        assert!(s.series().is_empty());
+    }
+
+    #[test]
+    fn removal_queries() {
+        let mut s = Stats::new(3, 0);
+        let subject = NodeId(2);
+        s.observe(Observation {
+            time: 10,
+            observer: HostId(0),
+            kind: ObservationKind::Removed(subject),
+        });
+        s.observe(Observation {
+            time: 30,
+            observer: HostId(1),
+            kind: ObservationKind::Removed(subject),
+        });
+        // Self-observation must not count.
+        s.observe(Observation {
+            time: 5,
+            observer: HostId(2),
+            kind: ObservationKind::Removed(subject),
+        });
+        assert_eq!(s.first_removal(subject), Some(10));
+        assert_eq!(s.last_removal(subject), Some(30));
+        assert_eq!(
+            s.removal_observers(subject),
+            vec![HostId(0), HostId(1), HostId(2)]
+        );
+        assert_eq!(s.first_removal(NodeId(9)), None);
+    }
+
+    #[test]
+    fn reset_traffic_keeps_observations() {
+        let mut s = Stats::new(1, 10);
+        s.on_recv(0, HostId(0), 10, 10);
+        s.observe(Observation {
+            time: 1,
+            observer: HostId(0),
+            kind: ObservationKind::Added(NodeId(1)),
+        });
+        s.on_send(2, HostId(0), 10, "update");
+        assert_eq!(s.sent_of_kind("update"), (1, 10));
+        s.reset_traffic();
+        assert_eq!(s.totals().recv_bytes, 0);
+        assert_eq!(s.sent_of_kind("update"), (0, 0));
+        assert!(s.series().is_empty());
+        assert_eq!(s.observations().len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on the simulator itself: accounting must balance and
+//! delivery must respect the topology under arbitrary loss and fault
+//! schedules.
+
+use proptest::prelude::*;
+use tamp_netsim::{
+    Actor, ChannelId, Context, Control, Engine, EngineConfig, LossModel, PacketMeta, SECS,
+};
+use tamp_topology::{generators, HostId};
+use tamp_wire::{Message, SyncRequest};
+
+/// Beacons on a channel each second; counts receipts.
+struct Beacon {
+    channel: ChannelId,
+    ttl: u8,
+}
+
+impl Actor for Beacon {
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.subscribe(self.channel);
+        ctx.set_timer(SECS, 0);
+    }
+    fn on_packet(&mut self, _ctx: &mut Context, _meta: PacketMeta, _msg: &Message) {}
+    fn on_timer(&mut self, ctx: &mut Context, _token: u64) {
+        let msg = Message::SyncRequest(SyncRequest {
+            from: ctx.node_id(),
+            since_seq: 0,
+        });
+        ctx.send_multicast(self.channel, self.ttl, msg);
+        ctx.set_timer(SECS, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Sent × eligible-receivers = received + dropped, for any loss rate
+    /// and TTL, on a clean (no-fault) run.
+    #[test]
+    fn packet_conservation(
+        loss in 0.0..0.9f64,
+        ttl in 1u8..4,
+        seed in any::<u64>(),
+        segs in 1usize..4,
+        per_seg in 1usize..5,
+    ) {
+        let topo = generators::star_of_segments(segs, per_seg);
+        let n = topo.num_hosts();
+        // Eligible receivers per multicast from any host under this TTL.
+        let eligible: u64 = topo
+            .hosts()
+            .map(|h| topo.reachable_within(h, ttl).len() as u64)
+            .sum();
+        let cfg = EngineConfig {
+            loss: LossModel { rate: loss },
+            ..Default::default()
+        };
+        let mut engine = Engine::new(topo, cfg, seed);
+        for h in engine.hosts() {
+            engine.add_actor(h, Box::new(Beacon { channel: ChannelId(0), ttl }));
+        }
+        engine.start();
+        let rounds = 20u64;
+        engine.run_until(rounds * SECS + SECS / 2);
+        let t = engine.stats().totals();
+        prop_assert_eq!(t.sent_pkts, rounds * n as u64, "each host beacons once per second");
+        prop_assert_eq!(
+            t.recv_pkts + t.dropped_pkts,
+            rounds * eligible,
+            "deliveries must be received or dropped, never lost silently"
+        );
+        if loss == 0.0 {
+            prop_assert_eq!(t.dropped_pkts, 0);
+        }
+    }
+
+    /// Killing and reviving hosts never breaks accounting: every
+    /// scheduled delivery is still either received or dropped, and dead
+    /// hosts never receive.
+    #[test]
+    fn faults_preserve_accounting(
+        seed in any::<u64>(),
+        victim in 0u32..6,
+        kill_s in 2u64..8,
+    ) {
+        let topo = generators::star_of_segments(2, 3);
+        let mut engine = Engine::new(topo, EngineConfig::default(), seed);
+        for h in engine.hosts() {
+            engine.add_actor(h, Box::new(Beacon { channel: ChannelId(0), ttl: 2 }));
+        }
+        engine.start();
+        engine.schedule(kill_s * SECS, Control::Kill(HostId(victim)));
+        engine.schedule((kill_s + 4) * SECS, Control::Revive(HostId(victim)));
+        engine.run_until(20 * SECS);
+        let t = engine.stats().totals();
+        prop_assert!(t.recv_pkts > 0);
+        // Conservation bound: every send fans out to at most n-1 others.
+        prop_assert!(t.recv_pkts + t.dropped_pkts <= t.sent_pkts * 5);
+        // A dead host sends nothing during its outage: total sends are
+        // strictly fewer than the no-fault schedule.
+        prop_assert!(t.sent_pkts < 20 * 6);
+    }
+}

@@ -1,0 +1,324 @@
+//! Thompson NFA construction and breadth-first simulation.
+//!
+//! The compiled [`Program`] is a flat vector of instructions in the style
+//! of Pike's VM: `Char`-class tests consume one input character, `Split`
+//! and `Jmp` route control flow, `Save`-free (we only answer boolean
+//! match questions). Simulation advances a set of live threads one input
+//! character at a time, which bounds matching cost at
+//! `O(program_len × input_len)` regardless of the pattern.
+
+use crate::parser::{Ast, ClassItem};
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Inst {
+    /// Consume one character if it satisfies the test.
+    Char(CharTest),
+    /// Try `a` first, then `b` (order irrelevant for boolean matching).
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Matches only at input start.
+    AssertStart,
+    /// Matches only at input end.
+    AssertEnd,
+    /// Accept.
+    Match,
+}
+
+/// Predicate on a single character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CharTest {
+    Literal(char),
+    Any,
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+}
+
+impl CharTest {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharTest::Literal(l) => *l == c,
+            CharTest::Any => true,
+            CharTest::Class { negated, items } => {
+                let inside = items.iter().any(|item| match item {
+                    ClassItem::Char(x) => *x == c,
+                    ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+                });
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    pub(crate) fn compile(ast: &Ast) -> Program {
+        let mut insts = Vec::new();
+        emit(&mut insts, ast);
+        insts.push(Inst::Match);
+        Program { insts }
+    }
+
+    /// Run the NFA over `input`. With `full`, the match must span the
+    /// whole input; otherwise any substring suffices (an implicit `.*` is
+    /// simulated on both ends by seeding threads at every position and
+    /// accepting mid-input matches).
+    pub(crate) fn search(&self, input: &str, full: bool) -> bool {
+        let mut current = ThreadSet::new(self.insts.len());
+        let mut next = ThreadSet::new(self.insts.len());
+
+        let chars: Vec<char> = input.chars().collect();
+        let n = chars.len();
+
+        self.add_thread(&mut current, 0, 0, n);
+        for (i, &c) in chars.iter().enumerate() {
+            if !full {
+                // Unanchored: a new attempt may start at every offset.
+                self.add_thread(&mut current, 0, i, n);
+            }
+            if current.accepted && !full {
+                return true;
+            }
+            if full && current.accepted && i < n {
+                // Accepted before consuming all input: only a real match
+                // for full mode if we're at the end, which we are not.
+                current.accepted = false;
+            }
+            next.clear();
+            for ti in 0..current.list.len() {
+                let pc = current.list[ti];
+                if let Inst::Char(test) = &self.insts[pc] {
+                    if test.matches(c) {
+                        self.add_thread(&mut next, pc + 1, i + 1, n);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        if !full {
+            self.add_thread(&mut current, 0, n, n);
+        }
+        current.accepted
+    }
+
+    /// Add `pc` and everything ε-reachable from it to `set`. `pos`/`len`
+    /// resolve the anchor assertions.
+    fn add_thread(&self, set: &mut ThreadSet, pc: usize, pos: usize, len: usize) {
+        if set.seen[pc] {
+            return;
+        }
+        set.seen[pc] = true;
+        match &self.insts[pc] {
+            Inst::Jmp(t) => self.add_thread(set, *t, pos, len),
+            Inst::Split(a, b) => {
+                self.add_thread(set, *a, pos, len);
+                self.add_thread(set, *b, pos, len);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    self.add_thread(set, pc + 1, pos, len);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == len {
+                    self.add_thread(set, pc + 1, pos, len);
+                }
+            }
+            Inst::Match => set.accepted = true,
+            Inst::Char(_) => set.list.push(pc),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.insts.len()
+    }
+}
+
+/// Live thread set for one simulation step.
+struct ThreadSet {
+    list: Vec<usize>,
+    seen: Vec<bool>,
+    accepted: bool,
+}
+
+impl ThreadSet {
+    fn new(n: usize) -> Self {
+        ThreadSet {
+            list: Vec::with_capacity(n),
+            seen: vec![false; n],
+            accepted: false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.list.clear();
+        self.seen.iter_mut().for_each(|s| *s = false);
+        self.accepted = false;
+    }
+}
+
+/// Emit instructions for `ast`, appending to `insts`.
+fn emit(insts: &mut Vec<Inst>, ast: &Ast) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Literal(c) => insts.push(Inst::Char(CharTest::Literal(*c))),
+        Ast::AnyChar => insts.push(Inst::Char(CharTest::Any)),
+        Ast::Class { negated, items } => insts.push(Inst::Char(CharTest::Class {
+            negated: *negated,
+            items: items.clone(),
+        })),
+        Ast::StartAnchor => insts.push(Inst::AssertStart),
+        Ast::EndAnchor => insts.push(Inst::AssertEnd),
+        Ast::Concat(parts) => {
+            for p in parts {
+                emit(insts, p);
+            }
+        }
+        Ast::Alternate(branches) => {
+            // Chain of splits; each branch jumps to the common exit.
+            let mut jmp_fixups = Vec::new();
+            for (i, b) in branches.iter().enumerate() {
+                if i + 1 < branches.len() {
+                    let split_at = insts.len();
+                    insts.push(Inst::Split(0, 0)); // fixed below
+                    emit(insts, b);
+                    jmp_fixups.push(insts.len());
+                    insts.push(Inst::Jmp(0)); // fixed below
+                    let after = insts.len();
+                    insts[split_at] = Inst::Split(split_at + 1, after);
+                } else {
+                    emit(insts, b);
+                }
+            }
+            let end = insts.len();
+            for f in jmp_fixups {
+                insts[f] = Inst::Jmp(end);
+            }
+        }
+        Ast::Repeat { inner, min, max } => emit_repeat(insts, inner, *min, *max),
+    }
+}
+
+fn emit_repeat(insts: &mut Vec<Inst>, inner: &Ast, min: u32, max: Option<u32>) {
+    // Mandatory copies.
+    for _ in 0..min {
+        emit(insts, inner);
+    }
+    match max {
+        None => {
+            if min == 0 {
+                // e* : split over (e, jmp-back)
+                let split_at = insts.len();
+                insts.push(Inst::Split(0, 0));
+                emit(insts, inner);
+                insts.push(Inst::Jmp(split_at));
+                let after = insts.len();
+                insts[split_at] = Inst::Split(split_at + 1, after);
+            } else {
+                // e{min,} : after the mandatory copies, loop the last one.
+                // Emit one more optional looping copy: split -> (e, out),
+                // with e jumping back to the split.
+                let split_at = insts.len();
+                insts.push(Inst::Split(0, 0));
+                emit(insts, inner);
+                insts.push(Inst::Jmp(split_at));
+                let after = insts.len();
+                insts[split_at] = Inst::Split(split_at + 1, after);
+            }
+        }
+        Some(max) => {
+            // (max - min) optional copies, each individually skippable to
+            // the common exit.
+            let opt = max - min;
+            let mut split_fixups = Vec::new();
+            for _ in 0..opt {
+                let split_at = insts.len();
+                insts.push(Inst::Split(0, 0));
+                split_fixups.push(split_at);
+                emit(insts, inner);
+            }
+            let end = insts.len();
+            for s in split_fixups {
+                insts[s] = Inst::Split(s + 1, end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(p: &str) -> Program {
+        Program::compile(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn program_sizes_are_modest() {
+        assert_eq!(prog("abc").len(), 4); // 3 chars + match
+        assert!(prog("a{256}").len() <= 258);
+    }
+
+    #[test]
+    fn char_test_class_negation() {
+        let t = CharTest::Class {
+            negated: true,
+            items: vec![ClassItem::Range('0', '9')],
+        };
+        assert!(t.matches('a'));
+        assert!(!t.matches('5'));
+    }
+
+    #[test]
+    fn full_vs_search_semantics() {
+        let p = prog("ab");
+        assert!(p.search("ab", true));
+        assert!(!p.search("xab", true));
+        assert!(p.search("xab", false));
+        assert!(p.search("abx", false));
+        assert!(!p.search("abx", true));
+    }
+
+    #[test]
+    fn bounded_repeat_vm() {
+        let p = prog("a{2,4}");
+        assert!(!p.search("a", true));
+        assert!(p.search("aa", true));
+        assert!(p.search("aaaa", true));
+        assert!(!p.search("aaaaa", true));
+    }
+
+    #[test]
+    fn min_unbounded_repeat_vm() {
+        let p = prog("a{2,}");
+        assert!(!p.search("a", true));
+        assert!(p.search("aa", true));
+        assert!(p.search("aaaaaa", true));
+    }
+
+    #[test]
+    fn empty_program_matches_empty_only_when_full() {
+        let p = prog("");
+        assert!(p.search("", true));
+        assert!(!p.search("x", true));
+        assert!(p.search("x", false));
+    }
+
+    #[test]
+    fn anchors_in_vm() {
+        let p = prog("^a+$");
+        assert!(p.search("aaa", false));
+        assert!(!p.search("aaab", false));
+        assert!(!p.search("baaa", false));
+    }
+}

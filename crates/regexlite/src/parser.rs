@@ -1,0 +1,483 @@
+//! Recursive-descent parser from pattern text to an [`Ast`].
+
+/// Parsed regular-expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// Any single character (`.`).
+    AnyChar,
+    /// Character class; `negated` inverts membership.
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+    /// Concatenation of parts, in order.
+    Concat(Vec<Ast>),
+    /// Alternation between branches.
+    Alternate(Vec<Ast>),
+    /// Repetition of the inner expression: `min..=max` copies
+    /// (`max == None` means unbounded).
+    Repeat {
+        inner: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+    /// `^` start-of-input anchor.
+    StartAnchor,
+    /// `$` end-of-input anchor.
+    EndAnchor,
+}
+
+/// One member of a character class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ClassItem {
+    Char(char),
+    Range(char, char),
+}
+
+/// Expansion of a shorthand class escape (`\d`, `\w`, `\s`).
+pub(crate) fn shorthand_items(c: char) -> Option<(bool, Vec<ClassItem>)> {
+    let digit = vec![ClassItem::Range('0', '9')];
+    let word = vec![
+        ClassItem::Range('a', 'z'),
+        ClassItem::Range('A', 'Z'),
+        ClassItem::Range('0', '9'),
+        ClassItem::Char('_'),
+    ];
+    let space = vec![
+        ClassItem::Char(' '),
+        ClassItem::Char('\t'),
+        ClassItem::Char('\n'),
+        ClassItem::Char('\r'),
+    ];
+    match c {
+        'd' => Some((false, digit)),
+        'D' => Some((true, digit)),
+        'w' => Some((false, word)),
+        'W' => Some((true, word)),
+        's' => Some((false, space)),
+        'S' => Some((true, space)),
+        _ => None,
+    }
+}
+
+/// Pattern syntax error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the pattern where the problem was noticed.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Upper bound on counted repetition (`a{n}`), to keep compiled program
+/// sizes sane.
+const MAX_COUNTED_REPEAT: u32 = 256;
+
+pub(crate) fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.error("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    /// concat := repeat*
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    /// repeat := atom ('*' | '+' | '?' | '{' counts '}')?
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.bump();
+                self.counts()?
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor) {
+            return Err(self.error("cannot repeat an anchor"));
+        }
+        Ok(Ast::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// counts := int (',' int?)? '}'
+    fn counts(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let min = self.integer()?;
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                Some(self.integer()?)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err(self.error("expected '}' to close repetition"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.error("repetition max below min"));
+            }
+        }
+        if min > MAX_COUNTED_REPEAT || max.is_some_and(|m| m > MAX_COUNTED_REPEAT) {
+            return Err(self.error("counted repetition too large"));
+        }
+        Ok((min, max))
+    }
+
+    fn integer(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|_| self.error("repetition count out of range"))
+    }
+
+    /// atom := '(' alternation ')' | class | '.' | '^' | '$' | escaped | literal
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                self.class()
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::AnyChar)
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some('\\') => {
+                self.bump();
+                match self.bump() {
+                    Some(c) => {
+                        if let Some((negated, items)) = shorthand_items(c) {
+                            Ok(Ast::Class { negated, items })
+                        } else {
+                            Ok(Ast::Literal(unescape(c)))
+                        }
+                    }
+                    None => Err(self.error("dangling escape at end of pattern")),
+                }
+            }
+            Some(c @ ('*' | '+' | '?')) => Err(self.error(&format!("'{c}' has nothing to repeat"))),
+            Some('{') => {
+                // A '{' that does not follow an atom is taken literally,
+                // matching common regex-engine leniency... but a dangling
+                // '{' with digits is more likely a typo; be strict.
+                Err(self.error("'{' has nothing to repeat"))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+            None => Ok(Ast::Empty),
+        }
+    }
+
+    /// class := '^'? item+ ']'
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated character class")),
+                Some(']') if !items.is_empty() => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    let lo = match self.bump().unwrap() {
+                        '\\' => match self.bump() {
+                            Some(c) => {
+                                // Shorthand classes expand in place
+                                // ([\d-] etc.); negated shorthands are
+                                // not representable inside a class.
+                                if let Some((negated, mut sub)) = shorthand_items(c) {
+                                    if negated {
+                                        return Err(self.error(
+                                            "negated shorthand (\\D \\W \\S) not allowed inside a class",
+                                        ));
+                                    }
+                                    items.append(&mut sub);
+                                    continue;
+                                }
+                                unescape(c)
+                            }
+                            None => return Err(self.error("dangling escape in class")),
+                        },
+                        c => c,
+                    };
+                    // Range if '-' follows and is not class-final.
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        if self.chars.get(self.pos + 1).is_none() {
+                            return Err(self.error("unterminated character class"));
+                        }
+                        self.bump(); // '-'
+                        let hi = match self.bump().unwrap() {
+                            '\\' => match self.bump() {
+                                Some(c) => unescape(c),
+                                None => return Err(self.error("dangling escape in class")),
+                            },
+                            c => c,
+                        };
+                        if hi < lo {
+                            return Err(self.error("inverted range in character class"));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                    } else {
+                        items.push(ClassItem::Char(lo));
+                    }
+                }
+            }
+        }
+        Ok(Ast::Class { negated, items })
+    }
+}
+
+/// Interpret a backslash escape. Unknown escapes are the literal char, so
+/// `\.` is `.` and `\n` is a newline.
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literal_run_as_concat() {
+        let ast = parse("abc").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
+        );
+    }
+
+    #[test]
+    fn precedence_alternation_lowest() {
+        // "ab|c" is (ab)|(c), not a(b|c).
+        let ast = parse("ab|c").unwrap();
+        match ast {
+            Ast::Alternate(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(
+                    branches[0],
+                    Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+                );
+            }
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_binds_tightest() {
+        // "ab*" repeats only 'b'.
+        let ast = parse("ab*").unwrap();
+        match ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts[0], Ast::Literal('a'));
+                assert!(matches!(parts[1], Ast::Repeat { .. }));
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counted_forms() {
+        assert!(matches!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{2,}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn class_with_ranges() {
+        let ast = parse("[a-c9]").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Range('a', 'c'), ClassItem::Char('9')]
+            }
+        );
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        let ast = parse("[a-]").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Char('a'), ClassItem::Char('-')]
+            }
+        );
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("ab[cd").unwrap_err();
+        assert!(err.position >= 2);
+        assert!(err.message.contains("unterminated"));
+        let err = parse("a{2,1}").unwrap_err();
+        assert!(err.message.contains("below min"));
+    }
+
+    #[test]
+    fn rejects_repeat_of_anchor() {
+        assert!(parse("^*").is_err());
+        assert!(parse("$+").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_counted_repeat() {
+        assert!(parse("a{257}").is_err());
+        assert!(parse("a{1,1000}").is_err());
+        assert!(parse("a{256}").is_ok());
+    }
+}

@@ -1,0 +1,437 @@
+//! # tamp-runtime — real-time UDP driver for TAMP actors
+//!
+//! The protocols in this workspace are sans-io state machines
+//! ([`tamp_netsim::Actor`]); the discrete-event simulator drives them in
+//! virtual time for experiments. This crate drives the *same* actors in
+//! real time over *real* UDP sockets, one thread per node — the
+//! deployment shape of the paper's C++ daemon.
+//!
+//! Multicast is emulated: nodes bind ordinary loopback UDP sockets and a
+//! shared [`Fabric`] registry (channel subscriptions + TTL filtering
+//! against the configured [`Topology`]) expands each multicast send into
+//! unicast datagrams to every eligible subscriber — the moral equivalent
+//! of the switch fabric replicating a TTL-scoped multicast. Real IP
+//! multicast with `IP_MULTICAST_TTL` would behave identically on a real
+//! network but cannot be demonstrated on a single loopback interface,
+//! where no router ever decrements the TTL; the emulation preserves
+//! exactly the delivery rule the protocol depends on. All nodes live in
+//! one process (threads), which is what lets them share the registry.
+//!
+//! ```no_run
+//! use tamp_runtime::Runtime;
+//! use tamp_membership::{MembershipConfig, MembershipNode};
+//! use tamp_topology::generators;
+//! use tamp_wire::NodeId;
+//!
+//! let topo = generators::star_of_segments(2, 3);
+//! let mut rt = Runtime::new(topo);
+//! let mut clients = Vec::new();
+//! for h in rt.hosts() {
+//!     let node = MembershipNode::new(NodeId(h.0), MembershipConfig::default());
+//!     clients.push(node.directory_client());
+//!     rt.add_node(h, Box::new(node));
+//! }
+//! rt.start();
+//! std::thread::sleep(std::time::Duration::from_secs(10));
+//! assert!(clients.iter().all(|c| c.member_count() == 6));
+//! rt.shutdown();
+//! ```
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tamp_netsim::{Actor, ChannelId, Context, Destination, Effect, Nanos, PacketMeta};
+use tamp_topology::{HostId, SegmentId, Topology};
+use tamp_wire::codec;
+
+/// Wire framing for the emulated fabric: src(4) | channel(2) | ttl(1),
+/// then the encoded message. Channel 0xffff marks plain unicast.
+const HDR_LEN: usize = 7;
+const UNICAST_CHANNEL: u16 = 0xffff;
+
+/// Shared switch-fabric state: who is where, and who subscribed to what.
+#[derive(Debug, Default)]
+struct FabricState {
+    addrs: HashMap<HostId, SocketAddr>,
+    subs: BTreeMap<ChannelId, HashSet<HostId>>,
+    /// Severed segment pairs (network partition emulation).
+    blocked: HashSet<(u16, u16)>,
+}
+
+/// The emulated multicast fabric shared by all node drivers.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    topo: Arc<Topology>,
+    state: Arc<RwLock<FabricState>>,
+}
+
+impl Fabric {
+    fn new(topo: Topology) -> Self {
+        Fabric {
+            topo: Arc::new(topo),
+            state: Arc::new(RwLock::new(FabricState::default())),
+        }
+    }
+
+    fn register(&self, host: HostId, addr: SocketAddr) {
+        self.state.write().addrs.insert(host, addr);
+    }
+
+    fn subscribe(&self, host: HostId, ch: ChannelId) {
+        self.state.write().subs.entry(ch).or_default().insert(host);
+    }
+
+    fn unsubscribe(&self, host: HostId, ch: ChannelId) {
+        if let Some(set) = self.state.write().subs.get_mut(&ch) {
+            set.remove(&host);
+        }
+    }
+
+    fn deregister(&self, host: HostId) {
+        let mut s = self.state.write();
+        s.addrs.remove(&host);
+        for set in s.subs.values_mut() {
+            set.remove(&host);
+        }
+    }
+
+    /// Sever (or restore) all traffic between two segments — live
+    /// network-partition emulation, mirroring the simulator's
+    /// `Control::BlockSegments`.
+    pub fn set_segments_blocked(&self, a: SegmentId, b: SegmentId, blocked: bool) {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        let mut s = self.state.write();
+        if blocked {
+            s.blocked.insert(key);
+        } else {
+            s.blocked.remove(&key);
+        }
+    }
+
+    fn pair_blocked(&self, s: &FabricState, a: HostId, b: HostId) -> bool {
+        if s.blocked.is_empty() {
+            return false;
+        }
+        let (sa, sb) = (self.topo.segment_of(a).0, self.topo.segment_of(b).0);
+        s.blocked.contains(&(sa.min(sb), sa.max(sb)))
+    }
+
+    /// Expand a destination into concrete socket addresses, applying the
+    /// TTL-scoped multicast delivery rule and any active partitions.
+    fn resolve(&self, src: HostId, dest: Destination) -> Vec<SocketAddr> {
+        let s = self.state.read();
+        match dest {
+            Destination::Unicast(h) => {
+                if self.pair_blocked(&s, src, h) {
+                    return Vec::new();
+                }
+                s.addrs.get(&h).copied().into_iter().collect()
+            }
+            Destination::Multicast { channel, ttl } => match s.subs.get(&channel) {
+                None => Vec::new(),
+                Some(set) => set
+                    .iter()
+                    .filter(|&&h| {
+                        h != src
+                            && self.topo.ttl_distance(src, h) <= ttl
+                            && !self.pair_blocked(&s, src, h)
+                    })
+                    .filter_map(|h| s.addrs.get(h).copied())
+                    .collect(),
+            },
+        }
+    }
+}
+
+struct TimerEntry {
+    at: Instant,
+    token: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.token == other.token
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by time.
+        other.at.cmp(&self.at).then(other.token.cmp(&self.token))
+    }
+}
+
+/// The real-time runtime: owns one driver thread per node.
+pub struct Runtime {
+    fabric: Fabric,
+    epoch: Instant,
+    pending: Vec<(HostId, Box<dyn Actor>)>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    stops: HashMap<HostId, Arc<AtomicBool>>,
+}
+
+impl Runtime {
+    pub fn new(topo: Topology) -> Self {
+        Runtime {
+            fabric: Fabric::new(topo),
+            epoch: Instant::now(),
+            pending: Vec::new(),
+            threads: Vec::new(),
+            stops: HashMap::new(),
+        }
+    }
+
+    /// Hosts of the underlying topology.
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.fabric.topo.hosts().collect()
+    }
+
+    /// Queue an actor for a host; started by [`Runtime::start`].
+    pub fn add_node(&mut self, host: HostId, actor: Box<dyn Actor>) {
+        self.pending.push((host, actor));
+    }
+
+    /// Bind sockets and spawn one driver thread per queued node.
+    pub fn start(&mut self) {
+        let nodes = std::mem::take(&mut self.pending);
+        for (host, actor) in nodes {
+            self.spawn(host, actor);
+        }
+    }
+
+    fn spawn(&mut self, host: HostId, actor: Box<dyn Actor>) {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind loopback socket");
+        let addr = socket.local_addr().unwrap();
+        self.fabric.register(host, addr);
+        let stop = Arc::new(AtomicBool::new(false));
+        self.stops.insert(host, Arc::clone(&stop));
+        let fabric = self.fabric.clone();
+        let epoch = self.epoch;
+        let handle = std::thread::Builder::new()
+            .name(format!("tamp-{host}"))
+            .spawn(move || drive(host, actor, socket, fabric, epoch, stop))
+            .expect("spawn driver thread");
+        self.threads.push(handle);
+    }
+
+    /// Handle to the shared fabric (for live partition injection).
+    pub fn fabric(&self) -> Fabric {
+        self.fabric.clone()
+    }
+
+    /// Stop one node (models a process crash: its socket closes and its
+    /// heartbeats cease; peers detect via timeout).
+    pub fn stop_node(&mut self, host: HostId) {
+        if let Some(s) = self.stops.get(&host) {
+            s.store(true, Ordering::Relaxed);
+        }
+        self.fabric.deregister(host);
+    }
+
+    /// Stop everything and join the driver threads.
+    pub fn shutdown(&mut self) {
+        for s in self.stops.values() {
+            s.store(true, Ordering::Relaxed);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Driver loop: interleave socket reads with due timers, applying actor
+/// effects as they are produced.
+fn drive(
+    host: HostId,
+    mut actor: Box<dyn Actor>,
+    socket: UdpSocket,
+    fabric: Fabric,
+    epoch: Instant,
+    stop: Arc<AtomicBool>,
+) {
+    let mut rng = StdRng::seed_from_u64(host.0 as u64 ^ 0x7a3f);
+    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let now_nanos = |epoch: Instant| -> Nanos { epoch.elapsed().as_nanos() as Nanos };
+
+    // Start the actor.
+    let mut effects = Vec::new();
+    {
+        let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
+        actor.on_start(&mut ctx);
+    }
+    apply(host, &fabric, &socket, epoch, &mut timers, effects);
+
+    while !stop.load(Ordering::Relaxed) {
+        // Fire due timers.
+        loop {
+            match timers.peek() {
+                Some(t) if t.at <= Instant::now() => {
+                    let t = timers.pop().unwrap();
+                    let mut effects = Vec::new();
+                    {
+                        let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
+                        actor.on_timer(&mut ctx, t.token);
+                    }
+                    apply(host, &fabric, &socket, epoch, &mut timers, effects);
+                }
+                _ => break,
+            }
+        }
+        // Wait for a packet until the next timer (bounded poll so the
+        // stop flag is honored promptly).
+        let wait = timers
+            .peek()
+            .map(|t| t.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20))
+            .max(Duration::from_micros(100));
+        socket.set_read_timeout(Some(wait)).ok();
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) if len >= HDR_LEN => {
+                let src = HostId(u32::from_le_bytes(buf[0..4].try_into().unwrap()));
+                let ch = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+                let ttl = buf[6];
+                if let Ok(msg) = codec::decode(&buf[HDR_LEN..len]) {
+                    let meta = PacketMeta {
+                        src,
+                        channel: (ch != UNICAST_CHANNEL).then_some(ChannelId(ch)),
+                        ttl: (ch != UNICAST_CHANNEL).then_some(ttl),
+                        size: len as u32,
+                    };
+                    let mut effects = Vec::new();
+                    {
+                        let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
+                        actor.on_packet(&mut ctx, meta, &msg);
+                    }
+                    apply(host, &fabric, &socket, epoch, &mut timers, effects);
+                }
+            }
+            _ => {} // timeout or short datagram
+        }
+    }
+}
+
+fn apply(
+    host: HostId,
+    fabric: &Fabric,
+    socket: &UdpSocket,
+    epoch: Instant,
+    timers: &mut BinaryHeap<TimerEntry>,
+    effects: Vec<Effect>,
+) {
+    let _ = epoch;
+    for e in effects {
+        match e {
+            Effect::Send { dest, msg } => {
+                let (ch, ttl) = match dest {
+                    Destination::Unicast(_) => (UNICAST_CHANNEL, 0),
+                    Destination::Multicast { channel, ttl } => (channel.0, ttl),
+                };
+                let body = codec::encode(&msg);
+                let mut frame = Vec::with_capacity(HDR_LEN + body.len());
+                frame.extend_from_slice(&host.0.to_le_bytes());
+                frame.extend_from_slice(&ch.to_le_bytes());
+                frame.push(ttl);
+                frame.extend_from_slice(&body);
+                for addr in fabric.resolve(host, dest) {
+                    let _ = socket.send_to(&frame, addr);
+                }
+            }
+            Effect::SetTimer { delay, token } => {
+                timers.push(TimerEntry {
+                    at: Instant::now() + Duration::from_nanos(delay),
+                    token,
+                });
+            }
+            Effect::Subscribe(ch) => fabric.subscribe(host, ch),
+            Effect::Unsubscribe(ch) => fabric.unsubscribe(host, ch),
+            Effect::Observe(_) => {} // observations are a simulation-side tool
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_membership::{MembershipConfig, MembershipNode};
+    use tamp_topology::generators;
+    use tamp_wire::NodeId;
+
+    /// Fast protocol settings so real-time tests finish quickly.
+    fn quick_config() -> MembershipConfig {
+        MembershipConfig {
+            heartbeat_period: 50_000_000, // 50 ms
+            max_loss: 3,
+            startup_jitter: 20_000_000,
+            listen_period: 150_000_000,
+            election_timeout: 60_000_000,
+            backup_grace: 60_000_000,
+            sweep_period: 20_000_000,
+            anti_entropy_period: 500_000_000,
+            tombstone_ttl: 1_000_000_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn live_udp_cluster_converges_and_detects_failure() {
+        let topo = generators::star_of_segments(2, 3);
+        let mut rt = Runtime::new(topo);
+        let mut clients = Vec::new();
+        for h in rt.hosts() {
+            let node = MembershipNode::new(NodeId(h.0), quick_config());
+            clients.push(node.directory_client());
+            rt.add_node(h, Box::new(node));
+        }
+        rt.start();
+
+        // Convergence: everyone sees all 6 members.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if clients.iter().all(|c| c.member_count() == 6) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no convergence over live UDP: {:?}",
+                clients.iter().map(|c| c.member_count()).collect::<Vec<_>>()
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // Kill the highest-id node; survivors drop it within a few
+        // hundred ms (3 × 50 ms plus slack).
+        let victim = rt.hosts()[5];
+        rt.stop_node(victim);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let views: Vec<usize> = clients[..5].iter().map(|c| c.member_count()).collect();
+            if views.iter().all(|&v| v == 5) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "failure never detected: {views:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,188 @@
+//! Mutable builder for [`Topology`].
+
+use crate::graph::{Fabric, Vertex};
+use crate::{HostId, Nanos, RouterId, SegmentId, Topology, MICROS};
+
+/// Default one-way latency of a host NIC ↔ top-of-rack switch link
+/// (~50 µs, in the ballpark of the paper's Fast Ethernet testbed).
+pub const DEFAULT_HOST_LATENCY: Nanos = 50 * MICROS;
+/// Default one-way latency of a switch ↔ router or router ↔ router link.
+pub const DEFAULT_FABRIC_LATENCY: Nanos = 20 * MICROS;
+
+/// Incrementally constructs a [`Topology`].
+///
+/// ```
+/// use tamp_topology::TopologyBuilder;
+///
+/// let mut b = TopologyBuilder::new();
+/// let s0 = b.add_segment();
+/// let s1 = b.add_segment();
+/// let r = b.add_router();
+/// b.link_segment_router(s0, r, None);
+/// b.link_segment_router(s1, r, None);
+/// let a = b.add_host(s0, None);
+/// let c = b.add_host(s1, None);
+/// let topo = b.build();
+/// assert_eq!(topo.ttl_distance(a, c), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    host_segment: Vec<SegmentId>,
+    host_link_latency: Vec<Nanos>,
+    num_segments: u16,
+    num_routers: u16,
+    links: Vec<(LinkEnd, LinkEnd, Nanos)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LinkEnd {
+    Seg(u16),
+    Router(u16),
+}
+
+impl TopologyBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a layer-2 segment (broadcast domain).
+    pub fn add_segment(&mut self) -> SegmentId {
+        let id = SegmentId(self.num_segments);
+        self.num_segments += 1;
+        id
+    }
+
+    /// Add a layer-3 router.
+    pub fn add_router(&mut self) -> RouterId {
+        let id = RouterId(self.num_routers);
+        self.num_routers += 1;
+        id
+    }
+
+    /// Attach a host to a segment. `link_latency` defaults to
+    /// [`DEFAULT_HOST_LATENCY`].
+    pub fn add_host(&mut self, seg: SegmentId, link_latency: Option<Nanos>) -> HostId {
+        assert!(seg.0 < self.num_segments, "unknown segment {seg}");
+        let id = HostId(self.host_segment.len() as u32);
+        self.host_segment.push(seg);
+        self.host_link_latency
+            .push(link_latency.unwrap_or(DEFAULT_HOST_LATENCY));
+        id
+    }
+
+    /// Attach `n` hosts to a segment, returning their ids.
+    pub fn add_hosts(&mut self, seg: SegmentId, n: usize) -> Vec<HostId> {
+        (0..n).map(|_| self.add_host(seg, None)).collect()
+    }
+
+    /// Link a segment to a router. `latency` defaults to
+    /// [`DEFAULT_FABRIC_LATENCY`].
+    pub fn link_segment_router(&mut self, s: SegmentId, r: RouterId, latency: Option<Nanos>) {
+        assert!(s.0 < self.num_segments, "unknown segment {s}");
+        assert!(r.0 < self.num_routers, "unknown router {r}");
+        self.links.push((
+            LinkEnd::Seg(s.0),
+            LinkEnd::Router(r.0),
+            latency.unwrap_or(DEFAULT_FABRIC_LATENCY),
+        ));
+    }
+
+    /// Link two routers. `latency` defaults to [`DEFAULT_FABRIC_LATENCY`].
+    pub fn link_routers(&mut self, a: RouterId, b: RouterId, latency: Option<Nanos>) {
+        assert!(a.0 < self.num_routers, "unknown router {a}");
+        assert!(b.0 < self.num_routers, "unknown router {b}");
+        assert_ne!(a, b, "cannot link a router to itself");
+        self.links.push((
+            LinkEnd::Router(a.0),
+            LinkEnd::Router(b.0),
+            latency.unwrap_or(DEFAULT_FABRIC_LATENCY),
+        ));
+    }
+
+    /// Finalize: compute all segment-pair distances and produce the
+    /// immutable [`Topology`].
+    pub fn build(self) -> Topology {
+        let ns = self.num_segments as usize;
+        let mut fabric = Fabric::new(ns, self.num_routers as usize);
+        for (a, b, lat) in &self.links {
+            let va = match a {
+                LinkEnd::Seg(s) => Vertex::Segment(*s),
+                LinkEnd::Router(r) => Vertex::Router(*r),
+            };
+            let vb = match b {
+                LinkEnd::Seg(s) => Vertex::Segment(*s),
+                LinkEnd::Router(r) => Vertex::Router(*r),
+            };
+            fabric.link(va, vb, *lat);
+        }
+
+        let mut seg_hops = Vec::with_capacity(ns);
+        let mut seg_latency = Vec::with_capacity(ns);
+        for s in 0..ns {
+            let (hops, lat) = fabric.distances_from(s as u16);
+            seg_hops.push(hops);
+            seg_latency.push(lat);
+        }
+
+        let mut segment_hosts = vec![Vec::new(); ns];
+        for (i, seg) in self.host_segment.iter().enumerate() {
+            segment_hosts[seg.0 as usize].push(HostId(i as u32));
+        }
+
+        Topology::from_parts(
+            self.host_segment,
+            self.host_link_latency,
+            segment_hosts,
+            seg_hops,
+            seg_latency,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_segment();
+        let hs = b.add_hosts(s, 3);
+        let t = b.build();
+        assert_eq!(t.num_hosts(), 3);
+        assert_eq!(t.hosts_on(s), &hs[..]);
+        assert_eq!(t.segment_of(hs[1]), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown segment")]
+    fn host_on_missing_segment_panics() {
+        let mut b = TopologyBuilder::new();
+        b.add_host(SegmentId(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot link a router to itself")]
+    fn self_router_link_panics() {
+        let mut b = TopologyBuilder::new();
+        let r = b.add_router();
+        b.link_routers(r, r, None);
+    }
+
+    #[test]
+    fn custom_latency_respected() {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_segment();
+        let a = b.add_host(s, Some(100));
+        let c = b.add_host(s, Some(300));
+        let t = b.build();
+        assert_eq!(t.latency(a, c), 400);
+    }
+
+    #[test]
+    fn empty_topology_is_valid() {
+        let t = TopologyBuilder::new().build();
+        assert_eq!(t.num_hosts(), 0);
+        assert_eq!(t.max_ttl(), 0);
+    }
+}

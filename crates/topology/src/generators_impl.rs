@@ -1,0 +1,261 @@
+//! Topology generators used throughout the experiments.
+
+use crate::{Topology, TopologyBuilder};
+
+/// All `n` hosts on one layer-2 segment: the degenerate case where the
+/// hierarchical protocol collapses to all-to-all (paper §6.4: "When there
+/// is one network, the hierarchical scheme reduces to the all-to-all
+/// scheme").
+pub fn single_segment(n: usize) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let s = b.add_segment();
+    b.add_hosts(s, n);
+    b.build()
+}
+
+/// `segments` layer-2 networks with `hosts_per_segment` hosts each, all
+/// joined by a single core router. This is the shape of the paper's
+/// testbed: "two Layer-3 switches ... connected by a Gigabit link", scaled
+/// as "five networks for 100 nodes and these five networks form a second
+/// level network". Any two hosts in different segments are TTL distance 2
+/// apart.
+pub fn star_of_segments(segments: usize, hosts_per_segment: usize) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let core = b.add_router();
+    for _ in 0..segments {
+        let s = b.add_segment();
+        b.link_segment_router(s, core, None);
+        b.add_hosts(s, hosts_per_segment);
+    }
+    b.build()
+}
+
+/// A chain of segments, each linked to the next through its own router:
+/// `seg0 - r0 - seg1 - r1 - seg2 - ...`. TTL distance between segment `i`
+/// and segment `j` is `|i - j| + 1`. Produces deep membership trees and is
+/// the stress topology for multi-level update propagation.
+pub fn chain_of_segments(segments: usize, hosts_per_segment: usize) -> Topology {
+    assert!(segments >= 1);
+    let mut b = TopologyBuilder::new();
+    let mut prev = b.add_segment();
+    b.add_hosts(prev, hosts_per_segment);
+    for _ in 1..segments {
+        let r = b.add_router();
+        let s = b.add_segment();
+        b.link_segment_router(prev, r, None);
+        b.link_segment_router(s, r, None);
+        b.add_hosts(s, hosts_per_segment);
+        prev = s;
+    }
+    b.build()
+}
+
+/// A balanced tree of routers of the given `depth` and `fanout`, with a
+/// layer-2 segment of `hosts_per_leaf` hosts under each leaf router.
+///
+/// * `depth = 1` is [`star_of_segments`] with `fanout` segments.
+/// * `depth = 2, fanout = 2` gives 4 leaf segments where sibling leaves
+///   are 2 TTL apart and cousins 4 TTL apart.
+pub fn tree_of_segments(depth: usize, fanout: usize, hosts_per_leaf: usize) -> Topology {
+    assert!(depth >= 1 && fanout >= 1);
+    let mut b = TopologyBuilder::new();
+    let root = b.add_router();
+    // Breadth-first expansion of the router tree.
+    let mut frontier = vec![root];
+    for _level in 1..depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..fanout {
+                let r = b.add_router();
+                b.link_routers(parent, r, None);
+                next.push(r);
+            }
+        }
+        frontier = next;
+    }
+    for &leaf_router in &frontier {
+        for _ in 0..fanout {
+            let s = b.add_segment();
+            b.link_segment_router(s, leaf_router, None);
+            b.add_hosts(s, hosts_per_leaf);
+        }
+    }
+    b.build()
+}
+
+/// A small two-tier Clos-like fabric: `pods` pods, each with one edge
+/// router and `segs_per_pod` segments; every edge router connects to every
+/// one of `spines` spine routers. Intra-pod segments are 1 hop (TTL 2)
+/// apart; inter-pod segments cross edge–spine–edge, 3 hops (TTL 4).
+pub fn fat_tree(pods: usize, segs_per_pod: usize, spines: usize, hosts_per_seg: usize) -> Topology {
+    assert!(pods >= 1 && segs_per_pod >= 1 && spines >= 1);
+    let mut b = TopologyBuilder::new();
+    let spine_ids: Vec<_> = (0..spines).map(|_| b.add_router()).collect();
+    for _ in 0..pods {
+        let edge = b.add_router();
+        for &sp in &spine_ids {
+            b.link_routers(edge, sp, None);
+        }
+        for _ in 0..segs_per_pod {
+            let s = b.add_segment();
+            b.link_segment_router(s, edge, None);
+            b.add_hosts(s, hosts_per_seg);
+        }
+    }
+    b.build()
+}
+
+/// Multiple data centers, each a star of segments, joined by a long
+/// chain of WAN routers.
+///
+/// The chain is deliberately deeper than any sane `MAX_TTL`, so
+/// TTL-scoped multicast can never leak across data centers — exactly the
+/// situation of paper §3.2, where proxies must bridge membership with
+/// unicast "since multicast over VPN or Internet is generally (un)available".
+/// Unicast still works, with `wan_one_way_latency` split across the chain.
+///
+/// Returns the topology plus the host ids of each data center, in order.
+pub fn multi_datacenter(
+    dcs: &[(usize, usize)],
+    wan_one_way_latency: crate::Nanos,
+) -> (Topology, Vec<Vec<crate::HostId>>) {
+    use crate::Nanos;
+    assert!(!dcs.is_empty());
+    /// Router hops inserted between adjacent DCs; TTL distance across is
+    /// `WAN_HOPS + 1 + 1` (> any practical MAX_TTL).
+    const WAN_HOPS: usize = 12;
+    let mut b = TopologyBuilder::new();
+    let mut groups = Vec::new();
+    let mut cores = Vec::new();
+    for &(segments, hosts_per_segment) in dcs {
+        let core = b.add_router();
+        let mut hosts = Vec::new();
+        for _ in 0..segments {
+            let s = b.add_segment();
+            b.link_segment_router(s, core, None);
+            hosts.extend(b.add_hosts(s, hosts_per_segment));
+        }
+        groups.push(hosts);
+        cores.push(core);
+    }
+    // Chain the DC cores together through WAN router chains.
+    for w in cores.windows(2) {
+        let per_link: Nanos = (wan_one_way_latency / (WAN_HOPS as u64 + 1)).max(1);
+        let mut prev = w[0];
+        for _ in 0..WAN_HOPS {
+            let r = b.add_router();
+            b.link_routers(prev, r, Some(per_link));
+            prev = r;
+        }
+        b.link_routers(prev, w[1], Some(per_link));
+    }
+    (b.build(), groups)
+}
+
+/// The paper's Fig. 4 non-transitive example: three single-host segments
+/// in a line of routers such that host B reaches A and C within 3 hops but
+/// A and C need 4 hops to reach each other. Demonstrates overlapping
+/// same-level groups.
+pub fn non_transitive_triangle() -> Topology {
+    let mut b = TopologyBuilder::new();
+    // seg_a - r0 - r1 - seg_b - r2 - r3 - seg_c
+    //  A: 2 routers to B (TTL 3); B: 2 routers to C (TTL 3);
+    //  A: 4 routers to C... that's TTL 5, too far. Use:
+    // seg_a - r0 - r1 - seg_b, seg_b - r2 - seg_c is 1 router (TTL 2).
+    // We need exactly (3, 3, 4): A-B 2 routers, B-C 2 routers, A-C 3
+    // routers, so one router must be shared between the two paths:
+    //   A - ra - m - B      (2 routers: ra, m)
+    //   B - m' ... hmm — share the middle router `m`:
+    //   A - ra - m - B  and  C - rc - m - B  give A-C = ra, m, rc = 3.
+    let sa = b.add_segment();
+    let sb = b.add_segment();
+    let sc = b.add_segment();
+    let ra = b.add_router();
+    let m = b.add_router();
+    let rc = b.add_router();
+    b.link_segment_router(sa, ra, None);
+    b.link_routers(ra, m, None);
+    b.link_segment_router(sb, m, None);
+    b.link_segment_router(sc, rc, None);
+    b.link_routers(rc, m, None);
+    b.add_host(sa, None);
+    b.add_host(sb, None);
+    b.add_host(sc, None);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_dc_separates_multicast_but_not_unicast() {
+        let (t, groups) = multi_datacenter(&[(2, 3), (2, 3)], 45 * crate::MILLIS);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(t.num_hosts(), 12);
+        let a = groups[0][0];
+        let b = groups[1][0];
+        // Across DCs: far beyond any MAX_TTL.
+        assert!(t.ttl_distance(a, b) > 8, "dist {}", t.ttl_distance(a, b));
+        // Within a DC: the usual star distances.
+        assert_eq!(t.ttl_distance(groups[0][0], groups[0][1]), 1);
+        assert_eq!(t.ttl_distance(groups[0][0], groups[0][3]), 2);
+        // WAN latency ≈ requested one-way delay.
+        let lat = t.latency(a, b);
+        assert!(
+            (40 * crate::MILLIS..55 * crate::MILLIS).contains(&lat),
+            "wan latency {lat}"
+        );
+    }
+
+    #[test]
+    fn star_sizes() {
+        let t = star_of_segments(5, 20);
+        assert_eq!(t.num_hosts(), 100);
+        assert_eq!(t.num_segments(), 5);
+    }
+
+    #[test]
+    fn fat_tree_distances() {
+        let t = fat_tree(2, 2, 2, 1);
+        assert_eq!(t.num_segments(), 4);
+        let hs: Vec<_> = t.hosts().collect();
+        // Intra-pod: seg0 and seg1 share the pod's edge router.
+        assert_eq!(t.ttl_distance(hs[0], hs[1]), 2);
+        // Inter-pod: edge -> spine -> edge.
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), 4);
+    }
+
+    #[test]
+    fn chain_max_ttl() {
+        let t = chain_of_segments(3, 2);
+        assert_eq!(t.max_ttl(), 3);
+    }
+
+    #[test]
+    fn tree_depth_one_equals_star() {
+        let tree = tree_of_segments(1, 4, 3);
+        let star = star_of_segments(4, 3);
+        assert_eq!(tree.num_hosts(), star.num_hosts());
+        assert_eq!(tree.max_ttl(), star.max_ttl());
+    }
+
+    #[test]
+    fn generators_produce_fully_reachable_clusters() {
+        for t in [
+            single_segment(5),
+            star_of_segments(3, 3),
+            chain_of_segments(4, 2),
+            tree_of_segments(2, 2, 2),
+            fat_tree(2, 2, 2, 2),
+            non_transitive_triangle(),
+        ] {
+            let hs: Vec<_> = t.hosts().collect();
+            for &a in &hs {
+                for &b in &hs {
+                    assert_ne!(t.ttl_distance(a, b), u8::MAX, "{a} cannot reach {b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Internal graph over segments and routers, with shortest-path search.
+//!
+//! Vertices are either layer-2 segments or layer-3 routers; edges are
+//! physical links with a one-way latency. The metric the protocol cares
+//! about is lexicographic: minimize the number of *router* vertices
+//! traversed first (that is what the IP TTL counts), then total latency.
+
+use crate::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A vertex in the fabric graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Vertex {
+    Segment(u16),
+    Router(u16),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Fabric {
+    /// Adjacency list indexed by dense vertex index.
+    adj: Vec<Vec<(usize, Nanos)>>,
+    /// Which vertices are routers (these cost one TTL hop to pass through).
+    is_router: Vec<bool>,
+    num_segments: usize,
+}
+
+/// Path cost: router hops first, then latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cost {
+    hops: u32,
+    latency: Nanos,
+}
+
+impl Cost {
+    const INF: Cost = Cost {
+        hops: u32::MAX,
+        latency: Nanos::MAX,
+    };
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.hops, self.latency).cmp(&(other.hops, other.latency))
+    }
+}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap entry (reversed ordering for BinaryHeap).
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    cost: Cost,
+    vertex: usize,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.cost.cmp(&self.cost)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Fabric {
+    pub(crate) fn new(num_segments: usize, num_routers: usize) -> Self {
+        Fabric {
+            adj: vec![Vec::new(); num_segments + num_routers],
+            is_router: (0..num_segments + num_routers)
+                .map(|i| i >= num_segments)
+                .collect(),
+            num_segments,
+        }
+    }
+
+    fn index(&self, v: Vertex) -> usize {
+        match v {
+            Vertex::Segment(s) => s as usize,
+            Vertex::Router(r) => self.num_segments + r as usize,
+        }
+    }
+
+    /// Add an undirected link with the given one-way latency.
+    pub(crate) fn link(&mut self, a: Vertex, b: Vertex, latency: Nanos) {
+        let (ia, ib) = (self.index(a), self.index(b));
+        self.adj[ia].push((ib, latency));
+        self.adj[ib].push((ia, latency));
+    }
+
+    /// Dijkstra from one segment to all segments, under the (hops, latency)
+    /// lexicographic metric. Router hops are counted when *leaving* a
+    /// router vertex, so a path Seg→R→Seg costs 1 hop.
+    ///
+    /// Returns `(hops, latency)` per segment; unreachable segments get
+    /// `(u8::MAX, Nanos::MAX)`.
+    pub(crate) fn distances_from(&self, seg: u16) -> (Vec<u8>, Vec<Nanos>) {
+        let n = self.adj.len();
+        let mut best = vec![Cost::INF; n];
+        let src = seg as usize;
+        best[src] = Cost {
+            hops: 0,
+            latency: 0,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            cost: best[src],
+            vertex: src,
+        });
+        while let Some(HeapEntry { cost, vertex }) = heap.pop() {
+            if cost != best[vertex] {
+                continue;
+            }
+            for &(next, lat) in &self.adj[vertex] {
+                // Passing *through* a router decrements the TTL once. We
+                // charge the hop on the edge that enters a router vertex;
+                // entering a segment vertex is free. This yields:
+                //   Seg -> R -> Seg        = 1 hop
+                //   Seg -> R -> R -> Seg   = 2 hops
+                let extra_hop = u32::from(self.is_router[next]);
+                let cand = Cost {
+                    hops: cost.hops + extra_hop,
+                    latency: cost.latency + lat,
+                };
+                if cand < best[next] {
+                    best[next] = cand;
+                    heap.push(HeapEntry {
+                        cost: cand,
+                        vertex: next,
+                    });
+                }
+            }
+        }
+        let hops = (0..self.num_segments)
+            .map(|i| {
+                let h = best[i].hops;
+                if h == u32::MAX {
+                    u8::MAX
+                } else {
+                    u8::try_from(h).unwrap_or(u8::MAX)
+                }
+            })
+            .collect();
+        let lat = (0..self.num_segments).map(|i| best[i].latency).collect();
+        (hops, lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_segments_via_one_router() {
+        let mut f = Fabric::new(2, 1);
+        f.link(Vertex::Segment(0), Vertex::Router(0), 10);
+        f.link(Vertex::Segment(1), Vertex::Router(0), 10);
+        let (hops, lat) = f.distances_from(0);
+        assert_eq!(hops[0], 0);
+        assert_eq!(hops[1], 1);
+        assert_eq!(lat[1], 20);
+    }
+
+    #[test]
+    fn two_routers_cost_two_hops() {
+        let mut f = Fabric::new(2, 2);
+        f.link(Vertex::Segment(0), Vertex::Router(0), 5);
+        f.link(Vertex::Router(0), Vertex::Router(1), 5);
+        f.link(Vertex::Router(1), Vertex::Segment(1), 5);
+        let (hops, lat) = f.distances_from(0);
+        assert_eq!(hops[1], 2);
+        assert_eq!(lat[1], 15);
+    }
+
+    #[test]
+    fn prefers_fewer_hops_even_if_slower() {
+        // Two paths from seg0 to seg1: one router at latency 100+100, or
+        // two routers at latency 1+1+1. TTL metric must pick the 1-hop path.
+        let mut f = Fabric::new(2, 3);
+        f.link(Vertex::Segment(0), Vertex::Router(0), 100);
+        f.link(Vertex::Router(0), Vertex::Segment(1), 100);
+        f.link(Vertex::Segment(0), Vertex::Router(1), 1);
+        f.link(Vertex::Router(1), Vertex::Router(2), 1);
+        f.link(Vertex::Router(2), Vertex::Segment(1), 1);
+        let (hops, lat) = f.distances_from(0);
+        assert_eq!(hops[1], 1);
+        assert_eq!(lat[1], 200);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let f = Fabric::new(2, 0);
+        let (hops, lat) = f.distances_from(0);
+        assert_eq!(hops[1], u8::MAX);
+        assert_eq!(lat[1], Nanos::MAX);
+    }
+
+    #[test]
+    fn ties_broken_by_latency() {
+        // Same hop count via R0 (latency 50) or R1 (latency 10).
+        let mut f = Fabric::new(2, 2);
+        f.link(Vertex::Segment(0), Vertex::Router(0), 25);
+        f.link(Vertex::Router(0), Vertex::Segment(1), 25);
+        f.link(Vertex::Segment(0), Vertex::Router(1), 5);
+        f.link(Vertex::Router(1), Vertex::Segment(1), 5);
+        let (hops, lat) = f.distances_from(0);
+        assert_eq!(hops[1], 1);
+        assert_eq!(lat[1], 10);
+    }
+}

@@ -1,0 +1,295 @@
+//! # tamp-topology — cluster network topology model
+//!
+//! This crate models the physical layout of a service cluster the way the
+//! TAMP membership protocol sees it: hosts attached to layer-2 segments
+//! (switches / VLANs), segments joined by layer-3 routers, and — across
+//! data centers — WAN links.
+//!
+//! The single quantity the protocol cares about is the **TTL distance**
+//! between two hosts: the smallest IP TTL value a multicast packet needs in
+//! order to travel from one host to the other. Hosts on the same layer-2
+//! segment have TTL distance 1 (no router decrements the TTL); every
+//! layer-3 router crossed adds 1. Group formation (level-`k` membership
+//! groups use TTL `k + 1`) and the simulator's multicast delivery rule are
+//! both expressed in terms of this distance.
+//!
+//! TTL distance is *not* assumed to be transitive: the paper's §3.1.1
+//! "other topologies" case (two hosts each 3 hops from a middle host but 4
+//! hops from each other) is representable and exercised in tests, because
+//! the distance is computed from the actual router graph.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use tamp_topology::generators;
+//!
+//! // The paper's testbed: 5 layer-2 networks of 20 nodes each behind one
+//! // router core.
+//! let topo = generators::star_of_segments(5, 20);
+//! assert_eq!(topo.num_hosts(), 100);
+//! let a = topo.hosts().next().unwrap();
+//! let b = topo.hosts().last().unwrap();
+//! assert_eq!(topo.ttl_distance(a, a), 0);
+//! assert_eq!(topo.ttl_distance(a, b), 2); // one router between segments
+//! ```
+
+mod builder;
+mod generators_impl;
+mod graph;
+mod ids;
+mod parse;
+
+pub mod generators {
+    //! Ready-made topology shapes used by the experiments.
+    pub use crate::generators_impl::{
+        chain_of_segments, fat_tree, multi_datacenter, non_transitive_triangle, single_segment,
+        star_of_segments, tree_of_segments,
+    };
+}
+
+pub use builder::{TopologyBuilder, DEFAULT_FABRIC_LATENCY, DEFAULT_HOST_LATENCY};
+pub use ids::{HostId, RouterId, SegmentId};
+pub use parse::{parse_topology, ParsedTopology, TopoParseError};
+
+/// Nanoseconds of simulated (or real) time. All latencies in this workspace
+/// are expressed in this unit so the topology crate does not need to depend
+/// on the simulator's clock type.
+pub type Nanos = u64;
+
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One second in [`Nanos`].
+pub const SECS: Nanos = 1_000_000_000;
+
+/// An immutable cluster topology: hosts on layer-2 segments joined by
+/// layer-3 routers.
+///
+/// Build one with [`TopologyBuilder`] or a [`generators`] function. All
+/// pairwise TTL distances and latencies are precomputed at `build()` time
+/// (per *segment* pair, so the cost is quadratic in the number of segments,
+/// not hosts).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `host_segment[h]` is the segment host `h` is attached to.
+    host_segment: Vec<SegmentId>,
+    /// Host NIC-to-switch one-way latency, per host.
+    host_link_latency: Vec<Nanos>,
+    /// Hosts attached to each segment.
+    segment_hosts: Vec<Vec<HostId>>,
+    /// Router hops between segments: `seg_hops[a][b]` is the number of
+    /// layer-3 routers on the best path, `u8::MAX` if unreachable.
+    seg_hops: Vec<Vec<u8>>,
+    /// One-way switch-to-switch latency along the best path between
+    /// segments (excludes host link latency on either end).
+    seg_latency: Vec<Vec<Nanos>>,
+    /// Largest finite TTL distance between any two hosts.
+    max_ttl: u8,
+}
+
+impl Topology {
+    /// Number of hosts in the topology.
+    pub fn num_hosts(&self) -> usize {
+        self.host_segment.len()
+    }
+
+    /// Number of layer-2 segments.
+    pub fn num_segments(&self) -> usize {
+        self.segment_hosts.len()
+    }
+
+    /// Iterate over every host id, in ascending order.
+    pub fn hosts(&self) -> impl DoubleEndedIterator<Item = HostId> + ExactSizeIterator {
+        (0..self.host_segment.len() as u32).map(HostId)
+    }
+
+    /// The segment a host is attached to.
+    pub fn segment_of(&self, h: HostId) -> SegmentId {
+        self.host_segment[h.0 as usize]
+    }
+
+    /// Hosts attached to a segment, in ascending id order.
+    pub fn hosts_on(&self, s: SegmentId) -> &[HostId] {
+        &self.segment_hosts[s.0 as usize]
+    }
+
+    /// The smallest IP TTL with which a packet from `a` reaches `b`.
+    ///
+    /// * `0` if `a == b` (loopback, no network involved);
+    /// * `1` if they share a layer-2 segment;
+    /// * `1 + router hops` otherwise;
+    /// * `u8::MAX` if `b` is unreachable from `a`.
+    pub fn ttl_distance(&self, a: HostId, b: HostId) -> u8 {
+        if a == b {
+            return 0;
+        }
+        let (sa, sb) = (self.segment_of(a), self.segment_of(b));
+        let hops = self.seg_hops[sa.0 as usize][sb.0 as usize];
+        if hops == u8::MAX {
+            u8::MAX
+        } else {
+            hops.saturating_add(1)
+        }
+    }
+
+    /// Router hops between two segments (`u8::MAX` if unreachable).
+    pub fn segment_hops(&self, a: SegmentId, b: SegmentId) -> u8 {
+        self.seg_hops[a.0 as usize][b.0 as usize]
+    }
+
+    /// One-way network latency from host `a` to host `b`.
+    ///
+    /// Includes both host link latencies plus the switch fabric latency
+    /// along the best (fewest-router-hops, then lowest-latency) path.
+    /// Latency from a host to itself is 0.
+    pub fn latency(&self, a: HostId, b: HostId) -> Nanos {
+        if a == b {
+            return 0;
+        }
+        let (sa, sb) = (self.segment_of(a), self.segment_of(b));
+        self.host_link_latency[a.0 as usize]
+            + self.seg_latency[sa.0 as usize][sb.0 as usize]
+            + self.host_link_latency[b.0 as usize]
+    }
+
+    /// The largest finite TTL distance between any pair of hosts. Group
+    /// formation stops once this TTL is reached (the paper's `MAX_TTL`
+    /// configuration knob defaults to this value).
+    pub fn max_ttl(&self) -> u8 {
+        self.max_ttl
+    }
+
+    /// All hosts within TTL distance `ttl` of `from` (excluding `from`
+    /// itself). This is exactly the delivery set of a multicast packet sent
+    /// by `from` with the given TTL, before loss is applied.
+    pub fn reachable_within(&self, from: HostId, ttl: u8) -> Vec<HostId> {
+        self.hosts()
+            .filter(|&h| h != from && self.ttl_distance(from, h) <= ttl)
+            .collect()
+    }
+
+    pub(crate) fn from_parts(
+        host_segment: Vec<SegmentId>,
+        host_link_latency: Vec<Nanos>,
+        segment_hosts: Vec<Vec<HostId>>,
+        seg_hops: Vec<Vec<u8>>,
+        seg_latency: Vec<Vec<Nanos>>,
+    ) -> Self {
+        let mut max_ttl = 0u8;
+        for row in &seg_hops {
+            for &h in row {
+                if h != u8::MAX {
+                    max_ttl = max_ttl.max(h.saturating_add(1));
+                }
+            }
+        }
+        // A single-segment cluster still needs TTL 1 for its local group.
+        if !host_segment.is_empty() {
+            max_ttl = max_ttl.max(1);
+        }
+        Topology {
+            host_segment,
+            host_link_latency,
+            segment_hosts,
+            seg_hops,
+            seg_latency,
+            max_ttl,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segment_distances() {
+        let t = generators::single_segment(4);
+        assert_eq!(t.num_hosts(), 4);
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.max_ttl(), 1);
+        let hs: Vec<_> = t.hosts().collect();
+        assert_eq!(t.ttl_distance(hs[0], hs[0]), 0);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(t.ttl_distance(hs[i], hs[j]), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_distances() {
+        let t = generators::star_of_segments(3, 2);
+        assert_eq!(t.num_hosts(), 6);
+        assert_eq!(t.num_segments(), 3);
+        assert_eq!(t.max_ttl(), 2);
+        let hs: Vec<_> = t.hosts().collect();
+        // Hosts 0,1 on segment 0; 2,3 on segment 1; ...
+        assert_eq!(t.ttl_distance(hs[0], hs[1]), 1);
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), 2);
+        assert_eq!(t.ttl_distance(hs[2], hs[5]), 2);
+    }
+
+    #[test]
+    fn latency_is_symmetric_and_positive() {
+        let t = generators::star_of_segments(3, 4);
+        let hs: Vec<_> = t.hosts().collect();
+        for &a in &hs {
+            for &b in &hs {
+                assert_eq!(t.latency(a, b), t.latency(b, a));
+                if a != b {
+                    assert!(t.latency(a, b) > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_within_matches_ttl() {
+        let t = generators::star_of_segments(4, 5);
+        let h0 = t.hosts().next().unwrap();
+        // TTL 1: only the 4 other hosts of the local segment.
+        assert_eq!(t.reachable_within(h0, 1).len(), 4);
+        // TTL 2: everyone else.
+        assert_eq!(t.reachable_within(h0, 2).len(), 19);
+    }
+
+    #[test]
+    fn non_transitive_example_from_paper() {
+        // Paper Fig. 4: B reaches A and C within 3 hops but A<->C needs 4.
+        let t = generators::non_transitive_triangle();
+        let hs: Vec<_> = t.hosts().collect();
+        let (a, b, c) = (hs[0], hs[1], hs[2]);
+        assert_eq!(t.ttl_distance(a, b), 3);
+        assert_eq!(t.ttl_distance(b, c), 3);
+        assert_eq!(t.ttl_distance(a, c), 4);
+    }
+
+    #[test]
+    fn chain_distances_grow_linearly() {
+        let t = generators::chain_of_segments(4, 1);
+        let hs: Vec<_> = t.hosts().collect();
+        assert_eq!(t.ttl_distance(hs[0], hs[1]), 2);
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), 3);
+        assert_eq!(t.ttl_distance(hs[0], hs[3]), 4);
+        assert_eq!(t.max_ttl(), 4);
+    }
+
+    #[test]
+    fn tree_topology_distances() {
+        // 2-level router tree with fanout 2: 4 leaf segments.
+        let t = generators::tree_of_segments(2, 2, 3);
+        assert_eq!(t.num_segments(), 4);
+        assert_eq!(t.num_hosts(), 12);
+        let hs: Vec<_> = t.hosts().collect();
+        // Same leaf segment.
+        assert_eq!(t.ttl_distance(hs[0], hs[1]), 1);
+        // Sibling leaves share one router: 1 hop.
+        assert_eq!(t.ttl_distance(hs[0], hs[3]), 2);
+        // Cousin leaves cross three routers (leaf, root, leaf).
+        assert_eq!(t.ttl_distance(hs[0], hs[6]), 4);
+    }
+}

@@ -1,0 +1,271 @@
+//! A small text format for describing cluster fabrics, so deployments
+//! (and experiments) can specify topology in a file instead of code.
+//!
+//! ```text
+//! # two racks behind a core router, one-way latencies optional
+//! segment rack1
+//! segment rack2
+//! router  core
+//! link    rack1 core 20us
+//! link    rack2 core
+//! host    web1  rack1
+//! host    web2  rack1 100us
+//! hosts   rack2 8          # bulk-add anonymous hosts
+//! ```
+//!
+//! Directives:
+//!
+//! * `segment <name>` — declare a layer-2 segment;
+//! * `router <name>` — declare a layer-3 router;
+//! * `link <a> <b> [latency]` — connect segment↔router or router↔router;
+//! * `host <name> <segment> [latency]` — one named host;
+//! * `hosts <segment> <count>` — `count` anonymous hosts;
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! Latencies accept `ns`, `us`/`µs`, `ms`, or `s` suffixes.
+
+use crate::{HostId, Nanos, RouterId, SegmentId, Topology, TopologyBuilder};
+use std::collections::BTreeMap;
+
+/// Error from [`parse_topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TopoParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topology line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TopoParseError {}
+
+/// A parsed topology plus the name → id mappings for named entities.
+#[derive(Debug)]
+pub struct ParsedTopology {
+    pub topology: Topology,
+    pub hosts: BTreeMap<String, HostId>,
+    pub segments: BTreeMap<String, SegmentId>,
+    pub routers: BTreeMap<String, RouterId>,
+}
+
+/// Parse the fabric description format.
+pub fn parse_topology(text: &str) -> Result<ParsedTopology, TopoParseError> {
+    let mut b = TopologyBuilder::new();
+    let mut segments: BTreeMap<String, SegmentId> = BTreeMap::new();
+    let mut routers: BTreeMap<String, RouterId> = BTreeMap::new();
+    let mut hosts: BTreeMap<String, HostId> = BTreeMap::new();
+    let mut anon = 0usize;
+
+    let err = |line: usize, m: String| TopoParseError { line, message: m };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().unwrap();
+        let args: Vec<&str> = parts.collect();
+        match directive {
+            "segment" => {
+                let [name] = args[..] else {
+                    return Err(err(line_no, "usage: segment <name>".into()));
+                };
+                if segments.contains_key(name) || routers.contains_key(name) {
+                    return Err(err(line_no, format!("duplicate name {name:?}")));
+                }
+                segments.insert(name.to_string(), b.add_segment());
+            }
+            "router" => {
+                let [name] = args[..] else {
+                    return Err(err(line_no, "usage: router <name>".into()));
+                };
+                if segments.contains_key(name) || routers.contains_key(name) {
+                    return Err(err(line_no, format!("duplicate name {name:?}")));
+                }
+                routers.insert(name.to_string(), b.add_router());
+            }
+            "link" => {
+                if args.len() < 2 || args.len() > 3 {
+                    return Err(err(line_no, "usage: link <a> <b> [latency]".into()));
+                }
+                let latency = match args.get(2) {
+                    Some(l) => Some(parse_latency(l).map_err(|m| err(line_no, m))?),
+                    None => None,
+                };
+                let (a, bb) = (args[0], args[1]);
+                match (
+                    segments.get(a),
+                    routers.get(a),
+                    segments.get(bb),
+                    routers.get(bb),
+                ) {
+                    (Some(&s), _, _, Some(&r)) | (_, Some(&r), Some(&s), _) => {
+                        b.link_segment_router(s, r, latency)
+                    }
+                    (_, Some(&ra), _, Some(&rb)) => b.link_routers(ra, rb, latency),
+                    (Some(_), _, Some(_), _) => {
+                        return Err(err(
+                            line_no,
+                            "cannot link two segments directly; put a router between them".into(),
+                        ))
+                    }
+                    _ => return Err(err(line_no, format!("unknown endpoint in {a:?} {bb:?}"))),
+                }
+            }
+            "host" => {
+                if args.len() < 2 || args.len() > 3 {
+                    return Err(err(
+                        line_no,
+                        "usage: host <name> <segment> [latency]".into(),
+                    ));
+                }
+                let name = args[0];
+                if hosts.contains_key(name) {
+                    return Err(err(line_no, format!("duplicate host {name:?}")));
+                }
+                let seg = *segments
+                    .get(args[1])
+                    .ok_or_else(|| err(line_no, format!("unknown segment {:?}", args[1])))?;
+                let latency = match args.get(2) {
+                    Some(l) => Some(parse_latency(l).map_err(|m| err(line_no, m))?),
+                    None => None,
+                };
+                hosts.insert(name.to_string(), b.add_host(seg, latency));
+            }
+            "hosts" => {
+                let [seg_name, count] = args[..] else {
+                    return Err(err(line_no, "usage: hosts <segment> <count>".into()));
+                };
+                let seg = *segments
+                    .get(seg_name)
+                    .ok_or_else(|| err(line_no, format!("unknown segment {seg_name:?}")))?;
+                let count: usize = count
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad count {count:?}")))?;
+                for h in b.add_hosts(seg, count) {
+                    hosts.insert(format!("{seg_name}.{anon}"), h);
+                    anon += 1;
+                }
+            }
+            other => return Err(err(line_no, format!("unknown directive {other:?}"))),
+        }
+    }
+
+    Ok(ParsedTopology {
+        topology: b.build(),
+        hosts,
+        segments,
+        routers,
+    })
+}
+
+/// Parse `20us` / `1500ns` / `3ms` / `2s` into nanoseconds.
+fn parse_latency(s: &str) -> Result<Nanos, String> {
+    let (num, mult) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1u64)
+    } else if let Some(v) = s.strip_suffix("us").or_else(|| s.strip_suffix("µs")) {
+        (v, 1_000)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1_000_000)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1_000_000_000)
+    } else {
+        return Err(format!("latency {s:?} needs a ns/us/ms/s suffix"));
+    };
+    let n: f64 = num
+        .parse()
+        .map_err(|_| format!("bad latency number {num:?}"))?;
+    if n.is_nan() || n < 0.0 || n.is_infinite() {
+        return Err(format!("latency {s:?} out of range"));
+    }
+    Ok((n * mult as f64) as Nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# two racks behind a core
+segment rack1
+segment rack2
+router core
+link rack1 core 20us
+link rack2 core
+host web1 rack1
+host web2 rack1 100us
+hosts rack2 3
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let p = parse_topology(SAMPLE).unwrap();
+        assert_eq!(p.topology.num_hosts(), 5);
+        assert_eq!(p.topology.num_segments(), 2);
+        assert_eq!(p.hosts.len(), 5);
+        let web1 = p.hosts["web1"];
+        let web2 = p.hosts["web2"];
+        let anon = p.hosts["rack2.0"];
+        assert_eq!(p.topology.ttl_distance(web1, web2), 1);
+        assert_eq!(p.topology.ttl_distance(web1, anon), 2);
+    }
+
+    #[test]
+    fn custom_latencies_apply() {
+        let p = parse_topology(SAMPLE).unwrap();
+        let web1 = p.hosts["web1"];
+        let web2 = p.hosts["web2"];
+        // web2 has a 100us host link; web1 the 50us default.
+        assert_eq!(p.topology.latency(web1, web2), 50_000 + 100_000);
+    }
+
+    #[test]
+    fn latency_units() {
+        assert_eq!(parse_latency("1500ns").unwrap(), 1_500);
+        assert_eq!(parse_latency("20us").unwrap(), 20_000);
+        assert_eq!(parse_latency("3ms").unwrap(), 3_000_000);
+        assert_eq!(parse_latency("2s").unwrap(), 2_000_000_000);
+        assert_eq!(parse_latency("1.5ms").unwrap(), 1_500_000);
+        assert!(parse_latency("20").is_err());
+        assert!(parse_latency("xus").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_topology("segment a\nhost x b\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown segment"));
+
+        let e = parse_topology("bogus thing\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse_topology("segment a\nsegment a\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = parse_topology("segment a\nsegment b\nlink a b\n").unwrap_err();
+        assert!(e.message.contains("router between"));
+    }
+
+    #[test]
+    fn router_to_router_links() {
+        let p = parse_topology(
+            "segment a\nsegment b\nrouter r1\nrouter r2\n\
+             link a r1\nlink r1 r2 5ms\nlink r2 b\nhost h1 a\nhost h2 b\n",
+        )
+        .unwrap();
+        let (h1, h2) = (p.hosts["h1"], p.hosts["h2"]);
+        assert_eq!(p.topology.ttl_distance(h1, h2), 3);
+        assert!(p.topology.latency(h1, h2) > 5_000_000);
+    }
+
+    #[test]
+    fn comments_and_blanks_ok() {
+        let p = parse_topology("# nothing\n\n  # more\nsegment s\nhosts s 1\n").unwrap();
+        assert_eq!(p.topology.num_hosts(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: TTL distance must behave like a (router-hop) metric
+//! on every generated topology, because the whole group-formation scheme
+//! is built on it.
+
+use proptest::prelude::*;
+use tamp_topology::{generators, Topology};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..20).prop_map(generators::single_segment),
+        (1usize..6, 1usize..6).prop_map(|(s, h)| generators::star_of_segments(s, h)),
+        (1usize..5, 1usize..4).prop_map(|(s, h)| generators::chain_of_segments(s, h)),
+        (1usize..3, 1usize..3, 1usize..4)
+            .prop_map(|(d, f, h)| generators::tree_of_segments(d, f, h)),
+        (1usize..3, 1usize..3, 1usize..3, 1usize..3)
+            .prop_map(|(p, s, sp, h)| generators::fat_tree(p, s, sp, h)),
+        Just(generators::non_transitive_triangle()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ttl_distance_is_a_metric(topo in arb_topology()) {
+        let hosts: Vec<_> = topo.hosts().collect();
+        for &a in &hosts {
+            // Identity.
+            prop_assert_eq!(topo.ttl_distance(a, a), 0);
+            for &b in &hosts {
+                // Symmetry.
+                prop_assert_eq!(topo.ttl_distance(a, b), topo.ttl_distance(b, a));
+                if a != b {
+                    prop_assert!(topo.ttl_distance(a, b) >= 1);
+                }
+                // Triangle inequality on router hops (= ttl - 1).
+                for &c in &hosts {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    let ab = topo.ttl_distance(a, b) as u32 - 1;
+                    let bc = topo.ttl_distance(b, c) as u32 - 1;
+                    let ac = topo.ttl_distance(a, c) as u32 - 1;
+                    prop_assert!(
+                        ac <= ab + bc,
+                        "hop triangle violated: d({a},{c})={ac} > d({a},{b})={ab} + d({b},{c})={bc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_a_metric_too(topo in arb_topology()) {
+        let hosts: Vec<_> = topo.hosts().collect();
+        for &a in &hosts {
+            prop_assert_eq!(topo.latency(a, a), 0);
+            for &b in &hosts {
+                prop_assert_eq!(topo.latency(a, b), topo.latency(b, a));
+                if a != b {
+                    prop_assert!(topo.latency(a, b) > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_sets_grow_with_ttl(topo in arb_topology()) {
+        let hosts: Vec<_> = topo.hosts().collect();
+        for &h in hosts.iter().take(4) {
+            let mut prev = 0;
+            for ttl in 1..=topo.max_ttl() {
+                let n = topo.reachable_within(h, ttl).len();
+                prop_assert!(n >= prev, "reachability shrank as TTL grew");
+                prev = n;
+            }
+            // At max TTL, everything is reachable in these generators.
+            prop_assert_eq!(prev, hosts.len() - 1);
+        }
+    }
+
+    #[test]
+    fn same_segment_means_ttl_one(topo in arb_topology()) {
+        let hosts: Vec<_> = topo.hosts().collect();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b && topo.segment_of(a) == topo.segment_of(b) {
+                    prop_assert_eq!(topo.ttl_distance(a, b), 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! # tamp-wire — wire protocol for the TAMP membership service
+//!
+//! Every packet that crosses the (simulated or real) network in this
+//! workspace is a [`Message`] encoded with the compact binary codec in
+//! [`codec`]. Keeping the format in one crate means the discrete-event
+//! simulator, the real-UDP runtime, the hierarchical protocol, both
+//! baseline protocols, the cross-datacenter proxies, and the Neptune
+//! service RPC all agree on byte-exact sizes — which matters because the
+//! paper's headline evaluation (Fig. 11) is about bytes on the wire.
+//!
+//! The codec is hand-rolled rather than serde-based: the format is part of
+//! the system being reproduced (the paper reports 228-byte heartbeats and
+//! relies on updates piggybacking the last three events in a fixed layout),
+//! and a self-contained codec keeps the dependency set to `bytes` alone.
+//!
+//! ```
+//! use tamp_wire::{Message, Heartbeat, NodeId, NodeRecord, codec};
+//!
+//! let hb = Message::Heartbeat(Heartbeat {
+//!     from: NodeId(7),
+//!     level: 0,
+//!     seq: 42,
+//!     is_leader: true,
+//!     backup: Some(NodeId(9)),
+//!     latest_update_seq: 0,
+//!     record: NodeRecord::new(NodeId(7), 1),
+//! });
+//! let bytes = codec::encode(&hb);
+//! let back = codec::decode(&bytes).unwrap();
+//! assert_eq!(hb, back);
+//! ```
+
+pub mod codec;
+mod messages;
+pub mod piggyback;
+pub mod seqnum;
+
+pub use messages::{
+    DcId, DigestEntry, DigestMsg, DirectoryExchange, ElectionMsg, Gossip, GossipEntry, Heartbeat,
+    MemberEvent, Message, NodeId, NodeRecord, PartitionSet, ProxySummary, ProxyUpdate,
+    RelayedRecord, SeqEvent, ServiceAvail, ServiceDecl, ServiceRequest, ServiceResponse,
+    SummaryEvent, SyncRequest, SyncResponse, UpdateMsg,
+};
+
+#[cfg(test)]
+mod proptests {
+    use crate::codec;
+    use crate::messages::*;
+    use proptest::prelude::*;
+
+    fn arb_node_id() -> impl Strategy<Value = NodeId> {
+        any::<u32>().prop_map(NodeId)
+    }
+
+    fn arb_partitions() -> impl Strategy<Value = PartitionSet> {
+        proptest::collection::vec(0u16..512, 0..8).prop_map(|v| {
+            let mut p = PartitionSet::empty();
+            for x in v {
+                p.insert(x);
+            }
+            p
+        })
+    }
+
+    fn arb_service_decl() -> impl Strategy<Value = ServiceDecl> {
+        ("[a-z]{1,12}", arb_partitions()).prop_map(|(name, partitions)| ServiceDecl {
+            name,
+            partitions,
+            attrs: vec![],
+        })
+    }
+
+    fn arb_record() -> impl Strategy<Value = NodeRecord> {
+        (
+            arb_node_id(),
+            any::<u64>(),
+            proptest::collection::vec(arb_service_decl(), 0..4),
+            proptest::collection::vec(("[a-z]{1,8}", "[a-z0-9]{0,16}"), 0..4),
+        )
+            .prop_map(|(node, incarnation, services, attrs)| NodeRecord {
+                node,
+                incarnation,
+                services,
+                attrs,
+            })
+    }
+
+    fn arb_event() -> impl Strategy<Value = MemberEvent> {
+        prop_oneof![
+            arb_record().prop_map(MemberEvent::Join),
+            (arb_node_id(), any::<u64>()).prop_map(|(n, i)| MemberEvent::Leave(n, i)),
+        ]
+    }
+
+    fn arb_message() -> impl Strategy<Value = Message> {
+        prop_oneof![
+            (
+                arb_node_id(),
+                any::<u8>(),
+                any::<u64>(),
+                any::<bool>(),
+                proptest::option::of(arb_node_id()),
+                any::<u64>(),
+                arb_record()
+            )
+                .prop_map(|(from, level, seq, is_leader, backup, latest, record)| {
+                    Message::Heartbeat(Heartbeat {
+                        from,
+                        level,
+                        seq,
+                        is_leader,
+                        backup,
+                        latest_update_seq: latest,
+                        record,
+                    })
+                }),
+            (
+                arb_node_id(),
+                proptest::collection::vec((any::<u64>(), arb_event()), 0..5)
+            )
+                .prop_map(|(origin, evs)| {
+                    Message::Update(UpdateMsg {
+                        origin,
+                        events: evs
+                            .into_iter()
+                            .map(|(seq, event)| SeqEvent { seq, event })
+                            .collect(),
+                    })
+                }),
+            (
+                arb_node_id(),
+                any::<bool>(),
+                proptest::collection::vec(
+                    (arb_record(), proptest::option::of(arb_node_id())),
+                    0..4
+                )
+            )
+                .prop_map(|(from, reply_wanted, recs)| {
+                    Message::DirectoryExchange(DirectoryExchange {
+                        from,
+                        reply_wanted,
+                        latest_seq: recs.len() as u64,
+                        records: recs
+                            .into_iter()
+                            .map(|(record, relayed_by)| RelayedRecord { record, relayed_by })
+                            .collect(),
+                    })
+                }),
+            (arb_node_id(), any::<u64>()).prop_map(|(from, since_seq)| Message::SyncRequest(
+                SyncRequest { from, since_seq }
+            )),
+            (arb_node_id(), any::<u8>(), any::<u8>()).prop_map(|(from, level, kind)| {
+                let kind = match kind % 3 {
+                    0 => ElectionMsg::Election { from, level },
+                    1 => ElectionMsg::Alive { from, level },
+                    _ => ElectionMsg::Coordinator {
+                        from,
+                        level,
+                        backup: None,
+                    },
+                };
+                Message::Election(kind)
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(msg in arb_message()) {
+            let bytes = codec::encode(&msg);
+            let back = codec::decode(&bytes).unwrap();
+            prop_assert_eq!(msg, back);
+        }
+
+        #[test]
+        fn decode_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = codec::decode(&data);
+        }
+
+        #[test]
+        fn encoded_len_matches(msg in arb_message()) {
+            let bytes = codec::encode(&msg);
+            prop_assert_eq!(bytes.len(), codec::encoded_len(&msg));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Piggyback window of recent update events.
+//!
+//! "Since each update about a node departure or join is very small, we let
+//! an update message piggyback last three updates so that the receiver can
+//! tolerate up to three consecutive packet losses. If more than three
+//! consecutive packets are lost, the receiver will poll the sender to
+//! synchronize its membership directory." (§3.1.2)
+//!
+//! [`UpdateLog`] is the sender side: it assigns sequence numbers to events
+//! and produces outgoing windows of the newest event plus up to
+//! `window - 1` predecessors. The receiver replays whatever subset of the
+//! window it has not yet applied (using a `SeqTracker`), and escalates to
+//! a sync poll only when the gap exceeds the window.
+
+use crate::messages::{MemberEvent, SeqEvent};
+use std::collections::VecDeque;
+
+/// Nanosecond timestamps (kept as a bare u64 so this crate stays free of
+/// clock dependencies).
+type Nanos = u64;
+
+/// Sender-side log of recent membership events.
+///
+/// Retention is bounded **by count and by age**: an event older than
+/// `max_age` is never retransmitted. The age bound is a correctness
+/// requirement, not an optimization — replaying an ancient `Join` after
+/// its subject died (and its tombstone aged out) would resurrect a ghost
+/// member. With `max_age` at most half the directory's tombstone TTL,
+/// any replayed event is still covered by a fresh tombstone.
+#[derive(Debug, Clone)]
+pub struct UpdateLog {
+    /// How many events each outgoing update carries (the paper uses 4:
+    /// the new event plus the last 3).
+    window: usize,
+    /// Maximum age of a retransmittable event (0 = unbounded).
+    max_age: Nanos,
+    next_seq: u64,
+    recent: VecDeque<(SeqEvent, Nanos)>,
+}
+
+/// The paper's window: current event + last three updates.
+pub const DEFAULT_WINDOW: usize = 4;
+
+impl Default for UpdateLog {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW)
+    }
+}
+
+impl UpdateLog {
+    /// `window` is the total number of events per outgoing message
+    /// (must be ≥ 1). No age bound; see [`UpdateLog::with_max_age`].
+    pub fn new(window: usize) -> Self {
+        Self::with_max_age(window, 0)
+    }
+
+    /// A log whose events stop being retransmitted once older than
+    /// `max_age` nanoseconds.
+    pub fn with_max_age(window: usize, max_age: Nanos) -> Self {
+        assert!(window >= 1, "piggyback window must hold the new event");
+        UpdateLog {
+            window,
+            max_age,
+            next_seq: 0,
+            recent: VecDeque::with_capacity(window),
+        }
+    }
+
+    fn fresh(&self, logged_at: Nanos, now: Nanos) -> bool {
+        self.max_age == 0 || now.saturating_sub(logged_at) < self.max_age
+    }
+
+    /// Append a new event at time `now` and return the event window to
+    /// transmit, oldest first (so receivers can apply sequentially).
+    pub fn push(&mut self, event: MemberEvent, now: Nanos) -> Vec<SeqEvent> {
+        self.next_seq += 1;
+        let se = SeqEvent {
+            seq: self.next_seq,
+            event,
+        };
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((se, now));
+        self.window_events(now)
+    }
+
+    /// The sequence number of the most recent event (0 if none yet).
+    pub fn latest_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Fresh events currently held, oldest first (what the next
+    /// retransmission would carry).
+    pub fn window_events(&self, now: Nanos) -> Vec<SeqEvent> {
+        self.recent
+            .iter()
+            .filter(|(_, t)| self.fresh(*t, now))
+            .map(|(e, _)| e.clone())
+            .collect()
+    }
+
+    /// Fresh events with `seq > since`, oldest first — used to answer a
+    /// sync poll cheaply when the requester is only slightly behind.
+    pub fn events_after(&self, since: u64, now: Nanos) -> Vec<SeqEvent> {
+        self.recent
+            .iter()
+            .filter(|(e, t)| e.seq > since && self.fresh(*t, now))
+            .map(|(e, _)| e.clone())
+            .collect()
+    }
+
+    /// True if the log can fill a gap starting after `since` entirely
+    /// from the retained *fresh* window (i.e. nothing in the gap has been
+    /// dropped by count or by age).
+    pub fn can_backfill(&self, since: u64, now: Nanos) -> bool {
+        let oldest_fresh = self
+            .recent
+            .iter()
+            .find(|(_, t)| self.fresh(*t, now))
+            .map(|(e, _)| e.seq);
+        match oldest_fresh {
+            None => since >= self.next_seq,
+            Some(oldest) => since + 1 >= oldest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::NodeId;
+
+    fn leave(n: u32) -> MemberEvent {
+        MemberEvent::Leave(NodeId(n), 1)
+    }
+
+    #[test]
+    fn push_assigns_increasing_seqs() {
+        let mut log = UpdateLog::default();
+        let w1 = log.push(leave(1), 0);
+        let w2 = log.push(leave(2), 1);
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].seq, 1);
+        assert_eq!(w2.len(), 2);
+        assert_eq!(w2[1].seq, 2);
+        assert_eq!(log.latest_seq(), 2);
+    }
+
+    #[test]
+    fn window_is_bounded_by_count() {
+        let mut log = UpdateLog::new(4);
+        for i in 0..10 {
+            log.push(leave(i), i as u64);
+        }
+        let w = log.window_events(10);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].seq, 7);
+        assert_eq!(w[3].seq, 10);
+    }
+
+    #[test]
+    fn window_is_bounded_by_age() {
+        let mut log = UpdateLog::with_max_age(8, 100);
+        log.push(leave(1), 0); // stale at t >= 100
+        log.push(leave(2), 50); // stale at t >= 150
+        assert_eq!(log.window_events(60).len(), 2, "both fresh at t=60");
+        log.push(leave(3), 120);
+        let w = log.window_events(130);
+        assert_eq!(w.len(), 2, "event 1 aged out");
+        assert_eq!(w[0].seq, 2);
+        assert_eq!(log.window_events(400).len(), 0, "everything aged out");
+    }
+
+    #[test]
+    fn events_are_oldest_first() {
+        let mut log = UpdateLog::new(3);
+        for i in 0..5 {
+            log.push(leave(i), 0);
+        }
+        let w = log.window_events(0);
+        assert!(w.windows(2).all(|p| p[0].seq < p[1].seq));
+    }
+
+    #[test]
+    fn events_after_filters_by_seq_and_age() {
+        let mut log = UpdateLog::with_max_age(4, 1_000);
+        for i in 0..6 {
+            log.push(leave(i), i as u64 * 10);
+        }
+        // Window holds seqs 3..=6, all fresh at t=60.
+        assert_eq!(log.events_after(4, 60).len(), 2);
+        assert_eq!(log.events_after(6, 60).len(), 0);
+        assert_eq!(log.events_after(0, 60).len(), 4);
+        // At t=1025, events logged at t<=20 (seqs <= 3) are stale.
+        assert_eq!(log.events_after(0, 1_025).len(), 3);
+    }
+
+    #[test]
+    fn can_backfill_reflects_window_and_age() {
+        let mut log = UpdateLog::with_max_age(4, 1_000);
+        for i in 0..6 {
+            log.push(leave(i), i as u64 * 10);
+        }
+        // Oldest retained is seq 3: gaps starting at >=2 are fillable.
+        assert!(log.can_backfill(2, 60));
+        assert!(log.can_backfill(5, 60));
+        assert!(!log.can_backfill(1, 60));
+        assert!(!log.can_backfill(0, 60));
+        // Aging shrinks the fillable range: at t=1_025 the oldest fresh
+        // event is seq 4 (logged at 30).
+        assert!(log.can_backfill(3, 1_025));
+        assert!(!log.can_backfill(2, 1_025));
+    }
+
+    #[test]
+    fn empty_log_backfills_nothing_new() {
+        let log = UpdateLog::default();
+        assert!(log.can_backfill(0, 0));
+        assert!(log.window_events(0).is_empty());
+    }
+
+    #[test]
+    fn no_age_bound_when_zero() {
+        let mut log = UpdateLog::new(2);
+        log.push(leave(1), 0);
+        assert_eq!(log.window_events(u64::MAX).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "piggyback window")]
+    fn zero_window_panics() {
+        UpdateLog::new(0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-sender sequence tracking for loss detection.
+//!
+//! "To help detect a packet loss, each host assigns a sequence number for
+//! an update message. Thus the receiver can use the sequence number to
+//! detect lost updates." (§3.1.2)
+//!
+//! [`SeqTracker`] classifies each arriving sequence number against the
+//! highest one applied so far: in-order, duplicate/out-of-date, or a gap
+//! of `n` missed messages. The caller decides, based on the piggyback
+//! window carried by the message, whether the gap is recoverable in place
+//! or requires a full-directory resynchronization poll.
+
+use std::collections::HashMap;
+
+/// Classification of an incoming sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqStatus {
+    /// Exactly the next expected number.
+    InOrder,
+    /// Already seen (duplicate or reordered stale packet).
+    Stale,
+    /// `missed` numbers were skipped before this one.
+    Gap { missed: u64 },
+    /// First message ever seen from this sender.
+    First,
+}
+
+/// Tracks the highest-applied update sequence number per remote sender.
+#[derive(Debug, Default, Clone)]
+pub struct SeqTracker<K: std::hash::Hash + Eq + Copy> {
+    last: HashMap<K, u64>,
+}
+
+impl<K: std::hash::Hash + Eq + Copy> SeqTracker<K> {
+    pub fn new() -> Self {
+        SeqTracker {
+            last: HashMap::new(),
+        }
+    }
+
+    /// Classify `seq` from `sender` **without** recording it.
+    pub fn classify(&self, sender: K, seq: u64) -> SeqStatus {
+        match self.last.get(&sender) {
+            None => SeqStatus::First,
+            Some(&last) => {
+                if seq <= last {
+                    SeqStatus::Stale
+                } else if seq == last + 1 {
+                    SeqStatus::InOrder
+                } else {
+                    SeqStatus::Gap {
+                        missed: seq - last - 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record that everything up to and including `seq` from `sender` has
+    /// been applied.
+    pub fn advance(&mut self, sender: K, seq: u64) {
+        let e = self.last.entry(sender).or_insert(0);
+        if seq > *e {
+            *e = seq;
+        }
+        // First message from a sender with seq 0 still needs an entry.
+        self.last.entry(sender).or_insert(seq);
+    }
+
+    /// Highest applied sequence from `sender`, if any seen.
+    pub fn last_applied(&self, sender: K) -> Option<u64> {
+        self.last.get(&sender).copied()
+    }
+
+    /// Forget a sender entirely (e.g. after it was declared dead), so a
+    /// rejoin starts fresh.
+    pub fn forget(&mut self, sender: K) {
+        self.last.remove(&sender);
+    }
+
+    pub fn len(&self) -> usize {
+        self.last.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.last.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_then_in_order() {
+        let mut t = SeqTracker::new();
+        assert_eq!(t.classify(1u32, 1), SeqStatus::First);
+        t.advance(1, 1);
+        assert_eq!(t.classify(1, 2), SeqStatus::InOrder);
+        t.advance(1, 2);
+        assert_eq!(t.last_applied(1), Some(2));
+    }
+
+    #[test]
+    fn duplicate_is_stale() {
+        let mut t = SeqTracker::new();
+        t.advance(1u32, 5);
+        assert_eq!(t.classify(1, 5), SeqStatus::Stale);
+        assert_eq!(t.classify(1, 3), SeqStatus::Stale);
+    }
+
+    #[test]
+    fn gap_counts_missed() {
+        let mut t = SeqTracker::new();
+        t.advance(1u32, 2);
+        assert_eq!(t.classify(1, 6), SeqStatus::Gap { missed: 3 });
+    }
+
+    #[test]
+    fn advance_never_regresses() {
+        let mut t = SeqTracker::new();
+        t.advance(1u32, 10);
+        t.advance(1, 4);
+        assert_eq!(t.last_applied(1), Some(10));
+    }
+
+    #[test]
+    fn forget_resets_sender() {
+        let mut t = SeqTracker::new();
+        t.advance(9u32, 3);
+        t.forget(9);
+        assert_eq!(t.classify(9, 1), SeqStatus::First);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn senders_are_independent() {
+        let mut t = SeqTracker::new();
+        t.advance(1u32, 5);
+        assert_eq!(t.classify(2, 1), SeqStatus::First);
+        t.advance(2, 1);
+        assert_eq!(t.classify(1, 6), SeqStatus::InOrder);
+        assert_eq!(t.classify(2, 2), SeqStatus::InOrder);
+        assert_eq!(t.len(), 2);
+    }
+}

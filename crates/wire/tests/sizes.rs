@@ -1,0 +1,154 @@
+//! Wire-size regression tests: the bandwidth experiments depend on these
+//! exact encodings, so any format change must be deliberate.
+
+use tamp_wire::{
+    codec, DcId, DigestEntry, DigestMsg, Gossip, GossipEntry, Heartbeat, MemberEvent, Message,
+    NodeId, NodeRecord, PartitionSet, ProxySummary, SeqEvent, ServiceAvail, ServiceDecl,
+    SyncRequest, UpdateMsg,
+};
+
+fn minimal_record() -> NodeRecord {
+    NodeRecord::new(NodeId(1), 1)
+}
+
+fn service_record() -> NodeRecord {
+    NodeRecord::new(NodeId(1), 1).with_service(ServiceDecl::new(
+        "index",
+        PartitionSet::from_iter([0, 1, 2]),
+    ))
+}
+
+#[test]
+fn heartbeat_fixed_overhead() {
+    let msg = Message::Heartbeat(Heartbeat {
+        from: NodeId(0),
+        level: 0,
+        seq: 0,
+        is_leader: false,
+        backup: None,
+        latest_update_seq: 0,
+        record: minimal_record(),
+    });
+    // tag 1 + from 4 + level 1 + seq 8 + leader 1 + backup 1 + latest 8
+    //  + record (node 4 + inc 8 + svc count 4 + attr count 4)
+    assert_eq!(codec::encoded_len(&msg), 44);
+}
+
+#[test]
+fn heartbeat_with_one_service() {
+    let msg = Message::Heartbeat(Heartbeat {
+        from: NodeId(0),
+        level: 0,
+        seq: 0,
+        is_leader: false,
+        backup: None,
+        latest_update_seq: 0,
+        record: service_record(),
+    });
+    // +9 name ("index" + u32 len), +4 partition count, +6 partitions,
+    // +4 service attr count
+    assert_eq!(codec::encoded_len(&msg), 44 + 9 + 4 + 6 + 4);
+}
+
+#[test]
+fn update_per_event_cost() {
+    let leave = |seq| SeqEvent {
+        seq,
+        event: MemberEvent::Leave(NodeId(9), 1),
+    };
+    let one = Message::Update(UpdateMsg {
+        origin: NodeId(1),
+        events: vec![leave(1)],
+    });
+    let four = Message::Update(UpdateMsg {
+        origin: NodeId(1),
+        events: (1..=4).map(leave).collect(),
+    });
+    let per_event = (codec::encoded_len(&four) - codec::encoded_len(&one)) / 3;
+    // A leave event costs seq 8 + tag 1 + node 4 + incarnation 8 = 21 B:
+    // "each update about a node departure or join is very small" (§3.1.2).
+    assert_eq!(per_event, 21);
+    assert_eq!(codec::encoded_len(&one), 1 + 4 + 4 + 21);
+}
+
+#[test]
+fn gossip_entry_cost_matches_paper_model() {
+    // A gossip message costs ≈ entries × (record + counter): the Θ(n·s)
+    // the paper's analysis uses.
+    let entry = |id| GossipEntry {
+        record: {
+            let mut r = NodeRecord::new(NodeId(id), 1);
+            r.pad_to_encoded_size(228);
+            r
+        },
+        heartbeat_counter: 1,
+    };
+    let one = Message::Gossip(Gossip {
+        from: NodeId(0),
+        entries: vec![entry(1)],
+    });
+    let ten = Message::Gossip(Gossip {
+        from: NodeId(0),
+        entries: (1..=10).map(entry).collect(),
+    });
+    let per_entry = (codec::encoded_len(&ten) - codec::encoded_len(&one)) / 9;
+    assert!(
+        (190..=240).contains(&per_entry),
+        "per gossip entry: {per_entry} B (expected ≈ one 228 B heartbeat record)"
+    );
+}
+
+#[test]
+fn digest_entry_is_twelve_bytes() {
+    let entry = |id| DigestEntry {
+        node: NodeId(id),
+        incarnation: 1,
+    };
+    let one = Message::Digest(DigestMsg {
+        from: NodeId(0),
+        level: 0,
+        entries: vec![entry(1)],
+    });
+    let ten = Message::Digest(DigestMsg {
+        from: NodeId(0),
+        level: 0,
+        entries: (1..=10).map(entry).collect(),
+    });
+    assert_eq!(
+        (codec::encoded_len(&ten) - codec::encoded_len(&one)) / 9,
+        12
+    );
+}
+
+#[test]
+fn proxy_summary_is_compact() {
+    // "the summary does not include the detailed machine information"
+    // (§3.2) — one service's availability is tens of bytes, not a 228 B
+    // record.
+    let avail = |name: &str| ServiceAvail {
+        name: name.into(),
+        partitions: PartitionSet::from_iter([0, 1, 2]),
+        instances: 9,
+    };
+    let msg = Message::ProxySummary(ProxySummary {
+        dc: DcId(0),
+        seq: 1,
+        part: 0,
+        total_parts: 1,
+        services: vec![avail("retriever"), avail("index")],
+    });
+    assert!(
+        codec::encoded_len(&msg) < 80,
+        "two-service summary too big: {}",
+        codec::encoded_len(&msg)
+    );
+}
+
+#[test]
+fn sync_request_is_tiny() {
+    let msg = Message::SyncRequest(SyncRequest {
+        from: NodeId(1),
+        since_seq: 1000,
+    });
+    assert_eq!(codec::encoded_len(&msg), 13);
+}

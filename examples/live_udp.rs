@@ -1,0 +1,86 @@
+//! The same protocol code, over real UDP sockets in real time: an
+//! in-process cluster of membership daemons on loopback, with an
+//! emulated TTL-scoped multicast fabric.
+//!
+//! ```sh
+//! cargo run --example live_udp
+//! ```
+
+use std::time::{Duration, Instant};
+use tamp::prelude::*;
+use tamp::runtime::Runtime;
+
+fn main() {
+    // Speed the protocol up so the demo finishes in seconds: 100 ms
+    // heartbeats, 3 tolerated losses (300 ms detection).
+    let cfg = MembershipConfig {
+        heartbeat_period: 100 * MILLIS,
+        max_loss: 3,
+        startup_jitter: 50 * MILLIS,
+        listen_period: 300 * MILLIS,
+        election_timeout: 120 * MILLIS,
+        backup_grace: 120 * MILLIS,
+        sweep_period: 30 * MILLIS,
+        anti_entropy_period: SECS,
+        tombstone_ttl: 2 * SECS,
+        ..Default::default()
+    };
+
+    let topo = generators::star_of_segments(2, 4);
+    let mut rt = Runtime::new(topo);
+    let mut clients = Vec::new();
+    for h in rt.hosts() {
+        let mut node_cfg = cfg.clone();
+        node_cfg.services = vec![ServiceDecl::new(
+            "cache",
+            PartitionSet::from_iter([(h.0 % 2) as u16]),
+        )];
+        let node = MembershipNode::new(NodeId(h.0), node_cfg);
+        clients.push(node.directory_client());
+        rt.add_node(h, Box::new(node));
+    }
+    println!("starting 8 membership daemons on loopback UDP ...");
+    rt.start();
+
+    let t0 = Instant::now();
+    loop {
+        let views: Vec<usize> = clients.iter().map(|c| c.member_count()).collect();
+        println!("t={:>4}ms  views: {views:?}", t0.elapsed().as_millis());
+        if views.iter().all(|&v| v == 8) {
+            break;
+        }
+        if t0.elapsed() > Duration::from_secs(30) {
+            eprintln!("did not converge in 30s");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    println!("converged in {:?}", t0.elapsed());
+
+    let machines = clients[0].lookup_service("cache", "1").unwrap();
+    println!(
+        "cache partition 1 served by: {:?}",
+        machines
+            .iter()
+            .map(|m| m.node.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    println!("\nstopping node h7 (real socket close) ...");
+    let victim = rt.hosts()[7];
+    let t1 = Instant::now();
+    rt.stop_node(victim);
+    loop {
+        let views: Vec<usize> = clients[..7].iter().map(|c| c.member_count()).collect();
+        if views.iter().all(|&v| v == 7) {
+            break;
+        }
+        if t1.elapsed() > Duration::from_secs(30) {
+            eprintln!("failure never detected");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("all survivors detected the failure in {:?}", t1.elapsed());
+    rt.shutdown();
+}

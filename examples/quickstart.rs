@@ -1,0 +1,80 @@
+//! Quickstart: build a simulated cluster, watch the membership tree
+//! form, kill a node, watch everyone find out.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tamp::membership::Probe;
+use tamp::prelude::*;
+
+fn main() {
+    // The paper's testbed shape: 5 layer-2 networks of 20 nodes each
+    // behind a router core (TTL distance 2 across networks).
+    let topo = generators::star_of_segments(5, 20);
+    println!(
+        "topology: {} hosts on {} segments, max TTL {}",
+        topo.num_hosts(),
+        topo.num_segments(),
+        topo.max_ttl()
+    );
+
+    let mut engine = Engine::new(topo, EngineConfig::default(), 7);
+    let mut clients: Vec<DirectoryClient> = Vec::new();
+    let mut probes: Vec<Probe> = Vec::new();
+    for h in engine.hosts() {
+        let cfg = MembershipConfig {
+            services: vec![ServiceDecl::new(
+                "http",
+                PartitionSet::from_iter([(h.0 % 4) as u16]),
+            )],
+            ..Default::default()
+        };
+        let node = MembershipNode::new(NodeId(h.0), cfg);
+        clients.push(node.directory_client());
+        probes.push(node.probe());
+        engine.add_actor(h, Box::new(node));
+    }
+    engine.start();
+
+    // Watch the views converge.
+    for t in [2u64, 5, 10, 20] {
+        engine.run_until(t * SECS);
+        let full = clients.iter().filter(|c| c.member_count() == 100).count();
+        println!("t={t:>2}s  nodes with a complete view: {full}/100");
+    }
+
+    // Who leads what? (level 0 leaders are the lowest id per segment)
+    let p0 = probes[0].lock().clone();
+    println!(
+        "node 0: active levels {:?}, leaders per level {:?}",
+        p0.active_levels, p0.leaders
+    );
+
+    // Look up a service with a regex, like the paper's MClient.
+    let machines = clients[42].lookup_service("ht+p", "2").unwrap();
+    println!(
+        "lookup_service(\"ht+p\", \"2\") from node 42 -> {} machines, first: {}",
+        machines.len(),
+        machines[0].node
+    );
+
+    // Kill a node and watch detection sweep the cluster.
+    let victim = HostId(99);
+    println!("\nkilling node 99 at t=20s ...");
+    engine.kill_now(victim);
+    engine.run_until(40 * SECS);
+    let detect = engine.stats().first_removal(NodeId(99)).unwrap();
+    let converge = engine.stats().last_removal(NodeId(99)).unwrap();
+    println!(
+        "first detection after {:.2}s, full convergence after {:.2}s",
+        (detect - 20 * SECS) as f64 / 1e9,
+        (converge - 20 * SECS) as f64 / 1e9
+    );
+    let full = clients
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| *i != 99 && c.member_count() == 99)
+        .count();
+    println!("surviving nodes with the corrected view: {full}/99");
+}

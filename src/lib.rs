@@ -1,0 +1,88 @@
+//! # TAMP — Topology-Adaptive Membership Protocol
+//!
+//! A production-quality Rust implementation of the hierarchical,
+//! topology-adaptive membership service of **Chu, Zhou & Yang,
+//! "An Efficient Topology-Adaptive Membership Protocol for Large-Scale
+//! Network Services" (IPDPS 2005)**, together with everything needed to
+//! reproduce the paper's evaluation: the all-to-all and gossip baseline
+//! protocols, a deterministic discrete-event cluster simulator with
+//! TTL-scoped multicast, the cross-datacenter membership-proxy protocol,
+//! and a Neptune-style service framework with the prototype search
+//! engine.
+//!
+//! This crate is a facade: it re-exports the public API of every
+//! workspace crate under one roof. Depend on the individual crates for
+//! finer-grained builds.
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use tamp::prelude::*;
+//!
+//! // A cluster of 2 layer-2 networks × 5 nodes behind one router.
+//! let topo = generators::star_of_segments(2, 5);
+//! let mut engine = Engine::new(topo, EngineConfig::default(), 42);
+//!
+//! // Every host runs the hierarchical membership protocol and exports
+//! // a service.
+//! let mut clients = Vec::new();
+//! for h in engine.hosts() {
+//!     let mut cfg = MembershipConfig::default();
+//!     cfg.services = vec![ServiceDecl::new(
+//!         "kv-store",
+//!         PartitionSet::from_iter([(h.0 % 2) as u16]),
+//!     )];
+//!     let node = MembershipNode::new(NodeId(h.0), cfg);
+//!     clients.push(node.directory_client());
+//!     engine.add_actor(h, Box::new(node));
+//! }
+//!
+//! engine.start();
+//! engine.run_until(20 * SECS);
+//!
+//! // Every node has the complete yellow pages and can route by
+//! // (service, partition) with regex matching.
+//! assert!(clients.iter().all(|c| c.member_count() == 10));
+//! let machines = clients[0].lookup_service("kv-.*", "1").unwrap();
+//! assert_eq!(machines.len(), 5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`topology`]   | `tamp-topology`   | Hosts / segments / routers, TTL distances, generators |
+//! | [`wire`]       | `tamp-wire`       | Message types + binary codec |
+//! | [`regexlite`]  | `tamp-regexlite`  | Small linear-time regex engine |
+//! | [`directory`]  | `tamp-directory`  | The yellow-page directory |
+//! | [`netsim`]     | `tamp-netsim`     | Deterministic discrete-event simulator |
+//! | [`membership`] | `tamp-membership` | **The paper's protocol** |
+//! | [`baselines`]  | `tamp-baselines`  | All-to-all + gossip comparison protocols |
+//! | [`proxy`]      | `tamp-proxy`      | Cross-datacenter membership proxies |
+//! | [`neptune`]    | `tamp-neptune`    | Service framework + prototype search engine |
+//! | [`runtime`]    | `tamp-runtime`    | Real-time UDP driver for the same actors |
+//! | [`analysis`]   | `tamp-analysis`   | §4 closed-form scalability model |
+
+pub use tamp_analysis as analysis;
+pub use tamp_baselines as baselines;
+pub use tamp_directory as directory;
+pub use tamp_membership as membership;
+pub use tamp_neptune as neptune;
+pub use tamp_netsim as netsim;
+pub use tamp_proxy as proxy;
+pub use tamp_regexlite as regexlite;
+pub use tamp_runtime as runtime;
+pub use tamp_topology as topology;
+pub use tamp_wire as wire;
+
+/// Everything most applications need, in one `use`.
+pub mod prelude {
+    pub use tamp_directory::{DirectoryClient, LookupQuery, Machine};
+    pub use tamp_membership::{MClient, MService, MembershipConfig, MembershipNode};
+    pub use tamp_netsim::{
+        Actor, ChannelId, Context, Control, Engine, EngineConfig, LossModel, PacketMeta, SimTime,
+        MICROS, MILLIS, SECS,
+    };
+    pub use tamp_topology::{generators, HostId, Topology, TopologyBuilder};
+    pub use tamp_wire::{NodeId, NodeRecord, PartitionSet, ServiceDecl};
+}

@@ -1,0 +1,128 @@
+//! Property-based whole-system invariants: random fault schedules under
+//! random loss must always end in a correct, convergent cluster.
+
+use proptest::prelude::*;
+use tamp::prelude::*;
+
+/// A randomly generated fault schedule.
+#[derive(Debug, Clone)]
+struct FaultPlan {
+    seed: u64,
+    loss: f64,
+    /// (victim index, kill second, revive second or 0 for none).
+    faults: Vec<(u8, u8, u8)>,
+}
+
+fn arb_plan(n_hosts: u8) -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0..0.08f64,
+        proptest::collection::vec(
+            (0..n_hosts, 20u8..40, prop_oneof![Just(0u8), 45u8..60]),
+            0..3,
+        ),
+    )
+        .prop_map(|(seed, loss, faults)| FaultPlan { seed, loss, faults })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case simulates ~2 minutes of cluster time
+        .. ProptestConfig::default()
+    })]
+
+    /// After any small fault schedule plus loss, every surviving node's
+    /// membership view equals exactly the set of live nodes, and every
+    /// death was observed cluster-wide.
+    #[test]
+    fn views_always_converge_to_live_set(plan in arb_plan(10)) {
+        let topo = generators::star_of_segments(2, 5);
+        let cfg = EngineConfig {
+            loss: LossModel { rate: plan.loss },
+            ..Default::default()
+        };
+        let mut engine = Engine::new(topo, cfg, plan.seed);
+        let mut clients = Vec::new();
+        for h in engine.hosts() {
+            let node = MembershipNode::new(NodeId(h.0), MembershipConfig::default());
+            clients.push(node.directory_client());
+            engine.add_actor(h, Box::new(node));
+        }
+        engine.start();
+
+        for &(victim, kill_s, revive_s) in &plan.faults {
+            engine.schedule(kill_s as u64 * SECS, Control::Kill(HostId(victim as u32)));
+            if revive_s > 0 {
+                engine.schedule(revive_s as u64 * SECS, Control::Revive(HostId(victim as u32)));
+            }
+        }
+        // Long horizon: every repair mechanism (sync polls, digests,
+        // tombstone expiry) gets to run several times.
+        engine.run_until(120 * SECS);
+
+        let live: Vec<u32> = (0..10u32)
+            .filter(|&i| engine.is_alive(HostId(i)))
+            .collect();
+        for &i in &live {
+            let mut seen: Vec<u32> = clients[i as usize].read(|d| d.nodes().map(|n| n.0).collect());
+            seen.sort();
+            prop_assert_eq!(
+                &seen, &live,
+                "node {} view diverged under plan {:?}", i, plan
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// The directory lookup honors arbitrary partition assignments: any
+    /// partition that some node hosts is found from every node, and no
+    /// lookup invents instances.
+    #[test]
+    fn lookup_is_complete_and_sound(
+        partitions in proptest::collection::vec(0u16..6, 8),
+        seed in any::<u64>(),
+    ) {
+        let topo = generators::star_of_segments(2, 4);
+        let mut engine = Engine::new(topo, EngineConfig::default(), seed);
+        let mut clients = Vec::new();
+        for (i, h) in engine.hosts().into_iter().enumerate() {
+            let cfg = MembershipConfig {
+                services: vec![ServiceDecl::new(
+                    "svc",
+                    PartitionSet::from_iter([partitions[i]]),
+                )],
+                ..Default::default()
+            };
+            let node = MembershipNode::new(NodeId(h.0), cfg);
+            clients.push(node.directory_client());
+            engine.add_actor(h, Box::new(node));
+        }
+        engine.start();
+        engine.run_until(25 * SECS);
+
+        for part in 0u16..6 {
+            let expected: Vec<u32> = partitions
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p == part)
+                .map(|(i, _)| i as u32)
+                .collect();
+            for c in &clients {
+                let mut got: Vec<u32> = c
+                    .lookup_service("svc", &part.to_string())
+                    .unwrap()
+                    .into_iter()
+                    .map(|m| m.node.0)
+                    .collect();
+                got.sort();
+                prop_assert_eq!(&got, &expected, "partition {}", part);
+            }
+        }
+    }
+}
