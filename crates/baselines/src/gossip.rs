@@ -99,6 +99,13 @@ pub struct GossipNode {
     crashed: bool,
     record: NodeRecord,
     my_counter: u64,
+    /// When the last gossip message arrived. Failure staleness is
+    /// measured against this, not against `now`: while nothing at all is
+    /// arriving, the silence is evidence of *our* starvation (fanout-1
+    /// inbound gaps, isolation), not of every member's death — declaring
+    /// on wall-clock time lets one quiet stretch mass-remove the whole
+    /// live view.
+    last_rx: Nanos,
     members: HashMap<NodeId, MemberState>,
     /// Failed members and when they may be forgotten.
     blacklist: HashMap<NodeId, Nanos>,
@@ -114,6 +121,7 @@ impl GossipNode {
             incarnation: 0,
             crashed: false,
             my_counter: 0,
+            last_rx: 0,
             members: HashMap::new(),
             blacklist: HashMap::new(),
             directory: SharedDirectory::new(),
@@ -192,6 +200,7 @@ impl Actor for GossipNode {
             self.members.clear();
             self.blacklist.clear();
             self.my_counter = 0;
+            self.last_rx = 0;
             self.directory.update(|d| {
                 *d = tamp_directory::Directory::new();
                 (true, ())
@@ -223,6 +232,7 @@ impl Actor for GossipNode {
             return;
         }
         let now = ctx.now();
+        self.last_rx = now;
         for e in &g.entries {
             let node = e.record.node;
             if node == self.me {
@@ -282,10 +292,14 @@ impl Actor for GossipNode {
                 let now = ctx.now();
                 let t_fail = self.cfg.t_fail();
                 let t_cleanup = self.cfg.t_cleanup();
+                // Staleness is `last_rx − last_increase`: how much
+                // *received* information failed to advance the member's
+                // counter. Using `now` here would convict every member
+                // during an inbound-starvation gap.
                 let failed: Vec<NodeId> = self
                     .members
                     .iter()
-                    .filter(|(_, m)| now.saturating_sub(m.last_increase) >= t_fail)
+                    .filter(|(_, m)| self.last_rx.saturating_sub(m.last_increase) >= t_fail)
                     .map(|(&n, _)| n)
                     .collect();
                 for n in failed {

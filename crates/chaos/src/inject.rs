@@ -1,0 +1,87 @@
+//! The fault driver's view of a cluster: a small trait the runner talks
+//! to, implemented by both the virtual-time simulator (`tamp-netsim`'s
+//! [`Engine`]) and the real-time runtime (`tamp-runtime`'s [`Runtime`]).
+//!
+//! The runner resolves symbolic targets (leaders, random picks) itself;
+//! by the time a call lands here it names a concrete host or segment
+//! pair, so implementations stay mechanical.
+
+use tamp_netsim::{Actor, Control, Engine};
+use tamp_runtime::Runtime;
+use tamp_topology::{HostId, SegmentId};
+
+/// Apply concrete faults to a running cluster.
+pub trait FaultInjector {
+    /// Fail-stop crash `host`.
+    fn kill(&mut self, host: HostId);
+    /// Restart a crashed host (its protocol state starts fresh).
+    fn revive(&mut self, host: HostId);
+    /// Sever (`blocked = true`) or restore traffic between two segments.
+    fn set_partition(&mut self, a: SegmentId, b: SegmentId, blocked: bool);
+    /// Set the uniform packet-loss rate. Injectors that cannot drop
+    /// packets (the real-time fabric delivers in-process) may ignore it.
+    fn set_loss(&mut self, rate: f64);
+}
+
+impl FaultInjector for Engine {
+    fn kill(&mut self, host: HostId) {
+        self.control_now(Control::Kill(host));
+    }
+
+    fn revive(&mut self, host: HostId) {
+        self.control_now(Control::Revive(host));
+    }
+
+    fn set_partition(&mut self, a: SegmentId, b: SegmentId, blocked: bool) {
+        let c = if blocked {
+            Control::BlockSegments(a, b)
+        } else {
+            Control::UnblockSegments(a, b)
+        };
+        self.control_now(c);
+    }
+
+    fn set_loss(&mut self, rate: f64) {
+        self.control_now(Control::SetLoss(rate));
+    }
+}
+
+/// [`FaultInjector`] over the real-time [`Runtime`]. Reviving a host
+/// needs a fresh actor (thread-per-node, so the old protocol state died
+/// with the thread); the caller supplies a factory for that.
+pub struct RuntimeInjector<'a> {
+    runtime: &'a mut Runtime,
+    make_actor: Box<dyn FnMut(HostId) -> Box<dyn Actor> + 'a>,
+}
+
+impl<'a> RuntimeInjector<'a> {
+    pub fn new(
+        runtime: &'a mut Runtime,
+        make_actor: impl FnMut(HostId) -> Box<dyn Actor> + 'a,
+    ) -> Self {
+        RuntimeInjector {
+            runtime,
+            make_actor: Box::new(make_actor),
+        }
+    }
+}
+
+impl FaultInjector for RuntimeInjector<'_> {
+    fn kill(&mut self, host: HostId) {
+        self.runtime.stop_node(host);
+    }
+
+    fn revive(&mut self, host: HostId) {
+        let actor = (self.make_actor)(host);
+        self.runtime.start_node(host, actor);
+    }
+
+    fn set_partition(&mut self, a: SegmentId, b: SegmentId, blocked: bool) {
+        self.runtime.fabric().set_segments_blocked(a, b, blocked);
+    }
+
+    fn set_loss(&mut self, _rate: f64) {
+        // The in-process fabric has no loss model; loss bursts are a
+        // simulator-only fault. Kills and partitions still apply.
+    }
+}

@@ -1,0 +1,335 @@
+//! The membership-invariant oracle.
+//!
+//! Given the protocol's observable behaviour (removal observations,
+//! directory views, leadership probes) and the [`GroundTruth`] fault
+//! record, the oracle produces a list of [`Violation`]s. An empty list
+//! means the run upheld every invariant:
+//!
+//! 1. **No false removal** — every removal of a node from somebody's
+//!    view is justified by a real fault near that time: the node was
+//!    down, the observer and the node were partitioned, or loss was
+//!    heavy enough to starve heartbeats.
+//! 2. **Convergence** — at quiescence, every live node's directory view
+//!    is exactly the live set.
+//! 3. **Leader agreement** — at quiescence, the live members of each
+//!    network segment agree on a single live, local level-0 leader.
+//! 4. **Proxy consistency** — in multi-datacenter runs, every proxy's
+//!    remote view matches the services actually alive in other DCs.
+
+use crate::truth::GroundTruth;
+use tamp_directory::DirectoryClient;
+use tamp_membership::{MembershipConfig, Probe};
+use tamp_netsim::{Observation, ObservationKind};
+use tamp_topology::{HostId, Nanos, Topology};
+use tamp_wire::NodeId;
+
+/// Tunables for the oracle's judgement.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// A removal at time `t` is justified by faults inside `[t - window,
+    /// t)`. Derive it from the protocol's own detection bound with
+    /// [`OracleConfig::for_membership`].
+    pub removal_window: Nanos,
+    /// Elevated loss at or above this rate excuses removals during (and
+    /// shortly after) the burst: heartbeats genuinely cannot get through.
+    pub loss_excuse_rate: f64,
+    /// Extra window for *representative disruption*: a dead host may have
+    /// been the leader representing its whole segment at upper hierarchy
+    /// levels. The protocol purges a dead member's subtree at the parent
+    /// level and re-registers it once the segment re-elects (with
+    /// anti-entropy as the backstop), so a death in segment S excuses
+    /// removals of S's members for `removal_window + repair_window`.
+    pub repair_window: Nanos,
+}
+
+impl OracleConfig {
+    /// Window sized to the protocol's worst-case detection timeout: the
+    /// level-ℓ timeout is `max_loss × heartbeat × (1 + ℓ × factor)`, so
+    /// any *correct* removal fires within that of the underlying fault.
+    /// `max_level` is the deepest hierarchy level the topology can form.
+    pub fn for_membership(cfg: &MembershipConfig, max_level: u8) -> Self {
+        let base = cfg.heartbeat_period * cfg.max_loss as u64;
+        let worst =
+            base + (base as f64 * max_level as f64 * cfg.level_timeout_factor) as u64;
+        OracleConfig {
+            // Slack for propagation of the removal itself (relay up the
+            // tree + fan-out down), and for sweep granularity.
+            removal_window: worst + 3 * cfg.heartbeat_period + cfg.sweep_period,
+            // At ≥ 0.25 uniform loss, `max_loss` consecutive heartbeat
+            // misses become likely enough over a whole cluster that
+            // removals during a burst cannot be called protocol bugs.
+            loss_excuse_rate: 0.25,
+            // Subtree repair: re-election, level re-join, plus one full
+            // anti-entropy round to re-seed remote directories.
+            repair_window: cfg.anti_entropy_period + worst,
+        }
+    }
+}
+
+/// One invariant breach, with enough detail to debug from the report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// `observer` dropped `node` from its view at `at`, but ground truth
+    /// shows no fault that could justify it.
+    FalseRemoval {
+        observer: HostId,
+        node: NodeId,
+        at: Nanos,
+    },
+    /// At quiescence, `host`'s directory does not equal the live set.
+    ViewDivergence {
+        host: HostId,
+        missing: Vec<u32>,
+        extra: Vec<u32>,
+    },
+    /// Live members of `segment` disagree about (or lack) a level-0
+    /// leader: `claims` lists each member's believed leader.
+    LeaderConflict {
+        segment: u16,
+        claims: Vec<(u32, Option<u32>)>,
+    },
+    /// A segment's agreed leader is not itself alive or not local.
+    DeadLeader { segment: u16, leader: u32 },
+    /// A proxy's remote view disagrees with the actual remote cluster.
+    ProxyInconsistency { dc: u16, detail: String },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::FalseRemoval { observer, node, at } => write!(
+                f,
+                "false removal: host {} dropped live node {} at {}",
+                observer.0,
+                node.0,
+                crate::schedule::fmt_duration(*at)
+            ),
+            Violation::ViewDivergence {
+                host,
+                missing,
+                extra,
+            } => write!(
+                f,
+                "view divergence: host {} missing {:?}, extra {:?}",
+                host.0, missing, extra
+            ),
+            Violation::LeaderConflict { segment, claims } => {
+                write!(f, "leader conflict in segment {segment}: {claims:?}")
+            }
+            Violation::DeadLeader { segment, leader } => {
+                write!(f, "segment {segment} agreed on dead/foreign leader {leader}")
+            }
+            Violation::ProxyInconsistency { dc, detail } => {
+                write!(f, "proxy inconsistency in dc {dc}: {detail}")
+            }
+        }
+    }
+}
+
+/// Invariant 1: every removal observation is justified by ground truth.
+///
+/// A removal of `n` seen by `o` at `t` is justified when, within
+/// `[t - window, t)`:
+/// * `n` was down for some part of the window, or
+/// * `o` was down (a restarted observer rebuilds its view and may
+///   briefly remove everyone it has not re-learned), or
+/// * the segments of `n` and `o` were partitioned, or
+/// * elevated loss at ≥ `loss_excuse_rate` was in effect within the
+///   extended `removal_window + repair_window` — heavy loss can cost a
+///   group its leader, and the resulting purge/re-register churn
+///   surfaces removals well after the burst itself ends, or
+/// * some host in `n`'s segment died within the extended
+///   `removal_window + repair_window` — it may have been the leader
+///   representing `n` up the hierarchy, whose death purges the subtree
+///   at the parent level until the segment re-registers, or
+/// * a partition involving `n`'s or `o`'s segment was active within the
+///   extended window — severing a segment from the hierarchy forces
+///   both sides to re-elect, and the merge on heal churns views exactly
+///   like a representative death does.
+pub fn check_removals(
+    observations: &[Observation],
+    truth: &GroundTruth,
+    topo: &Topology,
+    cfg: &OracleConfig,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for obs in observations {
+        let ObservationKind::Removed(node) = obs.kind else {
+            continue;
+        };
+        let from = obs.time.saturating_sub(cfg.removal_window);
+        let to = obs.time;
+        let node_seg = topo.segment_of(HostId(node.0));
+        let repair_from = obs
+            .time
+            .saturating_sub(cfg.removal_window + cfg.repair_window);
+        let obs_seg = topo.segment_of(obs.observer).0;
+        let justified = truth.was_down_in(node.0, from, to)
+            || truth.was_down_in(obs.observer.0, from, to)
+            || (node_seg.0 != obs_seg && truth.partitioned_in(node_seg.0, obs_seg, from, to))
+            || truth.max_loss_in(repair_from, to) >= cfg.loss_excuse_rate
+            || topo
+                .hosts_on(node_seg)
+                .iter()
+                .any(|h| truth.was_down_in(h.0, repair_from, to))
+            || truth.partition_involving_in(node_seg.0, repair_from, to)
+            || truth.partition_involving_in(obs_seg, repair_from, to);
+        if !justified {
+            out.push(Violation::FalseRemoval {
+                observer: obs.observer,
+                node,
+                at: obs.time,
+            });
+        }
+    }
+    out
+}
+
+/// Invariant 2: at quiescence every live host's view equals the live
+/// set. `clients[i]` must belong to host `i`. Skipped (returns empty)
+/// while a partition is still active — divided halves cannot converge.
+pub fn check_convergence(
+    clients: &[DirectoryClient],
+    truth: &GroundTruth,
+) -> Vec<Violation> {
+    if truth.any_partition_active() {
+        return Vec::new();
+    }
+    let live: Vec<u32> = (0..clients.len() as u32)
+        .filter(|&i| truth.is_alive(i))
+        .collect();
+    let mut out = Vec::new();
+    for &i in &live {
+        let mut seen: Vec<u32> =
+            clients[i as usize].read(|d| d.nodes().map(|n| n.0).collect());
+        seen.sort_unstable();
+        if seen != live {
+            let missing: Vec<u32> =
+                live.iter().copied().filter(|x| !seen.contains(x)).collect();
+            let extra: Vec<u32> =
+                seen.iter().copied().filter(|x| !live.contains(x)).collect();
+            out.push(Violation::ViewDivergence {
+                host: HostId(i),
+                missing,
+                extra,
+            });
+        }
+    }
+    out
+}
+
+/// Invariant 3: per-segment level-0 leader agreement among live members.
+/// `probes[i]` must belong to host `i`. Skipped while partitioned.
+pub fn check_leaders(
+    probes: &[Probe],
+    truth: &GroundTruth,
+    topo: &Topology,
+) -> Vec<Violation> {
+    if truth.any_partition_active() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for seg in 0..topo.num_segments() as u16 {
+        let live_members: Vec<u32> = topo
+            .hosts_on(tamp_topology::SegmentId(seg))
+            .iter()
+            .map(|h| h.0)
+            .filter(|&h| truth.is_alive(h))
+            .collect();
+        if live_members.is_empty() {
+            continue;
+        }
+        let claims: Vec<(u32, Option<u32>)> = live_members
+            .iter()
+            .map(|&h| {
+                let leader = probes[h as usize]
+                    .lock()
+                    .leaders
+                    .first()
+                    .copied()
+                    .flatten()
+                    .map(|n| n.0);
+                (h, leader)
+            })
+            .collect();
+        let first = claims[0].1;
+        if first.is_none() || claims.iter().any(|&(_, l)| l != first) {
+            out.push(Violation::LeaderConflict {
+                segment: seg,
+                claims,
+            });
+        } else if let Some(leader) = first {
+            if !truth.is_alive(leader) || !live_members.contains(&leader) {
+                out.push(Violation::DeadLeader { segment: seg, leader });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::SECS;
+
+    fn cfg() -> OracleConfig {
+        OracleConfig {
+            removal_window: 10 * SECS,
+            loss_excuse_rate: 0.5,
+            repair_window: 15 * SECS,
+        }
+    }
+
+    #[test]
+    fn removal_window_scales_with_hierarchy_depth() {
+        let m = MembershipConfig::default();
+        let shallow = OracleConfig::for_membership(&m, 0).removal_window;
+        let deep = OracleConfig::for_membership(&m, 3).removal_window;
+        assert!(deep > shallow);
+        // Level-0 detection is max_loss × heartbeat; the window must
+        // exceed it to tolerate correct detections at the bound.
+        assert!(shallow > m.heartbeat_period * m.max_loss as u64);
+    }
+
+    fn removed(time: Nanos, observer: u32, node: u32) -> Observation {
+        Observation {
+            time,
+            observer: HostId(observer),
+            kind: ObservationKind::Removed(NodeId(node)),
+        }
+    }
+
+    #[test]
+    fn removal_of_killed_node_is_justified() {
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_kill(20 * SECS, 1);
+        let obs = [removed(25 * SECS, 0, 1)];
+        assert!(check_removals(&obs, &truth, &topo, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn removal_of_live_node_is_a_violation() {
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let truth = GroundTruth::new();
+        let obs = [removed(25 * SECS, 0, 1)];
+        let v = check_removals(&obs, &truth, &topo, &cfg());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::FalseRemoval { node: NodeId(1), .. }));
+    }
+
+    #[test]
+    fn partition_excuses_only_the_involved_segments() {
+        // Hosts 0,1 on segment 0; 2,3 on segment 1; 4,5 on segment 2.
+        let topo = tamp_topology::generators::star_of_segments(3, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_partition(20 * SECS, 1, 2);
+        let obs = [
+            removed(25 * SECS, 0, 2), // node's segment is severed: excused
+            removed(25 * SECS, 0, 1), // neither endpoint involved: violation
+        ];
+        let v = check_removals(&obs, &truth, &topo, &cfg());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::FalseRemoval { node: NodeId(1), .. }));
+    }
+}

@@ -1,0 +1,406 @@
+//! The fault driver: executes a [`Schedule`] against a simulated
+//! membership cluster, records ground truth, and judges the run with the
+//! oracle. Everything is deterministic in `(topology, schedule, seed)` —
+//! the same inputs produce a byte-identical [`ScenarioRun::report`].
+
+use crate::oracle::{self, OracleConfig, Violation};
+use crate::schedule::{fmt_duration, Action, Schedule, Target};
+use crate::truth::GroundTruth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tamp_membership::{MembershipConfig, MembershipNode, Probe};
+use tamp_netsim::{Engine, EngineConfig};
+use tamp_topology::{HostId, Topology};
+use tamp_wire::NodeId;
+
+/// Everything a scenario run needs besides the schedule itself.
+pub struct ScenarioConfig {
+    pub topo: Topology,
+    pub seed: u64,
+    pub membership: MembershipConfig,
+    pub engine: EngineConfig,
+}
+
+impl ScenarioConfig {
+    /// A two-segment, ten-host cluster at default tunables — the
+    /// standard chaos target (matches the repo's invariant tests).
+    pub fn two_segments(seed: u64) -> Self {
+        ScenarioConfig {
+            topo: tamp_topology::generators::star_of_segments(2, 5),
+            seed,
+            membership: MembershipConfig::default(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+pub struct ScenarioRun {
+    pub seed: u64,
+    pub schedule: Schedule,
+    /// Concrete action log: what each event resolved to at fire time
+    /// (leader/random targets pinned to real hosts, skips noted).
+    pub resolved: Vec<String>,
+    pub violations: Vec<Violation>,
+    /// Hosts alive at the horizon.
+    pub live: Vec<u32>,
+    pub horizon: tamp_topology::Nanos,
+    /// Rendered netsim trace lines (protocol packets interleaved with
+    /// the injected faults), when the engine config enables tracing.
+    pub trace: Vec<String>,
+    pub(crate) topo_desc: String,
+}
+
+impl ScenarioRun {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable, byte-deterministic report. Embeds the canonical
+    /// schedule so a failure is copy-pasteable into a scenario file.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== tamp-chaos scenario report ==\n");
+        out.push_str(&format!("seed:     {}\n", self.seed));
+        out.push_str(&format!("topology: {}\n", self.topo_desc));
+        out.push_str(&format!("horizon:  {}\n", fmt_duration(self.horizon)));
+        out.push_str("schedule:\n");
+        for line in self.schedule.render().lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out.push_str("resolved:\n");
+        for line in &self.resolved {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out.push_str(&format!("live at horizon: {:?}\n", self.live));
+        if self.violations.is_empty() {
+            out.push_str("violations: none\n");
+            out.push_str("verdict: PASS\n");
+        } else {
+            out.push_str(&format!("violations: {}\n", self.violations.len()));
+            const SHOWN: usize = 20;
+            for v in self.violations.iter().take(SHOWN) {
+                out.push_str(&format!("  - {v}\n"));
+            }
+            if self.violations.len() > SHOWN {
+                out.push_str(&format!(
+                    "  … and {} more\n",
+                    self.violations.len() - SHOWN
+                ));
+            }
+            out.push_str("verdict: FAIL\n");
+        }
+        out
+    }
+}
+
+/// The built cluster a schedule executes against.
+struct Cluster {
+    engine: Engine,
+    clients: Vec<tamp_directory::DirectoryClient>,
+    probes: Vec<Probe>,
+}
+
+fn build(cfg: &ScenarioConfig) -> Cluster {
+    let mut engine = Engine::new(cfg.topo.clone(), cfg.engine.clone(), cfg.seed);
+    let mut clients = Vec::new();
+    let mut probes = Vec::new();
+    for h in engine.hosts() {
+        let node = MembershipNode::new(NodeId(h.0), cfg.membership.clone());
+        clients.push(node.directory_client());
+        probes.push(node.probe());
+        engine.add_actor(h, Box::new(node));
+    }
+    engine.start();
+    Cluster {
+        engine,
+        clients,
+        probes,
+    }
+}
+
+/// Resolve a symbolic target to a concrete host, or a skip reason.
+/// `want_live` selects the eligible pool (kill wants live hosts, revive
+/// wants dead ones). `probes[i]`, when present, is host `i`'s leadership
+/// probe; hosts without probes still count as kill/revive targets but
+/// cast no leader votes.
+fn resolve_target(
+    target: Target,
+    probes: &[Option<Probe>],
+    truth: &GroundTruth,
+    rng: &mut StdRng,
+    want_live: bool,
+) -> Result<u32, &'static str> {
+    let n = probes.len() as u32;
+    let pool: Vec<u32> = (0..n)
+        .filter(|&h| truth.is_alive(h) == want_live)
+        .collect();
+    match target {
+        Target::Host(h) => {
+            if h >= n {
+                Err("no such host")
+            } else if pool.contains(&h) {
+                Ok(h)
+            } else if want_live {
+                Err("already dead")
+            } else {
+                Err("already alive")
+            }
+        }
+        Target::Random => {
+            if pool.is_empty() {
+                Err("no eligible host")
+            } else {
+                Ok(pool[rng.gen_range(0..pool.len())])
+            }
+        }
+        Target::Leader(level) => {
+            // Majority vote among live nodes' believed leaders at this
+            // level; ties break toward the lowest node id so resolution
+            // is deterministic.
+            let mut votes: std::collections::BTreeMap<u32, usize> =
+                std::collections::BTreeMap::new();
+            for h in (0..n).filter(|&h| truth.is_alive(h)) {
+                let claim = probes[h as usize].as_ref().and_then(|p| {
+                    p.lock().leaders.get(level as usize).copied().flatten()
+                });
+                if let Some(l) = claim {
+                    *votes.entry(l.0).or_insert(0) += 1;
+                }
+            }
+            let winner = votes
+                .iter()
+                .max_by_key(|&(id, count)| (*count, std::cmp::Reverse(*id)))
+                .map(|(&id, _)| id);
+            match winner {
+                Some(l) if pool.contains(&l) => Ok(l),
+                Some(_) => Err("believed leader not eligible"),
+                None => Err("no leader known at this level"),
+            }
+        }
+    }
+}
+
+/// Step the engine through every event of `schedule`, firing faults and
+/// recording them in `truth`. Returns the concrete action log. Shared by
+/// the single-cluster and multi-datacenter runners.
+pub(crate) fn apply_schedule(
+    engine: &mut Engine,
+    probes: &[Option<Probe>],
+    schedule: &Schedule,
+    seed: u64,
+    base_loss: f64,
+    truth: &mut GroundTruth,
+) -> Vec<String> {
+    // Separate stream from the engine's so adding engine entropy never
+    // changes target resolution.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut resolved = Vec::new();
+    let segs = engine.topology().num_segments() as u16;
+
+    for ev in &schedule.events {
+        engine.run_until(ev.at);
+        let at = fmt_duration(ev.at);
+        match ev.action {
+            Action::Kill(t) => match resolve_target(t, probes, truth, &mut rng, true) {
+                Ok(h) => {
+                    truth.record_kill(ev.at, h);
+                    engine.kill_now(HostId(h));
+                    resolved.push(format!("at {at} kill host {h}"));
+                }
+                Err(why) => resolved.push(format!("at {at} kill skipped ({why})")),
+            },
+            Action::Revive(t) => match resolve_target(t, probes, truth, &mut rng, false) {
+                Ok(h) => {
+                    truth.record_revive(ev.at, h);
+                    engine.revive_now(HostId(h));
+                    resolved.push(format!("at {at} revive host {h}"));
+                }
+                Err(why) => resolved.push(format!("at {at} revive skipped ({why})")),
+            },
+            Action::Partition(a, b) => {
+                if a >= segs || b >= segs {
+                    resolved.push(format!("at {at} partition skipped (no such segment)"));
+                } else {
+                    truth.record_partition(ev.at, a, b);
+                    engine.control_now(tamp_netsim::Control::BlockSegments(
+                        tamp_topology::SegmentId(a),
+                        tamp_topology::SegmentId(b),
+                    ));
+                    resolved.push(format!("at {at} partition {a} {b}"));
+                }
+            }
+            Action::Heal(a, b) => {
+                truth.record_heal(ev.at, a, b);
+                engine.control_now(tamp_netsim::Control::UnblockSegments(
+                    tamp_topology::SegmentId(a),
+                    tamp_topology::SegmentId(b),
+                ));
+                resolved.push(format!("at {at} heal {a} {b}"));
+            }
+            Action::HealAll => {
+                truth.record_heal_all(ev.at);
+                for a in 0..segs {
+                    for b in (a + 1)..segs {
+                        engine.control_now(tamp_netsim::Control::UnblockSegments(
+                            tamp_topology::SegmentId(a),
+                            tamp_topology::SegmentId(b),
+                        ));
+                    }
+                }
+                resolved.push(format!("at {at} heal all"));
+            }
+            Action::Loss { rate, duration } => {
+                truth.record_loss(ev.at, rate, duration);
+                engine.control_now(tamp_netsim::Control::SetLoss(rate));
+                engine.schedule(ev.at + duration, tamp_netsim::Control::SetLoss(base_loss));
+                resolved.push(format!(
+                    "at {at} loss {rate} for {}",
+                    fmt_duration(duration)
+                ));
+            }
+        }
+    }
+    resolved
+}
+
+/// Execute `schedule` against a fresh cluster built from `cfg`.
+pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
+    let mut schedule = schedule.clone();
+    schedule.normalize();
+    let mut cluster = build(cfg);
+    let mut truth = GroundTruth::new();
+    let probes: Vec<Option<Probe>> = cluster.probes.iter().cloned().map(Some).collect();
+    let resolved = apply_schedule(
+        &mut cluster.engine,
+        &probes,
+        &schedule,
+        cfg.seed,
+        cfg.engine.loss.rate,
+        &mut truth,
+    );
+
+    let horizon = schedule.horizon();
+    cluster.engine.run_until(horizon);
+
+    // Oracle pass.
+    let max_level = (usize::BITS - cfg.topo.num_segments().leading_zeros()) as u8;
+    let ocfg = OracleConfig::for_membership(&cfg.membership, max_level);
+    let mut violations = Vec::new();
+    violations.extend(oracle::check_removals(
+        cluster.engine.stats().observations(),
+        &truth,
+        cluster.engine.topology(),
+        &ocfg,
+    ));
+    violations.extend(oracle::check_convergence(&cluster.clients, &truth));
+    violations.extend(oracle::check_leaders(
+        &cluster.probes,
+        &truth,
+        cluster.engine.topology(),
+    ));
+
+    let live: Vec<u32> = (0..cluster.clients.len() as u32)
+        .filter(|&h| truth.is_alive(h))
+        .collect();
+    let trace = cluster
+        .engine
+        .trace_log()
+        .records()
+        .map(tamp_netsim::TraceLog::render)
+        .collect();
+    let topo_desc = format!(
+        "{} segments, {} hosts",
+        cfg.topo.num_segments(),
+        cfg.topo.num_hosts()
+    );
+    ScenarioRun {
+        seed: cfg.seed,
+        schedule,
+        resolved,
+        violations,
+        live,
+        horizon,
+        trace,
+        topo_desc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduledFault;
+    use tamp_topology::SECS;
+
+    #[test]
+    fn empty_schedule_passes_on_healthy_cluster() {
+        let cfg = ScenarioConfig::two_segments(7);
+        let run = run_scenario(&cfg, &Schedule::default());
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(run.live, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kill_and_partition_cycle_passes() {
+        let cfg = ScenarioConfig::two_segments(7);
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::Kill(Target::Host(3)),
+            },
+            ScheduledFault {
+                at: 25 * SECS,
+                action: Action::Partition(0, 1),
+            },
+            ScheduledFault {
+                at: 55 * SECS,
+                action: Action::HealAll,
+            },
+            ScheduledFault {
+                at: 60 * SECS,
+                action: Action::Revive(Target::Host(3)),
+            },
+        ]);
+        let run = run_scenario(&cfg, &schedule);
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(run.live.len(), 10);
+    }
+
+    #[test]
+    fn leader_kill_resolves_to_a_real_host() {
+        let cfg = ScenarioConfig::two_segments(3);
+        let schedule = Schedule::new(vec![ScheduledFault {
+            at: 25 * SECS,
+            action: Action::Kill(Target::Leader(0)),
+        }]);
+        let run = run_scenario(&cfg, &schedule);
+        assert!(
+            run.resolved[0].contains("kill host"),
+            "leader did not resolve: {:?}",
+            run.resolved
+        );
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(run.live.len(), 9);
+    }
+
+    #[test]
+    fn same_seed_same_bytes() {
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::Kill(Target::Random),
+            },
+            ScheduledFault {
+                at: 40 * SECS,
+                action: Action::Revive(Target::Random),
+            },
+        ]);
+        let a = run_scenario(&ScenarioConfig::two_segments(11), &schedule);
+        let b = run_scenario(&ScenarioConfig::two_segments(11), &schedule);
+        assert_eq!(a.report(), b.report());
+        let c = run_scenario(&ScenarioConfig::two_segments(12), &schedule);
+        // Different seed resolves the random kill differently (not
+        // guaranteed in general, but true for this seed pair).
+        assert_ne!(a.report(), c.report());
+    }
+}

@@ -1,0 +1,200 @@
+//! Fault schedules: a timed program of fault-injection actions.
+//!
+//! A [`Schedule`] is the unit everything else in this crate operates on:
+//! the DSL parses into one, the generator synthesizes one, the runner
+//! executes one, and the shrinker minimizes one. Schedules render back
+//! to canonical DSL text ([`Schedule::render`]), so a failing schedule
+//! can always be saved to a file and re-run verbatim.
+
+use tamp_topology::Nanos;
+
+/// Who a kill/revive applies to. Symbolic targets are resolved by the
+/// runner at fire time, against the protocol's state at that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// A specific host index.
+    Host(u32),
+    /// The current leader of the given group level, as believed by the
+    /// live majority (resolved from the nodes' probes at fire time).
+    Leader(u8),
+    /// A random eligible host (live for kill, dead for revive), drawn
+    /// from the runner's seeded RNG.
+    Random,
+}
+
+/// One fault-injection action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    Kill(Target),
+    Revive(Target),
+    /// Sever all traffic between two segments.
+    Partition(u16, u16),
+    /// Restore traffic between two segments.
+    Heal(u16, u16),
+    /// Restore every active partition.
+    HealAll,
+    /// Raise the uniform loss rate to `rate` for `duration`, then return
+    /// to the scenario's base rate.
+    Loss { rate: f64, duration: Nanos },
+}
+
+/// An [`Action`] with its fire time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    pub at: Nanos,
+    pub action: Action,
+}
+
+/// A timed fault program plus the observation window around it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Fault events; [`Schedule::normalize`] keeps them time-sorted.
+    pub events: Vec<ScheduledFault>,
+    /// Quiet tail after the last event before the oracle checks
+    /// quiescence invariants.
+    pub settle: Nanos,
+}
+
+/// Default [`Schedule::settle`]: long enough for detection, re-election,
+/// and anti-entropy repair to complete at the default protocol tunables.
+pub const DEFAULT_SETTLE: Nanos = 45 * tamp_topology::SECS;
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule {
+            events: Vec::new(),
+            settle: DEFAULT_SETTLE,
+        }
+    }
+}
+
+impl Schedule {
+    pub fn new(events: Vec<ScheduledFault>) -> Self {
+        let mut s = Schedule {
+            events,
+            settle: DEFAULT_SETTLE,
+        };
+        s.normalize();
+        s
+    }
+
+    /// Sort events by time (stable, so same-instant events keep their
+    /// program order).
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Fire time of the last event (0 for an empty schedule).
+    pub fn last_event_at(&self) -> Nanos {
+        self.events
+            .iter()
+            .map(|e| {
+                // A loss burst occupies its whole window.
+                match e.action {
+                    Action::Loss { duration, .. } => e.at + duration,
+                    _ => e.at,
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// When the oracle takes its quiescence snapshot.
+    pub fn horizon(&self) -> Nanos {
+        self.last_event_at() + self.settle
+    }
+
+    /// Canonical DSL text; [`crate::dsl::parse`] of the output yields an
+    /// equal schedule. This is what failure reports embed, so a repro is
+    /// always copy-pasteable into a scenario file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("settle {}\n", fmt_duration(self.settle)));
+        for e in &self.events {
+            out.push_str(&render_event(e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_target(t: Target) -> String {
+    match t {
+        Target::Host(h) => format!("host {h}"),
+        Target::Leader(l) => format!("leader {l}"),
+        Target::Random => "random".to_string(),
+    }
+}
+
+fn render_event(e: &ScheduledFault) -> String {
+    let at = fmt_duration(e.at);
+    match e.action {
+        Action::Kill(t) => format!("at {at} kill {}", render_target(t)),
+        Action::Revive(t) => format!("at {at} revive {}", render_target(t)),
+        Action::Partition(a, b) => format!("at {at} partition {a} {b}"),
+        Action::Heal(a, b) => format!("at {at} heal {a} {b}"),
+        Action::HealAll => format!("at {at} heal all"),
+        Action::Loss { rate, duration } => {
+            format!("at {at} loss {rate} for {}", fmt_duration(duration))
+        }
+    }
+}
+
+/// Render nanoseconds with the coarsest exact unit (`90s`, `1500ms`,
+/// `250us`, `17ns`) so rendered schedules stay readable and re-parse to
+/// the identical value.
+pub fn fmt_duration(ns: Nanos) -> String {
+    if ns == 0 {
+        return "0s".to_string();
+    }
+    for (unit, div) in [("s", 1_000_000_000u64), ("ms", 1_000_000), ("us", 1_000)] {
+        if ns % div == 0 {
+            return format!("{}{unit}", ns / div);
+        }
+    }
+    format!("{ns}ns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::SECS;
+
+    #[test]
+    fn normalize_sorts_by_time() {
+        let mut s = Schedule::new(vec![
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::HealAll,
+            },
+            ScheduledFault {
+                at: 10 * SECS,
+                action: Action::Kill(Target::Host(1)),
+            },
+        ]);
+        s.normalize();
+        assert_eq!(s.events[0].at, 10 * SECS);
+    }
+
+    #[test]
+    fn horizon_covers_loss_window() {
+        let s = Schedule::new(vec![ScheduledFault {
+            at: 10 * SECS,
+            action: Action::Loss {
+                rate: 0.5,
+                duration: 30 * SECS,
+            },
+        }]);
+        assert_eq!(s.last_event_at(), 40 * SECS);
+        assert_eq!(s.horizon(), 40 * SECS + DEFAULT_SETTLE);
+    }
+
+    #[test]
+    fn duration_formatting_is_exact() {
+        assert_eq!(fmt_duration(0), "0s");
+        assert_eq!(fmt_duration(90 * SECS), "90s");
+        assert_eq!(fmt_duration(1_500_000_000), "1500ms");
+        assert_eq!(fmt_duration(250_000), "250us");
+        assert_eq!(fmt_duration(17), "17ns");
+    }
+}

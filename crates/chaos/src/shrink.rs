@@ -1,0 +1,93 @@
+//! Automatic shrinking: reduce a failing schedule to a minimal repro.
+//!
+//! Greedy delta-debugging over the event list: repeatedly try dropping
+//! each event, keeping any deletion that preserves the failure, until a
+//! full pass removes nothing. Quadratic in the (small) event count, and
+//! every probe is a fresh deterministic run, so the minimized schedule
+//! genuinely fails on replay.
+
+use crate::runner::{run_scenario, ScenarioConfig, ScenarioRun};
+use crate::schedule::Schedule;
+
+/// Shrink `schedule` (which must fail under `cfg`) to a locally minimal
+/// failing schedule. Returns the shrunk schedule and its failing run.
+///
+/// "Locally minimal": removing any single remaining event makes the
+/// failure disappear. The schedule's settle window is left untouched —
+/// it defines *when* the oracle judges, not *what* faults happen.
+pub fn shrink(cfg: &ScenarioConfig, schedule: &Schedule) -> (Schedule, ScenarioRun) {
+    let mut best = schedule.clone();
+    let mut best_run = run_scenario(cfg, &best);
+    assert!(
+        !best_run.passed(),
+        "shrink() called on a passing schedule"
+    );
+
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < best.events.len() {
+            let mut candidate = best.clone();
+            candidate.events.remove(i);
+            let run = run_scenario(cfg, &candidate);
+            if run.passed() {
+                i += 1; // this event is load-bearing; keep it
+            } else {
+                best = candidate;
+                best_run = run;
+                reduced = true;
+                // Same index now holds the next event.
+            }
+        }
+        if !reduced {
+            return (best, best_run);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Action, ScheduledFault, Target};
+    use tamp_membership::MembershipConfig;
+    use tamp_topology::SECS;
+
+    /// With `max_loss: 0` the detection timeout is zero — shorter than
+    /// the heartbeat period — so nodes purge each other the moment any
+    /// fault perturbs timing. Any schedule fails; shrinking should strip
+    /// the decoys and keep (at most) one event.
+    #[test]
+    fn shrinks_broken_config_failure_to_minimal_schedule() {
+        let cfg = ScenarioConfig {
+            membership: MembershipConfig {
+                max_loss: 0,
+                ..Default::default()
+            },
+            ..ScenarioConfig::two_segments(1)
+        };
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 15 * SECS,
+                action: Action::Kill(Target::Host(2)),
+            },
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::Loss {
+                    rate: 0.4,
+                    duration: 5 * SECS,
+                },
+            },
+            ScheduledFault {
+                at: 40 * SECS,
+                action: Action::Revive(Target::Host(2)),
+            },
+        ]);
+        let (shrunk, run) = shrink(&cfg, &schedule);
+        assert!(!run.passed());
+        assert!(
+            shrunk.events.len() <= 1,
+            "expected ≤1 event, got:\n{}",
+            shrunk.render()
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end acceptance tests for the chaos subsystem:
+//! determinism of reports, a seeded sweep over the two-segment topology,
+//! and the intentionally broken configuration that must fail with a
+//! shrunk minimal repro.
+
+use tamp_chaos::{
+    dsl, random_schedule, run_scenario, sweep, GeneratorConfig, ScenarioConfig, Schedule,
+};
+use tamp_membership::MembershipConfig;
+
+#[test]
+fn report_is_byte_identical_for_same_seed_and_scenario() {
+    let schedule = dsl::parse(
+        "settle 45s
+         at 20s kill leader 0
+         at 30s loss 0.4 for 5s
+         at 50s revive random
+         at 60s partition 0 1
+         at 80s heal all",
+    )
+    .unwrap();
+    let a = run_scenario(&ScenarioConfig::two_segments(42), &schedule);
+    let b = run_scenario(&ScenarioConfig::two_segments(42), &schedule);
+    assert_eq!(a.report(), b.report());
+    assert!(a.passed(), "{}", a.report());
+}
+
+#[test]
+fn rolling_restart_of_a_whole_segment_converges() {
+    let schedule = dsl::parse(
+        "settle 45s
+         rolling-restart hosts 0..4 start 30s down 3s gap 12s",
+    )
+    .unwrap();
+    let run = run_scenario(&ScenarioConfig::two_segments(5), &schedule);
+    assert!(run.passed(), "{}", run.report());
+    assert_eq!(run.live.len(), 10, "everyone restarted and came back");
+}
+
+#[test]
+fn twenty_seed_sweep_passes_on_two_segment_topology() {
+    let report = sweep(
+        0,
+        20,
+        &GeneratorConfig::default(),
+        ScenarioConfig::two_segments,
+    );
+    assert!(report.passed(), "{}", report.report());
+    assert_eq!(report.runs.len(), 20);
+}
+
+#[test]
+fn broken_config_fails_and_shrinks_to_minimal_repro() {
+    // max_loss = 0 makes the detection timeout zero — shorter than the
+    // heartbeat period — so live nodes are purged as soon as any sweep
+    // runs. The oracle must catch it, and the sweep must hand back a
+    // shrunk schedule.
+    let broken = |seed| ScenarioConfig {
+        membership: MembershipConfig {
+            max_loss: 0,
+            ..Default::default()
+        },
+        ..ScenarioConfig::two_segments(seed)
+    };
+    let report = sweep(100, 3, &GeneratorConfig::default(), broken);
+    assert!(!report.passed());
+    let text = report.report();
+    let failure = report.failure.expect("sweep must capture the failure");
+    assert!(
+        failure.shrunk.events.len() <= failure.original.events.len(),
+        "shrinking may not grow the schedule"
+    );
+    assert!(!failure.run.passed());
+    assert!(text.contains("verdict: FAIL"), "{text}");
+    assert!(text.contains("false removal"), "{text}");
+    // The embedded schedule is canonical DSL: re-parse and re-fail.
+    let replay = dsl::parse(&failure.shrunk.render()).unwrap();
+    let rerun = run_scenario(&broken(failure.seed), &replay);
+    assert!(!rerun.passed(), "shrunk repro must fail on replay");
+}
+
+#[test]
+fn generated_schedules_render_and_reparse_exactly() {
+    let g = GeneratorConfig::default();
+    for seed in 0..40 {
+        let s = random_schedule(seed, &g);
+        let rendered = s.render();
+        let reparsed: Schedule = dsl::parse(&rendered)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{rendered}"));
+        assert_eq!(s, reparsed, "seed {seed} round-trip mismatch");
+    }
+}

@@ -14,6 +14,14 @@
 //! tamp-exp all                 # everything above
 //! ```
 //!
+//! ```text
+//! tamp-exp chaos                        # generated fault scenario + oracle
+//! tamp-exp chaos --scenario f.chaos     # run a scenario file
+//! tamp-exp chaos --sweep 20             # seeded sweep with shrinking
+//! tamp-exp chaos --proxy                # multi-datacenter proxy mode
+//! tamp-exp chaos --broken               # demo: oracle catches MAX_LOSS=0
+//! ```
+//!
 //! Options: `--seed <u64>` (default 2005), `--quick` (smaller sweeps).
 
 use tamp_harness::*;
@@ -25,9 +33,31 @@ fn main() {
     let mut quick = false;
     let mut trials = 1usize;
     let mut topo_file: Option<String> = None;
+    let mut scenario: Option<String> = None;
+    let mut sweep: Option<u64> = None;
+    let mut broken = false;
+    let mut proxy = false;
+    let mut chaos_trace = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--scenario" => {
+                scenario = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--scenario needs a file path"))
+                        .to_string(),
+                );
+            }
+            "--sweep" => {
+                sweep = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--sweep needs a seed count")),
+                );
+            }
+            "--broken" => broken = true,
+            "--proxy" => proxy = true,
+            "--trace" => chaos_trace = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -95,6 +125,17 @@ fn main() {
         "ablation-topology" => ablations::run_topology(seed),
         "ablation-detector" => ablations::run_detector(seed),
         "trace" => trace_tool::run(seed),
+        "chaos" => {
+            let code = chaos::run(&chaos::ChaosOptions {
+                seed,
+                scenario,
+                sweep,
+                broken,
+                proxy,
+                trace: chaos_trace,
+            });
+            std::process::exit(code);
+        }
         "topo" => {
             let path = topo_file.unwrap_or_else(|| die("usage: tamp-exp topo <file.topo>"));
             if let Err(e) = topo_tool::run(&path, seed) {
@@ -130,10 +171,15 @@ fn print_help() {
     println!(
         "tamp-exp — regenerate the paper's evaluation\n\n\
          commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
-         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector\n\u{20}         topo <file.topo>  trace  all\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector\n\u{20}         topo <file.topo>  trace  chaos  all\n\
          options:  --seed <u64>    deterministic seed (default 2005)\n\
          \u{20}         --quick         smaller sweeps for smoke runs\n\
-         \u{20}         --trials <n>    fig12/fig13: statistics over n seeds"
+         \u{20}         --trials <n>    fig12/fig13: statistics over n seeds\n\
+         chaos:    --scenario <f>  run a fault-scenario DSL file\n\
+         \u{20}         --sweep <n>     sweep n seeds, shrink first failure\n\
+         \u{20}         --proxy         multi-datacenter proxy deployment\n\
+         \u{20}         --broken        MAX_LOSS=0 demo (oracle must fail)\n\
+         \u{20}         --trace         interleave faults with packet trace"
     );
 }
 

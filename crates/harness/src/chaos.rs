@@ -1,0 +1,139 @@
+//! `tamp-exp chaos` — drive the fault-injection subsystem from the
+//! command line: run one scenario (from a DSL file or generated from the
+//! seed), sweep many seeds, exercise the multi-datacenter proxy mode, or
+//! demonstrate the oracle catching a broken configuration.
+
+use tamp_chaos::{
+    dsl, random_schedule, run_proxy_scenario, run_scenario, sweep, GeneratorConfig,
+    ProxyScenarioConfig, ScenarioConfig, Schedule,
+};
+use tamp_membership::MembershipConfig;
+use tamp_netsim::TraceConfig;
+
+/// Options for the `chaos` subcommand.
+pub struct ChaosOptions {
+    pub seed: u64,
+    /// Path to a scenario DSL file; `None` generates one from the seed.
+    pub scenario: Option<String>,
+    /// Sweep this many consecutive seeds instead of one scenario.
+    pub sweep: Option<u64>,
+    /// Use the intentionally broken configuration (`MAX_LOSS = 0`, a
+    /// detection timeout shorter than the heartbeat period) to show the
+    /// oracle failing and shrinking.
+    pub broken: bool,
+    /// Run the multi-datacenter proxy deployment instead.
+    pub proxy: bool,
+    /// Print the packet/fault trace timeline around each injected fault.
+    pub trace: bool,
+}
+
+fn membership(broken: bool) -> MembershipConfig {
+    if broken {
+        MembershipConfig {
+            max_loss: 0,
+            ..Default::default()
+        }
+    } else {
+        MembershipConfig::default()
+    }
+}
+
+fn scenario_config(seed: u64, opts: &ChaosOptions) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::two_segments(seed);
+    cfg.membership = membership(opts.broken);
+    if opts.trace {
+        cfg.engine.trace = TraceConfig {
+            enabled: true,
+            capacity: 200_000,
+            kinds: vec!["update", "sync-req", "sync-resp", "election", "digest"],
+            ..Default::default()
+        };
+    }
+    cfg
+}
+
+/// Entry point for `tamp-exp chaos`. Returns process exit code: 0 when
+/// every oracle invariant held, 1 otherwise.
+pub fn run(opts: &ChaosOptions) -> i32 {
+    if opts.broken {
+        println!("(broken config: MAX_LOSS = 0 — detection timeout < heartbeat period)\n");
+    }
+    if let Some(count) = opts.sweep {
+        let report = sweep(opts.seed, count, &GeneratorConfig::default(), |seed| {
+            scenario_config(seed, opts)
+        });
+        print!("{}", report.report());
+        return if report.passed() { 0 } else { 1 };
+    }
+    if opts.proxy {
+        let cfg = ProxyScenarioConfig {
+            membership: membership(opts.broken),
+            ..ProxyScenarioConfig::two_dcs(opts.seed)
+        };
+        let schedule = load_schedule(opts);
+        let run = run_proxy_scenario(&cfg, &schedule);
+        print!("{}", run.report());
+        return if run.passed() { 0 } else { 1 };
+    }
+
+    let cfg = scenario_config(opts.seed, opts);
+    let schedule = load_schedule(opts);
+    let run = run_scenario(&cfg, &schedule);
+    print!("{}", run.report());
+    if opts.trace {
+        println!("\ntrace timeline (faults interleaved with control traffic):");
+        crate::trace_tool::print_chaos_trace(&run.trace);
+    }
+    if run.passed() {
+        0
+    } else {
+        1
+    }
+}
+
+fn load_schedule(opts: &ChaosOptions) -> Schedule {
+    match &opts.scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("tamp-exp: cannot read scenario {path}: {e}");
+                std::process::exit(2);
+            });
+            dsl::parse(&text).unwrap_or_else(|e| {
+                eprintln!("tamp-exp: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => random_schedule(opts.seed, &GeneratorConfig::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_single_run_passes_and_exits_zero() {
+        let opts = ChaosOptions {
+            seed: 4,
+            scenario: None,
+            sweep: None,
+            broken: false,
+            proxy: false,
+            trace: false,
+        };
+        assert_eq!(run(&opts), 0);
+    }
+
+    #[test]
+    fn broken_config_exits_nonzero() {
+        let opts = ChaosOptions {
+            seed: 4,
+            scenario: None,
+            sweep: Some(1),
+            broken: true,
+            proxy: false,
+            trace: false,
+        };
+        assert_eq!(run(&opts), 1);
+    }
+}

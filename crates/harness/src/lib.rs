@@ -14,10 +14,12 @@
 //! | Fig. 14 (proxy failover timeline)        | [`fig14`]     | `fig14` |
 //! | §4 analysis (BDT/BCT model)              | [`analysis_tables`] | `analysis` |
 //! | Ablations A1–A4 (DESIGN.md)              | [`ablations`] | `ablation-*` |
+//! | Chaos scenarios + invariant oracle       | [`chaos`]     | `chaos` |
 
 pub mod ablations;
 pub mod analysis_tables;
 pub mod bandwidth;
+pub mod chaos;
 pub mod common;
 pub mod detection;
 pub mod fig14;

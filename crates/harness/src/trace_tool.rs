@@ -66,6 +66,42 @@ pub fn run(seed: u64) {
     );
 }
 
+/// Print a chaos run's trace timeline: injected fault transitions
+/// (`==== kill/revive/partition/heal/loss ====` lines) interleaved, in
+/// time order, with the protocol traffic they provoked. Fault lines are
+/// always shown; packet lines are windowed to 1 s before and 8 s after
+/// each fault (detection and re-election fire several heartbeat periods
+/// after the fault itself) so the interesting reactions stand out.
+pub fn print_chaos_trace(trace: &[String]) {
+    // Rendered lines start with the timestamp in seconds; fault/net
+    // transitions contain the `====` marker (see `TraceLog::render`).
+    let fault_times: Vec<f64> = trace
+        .iter()
+        .filter(|l| l.contains("===="))
+        .filter_map(|l| l.split_whitespace().next()?.parse().ok())
+        .collect();
+    let near_fault = |t: f64| fault_times.iter().any(|&f| (-1.0..=8.0).contains(&(t - f)));
+    let mut shown = 0;
+    for line in trace {
+        let is_fault = line.contains("====");
+        let t: Option<f64> = line
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok());
+        if is_fault || t.is_some_and(near_fault) {
+            println!("{line}");
+            shown += 1;
+            if shown > 400 {
+                println!("… (truncated)");
+                break;
+            }
+        }
+    }
+    if shown == 0 {
+        println!("(no trace records — was tracing enabled?)");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,21 @@ impl Default for LossModel {
     }
 }
 
+/// A time-windowed loss episode: within `[from, until)` the drop
+/// probability is at least `rate` (the effective rate is the maximum of
+/// the base [`LossModel`] and every active burst). Models transient
+/// congestion — a backup job saturating an uplink, a flapping switch —
+/// that uniform loss cannot express.
+#[derive(Debug, Clone, Copy)]
+pub struct LossBurst {
+    /// Burst start (inclusive).
+    pub from: SimTime,
+    /// Burst end (exclusive).
+    pub until: SimTime,
+    /// Drop probability in `[0, 1]` while the burst is active.
+    pub rate: f64,
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -51,6 +66,8 @@ pub struct EngineConfig {
     pub series_bucket: SimTime,
     /// Packet loss model.
     pub loss: LossModel,
+    /// Time-varying loss episodes layered on top of the base rate.
+    pub loss_bursts: Vec<LossBurst>,
     /// Event tracing (off by default; see [`crate::trace`]).
     pub trace: TraceConfig,
 }
@@ -65,6 +82,7 @@ impl Default for EngineConfig {
             latency_jitter: 200_000, // 0.2 ms
             series_bucket: 0,
             loss: LossModel::default(),
+            loss_bursts: Vec::new(),
             trace: TraceConfig::default(),
         }
     }
@@ -91,6 +109,9 @@ pub enum Control {
     BlockSegments(SegmentId, SegmentId),
     /// Restore traffic between two segments.
     UnblockSegments(SegmentId, SegmentId),
+    /// Change the base uniform loss rate from this instant on (bursts
+    /// still layer on top).
+    SetLoss(f64),
 }
 
 /// An in-flight packet (shared across all its multicast receivers).
@@ -268,6 +289,12 @@ impl Engine {
         self.apply_control(Control::Revive(h));
     }
 
+    /// Apply any fault-injection action right now (the immediate form of
+    /// [`Engine::schedule`]).
+    pub fn control_now(&mut self, c: Control) {
+        self.apply_control(c);
+    }
+
     /// Process every event up to and including time `t`, then advance the
     /// clock to exactly `t`.
     pub fn run_until(&mut self, t: SimTime) {
@@ -346,11 +373,29 @@ impl Engine {
             }
             Control::BlockSegments(a, b) => {
                 self.blocked.insert((a.0.min(b.0), a.0.max(b.0)));
+                self.trace(TraceEvent::Net("partition", format!("seg{}–seg{}", a.0, b.0)));
             }
             Control::UnblockSegments(a, b) => {
                 self.blocked.remove(&(a.0.min(b.0), a.0.max(b.0)));
+                self.trace(TraceEvent::Net("heal", format!("seg{}–seg{}", a.0, b.0)));
+            }
+            Control::SetLoss(rate) => {
+                self.config.loss.rate = rate.clamp(0.0, 1.0);
+                self.trace(TraceEvent::Net("loss", format!("rate={rate:.3}")));
             }
         }
+    }
+
+    /// The drop probability in force right now: the base rate, raised by
+    /// any active burst window.
+    fn effective_loss(&self) -> f64 {
+        let mut rate = self.config.loss.rate;
+        for b in &self.config.loss_bursts {
+            if b.from <= self.clock && self.clock < b.until {
+                rate = rate.max(b.rate);
+            }
+        }
+        rate
     }
 
     fn segments_blocked(&self, a: HostId, b: HostId) -> bool {
@@ -494,8 +539,9 @@ impl Engine {
             bytes: size,
             receivers: receivers.len() as u32,
         });
+        let loss = self.effective_loss();
         for to in receivers {
-            if self.config.loss.rate > 0.0 && self.rng.gen::<f64>() < self.config.loss.rate {
+            if loss > 0.0 && self.rng.gen::<f64>() < loss {
                 self.stats.on_drop(to);
                 self.trace(TraceEvent::Drop {
                     src,
@@ -771,7 +817,9 @@ mod tests {
             );
         }
         eng.start();
-        eng.run_until(1000 * SECS);
+        // Half a second past the 1000th send, so the last beacon is
+        // delivered or dropped (not in flight) when we take the counts.
+        eng.run_until(1000 * SECS + 500 * crate::MILLIS);
         let got = read(&counters[1]);
         assert!(
             (350..650).contains(&got),
@@ -782,6 +830,69 @@ mod tests {
             1000,
             "received + dropped must equal sent"
         );
+    }
+
+    #[test]
+    fn loss_burst_turns_on_and_off_over_a_window() {
+        // Beacon every second; total blackout during [10 s, 20 s). The
+        // receiver must see every beacon outside the window and none
+        // inside it.
+        let topo = generators::single_segment(2);
+        let cfg = EngineConfig {
+            loss_bursts: vec![LossBurst {
+                from: 10 * SECS,
+                until: 20 * SECS,
+                rate: 1.0,
+            }],
+            ..Default::default()
+        };
+        let mut eng = Engine::new(topo, cfg, 7);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 1,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        // Sends at 1..=9 s land; the window is open.
+        eng.run_until(10 * SECS - 1);
+        assert_eq!(read(&counters[1]), 9, "pre-burst beacons lost");
+        // Sends at 10..=19 s all fall inside the burst.
+        eng.run_until(20 * SECS - 1);
+        assert_eq!(read(&counters[1]), 9, "burst leaked traffic");
+        // Sends at 20..=29 s land again.
+        eng.run_until(30 * SECS - 1);
+        assert_eq!(read(&counters[1]), 19, "loss did not turn back off");
+    }
+
+    #[test]
+    fn set_loss_control_changes_rate_mid_run() {
+        let topo = generators::single_segment(2);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 9);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 1,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        eng.schedule(10 * SECS, Control::SetLoss(1.0));
+        eng.schedule(20 * SECS, Control::SetLoss(0.0));
+        eng.run_until(30 * SECS - 1);
+        // 9 beacons before the blackout + 10 after it.
+        assert_eq!(read(&counters[1]), 19);
     }
 
     #[test]

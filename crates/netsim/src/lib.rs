@@ -56,7 +56,7 @@ mod stats;
 pub mod trace;
 
 pub use actor::{collect_effects, Actor, Context, Effect};
-pub use engine::{Control, Engine, EngineConfig, LossModel};
+pub use engine::{Control, Engine, EngineConfig, LossBurst, LossModel};
 pub use packet::{ChannelId, Destination, PacketMeta};
 pub use stats::{HostStats, Observation, ObservationKind, SeriesPoint, Stats};
 pub use trace::{DropReason, TraceConfig, TraceEvent, TraceLog, TraceRecord};

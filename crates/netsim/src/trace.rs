@@ -38,6 +38,9 @@ pub enum TraceEvent {
     Timer { host: HostId, token: u64 },
     /// Fault injection.
     Fault(&'static str, HostId),
+    /// Network-wide fault transition (partition, heal, loss change):
+    /// a short verb plus a preformatted detail string.
+    Net(&'static str, String),
 }
 
 /// Why a delivery was dropped.
@@ -116,6 +119,8 @@ impl TraceConfig {
             }
             TraceEvent::Timer { host, .. } => self.include_timers && self.wants_host(*host),
             TraceEvent::Fault(_, host) => self.wants_host(*host),
+            // Network-wide transitions touch every host; never filtered.
+            TraceEvent::Net(..) => true,
         }
     }
 }
@@ -196,6 +201,7 @@ impl TraceLog {
                 format!("{t:11.6}  {host:>5} ⏰ timer {token:#x}")
             }
             TraceEvent::Fault(what, host) => format!("{t:11.6}  ==== {what} {host} ===="),
+            TraceEvent::Net(what, detail) => format!("{t:11.6}  ==== net {what} {detail} ===="),
         }
     }
 }

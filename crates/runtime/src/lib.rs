@@ -238,6 +238,15 @@ impl Runtime {
         self.fabric.deregister(host);
     }
 
+    /// Start (or restart) one node immediately — the live analogue of
+    /// the simulator's `Control::Revive`. The caller supplies a fresh
+    /// actor, just as a restarted process begins with empty state; the
+    /// host must not currently be running (call [`Runtime::stop_node`]
+    /// first when restarting).
+    pub fn start_node(&mut self, host: HostId, actor: Box<dyn Actor>) {
+        self.spawn(host, actor);
+    }
+
     /// Stop everything and join the driver threads.
     pub fn shutdown(&mut self) {
         for s in self.stops.values() {

@@ -62,9 +62,11 @@
 //! | [`neptune`]    | `tamp-neptune`    | Service framework + prototype search engine |
 //! | [`runtime`]    | `tamp-runtime`    | Real-time UDP driver for the same actors |
 //! | [`analysis`]   | `tamp-analysis`   | §4 closed-form scalability model |
+//! | [`chaos`]      | `tamp-chaos`      | Fault-injection scenarios + invariant oracle |
 
 pub use tamp_analysis as analysis;
 pub use tamp_baselines as baselines;
+pub use tamp_chaos as chaos;
 pub use tamp_directory as directory;
 pub use tamp_membership as membership;
 pub use tamp_neptune as neptune;

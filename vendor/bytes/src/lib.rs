@@ -1,0 +1,135 @@
+//! Offline stand-in for `bytes`.
+//!
+//! The wire codec only needs a growable byte buffer with little-endian
+//! put methods; this vendored crate provides exactly that subset of the
+//! bytes 1.x API (`BytesMut` + `BufMut`), backed by `Vec<u8>`.
+
+/// Write-side buffer operations (the subset the codec uses).
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, v: &[u8]);
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.inner.extend_from_slice(v);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_puts() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xab);
+        b.put_u16_le(0x0102);
+        b.put_u32_le(0x03040506);
+        b.put_u64_le(0x0708090a0b0c0d0e);
+        b.put_slice(&[1, 2]);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 2);
+        assert_eq!(b.to_vec()[..3], [0xab, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn vec_impl_matches() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u16_le(0xbeef);
+        assert_eq!(v, vec![0xef, 0xbe]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the criterion 0.5 API subset the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input` / `finish`,
+//! `BenchmarkId::from_parameter`, `Throughput`, and `Bencher::iter`.
+//!
+//! It runs each benchmark for a fixed number of timed iterations and
+//! prints a one-line mean wall-clock duration — enough to keep `cargo
+//! bench` compiling and producing comparable numbers, without
+//! statistics, plots, or CLI filtering.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measured quantity per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Identifies a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up once so first-use costs (allocation, lazy init) don't
+        // dominate the measurement.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint; ignored by the stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(t: &Throughput, per_iter: f64) -> String {
+    let (count, unit) = match t {
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (*n as f64, "B"),
+        Throughput::Elements(n) => (*n as f64, "elem"),
+    };
+    let per_sec = count / per_iter * 1e9;
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} {unit}/s")
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        let mut line = format!(
+            "{}/{id}: {} per iter ({} iters)",
+            self.name,
+            fmt_duration(Duration::from_nanos(per_iter as u64)),
+            b.iters
+        );
+        if let Some(t) = &self.throughput {
+            line.push_str(&format!(", {}", fmt_rate(t, per_iter)));
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 100,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).run(name, f);
+        self
+    }
+}
+
+/// `black_box` re-export point used by benches.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, tiny_bench);
+
+    #[test]
+    fn group_api_runs() {
+        smoke();
+    }
+}

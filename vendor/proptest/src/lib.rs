@@ -1,0 +1,868 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the proptest 1.x API subset the workspace uses:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`;
+//! * strategies for integer/float ranges, `&str` regex-ish patterns,
+//!   tuples (up to 8), [`Just`], [`collection::vec`], [`option::of`],
+//!   [`any`], and `prop_oneof!`;
+//! * the `proptest!` test macro with `#![proptest_config(..)]`,
+//!   `prop_assert!`, and `prop_assert_eq!`;
+//! * seed-based regression persistence in `*.proptest-regressions`
+//!   files (`cc s<hex-seed> # ...` lines; upstream proptest's opaque
+//!   hash lines are preserved but skipped).
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed sequence (override with `PROPTEST_CASES` /
+//! `PROPTEST_SEED`), and failing cases are reported and persisted by
+//! seed but **not shrunk** — re-running a persisted seed regenerates the
+//! identical input while strategies are unchanged.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A failed test case (assertion message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Upstream-compatible constructor name.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration (the subset of upstream's fields used here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Unused (no shrinking in the stand-in); kept for source compat.
+    pub max_shrink_iters: u32,
+    /// Unused; kept for source compat.
+    pub verbose: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            verbose: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generator of test values. Unlike upstream there is no value tree /
+/// shrinking: a strategy deterministically maps an RNG state to a value.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy (what `prop_oneof!` arms become).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`] (retry-based).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row");
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + rng.gen::<f64>() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Full-range strategy for a primitive type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        (rng.gen_range(0x20u32..0x7f) as u8) as char
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> OneOf<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------- strings
+
+/// `&str` as a strategy: a regex-ish pattern of character classes with
+/// `{m,n}` repetitions (the subset this workspace's tests use, e.g.
+/// `"[a-z0-9]{1,8}"` or `"\\PC{0,24}"`). Unparseable patterns fall back
+/// to generating the literal text.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn printable() -> Vec<char> {
+        (0x20u8..0x7f).map(|b| b as char).collect()
+    }
+
+    fn parse(pat: &str) -> Option<Vec<Element>> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i)?;
+                    i += 1;
+                    match c {
+                        'P' => {
+                            // `\PC`: not-a-control-character.
+                            if chars.get(i) == Some(&'C') {
+                                i += 1;
+                                printable()
+                            } else {
+                                return None;
+                            }
+                        }
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(std::iter::once('_'))
+                            .collect(),
+                        other => vec![other],
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    printable()
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_repeat(&chars, &mut i);
+            out.push(Element {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Some(out)
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> Option<(Vec<char>, usize)> {
+        let mut set = Vec::new();
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut prev: Option<char> = None;
+        while i < chars.len() && chars[i] != ']' {
+            match chars[i] {
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i)?;
+                    set.push(c);
+                    prev = Some(c);
+                    i += 1;
+                }
+                '-' if prev.is_some() && i + 1 < chars.len() && chars[i + 1] != ']' => {
+                    let lo = prev.unwrap();
+                    let hi = chars[i + 1];
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    prev = None;
+                    i += 2;
+                }
+                c => {
+                    set.push(c);
+                    prev = Some(c);
+                    i += 1;
+                }
+            }
+        }
+        if i >= chars.len() {
+            return None; // unterminated class
+        }
+        i += 1; // consume ']'
+        if negated {
+            set = printable().into_iter().filter(|c| !set.contains(c)).collect();
+        }
+        if set.is_empty() {
+            return None;
+        }
+        Some((set, i))
+    }
+
+    fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..].iter().position(|&c| c == '}');
+                if let Some(off) = close {
+                    let body: String = chars[*i + 1..*i + off].iter().collect();
+                    let parsed = if let Some((lo, hi)) = body.split_once(',') {
+                        match (lo.trim().parse(), hi.trim().parse()) {
+                            (Ok(l), Ok(h)) => Some((l, h)),
+                            _ => None,
+                        }
+                    } else {
+                        body.trim().parse().ok().map(|n: usize| (n, n))
+                    };
+                    if let Some((lo, hi)) = parsed {
+                        *i += off + 1;
+                        return (lo, hi);
+                    }
+                }
+                (1, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        match parse(pat) {
+            Some(elems) => {
+                let mut s = String::new();
+                for e in &elems {
+                    let count = if e.max > e.min {
+                        rng.gen_range(e.min..=e.max)
+                    } else {
+                        e.min
+                    };
+                    for _ in 0..count {
+                        s.push(e.chars[rng.gen_range(0..e.chars.len())]);
+                    }
+                }
+                s
+            }
+            None => pat.to_string(),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Accepted by [`vec`]: an exact length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.max > self.size.min + 1 {
+                rng.gen_range(self.size.min..self.size.max)
+            } else {
+                self.size.min
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen::<u64>() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+// ----------------------------------------------------------------- runner
+
+pub mod runner {
+    use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok()?.trim().parse().ok()
+    }
+
+    /// Locate `<dir of source file>/<stem>.proptest-regressions`, the
+    /// same sibling path upstream proptest uses. `file` comes from
+    /// `file!()` (workspace-root relative); we anchor it by walking up
+    /// from the crate's manifest dir until the path exists.
+    fn regression_path(file: &str) -> Option<PathBuf> {
+        let src = PathBuf::from(file);
+        let reg = src.with_extension("proptest-regressions");
+        if src.exists() {
+            return Some(reg);
+        }
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        let mut dir = Some(PathBuf::from(manifest));
+        while let Some(d) = dir {
+            if d.join(&src).exists() {
+                return Some(d.join(&reg));
+            }
+            dir = d.parent().map(|p| p.to_path_buf());
+        }
+        None
+    }
+
+    /// Seeds persisted by this stand-in: `cc s<16-hex> # ...` lines.
+    /// Upstream's opaque-hash `cc <64-hex>` lines are skipped (the input
+    /// they encode cannot be reconstructed without upstream's RNG).
+    fn load_regression_seeds(path: &PathBuf) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| {
+                let rest = l.trim().strip_prefix("cc s")?;
+                let hex = rest.split_whitespace().next()?;
+                u64::from_str_radix(hex, 16).ok()
+            })
+            .collect()
+    }
+
+    fn persist_failure(path: &Option<PathBuf>, seed: u64, test: &str, value_dbg: &str) {
+        let Some(path) = path else { return };
+        let mut body = String::new();
+        if !path.exists() {
+            body.push_str(
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated.\n#\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases.\n",
+            );
+        }
+        let mut dbg_line = value_dbg.replace('\n', " ");
+        if dbg_line.len() > 300 {
+            dbg_line.truncate(300);
+            dbg_line.push('…');
+        }
+        body.push_str(&format!("cc s{seed:016x} # {test} failed with input {dbg_line}\n"));
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = f.write_all(body.as_bytes());
+        }
+    }
+
+    fn splitmix(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn run_case<S, F>(strat: &S, f: &F, seed: u64) -> Result<(), String>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let value = strat.generate(&mut rng);
+        let value_dbg = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| f(value))) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(format!("{e}; input: {value_dbg}")),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic".into());
+                Err(format!("panicked: {msg}; input: {value_dbg}"))
+            }
+        }
+    }
+
+    /// Entry point emitted by the `proptest!` macro.
+    pub fn run<S, F>(config: &ProptestConfig, file: &str, test: &str, strat: &S, f: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let reg_path = regression_path(file);
+        if let Some(p) = &reg_path {
+            for seed in load_regression_seeds(p) {
+                if let Err(msg) = run_case(strat, &f, seed) {
+                    panic!("{test}: persisted regression seed s{seed:016x} still fails: {msg}");
+                }
+            }
+        }
+
+        let cases = env_u64("PROPTEST_CASES")
+            .map(|c| c as u32)
+            .unwrap_or(config.cases);
+        // Deterministic per-test seed stream (stable across runs and
+        // machines); PROPTEST_SEED reruns one specific case.
+        if let Some(seed) = env_u64("PROPTEST_SEED") {
+            if let Err(msg) = run_case(strat, &f, seed) {
+                panic!("{test}: seed s{seed:016x} fails: {msg}");
+            }
+            return;
+        }
+        let mut state = 0xc0ff_ee00_0000_0000u64;
+        for b in test.bytes().chain(file.bytes()) {
+            state = state.wrapping_mul(0x100_0000_01b3) ^ b as u64;
+        }
+        for case in 0..cases {
+            let seed = splitmix(&mut state);
+            if let Err(msg) = run_case(strat, &f, seed) {
+                // Re-derive the failing value for the persistence line.
+                let mut rng = TestRng::seed_from_u64(seed);
+                let dbg = format!("{:?}", strat.generate(&mut rng));
+                persist_failure(&reg_path, seed, test, &dbg);
+                panic!(
+                    "{test}: case {}/{} failed (seed s{seed:016x}, persisted for replay): {msg}",
+                    case + 1,
+                    cases
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- macros
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l, r, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (config = ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::runner::run(
+                    &config,
+                    file!(),
+                    stringify!($name),
+                    &strategy,
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// One-stop import, mirroring upstream.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Upstream exposes modules under `prop::`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_generate_in_domain() {
+        let mut rng = crate::TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let v = (0u16..512).generate(&mut rng);
+            assert!(v < 512);
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let o = crate::option::of(0u8..4).generate(&mut rng);
+            assert!(o.is_none() || o.unwrap() < 4);
+            let vec = crate::collection::vec(0u8..4, 8).generate(&mut rng);
+            assert_eq!(vec.len(), 8);
+            let one = prop_oneof![Just(0u8), 45u8..60].generate(&mut rng);
+            assert!(one == 0 || (45..60).contains(&one));
+        }
+    }
+
+    #[test]
+    fn pattern_classes() {
+        let mut rng = crate::TestRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let s = "\\PC{0,24}".generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            let t = "[a-zA-Z0-9 .*+?()\\[\\]|^$\\\\{}-]{0,16}".generate(&mut rng);
+            assert!(t.len() <= 16);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(x in 0u64..1000, y in any::<bool>()) {
+            prop_assert!(x < 1000);
+            prop_assert_eq!(y as u64 * 2 / 2, y as u64);
+        }
+    }
+}
