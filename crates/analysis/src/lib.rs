@@ -46,6 +46,12 @@ pub struct ModelParams {
     pub hop_time_s: f64,
     /// Gossip mistake probability (bounds `T_fail`).
     pub mistake_probability: f64,
+    /// Refutable-suspicion window added before a timeout becomes a
+    /// confirmed removal (the robustness extension over the paper;
+    /// `MembershipConfig::suspicion_window`). 0 models the paper's
+    /// immediate-removal protocol, which is the default so the §4
+    /// reproduction stays exact.
+    pub suspicion_s: f64,
 }
 
 impl Default for ModelParams {
@@ -58,6 +64,7 @@ impl Default for ModelParams {
             group_size: 20,
             hop_time_s: 0.001,
             mistake_probability: 0.001,
+            suspicion_s: 0.0,
         }
     }
 }
@@ -126,15 +133,17 @@ pub fn gossip(p: &ModelParams) -> Prediction {
 /// (`g·(g−1)·s/T` received per group, `n/g` level-0 groups, plus a
 /// geometrically shrinking tree of higher-level groups — the `(1 +
 /// 1/g + …) ≈ g/(g−1)` factor). Detection is local: `k` missed
-/// heartbeats. Convergence adds two tree traversals (up to the root,
-/// down to the leaves): `2·log_g n` hops.
+/// heartbeats, plus the refutable-suspicion window when the robustness
+/// extension is on (`suspicion_s`; 0 by default). Convergence adds two
+/// tree traversals (up to the root, down to the leaves): `2·log_g n`
+/// hops.
 pub fn hierarchical(p: &ModelParams) -> Prediction {
     let n = p.n as f64;
     let g = (p.group_size as f64).min(n).max(2.0);
     // Total group membership across levels: n + n/g + n/g² + … ≈ n·g/(g−1).
     let members_all_levels = n * g / (g - 1.0);
     let bw = members_all_levels * (g - 1.0) * p.record_bytes / p.period_s;
-    let detect = p.max_loss * p.period_s;
+    let detect = p.max_loss * p.period_s + p.suspicion_s;
     let height = (n.ln() / g.ln()).ceil().max(1.0);
     Prediction {
         bandwidth_bytes_per_s: bw,
@@ -194,6 +203,21 @@ mod tests {
         assert_eq!(all_to_all(&params(20)).detection_s, 5.0);
         assert_eq!(all_to_all(&params(4000)).detection_s, 5.0);
         assert_eq!(hierarchical(&params(4000)).detection_s, 5.0);
+    }
+
+    #[test]
+    fn suspicion_term_adds_to_hierarchical_detection_only() {
+        let p = ModelParams {
+            suspicion_s: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(hierarchical(&p).detection_s, 7.0);
+        // The comparison schemes model the paper's protocols unchanged.
+        assert_eq!(
+            all_to_all(&p).detection_s,
+            all_to_all(&params(100)).detection_s
+        );
+        assert_eq!(gossip(&p).detection_s, gossip(&params(100)).detection_s);
     }
 
     #[test]

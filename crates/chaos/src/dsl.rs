@@ -65,11 +65,10 @@ pub fn parse_duration(tok: &str, line: usize) -> Result<Nanos, ParseError> {
 }
 
 fn parse_u32(tok: &str, line: usize, what: &str) -> Result<u32, ParseError> {
-    tok.parse()
-        .map_err(|_| ParseError {
-            line,
-            message: format!("bad {what} {tok:?}"),
-        })
+    tok.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad {what} {tok:?}"),
+    })
 }
 
 fn parse_rate(tok: &str, line: usize) -> Result<f64, ParseError> {
@@ -94,14 +93,20 @@ fn parse_target(toks: &[&str], line: usize) -> Result<(Target, usize), ParseErro
             Ok((Target::Leader(parse_u32(l, line, "level")? as u8), 2))
         }
         Some(&"random") => Ok((Target::Random, 1)),
-        other => err(line, format!("bad target {other:?} (want host N | leader L | random)")),
+        other => err(
+            line,
+            format!("bad target {other:?} (want host N | leader L | random)"),
+        ),
     }
 }
 
 /// Expect exactly `n` remaining tokens consumed; reject trailing junk.
 fn expect_end(toks: &[&str], used: usize, line: usize) -> Result<(), ParseError> {
     if toks.len() > used {
-        return err(line, format!("unexpected trailing tokens {:?}", &toks[used..]));
+        return err(
+            line,
+            format!("unexpected trailing tokens {:?}", &toks[used..]),
+        );
     }
     Ok(())
 }
@@ -159,8 +164,7 @@ fn parse_at(toks: &[&str], line: usize) -> Result<ScheduledFault, ParseError> {
             None => return err(line, "heal needs two segment ids (or: heal all)"),
         },
         Some(&"loss") => {
-            let (Some(r), Some(kw), Some(d)) = (action.get(1), action.get(2), action.get(3))
-            else {
+            let (Some(r), Some(kw), Some(d)) = (action.get(1), action.get(2), action.get(3)) else {
                 return err(line, "loss needs: loss <rate> for <duration>");
             };
             if *kw != "for" {
@@ -179,7 +183,11 @@ fn parse_at(toks: &[&str], line: usize) -> Result<ScheduledFault, ParseError> {
 }
 
 /// `restart host <n> at <t> down <d>` → kill at `t`, revive at `t+d`.
-fn parse_restart(toks: &[&str], line: usize, out: &mut Vec<ScheduledFault>) -> Result<(), ParseError> {
+fn parse_restart(
+    toks: &[&str],
+    line: usize,
+    out: &mut Vec<ScheduledFault>,
+) -> Result<(), ParseError> {
     let [kw_host, h, kw_at, t, kw_down, d] = toks else {
         return err(line, "restart needs: restart host <n> at <t> down <d>");
     };
@@ -203,7 +211,11 @@ fn parse_restart(toks: &[&str], line: usize, out: &mut Vec<ScheduledFault>) -> R
 /// `rolling-restart hosts <a>..<b> start <t> down <d> gap <g>`:
 /// restart hosts `a..=b` one after another, each down for `d`, with `g`
 /// between consecutive kills.
-fn parse_rolling(toks: &[&str], line: usize, out: &mut Vec<ScheduledFault>) -> Result<(), ParseError> {
+fn parse_rolling(
+    toks: &[&str],
+    line: usize,
+    out: &mut Vec<ScheduledFault>,
+) -> Result<(), ParseError> {
     let [kw_hosts, range, kw_start, t, kw_down, d, kw_gap, g] = toks else {
         return err(
             line,
@@ -217,7 +229,10 @@ fn parse_rolling(toks: &[&str], line: usize, out: &mut Vec<ScheduledFault>) -> R
         );
     }
     let Some((a, b)) = range.split_once("..") else {
-        return err(line, format!("bad host range {range:?} (want a..b, inclusive)"));
+        return err(
+            line,
+            format!("bad host range {range:?} (want a..b, inclusive)"),
+        );
     };
     let (a, b) = (
         parse_u32(a, line, "host index")?,
@@ -313,10 +328,7 @@ rolling-restart hosts 0..3 start 110s down 2s gap 5s
             .filter(|e| matches!(e.action, Action::Kill(Target::Host(h)) if h < 4 && e.at >= 110 * SECS))
             .map(|e| e.at)
             .collect();
-        assert_eq!(
-            kills,
-            vec![110 * SECS, 115 * SECS, 120 * SECS, 125 * SECS]
-        );
+        assert_eq!(kills, vec![110 * SECS, 115 * SECS, 120 * SECS, 125 * SECS]);
     }
 
     #[test]

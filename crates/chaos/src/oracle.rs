@@ -40,6 +40,17 @@ pub struct OracleConfig {
     /// anti-entropy as the backstop), so a death in segment S excuses
     /// removals of S's members for `removal_window + repair_window`.
     pub repair_window: Nanos,
+    /// Strict mode: the excuse model is off. A removal is justified only
+    /// by the node (or observer) being down, or a partition involving
+    /// either endpoint's segment, within the *standard* removal window —
+    /// no loss excuse, no repair-window extension. The suspicion /
+    /// refutation / quarantine extensions are what make the protocol
+    /// hold this bar.
+    pub strict: bool,
+    /// Strict mode ordering check: every removal must be preceded (in
+    /// observation order, by *some* observer) by a suspicion of the same
+    /// node. Off when the protocol runs with `suspicion_window = 0`.
+    pub require_suspicion: bool,
 }
 
 impl OracleConfig {
@@ -49,12 +60,24 @@ impl OracleConfig {
     /// `max_level` is the deepest hierarchy level the topology can form.
     pub fn for_membership(cfg: &MembershipConfig, max_level: u8) -> Self {
         let base = cfg.heartbeat_period * cfg.max_loss as u64;
-        let worst =
-            base + (base as f64 * max_level as f64 * cfg.level_timeout_factor) as u64;
+        let worst = base + (base as f64 * max_level as f64 * cfg.level_timeout_factor) as u64;
+        // The robustness extensions delay a *correct* removal further:
+        // the suspicion window (scaled by the flap-damping cap), both
+        // timeout and suspicion stretched under measured distress, and a
+        // quarantine hold for relayed subtrees. The window must cover
+        // the slowest legitimate confirmation or the oracle would flag
+        // correct-but-deliberate removals.
+        let stretch = cfg.degrade_max_stretch.max(1.0);
+        let flap_cap = 1.0 + cfg.flap_score_cap.max(0.0);
+        let suspicion_worst = (cfg.suspicion(max_level) as f64 * flap_cap * stretch) as u64;
+        let detect_worst = (worst as f64 * stretch) as u64 + suspicion_worst;
         OracleConfig {
             // Slack for propagation of the removal itself (relay up the
             // tree + fan-out down), and for sweep granularity.
-            removal_window: worst + 3 * cfg.heartbeat_period + cfg.sweep_period,
+            removal_window: detect_worst
+                + cfg.quarantine_window
+                + 3 * cfg.heartbeat_period
+                + cfg.sweep_period,
             // At ≥ 0.25 uniform loss, `max_loss` consecutive heartbeat
             // misses become likely enough over a whole cluster that
             // removals during a burst cannot be called protocol bugs.
@@ -62,6 +85,20 @@ impl OracleConfig {
             // Subtree repair: re-election, level re-join, plus one full
             // anti-entropy round to re-seed remote directories.
             repair_window: cfg.anti_entropy_period + worst,
+            strict: false,
+            require_suspicion: false,
+        }
+    }
+
+    /// Strict variant: same window sizing, but the excuse model is off
+    /// (see [`OracleConfig::strict`]) and, when the protocol runs with a
+    /// suspicion window, every removal must have been preceded by a
+    /// suspicion somewhere in the cluster.
+    pub fn strict_for_membership(cfg: &MembershipConfig, max_level: u8) -> Self {
+        OracleConfig {
+            strict: true,
+            require_suspicion: cfg.suspicion_window > 0,
+            ..OracleConfig::for_membership(cfg, max_level)
         }
     }
 }
@@ -92,6 +129,22 @@ pub enum Violation {
     DeadLeader { segment: u16, leader: u32 },
     /// A proxy's remote view disagrees with the actual remote cluster.
     ProxyInconsistency { dc: u16, detail: String },
+    /// Strict mode: `observer` removed `node` although no observer
+    /// anywhere had ever suspected it — the suspicion state machine was
+    /// bypassed.
+    RemovalWithoutSuspicion {
+        observer: HostId,
+        node: NodeId,
+        at: Nanos,
+    },
+    /// Strict mode: `observer` removed a live `node` after its own last
+    /// suspicion of it had been *refuted* — a stale suspicion beat a
+    /// refutation, violating "refutation always wins".
+    RefutedRemoval {
+        observer: HostId,
+        node: NodeId,
+        at: Nanos,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -117,11 +170,28 @@ impl std::fmt::Display for Violation {
                 write!(f, "leader conflict in segment {segment}: {claims:?}")
             }
             Violation::DeadLeader { segment, leader } => {
-                write!(f, "segment {segment} agreed on dead/foreign leader {leader}")
+                write!(
+                    f,
+                    "segment {segment} agreed on dead/foreign leader {leader}"
+                )
             }
             Violation::ProxyInconsistency { dc, detail } => {
                 write!(f, "proxy inconsistency in dc {dc}: {detail}")
             }
+            Violation::RemovalWithoutSuspicion { observer, node, at } => write!(
+                f,
+                "removal without suspicion: host {} dropped node {} at {} (never suspected)",
+                observer.0,
+                node.0,
+                crate::schedule::fmt_duration(*at)
+            ),
+            Violation::RefutedRemoval { observer, node, at } => write!(
+                f,
+                "refuted removal: host {} dropped live node {} at {} after refuting its suspicion",
+                observer.0,
+                node.0,
+                crate::schedule::fmt_duration(*at)
+            ),
         }
     }
 }
@@ -152,21 +222,75 @@ pub fn check_removals(
     topo: &Topology,
     cfg: &OracleConfig,
 ) -> Vec<Violation> {
+    use std::collections::{HashMap, HashSet};
     let mut out = Vec::new();
+    // Sequence state for the strict ordering checks. Observations are in
+    // timestamp order, so a single forward pass sees every removal with
+    // exactly the history that preceded it.
+    let mut ever_suspected: HashSet<NodeId> = HashSet::new();
+    // Per (observer, node): was the *latest* suspicion-related event a
+    // refutation (true) or a fresh suspicion (false)?
+    let mut last_refuted: HashMap<(HostId, NodeId), bool> = HashMap::new();
     for obs in observations {
-        let ObservationKind::Removed(node) = obs.kind else {
-            continue;
+        let node = match obs.kind {
+            ObservationKind::Suspected(n) => {
+                ever_suspected.insert(n);
+                last_refuted.insert((obs.observer, n), false);
+                continue;
+            }
+            ObservationKind::Refuted(n) => {
+                last_refuted.insert((obs.observer, n), true);
+                continue;
+            }
+            ObservationKind::Removed(n) => n,
+            ObservationKind::Added(_) => continue,
         };
         let from = obs.time.saturating_sub(cfg.removal_window);
         let to = obs.time;
         let node_seg = topo.segment_of(HostId(node.0));
+        let obs_seg = topo.segment_of(obs.observer).0;
+        // Faults that justify a removal in either mode, within the
+        // standard window.
+        let core_justified = truth.was_down_in(node.0, from, to)
+            || truth.was_down_in(obs.observer.0, from, to)
+            || truth.partition_involving_in(node_seg.0, from, to)
+            || truth.partition_involving_in(obs_seg, from, to);
+        if cfg.strict {
+            if cfg.require_suspicion && obs.observer.0 != node.0 && !ever_suspected.contains(&node)
+            {
+                out.push(Violation::RemovalWithoutSuspicion {
+                    observer: obs.observer,
+                    node,
+                    at: obs.time,
+                });
+            }
+            if !core_justified {
+                // Unjustified removal of a live node: distinguish the
+                // stale-suspicion-beat-a-refutation bug from a plain
+                // false positive.
+                if last_refuted.get(&(obs.observer, node)) == Some(&true) {
+                    out.push(Violation::RefutedRemoval {
+                        observer: obs.observer,
+                        node,
+                        at: obs.time,
+                    });
+                } else {
+                    out.push(Violation::FalseRemoval {
+                        observer: obs.observer,
+                        node,
+                        at: obs.time,
+                    });
+                }
+            }
+            continue;
+        }
+        // Lax mode: the excuse model of the pre-suspicion protocol —
+        // loss bursts and representative disruption excuse removals
+        // over an extended repair window.
         let repair_from = obs
             .time
             .saturating_sub(cfg.removal_window + cfg.repair_window);
-        let obs_seg = topo.segment_of(obs.observer).0;
-        let justified = truth.was_down_in(node.0, from, to)
-            || truth.was_down_in(obs.observer.0, from, to)
-            || (node_seg.0 != obs_seg && truth.partitioned_in(node_seg.0, obs_seg, from, to))
+        let justified = core_justified
             || truth.max_loss_in(repair_from, to) >= cfg.loss_excuse_rate
             || topo
                 .hosts_on(node_seg)
@@ -188,10 +312,7 @@ pub fn check_removals(
 /// Invariant 2: at quiescence every live host's view equals the live
 /// set. `clients[i]` must belong to host `i`. Skipped (returns empty)
 /// while a partition is still active — divided halves cannot converge.
-pub fn check_convergence(
-    clients: &[DirectoryClient],
-    truth: &GroundTruth,
-) -> Vec<Violation> {
+pub fn check_convergence(clients: &[DirectoryClient], truth: &GroundTruth) -> Vec<Violation> {
     if truth.any_partition_active() {
         return Vec::new();
     }
@@ -200,14 +321,11 @@ pub fn check_convergence(
         .collect();
     let mut out = Vec::new();
     for &i in &live {
-        let mut seen: Vec<u32> =
-            clients[i as usize].read(|d| d.nodes().map(|n| n.0).collect());
+        let mut seen: Vec<u32> = clients[i as usize].read(|d| d.nodes().map(|n| n.0).collect());
         seen.sort_unstable();
         if seen != live {
-            let missing: Vec<u32> =
-                live.iter().copied().filter(|x| !seen.contains(x)).collect();
-            let extra: Vec<u32> =
-                seen.iter().copied().filter(|x| !live.contains(x)).collect();
+            let missing: Vec<u32> = live.iter().copied().filter(|x| !seen.contains(x)).collect();
+            let extra: Vec<u32> = seen.iter().copied().filter(|x| !live.contains(x)).collect();
             out.push(Violation::ViewDivergence {
                 host: HostId(i),
                 missing,
@@ -220,11 +338,7 @@ pub fn check_convergence(
 
 /// Invariant 3: per-segment level-0 leader agreement among live members.
 /// `probes[i]` must belong to host `i`. Skipped while partitioned.
-pub fn check_leaders(
-    probes: &[Probe],
-    truth: &GroundTruth,
-    topo: &Topology,
-) -> Vec<Violation> {
+pub fn check_leaders(probes: &[Probe], truth: &GroundTruth, topo: &Topology) -> Vec<Violation> {
     if truth.any_partition_active() {
         return Vec::new();
     }
@@ -260,7 +374,10 @@ pub fn check_leaders(
             });
         } else if let Some(leader) = first {
             if !truth.is_alive(leader) || !live_members.contains(&leader) {
-                out.push(Violation::DeadLeader { segment: seg, leader });
+                out.push(Violation::DeadLeader {
+                    segment: seg,
+                    leader,
+                });
             }
         }
     }
@@ -277,6 +394,16 @@ mod tests {
             removal_window: 10 * SECS,
             loss_excuse_rate: 0.5,
             repair_window: 15 * SECS,
+            strict: false,
+            require_suspicion: false,
+        }
+    }
+
+    fn strict_cfg() -> OracleConfig {
+        OracleConfig {
+            strict: true,
+            require_suspicion: true,
+            ..cfg()
         }
     }
 
@@ -289,6 +416,25 @@ mod tests {
         // Level-0 detection is max_loss × heartbeat; the window must
         // exceed it to tolerate correct detections at the bound.
         assert!(shallow > m.heartbeat_period * m.max_loss as u64);
+    }
+
+    #[test]
+    fn removal_window_covers_suspicion_and_quarantine() {
+        let m = MembershipConfig::default();
+        let with = OracleConfig::for_membership(&m, 2).removal_window;
+        let without = OracleConfig::for_membership(
+            &MembershipConfig {
+                suspicion_window: 0,
+                quarantine_window: 0,
+                ..MembershipConfig::default()
+            },
+            2,
+        )
+        .removal_window;
+        assert!(
+            with >= without + m.quarantine_window,
+            "window {with} must absorb suspicion + quarantine over {without}"
+        );
     }
 
     fn removed(time: Nanos, observer: u32, node: u32) -> Observation {
@@ -315,7 +461,134 @@ mod tests {
         let obs = [removed(25 * SECS, 0, 1)];
         let v = check_removals(&obs, &truth, &topo, &cfg());
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::FalseRemoval { node: NodeId(1), .. }));
+        assert!(matches!(
+            v[0],
+            Violation::FalseRemoval {
+                node: NodeId(1),
+                ..
+            }
+        ));
+    }
+
+    fn suspected(time: Nanos, observer: u32, node: u32) -> Observation {
+        Observation {
+            time,
+            observer: HostId(observer),
+            kind: ObservationKind::Suspected(NodeId(node)),
+        }
+    }
+
+    fn refuted(time: Nanos, observer: u32, node: u32) -> Observation {
+        Observation {
+            time,
+            observer: HostId(observer),
+            kind: ObservationKind::Refuted(NodeId(node)),
+        }
+    }
+
+    #[test]
+    fn strict_mode_drops_the_loss_excuse() {
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_loss(20 * SECS, 0.8, 10 * SECS);
+        let obs = [suspected(24 * SECS, 0, 1), removed(25 * SECS, 0, 1)];
+        // Lax: the burst excuses the removal. Strict: it does not.
+        assert!(check_removals(&obs, &truth, &topo, &cfg()).is_empty());
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::FalseRemoval { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn strict_mode_drops_the_segment_death_excuse() {
+        // Host 0 dies; a removal of its live segment-mate 1 was excused
+        // by the repair window — quarantine + re-vouch must now prevent
+        // it, so strict flags it.
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_kill(20 * SECS, 0);
+        let obs = [suspected(24 * SECS, 2, 1), removed(25 * SECS, 2, 1)];
+        assert!(check_removals(&obs, &truth, &topo, &cfg()).is_empty());
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            Violation::FalseRemoval {
+                node: NodeId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn strict_mode_keeps_partition_and_down_justifications() {
+        let topo = tamp_topology::generators::star_of_segments(3, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_kill(20 * SECS, 1);
+        truth.record_partition(20 * SECS, 1, 2);
+        let obs = [
+            suspected(22 * SECS, 0, 1),
+            removed(25 * SECS, 0, 1), // node down: justified
+            suspected(22 * SECS, 0, 2),
+            removed(25 * SECS, 0, 2), // node's segment severed: justified
+        ];
+        assert!(check_removals(&obs, &truth, &topo, &strict_cfg()).is_empty());
+    }
+
+    #[test]
+    fn strict_mode_requires_a_prior_suspicion() {
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_kill(20 * SECS, 1);
+        // Justified by the kill, but nobody ever suspected node 1.
+        let obs = [removed(25 * SECS, 0, 1)];
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            Violation::RemovalWithoutSuspicion {
+                node: NodeId(1),
+                ..
+            }
+        ));
+        // Any observer's suspicion satisfies the ordering (relayed
+        // Suspect events may be lost to some observers).
+        let obs = [suspected(22 * SECS, 3, 1), removed(25 * SECS, 0, 1)];
+        assert!(check_removals(&obs, &truth, &topo, &strict_cfg()).is_empty());
+    }
+
+    #[test]
+    fn strict_mode_flags_a_removal_after_refutation() {
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let truth = GroundTruth::new();
+        // Observer 0 suspected node 1, cleared it on proof of life, then
+        // removed it anyway while it was alive: the stale suspicion won.
+        let obs = [
+            suspected(20 * SECS, 0, 1),
+            refuted(22 * SECS, 0, 1),
+            removed(25 * SECS, 0, 1),
+        ];
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            Violation::RefutedRemoval {
+                node: NodeId(1),
+                ..
+            }
+        ));
+        // A *fresh* suspicion after the refutation downgrades it to a
+        // plain false removal (the state machine was followed; the
+        // detector was just wrong).
+        let obs = [
+            suspected(20 * SECS, 0, 1),
+            refuted(22 * SECS, 0, 1),
+            suspected(23 * SECS, 0, 1),
+            removed(25 * SECS, 0, 1),
+        ];
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::FalseRemoval { .. }));
     }
 
     #[test]
@@ -330,6 +603,12 @@ mod tests {
         ];
         let v = check_removals(&obs, &truth, &topo, &cfg());
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::FalseRemoval { node: NodeId(1), .. }));
+        assert!(matches!(
+            v[0],
+            Violation::FalseRemoval {
+                node: NodeId(1),
+                ..
+            }
+        ));
     }
 }

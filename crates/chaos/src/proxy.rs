@@ -27,6 +27,9 @@ pub struct ProxyScenarioConfig {
     pub proxies_per_dc: usize,
     pub wan_one_way: tamp_topology::Nanos,
     pub membership: MembershipConfig,
+    /// Judge with the strict oracle (see
+    /// [`crate::OracleConfig::strict`]).
+    pub strict: bool,
 }
 
 impl ProxyScenarioConfig {
@@ -40,6 +43,7 @@ impl ProxyScenarioConfig {
             proxies_per_dc: 2,
             wan_one_way: 45 * MILLIS,
             membership: MembershipConfig::default(),
+            strict: false,
         }
     }
 }
@@ -60,8 +64,7 @@ pub fn run_proxy_scenario(cfg: &ProxyScenarioConfig, schedule: &Schedule) -> Sce
 
     let per_dc = cfg.members_per_dc + cfg.proxies_per_dc;
     let per_segment = per_dc.div_ceil(2);
-    let dcs_shape: Vec<(usize, usize)> =
-        (0..cfg.datacenters).map(|_| (2, per_segment)).collect();
+    let dcs_shape: Vec<(usize, usize)> = (0..cfg.datacenters).map(|_| (2, per_segment)).collect();
     let (topo, dc_hosts) = generators::multi_datacenter(&dcs_shape, cfg.wan_one_way);
     let num_hosts = topo.num_hosts();
 
@@ -124,7 +127,11 @@ pub fn run_proxy_scenario(cfg: &ProxyScenarioConfig, schedule: &Schedule) -> Sce
 
     // Oracle: the single-domain checks per DC, then proxy consistency.
     let max_level = (usize::BITS - engine.topology().num_segments().leading_zeros()) as u8;
-    let ocfg = OracleConfig::for_membership(&cfg.membership, max_level);
+    let ocfg = if cfg.strict {
+        OracleConfig::strict_for_membership(&cfg.membership, max_level)
+    } else {
+        OracleConfig::for_membership(&cfg.membership, max_level)
+    };
     let mut violations = oracle::check_removals(
         engine.stats().observations(),
         &truth,
@@ -136,7 +143,9 @@ pub fn run_proxy_scenario(cfg: &ProxyScenarioConfig, schedule: &Schedule) -> Sce
     }
     violations.extend(check_proxy_views(&dcs, &truth));
 
-    let live: Vec<u32> = (0..num_hosts as u32).filter(|&h| truth.is_alive(h)).collect();
+    let live: Vec<u32> = (0..num_hosts as u32)
+        .filter(|&h| truth.is_alive(h))
+        .collect();
     let trace = engine
         .trace_log()
         .records()
@@ -196,8 +205,7 @@ fn check_proxy_views(dcs: &[DcState], truth: &GroundTruth) -> Vec<Violation> {
     if truth.any_partition_active() {
         return Vec::new();
     }
-    let has_live_proxy =
-        |dc: &DcState| dc.proxies.iter().any(|&h| truth.is_alive(h));
+    let has_live_proxy = |dc: &DcState| dc.proxies.iter().any(|&h| truth.is_alive(h));
     let mut out = Vec::new();
     for observer in dcs.iter().filter(|d| has_live_proxy(d)) {
         for remote in dcs.iter().filter(|d| d.dc != observer.dc) {
@@ -211,10 +219,7 @@ fn check_proxy_views(dcs: &[DcState], truth: &GroundTruth) -> Vec<Violation> {
                     .members
                     .iter()
                     .any(|&(h, p)| p == part && truth.is_alive(h));
-                let believed = observer
-                    .remote_view
-                    .find("svc", part)
-                    .contains(&remote.dc);
+                let believed = observer.remote_view.find("svc", part).contains(&remote.dc);
                 if actually_served != believed {
                     out.push(Violation::ProxyInconsistency {
                         dc: observer.dc.0,

@@ -19,6 +19,10 @@ pub struct ScenarioConfig {
     pub seed: u64,
     pub membership: MembershipConfig,
     pub engine: EngineConfig,
+    /// Judge with the strict oracle: no loss or repair-window excuses,
+    /// and removals must follow the suspicion state machine (see
+    /// [`OracleConfig::strict`]).
+    pub strict: bool,
 }
 
 impl ScenarioConfig {
@@ -30,6 +34,7 @@ impl ScenarioConfig {
             seed,
             membership: MembershipConfig::default(),
             engine: EngineConfig::default(),
+            strict: false,
         }
     }
 }
@@ -83,10 +88,7 @@ impl ScenarioRun {
                 out.push_str(&format!("  - {v}\n"));
             }
             if self.violations.len() > SHOWN {
-                out.push_str(&format!(
-                    "  … and {} more\n",
-                    self.violations.len() - SHOWN
-                ));
+                out.push_str(&format!("  … and {} more\n", self.violations.len() - SHOWN));
             }
             out.push_str("verdict: FAIL\n");
         }
@@ -132,9 +134,7 @@ fn resolve_target(
     want_live: bool,
 ) -> Result<u32, &'static str> {
     let n = probes.len() as u32;
-    let pool: Vec<u32> = (0..n)
-        .filter(|&h| truth.is_alive(h) == want_live)
-        .collect();
+    let pool: Vec<u32> = (0..n).filter(|&h| truth.is_alive(h) == want_live).collect();
     match target {
         Target::Host(h) => {
             if h >= n {
@@ -161,9 +161,9 @@ fn resolve_target(
             let mut votes: std::collections::BTreeMap<u32, usize> =
                 std::collections::BTreeMap::new();
             for h in (0..n).filter(|&h| truth.is_alive(h)) {
-                let claim = probes[h as usize].as_ref().and_then(|p| {
-                    p.lock().leaders.get(level as usize).copied().flatten()
-                });
+                let claim = probes[h as usize]
+                    .as_ref()
+                    .and_then(|p| p.lock().leaders.get(level as usize).copied().flatten());
                 if let Some(l) = claim {
                     *votes.entry(l.0).or_insert(0) += 1;
                 }
@@ -285,7 +285,11 @@ pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
 
     // Oracle pass.
     let max_level = (usize::BITS - cfg.topo.num_segments().leading_zeros()) as u8;
-    let ocfg = OracleConfig::for_membership(&cfg.membership, max_level);
+    let ocfg = if cfg.strict {
+        OracleConfig::strict_for_membership(&cfg.membership, max_level)
+    } else {
+        OracleConfig::for_membership(&cfg.membership, max_level)
+    };
     let mut violations = Vec::new();
     violations.extend(oracle::check_removals(
         cluster.engine.stats().observations(),

@@ -35,7 +35,10 @@ pub enum Action {
     HealAll,
     /// Raise the uniform loss rate to `rate` for `duration`, then return
     /// to the scenario's base rate.
-    Loss { rate: f64, duration: Nanos },
+    Loss {
+        rate: f64,
+        duration: Nanos,
+    },
 }
 
 /// An [`Action`] with its fire time.
@@ -148,7 +151,7 @@ pub fn fmt_duration(ns: Nanos) -> String {
         return "0s".to_string();
     }
     for (unit, div) in [("s", 1_000_000_000u64), ("ms", 1_000_000), ("us", 1_000)] {
-        if ns % div == 0 {
+        if ns.is_multiple_of(div) {
             return format!("{}{unit}", ns / div);
         }
     }

@@ -18,10 +18,7 @@ use crate::schedule::Schedule;
 pub fn shrink(cfg: &ScenarioConfig, schedule: &Schedule) -> (Schedule, ScenarioRun) {
     let mut best = schedule.clone();
     let mut best_run = run_scenario(cfg, &best);
-    assert!(
-        !best_run.passed(),
-        "shrink() called on a passing schedule"
-    );
+    assert!(!best_run.passed(), "shrink() called on a passing schedule");
 
     loop {
         let mut reduced = false;

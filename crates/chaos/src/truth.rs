@@ -17,7 +17,7 @@ struct Interval {
 impl Interval {
     /// Does this interval overlap `[from, to)`?
     fn overlaps(&self, from: Nanos, to: Nanos) -> bool {
-        self.from < to && self.until.map_or(true, |u| u > from)
+        self.from < to && self.until.is_none_or(|u| u > from)
     }
 }
 
@@ -107,10 +107,9 @@ impl GroundTruth {
 
     /// Is `host` up right now (i.e. after every recorded event)?
     pub fn is_alive(&self, host: u32) -> bool {
-        !self
-            .down
+        self.down
             .get(&host)
-            .is_some_and(|v| v.last().is_some_and(|iv| iv.until.is_none()))
+            .is_none_or(|v| v.last().is_none_or(|iv| iv.until.is_some()))
     }
 
     /// Was `host` down at any point during `[from, to)`?

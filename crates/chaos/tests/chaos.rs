@@ -80,13 +80,41 @@ fn broken_config_fails_and_shrinks_to_minimal_repro() {
 }
 
 #[test]
+fn checked_in_regression_scenarios_pass_the_strict_oracle() {
+    // The scenario files under `scenarios/` pin the three transient
+    // classes the lax oracle used to excuse (leader death, partition
+    // heal, loss burst). With refutable suspicion they must pass the
+    // strict oracle — no loss excuse, no repair-window extension —
+    // across seeds, not just one lucky run.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let files = [
+        "leader-death.chaos",
+        "partition-heal.chaos",
+        "loss-burst.chaos",
+    ];
+    for file in files {
+        let path = format!("{dir}/{file}");
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let schedule = dsl::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+        for seed in [7, 19, 42] {
+            let cfg = ScenarioConfig {
+                strict: true,
+                ..ScenarioConfig::two_segments(seed)
+            };
+            let run = run_scenario(&cfg, &schedule);
+            assert!(run.passed(), "{file} seed {seed}:\n{}", run.report());
+        }
+    }
+}
+
+#[test]
 fn generated_schedules_render_and_reparse_exactly() {
     let g = GeneratorConfig::default();
     for seed in 0..40 {
         let s = random_schedule(seed, &g);
         let rendered = s.render();
-        let reparsed: Schedule = dsl::parse(&rendered)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{rendered}"));
+        let reparsed: Schedule =
+            dsl::parse(&rendered).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{rendered}"));
         assert_eq!(s, reparsed, "seed {seed} round-trip mismatch");
     }
 }

@@ -231,6 +231,14 @@ impl Directory {
         match ev {
             MemberEvent::Join(r) => self.apply_join(r.clone(), provenance, now),
             MemberEvent::Leave(n, inc) => self.apply_leave(*n, *inc, now),
+            // Suspicion is a membership-layer state, not a directory
+            // change: the suspect stays in the yellow pages (and thus
+            // remains resolvable) until the suspicion is confirmed as a
+            // Leave. The node state machine tracks the pending suspicion.
+            MemberEvent::Suspect(..) => Applied::Ignored,
+            // A refutation carries a full record at a (usually bumped)
+            // incarnation; directory-wise it is a join/refresh.
+            MemberEvent::Refute(r) => self.apply_join(r.clone(), provenance, now),
         }
     }
 

@@ -11,6 +11,7 @@
 //! tamp-exp ablation-loss       # A2
 //! tamp-exp ablation-scale      # A3
 //! tamp-exp ablation-leader     # A4
+//! tamp-exp ablation-suspicion  # A8
 //! tamp-exp all                 # everything above
 //! ```
 //!
@@ -19,6 +20,7 @@
 //! tamp-exp chaos --scenario f.chaos     # run a scenario file
 //! tamp-exp chaos --sweep 20             # seeded sweep with shrinking
 //! tamp-exp chaos --proxy                # multi-datacenter proxy mode
+//! tamp-exp chaos --strict               # strict oracle (no excuse model)
 //! tamp-exp chaos --broken               # demo: oracle catches MAX_LOSS=0
 //! ```
 //!
@@ -38,6 +40,7 @@ fn main() {
     let mut broken = false;
     let mut proxy = false;
     let mut chaos_trace = false;
+    let mut strict = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -58,6 +61,7 @@ fn main() {
             "--broken" => broken = true,
             "--proxy" => proxy = true,
             "--trace" => chaos_trace = true,
+            "--strict" => strict = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -124,6 +128,7 @@ fn main() {
         "ablation-piggyback" => ablations::run_piggyback(seed),
         "ablation-topology" => ablations::run_topology(seed),
         "ablation-detector" => ablations::run_detector(seed),
+        "ablation-suspicion" => ablations::run_suspicion(seed),
         "trace" => trace_tool::run(seed),
         "chaos" => {
             let code = chaos::run(&chaos::ChaosOptions {
@@ -133,6 +138,7 @@ fn main() {
                 broken,
                 proxy,
                 trace: chaos_trace,
+                strict,
             });
             std::process::exit(code);
         }
@@ -162,6 +168,7 @@ fn main() {
             ablations::run_piggyback(seed);
             ablations::run_topology(seed);
             ablations::run_detector(seed);
+            ablations::run_suspicion(seed);
         }
         other => die(&format!("unknown command {other}; try --help")),
     }
@@ -171,13 +178,14 @@ fn print_help() {
     println!(
         "tamp-exp — regenerate the paper's evaluation\n\n\
          commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
-         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector\n\u{20}         topo <file.topo>  trace  chaos  all\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  chaos  all\n\
          options:  --seed <u64>    deterministic seed (default 2005)\n\
          \u{20}         --quick         smaller sweeps for smoke runs\n\
          \u{20}         --trials <n>    fig12/fig13: statistics over n seeds\n\
          chaos:    --scenario <f>  run a fault-scenario DSL file\n\
          \u{20}         --sweep <n>     sweep n seeds, shrink first failure\n\
          \u{20}         --proxy         multi-datacenter proxy deployment\n\
+         \u{20}         --strict        strict oracle: no excuses, suspicion ordering\n\
          \u{20}         --broken        MAX_LOSS=0 demo (oracle must fail)\n\
          \u{20}         --trace         interleave faults with packet trace"
     );

@@ -25,6 +25,9 @@ pub struct ChaosOptions {
     pub proxy: bool,
     /// Print the packet/fault trace timeline around each injected fault.
     pub trace: bool,
+    /// Judge with the strict oracle: no loss or repair-window excuses;
+    /// removals must follow the suspicion state machine.
+    pub strict: bool,
 }
 
 fn membership(broken: bool) -> MembershipConfig {
@@ -41,6 +44,7 @@ fn membership(broken: bool) -> MembershipConfig {
 fn scenario_config(seed: u64, opts: &ChaosOptions) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::two_segments(seed);
     cfg.membership = membership(opts.broken);
+    cfg.strict = opts.strict;
     if opts.trace {
         cfg.engine.trace = TraceConfig {
             enabled: true,
@@ -59,6 +63,9 @@ pub fn run(opts: &ChaosOptions) -> i32 {
         println!("(broken config: MAX_LOSS = 0 — detection timeout < heartbeat period)\n");
     }
     if let Some(count) = opts.sweep {
+        if opts.proxy {
+            return proxy_sweep(opts, count);
+        }
         let report = sweep(opts.seed, count, &GeneratorConfig::default(), |seed| {
             scenario_config(seed, opts)
         });
@@ -68,6 +75,7 @@ pub fn run(opts: &ChaosOptions) -> i32 {
     if opts.proxy {
         let cfg = ProxyScenarioConfig {
             membership: membership(opts.broken),
+            strict: opts.strict,
             ..ProxyScenarioConfig::two_dcs(opts.seed)
         };
         let schedule = load_schedule(opts);
@@ -89,6 +97,43 @@ pub fn run(opts: &ChaosOptions) -> i32 {
     } else {
         1
     }
+}
+
+/// Seeded sweep over the multi-datacenter deployment. Schedules stick
+/// to kill/revive/loss faults: WAN partitions park the proxy-consistency
+/// checks by design (they are skipped while severed), so partition
+/// events would only dilute the sweep. Stops at the first failure (no
+/// shrinking — the shrinker is single-cluster only).
+fn proxy_sweep(opts: &ChaosOptions, count: u64) -> i32 {
+    let gen_cfg = GeneratorConfig {
+        num_hosts: 16,
+        num_segments: 1, // suppress partition generation
+        ..GeneratorConfig::default()
+    };
+    let mut passed = 0u64;
+    for seed in opts.seed..opts.seed + count {
+        let cfg = ProxyScenarioConfig {
+            membership: membership(opts.broken),
+            strict: opts.strict,
+            ..ProxyScenarioConfig::two_dcs(seed)
+        };
+        let schedule = random_schedule(seed, &gen_cfg);
+        let run = run_proxy_scenario(&cfg, &schedule);
+        if run.passed() {
+            passed += 1;
+            println!("  seed {seed}: pass");
+        } else {
+            println!("  seed {seed}: FAIL");
+            print!("{}", run.report());
+            println!(
+                "== tamp-chaos proxy sweep: {passed}/{} seeds passed before first failure ==",
+                seed - opts.seed + 1
+            );
+            return 1;
+        }
+    }
+    println!("== tamp-chaos proxy sweep: {passed}/{count} seeds passed ==");
+    0
 }
 
 fn load_schedule(opts: &ChaosOptions) -> Schedule {
@@ -120,6 +165,21 @@ mod tests {
             broken: false,
             proxy: false,
             trace: false,
+            strict: false,
+        };
+        assert_eq!(run(&opts), 0);
+    }
+
+    #[test]
+    fn strict_single_run_passes_with_suspicion_on() {
+        let opts = ChaosOptions {
+            seed: 4,
+            scenario: None,
+            sweep: None,
+            broken: false,
+            proxy: false,
+            trace: false,
+            strict: true,
         };
         assert_eq!(run(&opts), 0);
     }
@@ -133,6 +193,7 @@ mod tests {
             broken: true,
             proxy: false,
             trace: false,
+            strict: false,
         };
         assert_eq!(run(&opts), 1);
     }

@@ -84,10 +84,7 @@ pub fn print_chaos_trace(trace: &[String]) {
     let mut shown = 0;
     for line in trace {
         let is_fault = line.contains("====");
-        let t: Option<f64> = line
-            .split_whitespace()
-            .next()
-            .and_then(|s| s.parse().ok());
+        let t: Option<f64> = line.split_whitespace().next().and_then(|s| s.parse().ok());
         if is_fault || t.is_some_and(near_fault) {
             println!("{line}");
             shown += 1;

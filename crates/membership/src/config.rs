@@ -77,6 +77,33 @@ pub struct MembershipConfig {
     /// the adaptive deadline stretches automatically; ablation A7
     /// quantifies the trade-off. Off by default (paper-faithful).
     pub adaptive_timeout: bool,
+    /// Base suspicion window (docs/ROBUSTNESS.md): a timed-out member is
+    /// held in a refutable `Suspect` state this long before the suspicion
+    /// is confirmed as a `Leave`. Level-scaled like `timeout`, and
+    /// stretched per node by flap damping. 0 disables the suspicion layer
+    /// (timed-out members are removed immediately, the paper's behavior).
+    pub suspicion_window: Nanos,
+    /// How long a dead leader's relayed subtree is quarantined (kept in
+    /// the directory, marked suspect-as-a-unit) waiting for a successor
+    /// leader to re-vouch for it, instead of being purged outright. 0
+    /// falls back to the paper's immediate subtree purge.
+    pub quarantine_window: Nanos,
+    /// Flap damping à la Rapid: each *refuted* suspicion of a node adds
+    /// one unit of instability, decaying with this half-life. A node with
+    /// instability `u` gets its suspicion window scaled by
+    /// `1 + min(u, flap_score_cap)`. 0 disables damping.
+    pub flap_half_life: Nanos,
+    /// Upper bound on the flap-damping multiplier increment, so a
+    /// persistently flapping node's confirmation latency stays bounded.
+    pub flap_score_cap: f64,
+    /// Graceful degradation under measured heavy loss: when the EWMA
+    /// inter-arrival estimate of a peer (the A7 detector signal) exceeds
+    /// this multiple of the heartbeat period, the effective timeout for
+    /// that peer stretches proportionally (widening `max_loss` in effect)
+    /// up to `degrade_max_stretch`. 0.0 disables.
+    pub degrade_stretch_threshold: f64,
+    /// Ceiling on the loss-degradation timeout stretch factor.
+    pub degrade_max_stretch: f64,
     /// Services this node exports (`*SERVICE` sections).
     pub services: Vec<ServiceDecl>,
     /// Machine attributes published in this node's record.
@@ -104,6 +131,12 @@ impl Default for MembershipConfig {
             anti_entropy_period: 10 * SECS,
             tombstone_ttl: 15 * SECS,
             adaptive_timeout: false,
+            suspicion_window: 2 * SECS,
+            quarantine_window: 10 * SECS,
+            flap_half_life: 30 * SECS,
+            flap_score_cap: 3.0,
+            degrade_stretch_threshold: 1.5,
+            degrade_max_stretch: 3.0,
             services: Vec::new(),
             attrs: Vec::new(),
             pad_heartbeat_to: 228,
@@ -131,6 +164,15 @@ impl MembershipConfig {
     pub fn timeout(&self, level: u8) -> Nanos {
         let base = self.max_loss as u64 * self.heartbeat_period;
         let scaled = base as f64 * (1.0 + level as f64 * self.level_timeout_factor);
+        scaled as Nanos
+    }
+
+    /// Suspicion window for group level `level`: scaled with the same
+    /// per-level factor as [`MembershipConfig::timeout`], so higher-level
+    /// suspicions (whose refutations must travel further) get more time.
+    pub fn suspicion(&self, level: u8) -> Nanos {
+        let scaled =
+            self.suspicion_window as f64 * (1.0 + level as f64 * self.level_timeout_factor);
         scaled as Nanos
     }
 
@@ -325,6 +367,19 @@ MAX_LOSS = 5
         assert_eq!(cfg.timeout(1), 7 * SECS + SECS / 2);
         assert_eq!(cfg.timeout(2), 10 * SECS);
         assert!(cfg.timeout(3) > cfg.timeout(2));
+    }
+
+    #[test]
+    fn suspicion_window_scales_with_level() {
+        let cfg = MembershipConfig::default();
+        assert_eq!(cfg.suspicion(0), 2 * SECS);
+        assert_eq!(cfg.suspicion(1), 3 * SECS);
+        assert_eq!(cfg.suspicion(2), 4 * SECS);
+        let off = MembershipConfig {
+            suspicion_window: 0,
+            ..MembershipConfig::default()
+        };
+        assert_eq!(off.suspicion(3), 0, "0 disables at every level");
     }
 
     #[test]

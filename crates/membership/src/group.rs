@@ -114,7 +114,11 @@ impl GroupState {
             last_heartbeat: 0,
         });
         e.last_heard = e.last_heard.max(now);
-        e.claims_leader = claims_leader;
+        // Control traffic can only *assert* leadership (a Coordinator),
+        // never silently retract it — elections and digests pass `false`
+        // here and must not stomp the flag a heartbeat set; only the
+        // next heartbeat (the authoritative periodic signal) may clear it.
+        e.claims_leader = e.claims_leader || claims_leader;
         e.incarnation = e.incarnation.max(incarnation);
     }
 

@@ -94,10 +94,59 @@ pub struct ProtocolCounters {
     pub updates_sent: u64,
     /// Peers we declared dead.
     pub deaths_declared: u64,
+    /// Suspicions we raised from our own failure detector (plus advisory
+    /// suspicions adopted from relayed `Suspect` events).
+    pub suspicions_raised: u64,
+    /// Suspicions cancelled by proof of life before confirmation.
+    pub suspicions_refuted: u64,
+    /// Suspicions that survived the window and became removals.
+    pub suspicions_confirmed: u64,
+    /// Dead-leader subtrees we quarantined instead of purging.
+    pub subtrees_quarantined: u64,
+    /// Quarantines lifted because a successor re-vouched (or the leader
+    /// itself returned) before the deadline.
+    pub quarantines_lifted: u64,
+    /// Entries purged at quarantine expiry (no successor re-attached).
+    pub quarantine_purged: u64,
 }
 
 /// Cloneable handle to a node's [`ProbeState`].
 pub type Probe = Arc<Mutex<ProbeState>>;
+
+/// One active suspicion held by this node (docs/ROBUSTNESS.md): the
+/// subject timed out (or a `Suspect` event named it) but has not yet been
+/// removed. A refutation — proof of life at `incarnation` or higher —
+/// cancels it; only an unrefuted suspicion that survives its window is
+/// confirmed as a `Leave`.
+#[derive(Debug, Clone, Copy)]
+struct Suspicion {
+    /// The incarnation under suspicion. Evidence at a lower incarnation
+    /// neither confirms nor refutes.
+    incarnation: u64,
+    /// Group level whose detector raised it (scales the window and picks
+    /// the relay set on confirmation).
+    level: u8,
+    since: u64,
+    /// Confirmation window (already flap-scaled; the loss-degradation
+    /// stretch is applied at check time so it tracks *current* distress).
+    window: u64,
+    /// Adopted from a relayed `Suspect` event rather than our own
+    /// detector: we track it for refutation bookkeeping but never confirm
+    /// it ourselves — confirmation is the origin group's call.
+    advisory: bool,
+}
+
+/// A dead relayer's subtree held in escrow: entries it vouched for stay
+/// in the directory until `deadline`, waiting for a successor leader to
+/// re-vouch (provenance re-stamp). Only what is *still* attributed to the
+/// dead relayer at the deadline is purged.
+#[derive(Debug, Clone)]
+struct Quarantine {
+    deadline: u64,
+    /// Subtree snapshot at quarantine time (for refutation bookkeeping
+    /// when the quarantine lifts).
+    members: Vec<NodeId>,
+}
 
 /// A deferred mutation of this node's published record, applied on the
 /// next sweep — how application code calls the paper's
@@ -136,6 +185,23 @@ pub struct MembershipNode {
     /// Last time we sync-polled each peer (suppresses duplicate polls
     /// while a response is in flight).
     sync_polls: std::collections::HashMap<NodeId, u64>,
+    /// Active suspicions (subject → state). See [`Suspicion`].
+    suspicions: std::collections::HashMap<NodeId, Suspicion>,
+    /// Recent refutations: subject → (refuted-at incarnation, when). A
+    /// relayed `Leave` at an incarnation we refuted this recently loses
+    /// ("refutation always wins") — we answer it with a `Refute` instead
+    /// of applying it.
+    refuted: std::collections::HashMap<NodeId, (u64, u64)>,
+    /// Flap damping à la Rapid: subject → (instability score, last bump).
+    /// The score decays with `cfg.flap_half_life` and stretches the
+    /// subject's next suspicion window.
+    flap: std::collections::HashMap<NodeId, (f64, u64)>,
+    /// Subtree quarantines keyed by the dead relayer.
+    quarantine: std::collections::HashMap<NodeId, Quarantine>,
+    /// Distress latch: the loss-degradation stretch stays engaged until
+    /// this instant even if the raw signal flickers off (see
+    /// [`MembershipNode::distress_stretch`]).
+    distress_until: u64,
     /// Deferred record mutations from application code.
     control: ControlHandle,
     counters: ProtocolCounters,
@@ -155,6 +221,11 @@ impl MembershipNode {
             seqs: SeqTracker::new(),
             groups: (0..levels).map(|_| None).collect(),
             sync_polls: std::collections::HashMap::new(),
+            suspicions: std::collections::HashMap::new(),
+            refuted: std::collections::HashMap::new(),
+            flap: std::collections::HashMap::new(),
+            quarantine: std::collections::HashMap::new(),
+            distress_until: 0,
             control: Arc::new(Mutex::new(Vec::new())),
             counters: ProtocolCounters::default(),
             probe: Arc::new(Mutex::new(ProbeState::default())),
@@ -319,6 +390,323 @@ impl MembershipNode {
         );
     }
 
+    // ------------------------------------------- suspicion & quarantine
+
+    /// Current flap-damping multiplier for `node`: `1 + min(score, cap)`,
+    /// where the instability score decays exponentially with
+    /// `flap_half_life` since its last bump.
+    fn flap_multiplier(&self, node: NodeId, now: u64) -> f64 {
+        let hl = self.cfg.flap_half_life;
+        if hl == 0 {
+            return 1.0;
+        }
+        match self.flap.get(&node) {
+            None => 1.0,
+            Some(&(score, at)) => {
+                let decayed = score * 0.5f64.powf(now.saturating_sub(at) as f64 / hl as f64);
+                1.0 + decayed.min(self.cfg.flap_score_cap)
+            }
+        }
+    }
+
+    /// One more refuted suspicion of `node`: it flapped. Future suspicion
+    /// windows for it stretch accordingly.
+    fn bump_flap(&mut self, node: NodeId, now: u64) {
+        let hl = self.cfg.flap_half_life;
+        if hl == 0 {
+            return;
+        }
+        let e = self.flap.entry(node).or_insert((0.0, now));
+        let decayed = e.0 * 0.5f64.powf(now.saturating_sub(e.1) as f64 / hl as f64);
+        *e = (decayed + 1.0, now);
+    }
+
+    /// Graceful degradation under measured heavy loss: when at least half
+    /// of a group's peers look late — by the EWMA inter-arrival estimate
+    /// (the A7 detector signal) *or* by their current heartbeat silence,
+    /// whichever is worse — beyond `degrade_stretch_threshold ×
+    /// heartbeat_period`, the *network* is in distress, not the peers: a
+    /// real crash makes exactly one peer late, a loss burst makes them
+    /// all late. The current-silence term matters because the EWMA only
+    /// updates on arrival: a burst that silences the whole group leaves
+    /// the estimate frozen at its healthy value right when the signal is
+    /// needed most. Timeouts and suspicion windows widen by
+    /// `degrade_max_stretch` while the distress lasts.
+    ///
+    /// The signal is judged per group but applied host-wide: groups with
+    /// fewer than three peers (typically the higher leader levels) carry
+    /// no usable correlation signal of their own, yet share the same
+    /// network as the well-populated level-0 group, so any distressed
+    /// group stretches every level's windows.
+    fn raw_distress(&self, now: u64) -> bool {
+        let th = self.cfg.degrade_stretch_threshold;
+        if th <= 0.0 {
+            return false;
+        }
+        let period = self.cfg.heartbeat_period as f64;
+        self.groups.iter().flatten().any(|g| {
+            if g.peers.len() < 3 {
+                return false;
+            }
+            let late = g
+                .peers
+                .values()
+                .filter(|p| {
+                    let silence = if p.last_heartbeat > 0 {
+                        now.saturating_sub(p.last_heartbeat) as f64
+                    } else {
+                        0.0
+                    };
+                    p.ewma_interval.max(silence) > th * period
+                })
+                .count();
+            late * 2 >= g.peers.len()
+        })
+    }
+
+    /// Latched view of [`MembershipNode::raw_distress`]: the current
+    /// stretch factor for timeouts and suspicion windows. The raw signal
+    /// has a duty cycle under partial loss (heartbeats that do get
+    /// through reset peers' silence), and the confirmation check runs
+    /// every sweep — without a latch, the first sweep that catches the
+    /// signal off would confirm a suspicion the stretched window should
+    /// still be holding open. Each raw-positive reading arms the latch
+    /// for three heartbeat periods.
+    fn distress_stretch(&mut self, now: u64) -> f64 {
+        if self.raw_distress(now) {
+            self.distress_until = now + 3 * self.cfg.heartbeat_period;
+        }
+        if now < self.distress_until {
+            self.cfg.degrade_max_stretch.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Did we refute a suspicion of `node` at incarnation ≥ `inc`
+    /// recently enough that a silence-based `Leave` at `inc` must lose?
+    fn recently_refuted(&self, node: NodeId, inc: u64, now: u64) -> bool {
+        let hold = self.cfg.timeout(self.cfg.top_level());
+        self.refuted
+            .get(&node)
+            .is_some_and(|&(ri, at)| ri >= inc && now.saturating_sub(at) <= hold)
+    }
+
+    /// Resolve an active suspicion of `node` as refuted by proof of life
+    /// at `inc`. Bumps the flap score for suspicions our own detector
+    /// raised and returns whether there was a suspicion to clear.
+    ///
+    /// The refutation is recorded in the `refuted` map — so later stale
+    /// `Leave`s at that incarnation lose — only when the proof is
+    /// *fresh*: direct liveness, an explicit `Refute` event, or a
+    /// strictly newer incarnation. Same-incarnation vouching (a replayed
+    /// `Join` out of a peer's backfill log) may clear an advisory
+    /// suspicion, but it is history, not proof of life: arming the
+    /// Leave-blocker on it would let a stale join replay veto the
+    /// genuine same-incarnation `Leave` travelling right behind it in
+    /// the same backfill, leaving the dead node in the directory past
+    /// every tombstone and resurrecting it cluster-wide.
+    fn refute_suspicion(&mut self, ctx: &mut Context, node: NodeId, inc: u64, fresh: bool) -> bool {
+        let Some(s) = self.suspicions.get(&node).copied() else {
+            return false;
+        };
+        if inc < s.incarnation {
+            return false; // stale proof: an older incarnation's liveness
+        }
+        self.suspicions.remove(&node);
+        self.counters.suspicions_refuted += 1;
+        if fresh || inc > s.incarnation {
+            self.refuted.insert(node, (inc, ctx.now()));
+        }
+        if !s.advisory {
+            self.bump_flap(node, ctx.now());
+        }
+        ctx.observe_refuted(node);
+        true
+    }
+
+    /// Our own failure detector timed out `peer` at `level`: enter the
+    /// refutable `Suspect` state instead of removing (the tentpole of the
+    /// suspicion extension). With `suspicion_window = 0` this degrades to
+    /// the paper's immediate removal.
+    fn raise_suspicion(&mut self, ctx: &mut Context, peer: NodeId, level: u8) {
+        if self.suspicions.get(&peer).is_some_and(|s| !s.advisory) {
+            return; // already suspected by our own detector
+        }
+        let Some(inc) = self
+            .directory
+            .read(|d| d.get(peer).map(|e| e.record.incarnation))
+        else {
+            // Nothing to suspect: the entry is already gone.
+            self.seqs.forget(peer);
+            return;
+        };
+        let now = ctx.now();
+        let window = (self.cfg.suspicion(level) as f64 * self.flap_multiplier(peer, now)) as u64;
+        self.suspicions.insert(
+            peer,
+            Suspicion {
+                incarnation: inc,
+                level,
+                since: now,
+                window,
+                advisory: false,
+            },
+        );
+        self.counters.suspicions_raised += 1;
+        ctx.observe_suspected(peer);
+        let levels = self.relay_levels(level);
+        self.relay_events(ctx, vec![MemberEvent::Suspect(peer, inc)], levels);
+    }
+
+    /// Subtree quarantine: instead of purging everything a dead relayer
+    /// vouched for (the paper's timeout protocol), mark the subtree
+    /// suspect-as-a-unit and hold it until `quarantine_window` passes. A
+    /// successor leader that re-attaches re-stamps the entries' provenance
+    /// (directory `apply_join`) and thereby lifts the quarantine; only
+    /// entries still attributed to the dead relayer at the deadline are
+    /// purged.
+    fn quarantine_subtree(&mut self, ctx: &mut Context, relayer: NodeId) {
+        let members: Vec<(NodeId, u64)> = self.directory.read(|d| {
+            d.entries()
+                .filter(|e| e.provenance == Provenance::Relayed(relayer))
+                .map(|e| (e.record.node, e.record.incarnation))
+                .collect()
+        });
+        if members.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        self.counters.subtrees_quarantined += 1;
+        let mut events = Vec::with_capacity(members.len());
+        for &(m, inc) in &members {
+            ctx.observe_suspected(m);
+            events.push(MemberEvent::Suspect(m, inc));
+        }
+        self.quarantine.insert(
+            relayer,
+            Quarantine {
+                deadline: now + self.cfg.quarantine_window,
+                members: members.iter().map(|&(m, _)| m).collect(),
+            },
+        );
+        // Tell the rest of the tree the subtree is in doubt, so observers
+        // that later apply our purge's `Leave`s saw the suspicion first.
+        let levels = self.relay_levels_all();
+        self.relay_events(ctx, events, levels);
+    }
+
+    /// Sweep-time quarantine processing: lift quarantines whose relayer
+    /// returned, purge those whose deadline passed.
+    fn process_quarantines(&mut self, ctx: &mut Context) {
+        if self.quarantine.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let relayers: Vec<NodeId> = self.quarantine.keys().copied().collect();
+        for relayer in relayers {
+            let back = self.directory.read(|d| d.contains(relayer));
+            if back {
+                // The "dead" relayer is alive again (false positive that
+                // refuted, or a fast restart): the subtree was never
+                // orphaned.
+                let q = self.quarantine.remove(&relayer).unwrap();
+                self.counters.quarantines_lifted += 1;
+                for m in q.members {
+                    if self.directory.read(|d| d.contains(m)) {
+                        ctx.observe_refuted(m);
+                    }
+                }
+                continue;
+            }
+            let q = self.quarantine.get(&relayer).unwrap();
+            if now < q.deadline {
+                continue;
+            }
+            let q = self.quarantine.remove(&relayer).unwrap();
+            // Whatever a successor re-vouched for is no longer attributed
+            // to the dead relayer; the rest is orphaned for real.
+            let purged = self.directory.update(|d| {
+                let v = d.purge_relayed_by(relayer);
+                (!v.is_empty(), v)
+            });
+            let purged_ids: std::collections::HashSet<NodeId> =
+                purged.iter().map(|r| r.node).collect();
+            let mut events = Vec::new();
+            for r in &purged {
+                self.counters.quarantine_purged += 1;
+                ctx.observe_removed(r.node);
+                events.push(MemberEvent::Leave(r.node, r.incarnation));
+                self.seqs.forget(r.node);
+                self.suspicions.remove(&r.node);
+            }
+            for m in q.members {
+                if !purged_ids.contains(&m) && self.directory.read(|d| d.contains(m)) {
+                    ctx.observe_refuted(m); // survived: somebody re-vouched
+                }
+            }
+            if !events.is_empty() {
+                let levels = self.relay_levels_all();
+                self.relay_events(ctx, events, levels);
+            }
+        }
+    }
+
+    /// Sweep-time suspicion processing: confirm unrefuted suspicions
+    /// whose (distress-stretched) window has passed; drop bookkeeping
+    /// whose subject is gone.
+    fn process_suspicions(&mut self, ctx: &mut Context) {
+        if self.suspicions.is_empty() && self.refuted.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        // Refutation memory ages out after the longest detection span.
+        let hold = self.cfg.timeout(self.cfg.top_level());
+        self.refuted
+            .retain(|_, &mut (_, at)| now.saturating_sub(at) <= hold);
+
+        let stretch = self.distress_stretch(now);
+        let due: Vec<(NodeId, Suspicion)> = self
+            .suspicions
+            .iter()
+            .filter(|(_, s)| !s.advisory)
+            .filter(|(_, s)| now.saturating_sub(s.since) >= (s.window as f64 * stretch) as u64)
+            .map(|(&n, &s)| (n, s))
+            .collect();
+        for (peer, s) in due {
+            let heard = self
+                .groups
+                .iter()
+                .flatten()
+                .any(|g| g.peers.contains_key(&peer));
+            let dir_inc = self
+                .directory
+                .read(|d| d.get(peer).map(|e| e.record.incarnation));
+            match dir_inc {
+                None => {
+                    // Already removed (a relayed Leave beat us to it).
+                    self.suspicions.remove(&peer);
+                }
+                Some(inc) if heard || inc > s.incarnation => {
+                    // Back among the living (or reborn at a higher
+                    // incarnation): refutation wins.
+                    self.refute_suspicion(ctx, peer, inc.max(s.incarnation), true);
+                }
+                Some(_) => {
+                    self.suspicions.remove(&peer);
+                    self.counters.suspicions_confirmed += 1;
+                    self.declare_peer_dead(ctx, peer, s.level);
+                }
+            }
+        }
+        // Advisory entries resolve via Refute/Join/Leave from the origin;
+        // if none ever arrives (lost, or the origin died too), drop the
+        // bookkeeping quietly after a generous hold.
+        let advisory_hold = 6 * self.cfg.timeout(self.cfg.top_level());
+        self.suspicions
+            .retain(|_, s| !(s.advisory && now.saturating_sub(s.since) > advisory_hold));
+    }
+
     /// Record freshly learned events in our log and multicast them to the
     /// given levels as one update message per level.
     fn relay_events(&mut self, ctx: &mut Context, events: Vec<MemberEvent>, levels: Vec<u8>) {
@@ -452,8 +840,11 @@ impl MembershipNode {
         self.update_probe();
     }
 
-    /// A peer stopped being heard in our level-`level` group.
-    fn handle_peer_death(&mut self, ctx: &mut Context, peer: NodeId, level: u8) {
+    /// A peer stopped being heard in our level-`level` group. With the
+    /// suspicion layer on, this only *suspects* it; removal happens in
+    /// [`MembershipNode::process_suspicions`] if no refutation arrives
+    /// within the window.
+    fn handle_peer_timeout(&mut self, ctx: &mut Context, peer: NodeId, level: u8) {
         // Still heard elsewhere? Then it is not dead, we just fell out of
         // one shared channel (e.g. it abdicated a leadership).
         let heard_elsewhere = self
@@ -464,6 +855,17 @@ impl MembershipNode {
         if heard_elsewhere {
             return;
         }
+        if self.cfg.suspicion_window == 0 {
+            self.declare_peer_dead(ctx, peer, level);
+        } else {
+            self.raise_suspicion(ctx, peer, level);
+        }
+    }
+
+    /// Confirmed death of `peer` (suspicion window expired unrefuted, or
+    /// the suspicion layer is disabled): remove it, and deal with the
+    /// subtree it may have been relaying.
+    fn declare_peer_dead(&mut self, ctx: &mut Context, peer: NodeId, level: u8) {
         self.counters.deaths_declared += 1;
 
         let now = ctx.now();
@@ -484,19 +886,25 @@ impl MembershipNode {
             }
         }
 
-        // Timeout protocol: a dead node detected at level > 0 takes down
-        // everything it relayed to us (switch/partition detection). At
-        // level 0 the relayed entries survive — the backup leader
-        // re-stamps them after takeover.
+        // Timeout protocol: a dead node detected at level > 0 used to
+        // take down everything it relayed to us (switch/partition
+        // detection). With a quarantine window the subtree is instead
+        // held in escrow for a successor to re-vouch; only an expired
+        // quarantine purges. At level 0 the relayed entries survive
+        // either way — the backup leader re-stamps them after takeover.
         if level > 0 {
-            let purged = self.directory.update(|d| {
-                let v = d.purge_relayed_by(peer);
-                (!v.is_empty(), v)
-            });
-            for r in purged {
-                ctx.observe_removed(r.node);
-                events.push(MemberEvent::Leave(r.node, r.incarnation));
-                self.seqs.forget(r.node);
+            if self.cfg.quarantine_window > 0 {
+                self.quarantine_subtree(ctx, peer);
+            } else {
+                let purged = self.directory.update(|d| {
+                    let v = d.purge_relayed_by(peer);
+                    (!v.is_empty(), v)
+                });
+                for r in purged {
+                    ctx.observe_removed(r.node);
+                    events.push(MemberEvent::Leave(r.node, r.incarnation));
+                    self.seqs.forget(r.node);
+                }
             }
         }
 
@@ -615,7 +1023,11 @@ impl MembershipNode {
             self.send_heartbeats(ctx);
         }
         for level in self.active_levels() {
-            let timeout = self.cfg.timeout(level);
+            // Graceful degradation: measured heavy loss widens the
+            // effective timeout (in effect widening MAX_LOSS) while the
+            // distress lasts.
+            let stretch = self.distress_stretch(now);
+            let timeout = (self.cfg.timeout(level) as f64 * stretch) as u64;
             let adaptive = self.cfg.adaptive_timeout;
             let max_loss = self.cfg.max_loss;
             let expired = {
@@ -633,9 +1045,11 @@ impl MembershipNode {
                 ex
             };
             for peer in expired {
-                self.handle_peer_death(ctx, peer, level);
+                self.handle_peer_timeout(ctx, peer, level);
             }
         }
+        self.process_suspicions(ctx);
+        self.process_quarantines(ctx);
         // Leadership invariant: we sit at level ℓ+1 only while leading ℓ.
         for level in self.active_levels() {
             if level > 0 && !self.am_leader(level - 1) {
@@ -920,9 +1334,12 @@ impl MembershipNode {
                 }
                 Some(l) => {
                     // Prefer the incumbent we already track if it is
-                    // alive; otherwise adopt the claimant. Two live
-                    // claimants resolve to the lower id.
-                    let incumbent_alive = g.peers.contains_key(&l);
+                    // alive *and still claiming* (an incumbent that
+                    // stopped claiming has abdicated — following it
+                    // forever would wedge the group in disagreement);
+                    // otherwise adopt the claimant. Two live claimants
+                    // resolve to the lower id.
+                    let incumbent_alive = g.peers.get(&l).is_some_and(|p| p.claims_leader);
                     if !incumbent_alive || hb.from < l {
                         g.leader = Some(hb.from);
                         g.backup = hb.backup;
@@ -971,6 +1388,16 @@ impl MembershipNode {
         if changed {
             let levels = self.relay_levels(level);
             self.relay_events(ctx, vec![MemberEvent::Join(hb.record.clone())], levels);
+        }
+
+        // Proof of life: a heartbeat from a node we (or the tree) suspect
+        // refutes the suspicion. Relay the refutation to where the
+        // suspicion travelled — for a plain member the relay set is
+        // empty, so only leaders speak for their members upward (the
+        // "group leader refutes on the suspect's behalf" path).
+        if self.refute_suspicion(ctx, hb.from, hb.record.incarnation, true) {
+            let levels = self.relay_levels(level);
+            self.relay_events(ctx, vec![MemberEvent::Refute(hb.record.clone())], levels);
         }
 
         // Bootstrap pull: first leader heard on this channel.
@@ -1025,6 +1452,16 @@ impl MembershipNode {
                     ctx.observe_added(node);
                 }
                 fresh.push(MemberEvent::Join(rr.record.clone()));
+            }
+            // Snapshot records refute suspicions the same way Join events
+            // do: a higher incarnation always, same incarnation only for
+            // advisory suspicions (the relayer vouches; the origin group
+            // keeps the confirmation call for its own suspicions).
+            if let Some(s) = self.suspicions.get(&node).copied() {
+                let inc = rr.record.incarnation;
+                if inc > s.incarnation || (s.advisory && inc >= s.incarnation) {
+                    self.refute_suspicion(ctx, node, inc.max(s.incarnation), false);
+                }
             }
         }
         fresh
@@ -1104,12 +1541,15 @@ impl MembershipNode {
             // `Ignored`, and only *effective* events are forwarded, which
             // is what terminates the relay flood. The sequence numbers
             // exist for gap detection (sync polling) above.
-            // A leave naming us with a current/future incarnation is a
-            // false positive — refute by re-incarnating (robustness
-            // extension; see DESIGN.md).
-            if let MemberEvent::Leave(n, inc) = ev.event {
-                if n == self.me {
-                    if inc >= self.incarnation {
+            let mut cleared_suspicion = false;
+            match &ev.event {
+                // A leave or suspicion naming us with a current/future
+                // incarnation is a false positive — refute by
+                // re-incarnating (SWIM-style: the refutation must carry a
+                // strictly higher incarnation to beat the accusation
+                // everywhere, not just here).
+                MemberEvent::Leave(n, inc) | MemberEvent::Suspect(n, inc) if *n == self.me => {
+                    if *inc >= self.incarnation {
                         self.incarnation = inc + 1;
                         self.rebuild_record();
                         let me_rec = self.record.clone();
@@ -1117,12 +1557,113 @@ impl MembershipNode {
                             (d.apply_join(me_rec, Provenance::Local, now).changed(), ())
                         });
                         self.send_heartbeats(ctx);
+                        effective.push(MemberEvent::Refute(self.record.clone()));
                     }
                     continue;
+                }
+                MemberEvent::Leave(n, inc) => {
+                    // Refutation always wins: a silence-based removal at
+                    // an incarnation we saw alive after suspecting is
+                    // stale news — answer it with the proof instead of
+                    // applying it.
+                    if self.recently_refuted(*n, *inc, now) {
+                        if let Some(rec) = self.directory.read(|d| {
+                            d.get(*n)
+                                .filter(|e| e.record.incarnation >= *inc)
+                                .map(|e| e.record.clone())
+                        }) {
+                            effective.push(MemberEvent::Refute(rec));
+                        }
+                        continue;
+                    }
+                    // A removal consumes any open suspicion: the origin
+                    // group confirmed what we (or the tree) suspected.
+                    self.suspicions.remove(n);
+                }
+                MemberEvent::Suspect(n, inc) => {
+                    let n = *n;
+                    let inc = *inc;
+                    // Fresh direct evidence beats a relayed accusation:
+                    // refute on the suspect's behalf (the group-leader
+                    // path — we hear the node, the accuser cannot).
+                    let heard_recently = self.groups.iter().flatten().any(|g| {
+                        g.peers.get(&n).is_some_and(|p| {
+                            now.saturating_sub(p.last_heard) <= 2 * self.cfg.heartbeat_period
+                        })
+                    });
+                    if heard_recently || self.recently_refuted(n, inc, now) {
+                        if let Some(rec) = self.directory.read(|d| {
+                            d.get(n)
+                                .filter(|e| e.record.incarnation >= inc)
+                                .map(|e| e.record.clone())
+                        }) {
+                            effective.push(MemberEvent::Refute(rec));
+                        }
+                        continue;
+                    }
+                    // Adopt as an advisory suspicion (we never confirm it
+                    // ourselves — the origin group does) so that a later
+                    // relayed `Leave` finds the suspicion already
+                    // observed here, and relay it onward exactly once.
+                    let known_at = self
+                        .directory
+                        .read(|d| d.get(n).map(|e| e.record.incarnation));
+                    let already = self
+                        .suspicions
+                        .get(&n)
+                        .is_some_and(|s| s.incarnation >= inc);
+                    if known_at.is_some_and(|k| k <= inc) && !already {
+                        self.suspicions.insert(
+                            n,
+                            Suspicion {
+                                incarnation: inc,
+                                level: arrival,
+                                since: now,
+                                window: 0,
+                                advisory: true,
+                            },
+                        );
+                        self.counters.suspicions_raised += 1;
+                        ctx.observe_suspected(n);
+                        effective.push(ev.event.clone());
+                    }
+                    continue;
+                }
+                MemberEvent::Refute(r) => {
+                    // Proof of life: clears local suspicion state. The
+                    // record itself flows into the directory below; the
+                    // event stays effective (keeps relaying) as long as
+                    // it is still clearing suspicions somewhere.
+                    if r.node != self.me && self.refute_suspicion(ctx, r.node, r.incarnation, true)
+                    {
+                        cleared_suspicion = true;
+                    }
+                }
+                MemberEvent::Join(r) => {
+                    // A higher-incarnation join is a rebirth: it refutes
+                    // any suspicion of an earlier life. (A same-
+                    // incarnation join does not — piggyback windows
+                    // replay recent joins routinely, and a stale echo
+                    // must not mask a real death. Advisory suspicions
+                    // accept same-incarnation vouching: the origin group
+                    // owns that call.)
+                    if let Some(s) = self.suspicions.get(&r.node).copied() {
+                        if r.incarnation > s.incarnation
+                            || (s.advisory && r.incarnation >= s.incarnation)
+                        {
+                            self.refute_suspicion(
+                                ctx,
+                                r.node,
+                                r.incarnation.max(s.incarnation),
+                                false,
+                            );
+                        }
+                    }
                 }
             }
             let provenance = match &ev.event {
                 MemberEvent::Join(r) if r.node == relayer => Provenance::Direct,
+                MemberEvent::Refute(r) if r.node == relayer => Provenance::Direct,
                 _ => Provenance::Relayed(relayer),
             };
             let (changed, was_known) = self.directory.update(|d| {
@@ -1130,15 +1671,20 @@ impl MembershipNode {
                 let a = d.apply_event(&ev.event, provenance, now);
                 (a.changed(), (a.changed(), was))
             });
-            if changed {
+            if changed || cleared_suspicion {
                 // Anything that changed the directory — joins, leaves,
                 // *and* same-incarnation content updates (the paper's
-                // update_value flow) — relays onward. Observations track
-                // membership transitions only.
+                // update_value flow) — relays onward, as does a
+                // refutation that cleared a suspicion here (it may still
+                // have suspicions to clear further on). Observations
+                // track membership transitions only.
                 effective.push(ev.event.clone());
+            }
+            if changed {
                 match &ev.event {
                     MemberEvent::Join(_) if !was_known => ctx.observe_added(ev.event.subject()),
                     MemberEvent::Leave(..) => ctx.observe_removed(ev.event.subject()),
+                    MemberEvent::Refute(r) if !was_known => ctx.observe_added(r.node),
                     _ => {}
                 }
             }
@@ -1324,6 +1870,10 @@ impl Actor for MembershipNode {
             self.log =
                 UpdateLog::with_max_age(self.cfg.piggyback_window, self.cfg.tombstone_ttl / 2);
             self.sync_polls.clear();
+            self.suspicions.clear();
+            self.refuted.clear();
+            self.flap.clear();
+            self.quarantine.clear();
             for g in &mut self.groups {
                 *g = None;
             }

@@ -95,7 +95,15 @@ pub fn build(opts: &SearchOptions) -> SearchScenario {
     let mut engine = Engine::new(topo, engine_cfg, opts.seed);
 
     let vips = VipTable::new();
-    let membership = MembershipConfig::default();
+    // Figs. 1/14 reproduce the paper's failover timeline: a kill becomes
+    // a removal after exactly max_loss × period. The suspicion and
+    // quarantine extensions add their settling windows on top, so they
+    // are pinned off here (docs/ROBUSTNESS.md covers the trade-off).
+    let membership = MembershipConfig {
+        suspicion_window: 0,
+        quarantine_window: 0,
+        ..MembershipConfig::default()
+    };
 
     let mut gateways = vec![Vec::new(); opts.datacenters];
     let mut proxies = vec![Vec::new(); opts.datacenters];

@@ -135,6 +135,24 @@ impl<'a> Context<'a> {
             )));
     }
 
+    /// Record that this host started suspecting `member` — consumed by
+    /// the chaos oracle's strict mode ("suspicion precedes removal").
+    pub fn observe_suspected(&mut self, member: NodeId) {
+        self.effects
+            .push(Effect::Observe(crate::stats::ObservationKind::Suspected(
+                member,
+            )));
+    }
+
+    /// Record that this host cleared a suspicion of `member` after proof
+    /// of life ("refutation always wins").
+    pub fn observe_refuted(&mut self, member: NodeId) {
+        self.effects
+            .push(Effect::Observe(crate::stats::ObservationKind::Refuted(
+                member,
+            )));
+    }
+
     /// Deterministic uniform random in `[0, 1)`.
     pub fn rand_f64(&mut self) -> f64 {
         self.rng.gen::<f64>()

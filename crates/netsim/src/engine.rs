@@ -373,7 +373,10 @@ impl Engine {
             }
             Control::BlockSegments(a, b) => {
                 self.blocked.insert((a.0.min(b.0), a.0.max(b.0)));
-                self.trace(TraceEvent::Net("partition", format!("seg{}–seg{}", a.0, b.0)));
+                self.trace(TraceEvent::Net(
+                    "partition",
+                    format!("seg{}–seg{}", a.0, b.0),
+                ));
             }
             Control::UnblockSegments(a, b) => {
                 self.blocked.remove(&(a.0.min(b.0), a.0.max(b.0)));

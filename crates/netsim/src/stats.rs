@@ -35,6 +35,13 @@ pub enum ObservationKind {
     Added(NodeId),
     /// Observer's directory removed `member`.
     Removed(NodeId),
+    /// Observer started suspecting `member` (timed out, not yet
+    /// removed). Suspicion precedes every legitimate removal in the
+    /// suspicion/refutation extension; the chaos oracle's strict mode
+    /// checks exactly that ordering.
+    Suspected(NodeId),
+    /// Observer cleared a suspicion of `member` after proof of life.
+    Refuted(NodeId),
 }
 
 /// A timestamped protocol observation by one host.
@@ -174,6 +181,30 @@ impl Stats {
             .observations
             .iter()
             .filter(|o| o.kind == ObservationKind::Removed(subject))
+            .map(|o| o.observer)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Earliest time any host (other than `subject` itself) started
+    /// suspecting `subject` — how fast the detector *noticed*, before the
+    /// suspicion window delays the confirmed removal.
+    pub fn first_suspicion(&self, subject: NodeId) -> Option<SimTime> {
+        self.observations
+            .iter()
+            .find(|o| o.kind == ObservationKind::Suspected(subject) && o.observer.0 != subject.0)
+            .map(|o| o.time)
+    }
+
+    /// Hosts that observed a refutation of `subject` (a suspicion that
+    /// proof of life cancelled).
+    pub fn refutation_observers(&self, subject: NodeId) -> Vec<HostId> {
+        let mut v: Vec<HostId> = self
+            .observations
+            .iter()
+            .filter(|o| o.kind == ObservationKind::Refuted(subject))
             .map(|o| o.observer)
             .collect();
         v.sort();

@@ -42,7 +42,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tamp_netsim::{Actor, ChannelId, Context, Destination, Effect, Nanos, PacketMeta};
@@ -148,6 +148,66 @@ impl Fabric {
     }
 }
 
+/// How many times a failed `send_to` is retried before the datagram is
+/// dropped, and the initial backoff between attempts (doubled each
+/// retry: 50 µs, 100 µs, 200 µs). The protocol tolerates loss — a
+/// heartbeat is re-sent next period anyway — so the retry budget only
+/// papers over transient local conditions (full socket buffers,
+/// interrupted syscalls), never blocks the driver loop for long.
+const SEND_RETRIES: u32 = 3;
+const SEND_BACKOFF: Duration = Duration::from_micros(50);
+
+/// Per-host counters for the UDP send path. The previous driver ignored
+/// `send_to` errors outright; these make every dropped datagram and
+/// every retry observable so deployments (and tests) can distinguish
+/// "the network lost it" from "we never handed it to the kernel".
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    send_drops: AtomicU64,
+    send_retries: AtomicU64,
+}
+
+impl NetCounters {
+    /// Datagrams abandoned after the retry budget was exhausted (or on a
+    /// non-transient error).
+    pub fn send_drops(&self) -> u64 {
+        self.send_drops.load(Ordering::Relaxed)
+    }
+
+    /// Individual retry attempts (a datagram that succeeded on the
+    /// second try counts one retry and zero drops).
+    pub fn send_retries(&self) -> u64 {
+        self.send_retries.load(Ordering::Relaxed)
+    }
+}
+
+/// Send one frame with bounded retry + exponential backoff. Transient
+/// errors (buffer pressure, interrupted syscall) are retried; anything
+/// else — or exhausting the budget — counts a drop and moves on.
+fn send_with_retry(socket: &UdpSocket, frame: &[u8], addr: SocketAddr, counters: &NetCounters) {
+    let mut backoff = SEND_BACKOFF;
+    for attempt in 0..=SEND_RETRIES {
+        match socket.send_to(frame, addr) {
+            Ok(_) => return,
+            Err(e)
+                if attempt < SEND_RETRIES
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::OutOfMemory
+                    ) =>
+            {
+                counters.send_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(_) => break,
+        }
+    }
+    counters.send_drops.fetch_add(1, Ordering::Relaxed);
+}
+
 struct TimerEntry {
     at: Instant,
     token: u64,
@@ -178,6 +238,7 @@ pub struct Runtime {
     pending: Vec<(HostId, Box<dyn Actor>)>,
     threads: Vec<std::thread::JoinHandle<()>>,
     stops: HashMap<HostId, Arc<AtomicBool>>,
+    counters: HashMap<HostId, Arc<NetCounters>>,
 }
 
 impl Runtime {
@@ -188,6 +249,7 @@ impl Runtime {
             pending: Vec::new(),
             threads: Vec::new(),
             stops: HashMap::new(),
+            counters: HashMap::new(),
         }
     }
 
@@ -215,13 +277,26 @@ impl Runtime {
         self.fabric.register(host, addr);
         let stop = Arc::new(AtomicBool::new(false));
         self.stops.insert(host, Arc::clone(&stop));
+        // Cumulative across restarts of the same host.
+        let counters = Arc::clone(self.counters.entry(host).or_default());
         let fabric = self.fabric.clone();
         let epoch = self.epoch;
         let handle = std::thread::Builder::new()
             .name(format!("tamp-{host}"))
-            .spawn(move || drive(host, actor, socket, fabric, epoch, stop))
+            .spawn(move || drive(host, actor, socket, fabric, epoch, stop, counters))
             .expect("spawn driver thread");
         self.threads.push(handle);
+    }
+
+    /// Send-path counters for one host (zeroed handle if the host never
+    /// ran). Cumulative across [`Runtime::start_node`] restarts.
+    pub fn net_counters(&self, host: HostId) -> Arc<NetCounters> {
+        self.counters.get(&host).cloned().unwrap_or_default()
+    }
+
+    /// Total datagrams the send path abandoned, across all hosts.
+    pub fn total_send_drops(&self) -> u64 {
+        self.counters.values().map(|c| c.send_drops()).sum()
     }
 
     /// Handle to the shared fabric (for live partition injection).
@@ -273,6 +348,7 @@ fn drive(
     fabric: Fabric,
     epoch: Instant,
     stop: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
 ) {
     let mut rng = StdRng::seed_from_u64(host.0 as u64 ^ 0x7a3f);
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
@@ -285,7 +361,7 @@ fn drive(
         let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
         actor.on_start(&mut ctx);
     }
-    apply(host, &fabric, &socket, epoch, &mut timers, effects);
+    apply(host, &fabric, &socket, &counters, &mut timers, effects);
 
     while !stop.load(Ordering::Relaxed) {
         // Fire due timers.
@@ -298,7 +374,7 @@ fn drive(
                         let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
                         actor.on_timer(&mut ctx, t.token);
                     }
-                    apply(host, &fabric, &socket, epoch, &mut timers, effects);
+                    apply(host, &fabric, &socket, &counters, &mut timers, effects);
                 }
                 _ => break,
             }
@@ -329,7 +405,7 @@ fn drive(
                         let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
                         actor.on_packet(&mut ctx, meta, &msg);
                     }
-                    apply(host, &fabric, &socket, epoch, &mut timers, effects);
+                    apply(host, &fabric, &socket, &counters, &mut timers, effects);
                 }
             }
             _ => {} // timeout or short datagram
@@ -341,11 +417,10 @@ fn apply(
     host: HostId,
     fabric: &Fabric,
     socket: &UdpSocket,
-    epoch: Instant,
+    counters: &NetCounters,
     timers: &mut BinaryHeap<TimerEntry>,
     effects: Vec<Effect>,
 ) {
-    let _ = epoch;
     for e in effects {
         match e {
             Effect::Send { dest, msg } => {
@@ -360,7 +435,7 @@ fn apply(
                 frame.push(ttl);
                 frame.extend_from_slice(&body);
                 for addr in fabric.resolve(host, dest) {
-                    let _ = socket.send_to(&frame, addr);
+                    send_with_retry(socket, &frame, addr, counters);
                 }
             }
             Effect::SetTimer { delay, token } => {
@@ -442,5 +517,9 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
         }
         rt.shutdown();
+
+        // Loopback never exerts enough pressure to exhaust the retry
+        // budget: nothing may be silently dropped on the send path.
+        assert_eq!(rt.total_send_drops(), 0);
     }
 }

@@ -184,6 +184,15 @@ fn write_event<S: Sink>(s: &mut S, e: &MemberEvent) {
             s.put_u32(n.0);
             s.put_u64(*inc);
         }
+        MemberEvent::Suspect(n, inc) => {
+            s.put_u8(2);
+            s.put_u32(n.0);
+            s.put_u64(*inc);
+        }
+        MemberEvent::Refute(r) => {
+            s.put_u8(3);
+            write_record(s, r);
+        }
     }
 }
 
@@ -479,6 +488,12 @@ fn read_event(r: &mut Reader) -> Result<MemberEvent, DecodeError> {
             let inc = r.u64()?;
             Ok(MemberEvent::Leave(n, inc))
         }
+        2 => {
+            let n = read_node(r)?;
+            let inc = r.u64()?;
+            Ok(MemberEvent::Suspect(n, inc))
+        }
+        3 => Ok(MemberEvent::Refute(read_record(r)?)),
         t => Err(DecodeError::BadTag(t)),
     }
 }
@@ -706,6 +721,60 @@ mod tests {
             ],
         });
         assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn suspect_and_refute_roundtrip() {
+        let msg = Message::Update(UpdateMsg {
+            origin: NodeId(2),
+            events: vec![
+                SeqEvent {
+                    seq: 7,
+                    event: MemberEvent::Suspect(NodeId(3), 4),
+                },
+                SeqEvent {
+                    seq: 8,
+                    event: MemberEvent::Refute(sample_record()),
+                },
+            ],
+        });
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn suspect_event_tag_is_stable() {
+        // Suspect and Leave share a layout but not a tag; a decoder that
+        // confused them would turn every suspicion into a removal.
+        let suspect = Message::Update(UpdateMsg {
+            origin: NodeId(1),
+            events: vec![SeqEvent {
+                seq: 1,
+                event: MemberEvent::Suspect(NodeId(5), 2),
+            }],
+        });
+        let leave = Message::Update(UpdateMsg {
+            origin: NodeId(1),
+            events: vec![SeqEvent {
+                seq: 1,
+                event: MemberEvent::Leave(NodeId(5), 2),
+            }],
+        });
+        assert_ne!(encode(&suspect), encode(&leave));
+        assert_eq!(decode(&encode(&suspect)).unwrap(), suspect);
+    }
+
+    #[test]
+    fn truncated_suspect_rejected() {
+        let bytes = encode(&Message::Update(UpdateMsg {
+            origin: NodeId(1),
+            events: vec![SeqEvent {
+                seq: 1,
+                event: MemberEvent::Suspect(NodeId(5), 2),
+            }],
+        }));
+        for len in 0..bytes.len() {
+            assert!(decode(&bytes[..len]).is_err(), "prefix of {len} decoded");
+        }
     }
 
     #[test]

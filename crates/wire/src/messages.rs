@@ -216,6 +216,16 @@ pub enum MemberEvent {
     /// declared dead, so a concurrent rejoin (higher incarnation) is not
     /// cancelled by a stale leave.
     Leave(NodeId, u64),
+    /// A node timed out but has not yet been declared dead: the
+    /// suspicion/refutation extension (docs/ROBUSTNESS.md). The
+    /// incarnation is the one under suspicion; a refutation must carry a
+    /// strictly higher one to win.
+    Suspect(NodeId, u64),
+    /// Proof of life for a suspected node: its record at an incarnation
+    /// at least as high as the suspected one. Distinct from `Join` so
+    /// that receivers clear local suspicion state and keep relaying the
+    /// refutation even when the record itself is already known.
+    Refute(NodeRecord),
 }
 
 impl MemberEvent {
@@ -223,6 +233,8 @@ impl MemberEvent {
         match self {
             MemberEvent::Join(r) => r.node,
             MemberEvent::Leave(n, _) => *n,
+            MemberEvent::Suspect(n, _) => *n,
+            MemberEvent::Refute(r) => r.node,
         }
     }
 }

@@ -66,14 +66,33 @@ impl UpdateLog {
         }
     }
 
+    /// A log whose next assigned sequence number is `next_seq + 1` —
+    /// restores a checkpointed counter, and lets tests exercise the
+    /// behavior at the top of the sequence range.
+    pub fn with_next_seq(window: usize, max_age: Nanos, next_seq: u64) -> Self {
+        let mut log = Self::with_max_age(window, max_age);
+        log.next_seq = next_seq;
+        log
+    }
+
     fn fresh(&self, logged_at: Nanos, now: Nanos) -> bool {
         self.max_age == 0 || now.saturating_sub(logged_at) < self.max_age
     }
 
     /// Append a new event at time `now` and return the event window to
     /// transmit, oldest first (so receivers can apply sequentially).
+    ///
+    /// Sequence numbers saturate at `u64::MAX` rather than wrapping to 0:
+    /// a wrapped counter would classify every later event as stale on the
+    /// receiver side (`SeqTracker` is monotonic), silently freezing that
+    /// origin's updates. Saturation keeps the window self-consistent —
+    /// receivers see repeated seqs as duplicates and fall back to the
+    /// sync-poll path, which transfers the full directory and does not
+    /// depend on sequence progress. At one event per nanosecond the
+    /// boundary is ~584 years away; this is a defensive posture, not an
+    /// operational mode.
     pub fn push(&mut self, event: MemberEvent, now: Nanos) -> Vec<SeqEvent> {
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.saturating_add(1);
         let se = SeqEvent {
             seq: self.next_seq,
             event,
@@ -231,5 +250,56 @@ mod tests {
     #[should_panic(expected = "piggyback window")]
     fn zero_window_panics() {
         UpdateLog::new(0);
+    }
+
+    #[test]
+    fn with_next_seq_resumes_numbering() {
+        let mut log = UpdateLog::with_next_seq(4, 0, 100);
+        let w = log.push(leave(1), 0);
+        assert_eq!(w[0].seq, 101);
+        assert_eq!(log.latest_seq(), 101);
+    }
+
+    #[test]
+    fn seq_saturates_at_the_top_of_the_range() {
+        let mut log = UpdateLog::with_next_seq(4, 0, u64::MAX - 2);
+        let w1 = log.push(leave(1), 0);
+        let w2 = log.push(leave(2), 1);
+        assert_eq!(w1[0].seq, u64::MAX - 1);
+        assert_eq!(w2[1].seq, u64::MAX);
+        // Further pushes must not panic or wrap to 0; they pin at MAX.
+        let w3 = log.push(leave(3), 2);
+        assert_eq!(w3.last().unwrap().seq, u64::MAX);
+        assert_eq!(log.latest_seq(), u64::MAX);
+    }
+
+    #[test]
+    fn window_recovery_across_the_wrap_boundary() {
+        use crate::seqnum::{SeqStatus, SeqTracker};
+        // Sender approaches the top of the range; a receiver that missed
+        // the last few updates must still recover them from the window
+        // rather than wrapping into a permanently-stale state.
+        let mut log = UpdateLog::with_next_seq(4, 0, u64::MAX - 4);
+        for i in 0..4 {
+            log.push(leave(i), i as u64);
+        }
+        let mut rx: SeqTracker<u32> = SeqTracker::new();
+        rx.advance(9, u64::MAX - 4); // receiver last applied before the burst
+        assert_eq!(
+            rx.classify(9, log.latest_seq()),
+            SeqStatus::Gap { missed: 3 }
+        );
+        assert!(log.can_backfill(rx.last_applied(9).unwrap(), 10));
+        for se in log.events_after(rx.last_applied(9).unwrap(), 10) {
+            assert!(matches!(
+                rx.classify(9, se.seq),
+                SeqStatus::InOrder | SeqStatus::Gap { .. }
+            ));
+            rx.advance(9, se.seq);
+        }
+        assert_eq!(rx.last_applied(9), Some(u64::MAX));
+        // Once saturated, anything further from this origin is a
+        // duplicate: the receiver leans on sync polls, never on a wrap.
+        assert_eq!(rx.classify(9, u64::MAX), SeqStatus::Stale);
     }
 }

@@ -134,6 +134,43 @@ mod tests {
     }
 
     #[test]
+    fn no_overflow_at_the_top_of_the_range() {
+        // At last = u64::MAX every possible seq satisfies `seq <= last`,
+        // so classification must short-circuit to Stale without ever
+        // computing `last + 1` (which would overflow).
+        let mut t = SeqTracker::new();
+        t.advance(1u32, u64::MAX);
+        assert_eq!(t.classify(1, u64::MAX), SeqStatus::Stale);
+        assert_eq!(t.classify(1, 0), SeqStatus::Stale);
+        assert_eq!(t.classify(1, u64::MAX - 1), SeqStatus::Stale);
+        // advance at the boundary is idempotent, not wrapping.
+        t.advance(1, u64::MAX);
+        assert_eq!(t.last_applied(1), Some(u64::MAX));
+    }
+
+    #[test]
+    fn in_order_and_gap_just_below_the_boundary() {
+        let mut t = SeqTracker::new();
+        t.advance(1u32, u64::MAX - 2);
+        assert_eq!(t.classify(1, u64::MAX - 1), SeqStatus::InOrder);
+        assert_eq!(t.classify(1, u64::MAX), SeqStatus::Gap { missed: 1 });
+        t.advance(1, u64::MAX - 1);
+        assert_eq!(t.classify(1, u64::MAX), SeqStatus::InOrder);
+    }
+
+    #[test]
+    fn forget_is_the_recovery_path_after_saturation() {
+        // A sender whose log saturated (see piggyback.rs) re-syncs the
+        // receiver out of band; forget + re-advance models that handoff.
+        let mut t = SeqTracker::new();
+        t.advance(1u32, u64::MAX);
+        t.forget(1);
+        assert_eq!(t.classify(1, 1), SeqStatus::First);
+        t.advance(1, 1);
+        assert_eq!(t.classify(1, 2), SeqStatus::InOrder);
+    }
+
+    #[test]
     fn senders_are_independent() {
         let mut t = SeqTracker::new();
         t.advance(1u32, 5);

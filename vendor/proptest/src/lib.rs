@@ -93,7 +93,11 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -401,7 +405,10 @@ mod pattern {
         }
         i += 1; // consume ']'
         if negated {
-            set = printable().into_iter().filter(|c| !set.contains(c)).collect();
+            set = printable()
+                .into_iter()
+                .filter(|c| !set.contains(c))
+                .collect();
         }
         if set.is_empty() {
             return None;
@@ -626,9 +633,15 @@ pub mod runner {
             dbg_line.truncate(300);
             dbg_line.push('…');
         }
-        body.push_str(&format!("cc s{seed:016x} # {test} failed with input {dbg_line}\n"));
+        body.push_str(&format!(
+            "cc s{seed:016x} # {test} failed with input {dbg_line}\n"
+        ));
         use std::io::Write;
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
             let _ = f.write_all(body.as_bytes());
         }
     }
