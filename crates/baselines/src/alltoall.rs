@@ -167,6 +167,7 @@ impl Actor for AllToAllNode {
         match token {
             T_HEARTBEAT => {
                 self.seq += 1;
+                ctx.count("alltoall", "heartbeats_sent", 1);
                 ctx.send_multicast(
                     self.cfg.channel,
                     self.cfg.ttl,

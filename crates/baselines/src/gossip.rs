@@ -278,6 +278,7 @@ impl Actor for GossipNode {
                 self.my_counter += 1;
                 let entries = self.view();
                 for t in self.targets(ctx) {
+                    ctx.count("gossip", "rounds_sent", 1);
                     ctx.send_unicast(
                         t,
                         Message::Gossip(Gossip {

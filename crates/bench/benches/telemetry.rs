@@ -1,0 +1,51 @@
+//! Telemetry hot-path benches: counter increment, histogram record, and
+//! event-log append — the three operations instrumentation sites pay on
+//! every packet/heartbeat. The disabled-registry variants measure the
+//! no-op cost paid when telemetry is off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tamp_netsim::telemetry::{Event, EventLog, Registry, CLUSTER};
+use tamp_topology::HostId;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+
+    let reg = Registry::new();
+    let counter = reg.counter(CLUSTER, "bench", "counter");
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let off = Registry::disabled().counter(CLUSTER, "bench", "counter");
+    g.bench_function("counter_inc_disabled", |b| b.iter(|| off.inc()));
+
+    let hist = reg.histogram(CLUSTER, "bench", "hist");
+    let mut v = 1u64;
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(v >> 33);
+        })
+    });
+
+    let mut log = EventLog::new(100_000);
+    let mut t = 0u64;
+    g.bench_function("event_append", |b| {
+        b.iter(|| {
+            t += 1;
+            log.push(
+                t,
+                Event::Deliver {
+                    src: HostId(1),
+                    dst: HostId(2),
+                    channel: Some(3),
+                    kind: "heartbeat",
+                    bytes: 228,
+                },
+            );
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

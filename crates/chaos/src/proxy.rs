@@ -27,6 +27,10 @@ pub struct ProxyScenarioConfig {
     pub proxies_per_dc: usize,
     pub wan_one_way: tamp_topology::Nanos,
     pub membership: MembershipConfig,
+    /// Engine tunables — notably tracing, which previously could not be
+    /// enabled for multi-DC runs at all. Metrics are forced on
+    /// regardless, as in the single-cluster runner.
+    pub engine: EngineConfig,
     /// Judge with the strict oracle (see
     /// [`crate::OracleConfig::strict`]).
     pub strict: bool,
@@ -43,6 +47,7 @@ impl ProxyScenarioConfig {
             proxies_per_dc: 2,
             wan_one_way: 45 * MILLIS,
             membership: MembershipConfig::default(),
+            engine: EngineConfig::default(),
             strict: false,
         }
     }
@@ -68,7 +73,9 @@ pub fn run_proxy_scenario(cfg: &ProxyScenarioConfig, schedule: &Schedule) -> Sce
     let (topo, dc_hosts) = generators::multi_datacenter(&dcs_shape, cfg.wan_one_way);
     let num_hosts = topo.num_hosts();
 
-    let mut engine = Engine::new(topo, EngineConfig::default(), cfg.seed);
+    let mut engine_cfg = cfg.engine.clone();
+    engine_cfg.metrics = true;
+    let mut engine = Engine::new(topo, engine_cfg, cfg.seed);
     let vips = VipTable::new();
     let mut probes: Vec<Option<Probe>> = vec![None; num_hosts];
     let mut dcs = Vec::new();
@@ -146,11 +153,8 @@ pub fn run_proxy_scenario(cfg: &ProxyScenarioConfig, schedule: &Schedule) -> Sce
     let live: Vec<u32> = (0..num_hosts as u32)
         .filter(|&h| truth.is_alive(h))
         .collect();
-    let trace = engine
-        .trace_log()
-        .records()
-        .map(tamp_netsim::TraceLog::render)
-        .collect();
+    let trace = engine.trace_log().records().cloned().collect();
+    let metrics = engine.registry().snapshot();
     ScenarioRun {
         seed: cfg.seed,
         schedule,
@@ -159,6 +163,7 @@ pub fn run_proxy_scenario(cfg: &ProxyScenarioConfig, schedule: &Schedule) -> Sce
         live,
         horizon,
         trace,
+        metrics,
         topo_desc: format!(
             "{} datacenters, {} hosts ({} members + {} proxies each)",
             cfg.datacenters, num_hosts, cfg.members_per_dc, cfg.proxies_per_dc

@@ -9,7 +9,8 @@ use crate::truth::GroundTruth;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tamp_membership::{MembershipConfig, MembershipNode, Probe};
-use tamp_netsim::{Engine, EngineConfig};
+use tamp_netsim::telemetry::{MetricsSnapshot, CLUSTER};
+use tamp_netsim::{Engine, EngineConfig, TraceLog, TraceRecord};
 use tamp_topology::{HostId, Topology};
 use tamp_wire::NodeId;
 
@@ -50,15 +51,59 @@ pub struct ScenarioRun {
     /// Hosts alive at the horizon.
     pub live: Vec<u32>,
     pub horizon: tamp_topology::Nanos,
-    /// Rendered netsim trace lines (protocol packets interleaved with
+    /// Structured event-trace records (protocol packets interleaved with
     /// the injected faults), when the engine config enables tracing.
-    pub trace: Vec<String>,
+    pub trace: Vec<TraceRecord>,
+    /// Telemetry snapshot at the horizon. Metrics are always collected
+    /// for chaos runs (the runner forces them on) so a failing report
+    /// can explain itself.
+    pub metrics: MetricsSnapshot,
     pub(crate) topo_desc: String,
 }
 
 impl ScenarioRun {
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// The trace rendered one line per record, in the shared event-schema
+    /// format (`tamp_telemetry::EventLog::render`).
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.trace.iter().map(TraceLog::render).collect()
+    }
+
+    /// Deterministic telemetry digest appended to failing reports:
+    /// where packets went missing and what the failure detector did.
+    fn diagnostics(&self) -> String {
+        let drop = |name: &str| self.metrics.counter(CLUSTER, "net", name);
+        let mem = |name: &str| self.metrics.counter_total("membership", name);
+        let mut out = String::new();
+        out.push_str("telemetry:\n");
+        out.push_str(&format!(
+            "  drops: loss {} / dead-host {} / partition {}\n",
+            drop("drop.loss"),
+            drop("drop.dead_host"),
+            drop("drop.partition"),
+        ));
+        out.push_str(&format!(
+            "  suspicions: raised {} refuted {} confirmed {}\n",
+            mem("suspicions_raised"),
+            mem("suspicions_refuted"),
+            mem("suspicions_confirmed"),
+        ));
+        out.push_str(&format!(
+            "  deaths declared {} / elections started {} / leaderships claimed {}\n",
+            mem("deaths_declared"),
+            mem("elections_started"),
+            mem("leaderships_claimed"),
+        ));
+        out.push_str(&format!(
+            "  quarantines: armed {} lifted {} purged {}\n",
+            mem("subtrees_quarantined"),
+            mem("quarantines_lifted"),
+            mem("quarantine_purged"),
+        ));
+        out
     }
 
     /// Human-readable, byte-deterministic report. Embeds the canonical
@@ -90,6 +135,7 @@ impl ScenarioRun {
             if self.violations.len() > SHOWN {
                 out.push_str(&format!("  … and {} more\n", self.violations.len() - SHOWN));
             }
+            out.push_str(&self.diagnostics());
             out.push_str("verdict: FAIL\n");
         }
         out
@@ -104,7 +150,11 @@ struct Cluster {
 }
 
 fn build(cfg: &ScenarioConfig) -> Cluster {
-    let mut engine = Engine::new(cfg.topo.clone(), cfg.engine.clone(), cfg.seed);
+    // Chaos runs always meter the network and the protocol: a failing
+    // report must be able to explain itself without a re-run.
+    let mut engine_cfg = cfg.engine.clone();
+    engine_cfg.metrics = true;
+    let mut engine = Engine::new(cfg.topo.clone(), engine_cfg, cfg.seed);
     let mut clients = Vec::new();
     let mut probes = Vec::new();
     for h in engine.hosts() {
@@ -307,12 +357,8 @@ pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
     let live: Vec<u32> = (0..cluster.clients.len() as u32)
         .filter(|&h| truth.is_alive(h))
         .collect();
-    let trace = cluster
-        .engine
-        .trace_log()
-        .records()
-        .map(tamp_netsim::TraceLog::render)
-        .collect();
+    let trace = cluster.engine.trace_log().records().cloned().collect();
+    let metrics = cluster.engine.registry().snapshot();
     let topo_desc = format!(
         "{} segments, {} hosts",
         cfg.topo.num_segments(),
@@ -326,6 +372,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
         live,
         horizon,
         trace,
+        metrics,
         topo_desc,
     }
 }

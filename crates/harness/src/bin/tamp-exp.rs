@@ -16,6 +16,7 @@
 //! ```
 //!
 //! ```text
+//! tamp-exp metrics                      # telemetry dashboard + JSONL/CSV exports
 //! tamp-exp chaos                        # generated fault scenario + oracle
 //! tamp-exp chaos --scenario f.chaos     # run a scenario file
 //! tamp-exp chaos --sweep 20             # seeded sweep with shrinking
@@ -130,6 +131,7 @@ fn main() {
         "ablation-detector" => ablations::run_detector(seed),
         "ablation-suspicion" => ablations::run_suspicion(seed),
         "trace" => trace_tool::run(seed),
+        "metrics" => metrics_tool::run_and_print(if quick { 20 } else { 60 }, seed),
         "chaos" => {
             let code = chaos::run(&chaos::ChaosOptions {
                 seed,
@@ -178,7 +180,7 @@ fn print_help() {
     println!(
         "tamp-exp — regenerate the paper's evaluation\n\n\
          commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
-         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  chaos  all\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  all\n\
          options:  --seed <u64>    deterministic seed (default 2005)\n\
          \u{20}         --quick         smaller sweeps for smoke runs\n\
          \u{20}         --trials <n>    fig12/fig13: statistics over n seeds\n\

@@ -41,17 +41,21 @@ fn membership(broken: bool) -> MembershipConfig {
     }
 }
 
+fn chaos_trace_config() -> TraceConfig {
+    TraceConfig {
+        enabled: true,
+        capacity: 200_000,
+        kinds: vec!["update", "sync-req", "sync-resp", "election", "digest"],
+        ..Default::default()
+    }
+}
+
 fn scenario_config(seed: u64, opts: &ChaosOptions) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::two_segments(seed);
     cfg.membership = membership(opts.broken);
     cfg.strict = opts.strict;
     if opts.trace {
-        cfg.engine.trace = TraceConfig {
-            enabled: true,
-            capacity: 200_000,
-            kinds: vec!["update", "sync-req", "sync-resp", "election", "digest"],
-            ..Default::default()
-        };
+        cfg.engine.trace = chaos_trace_config();
     }
     cfg
 }
@@ -73,14 +77,21 @@ pub fn run(opts: &ChaosOptions) -> i32 {
         return if report.passed() { 0 } else { 1 };
     }
     if opts.proxy {
-        let cfg = ProxyScenarioConfig {
+        let mut cfg = ProxyScenarioConfig {
             membership: membership(opts.broken),
             strict: opts.strict,
             ..ProxyScenarioConfig::two_dcs(opts.seed)
         };
+        if opts.trace {
+            cfg.engine.trace = chaos_trace_config();
+        }
         let schedule = load_schedule(opts);
         let run = run_proxy_scenario(&cfg, &schedule);
         print!("{}", run.report());
+        if opts.trace {
+            println!("\ntrace timeline (faults interleaved with control traffic):");
+            crate::trace_tool::print_chaos_trace(&run.trace);
+        }
         return if run.passed() { 0 } else { 1 };
     }
 

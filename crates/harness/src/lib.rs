@@ -15,6 +15,7 @@
 //! | §4 analysis (BDT/BCT model)              | [`analysis_tables`] | `analysis` |
 //! | Ablations A1–A4 (DESIGN.md)              | [`ablations`] | `ablation-*` |
 //! | Chaos scenarios + invariant oracle       | [`chaos`]     | `chaos` |
+//! | Telemetry dashboard + canonical exports  | [`metrics_tool`] | `metrics` |
 
 pub mod ablations;
 pub mod analysis_tables;
@@ -24,6 +25,7 @@ pub mod common;
 pub mod detection;
 pub mod fig14;
 pub mod fig2;
+pub mod metrics_tool;
 pub mod report;
 pub mod topo_tool;
 pub mod trace_tool;

@@ -3,7 +3,9 @@
 //! sync / election packet around the event is shown.
 
 use tamp_membership::{MembershipConfig, MembershipNode};
-use tamp_netsim::{Control, Engine, EngineConfig, TraceConfig, TraceLog, SECS};
+use tamp_netsim::{
+    Control, Engine, EngineConfig, TraceConfig, TraceEvent, TraceLog, TraceRecord, SECS,
+};
 use tamp_topology::{generators, HostId};
 use tamp_wire::NodeId;
 
@@ -72,21 +74,22 @@ pub fn run(seed: u64) {
 /// always shown; packet lines are windowed to 1 s before and 8 s after
 /// each fault (detection and re-election fire several heartbeat periods
 /// after the fault itself) so the interesting reactions stand out.
-pub fn print_chaos_trace(trace: &[String]) {
-    // Rendered lines start with the timestamp in seconds; fault/net
-    // transitions contain the `====` marker (see `TraceLog::render`).
-    let fault_times: Vec<f64> = trace
+pub fn print_chaos_trace(trace: &[TraceRecord]) {
+    let is_fault = |e: &TraceEvent| matches!(e, TraceEvent::Fault(..) | TraceEvent::Net(..));
+    let fault_times: Vec<u64> = trace
         .iter()
-        .filter(|l| l.contains("===="))
-        .filter_map(|l| l.split_whitespace().next()?.parse().ok())
+        .filter(|r| is_fault(&r.event))
+        .map(|r| r.time)
         .collect();
-    let near_fault = |t: f64| fault_times.iter().any(|&f| (-1.0..=8.0).contains(&(t - f)));
+    let near_fault = |t: u64| {
+        fault_times
+            .iter()
+            .any(|&f| t + SECS >= f && t <= f + 8 * SECS)
+    };
     let mut shown = 0;
-    for line in trace {
-        let is_fault = line.contains("====");
-        let t: Option<f64> = line.split_whitespace().next().and_then(|s| s.parse().ok());
-        if is_fault || t.is_some_and(near_fault) {
-            println!("{line}");
+    for r in trace {
+        if is_fault(&r.event) || near_fault(r.time) {
+            println!("{}", TraceLog::render(r));
             shown += 1;
             if shown > 400 {
                 println!("… (truncated)");

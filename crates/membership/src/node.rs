@@ -33,7 +33,7 @@ use crate::group::{Election, GroupState};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tamp_directory::{Applied, Provenance, SharedDirectory};
-use tamp_netsim::{Actor, ChannelId, Context, PacketMeta};
+use tamp_netsim::{Actor, ChannelId, Context, PacketMeta, ProtocolEvent};
 
 use tamp_wire::piggyback::UpdateLog;
 use tamp_wire::seqnum::SeqTracker;
@@ -380,6 +380,8 @@ impl MembershipNode {
         }
         self.sync_polls.insert(peer, now);
         self.counters.sync_polls_sent += 1;
+        ctx.count("membership", "sync_polls_sent", 1);
+        ctx.emit(ProtocolEvent::SyncPoll { peer: peer.0 });
         let since_seq = self.seqs.last_applied(peer).unwrap_or(0);
         ctx.send_unicast(
             peer,
@@ -515,6 +517,8 @@ impl MembershipNode {
         }
         self.suspicions.remove(&node);
         self.counters.suspicions_refuted += 1;
+        ctx.count("membership", "suspicions_refuted", 1);
+        ctx.emit(ProtocolEvent::SuspicionRefuted { subject: node.0 });
         if fresh || inc > s.incarnation {
             self.refuted.insert(node, (inc, ctx.now()));
         }
@@ -554,6 +558,8 @@ impl MembershipNode {
             },
         );
         self.counters.suspicions_raised += 1;
+        ctx.count("membership", "suspicions_raised", 1);
+        ctx.emit(ProtocolEvent::SuspicionArmed { subject: peer.0 });
         ctx.observe_suspected(peer);
         let levels = self.relay_levels(level);
         self.relay_events(ctx, vec![MemberEvent::Suspect(peer, inc)], levels);
@@ -578,6 +584,7 @@ impl MembershipNode {
         }
         let now = ctx.now();
         self.counters.subtrees_quarantined += 1;
+        ctx.count("membership", "subtrees_quarantined", 1);
         let mut events = Vec::with_capacity(members.len());
         for &(m, inc) in &members {
             ctx.observe_suspected(m);
@@ -612,6 +619,7 @@ impl MembershipNode {
                 // orphaned.
                 let q = self.quarantine.remove(&relayer).unwrap();
                 self.counters.quarantines_lifted += 1;
+                ctx.count("membership", "quarantines_lifted", 1);
                 for m in q.members {
                     if self.directory.read(|d| d.contains(m)) {
                         ctx.observe_refuted(m);
@@ -635,6 +643,7 @@ impl MembershipNode {
             let mut events = Vec::new();
             for r in &purged {
                 self.counters.quarantine_purged += 1;
+                ctx.count("membership", "quarantine_purged", 1);
                 ctx.observe_removed(r.node);
                 events.push(MemberEvent::Leave(r.node, r.incarnation));
                 self.seqs.forget(r.node);
@@ -695,6 +704,8 @@ impl MembershipNode {
                 Some(_) => {
                     self.suspicions.remove(&peer);
                     self.counters.suspicions_confirmed += 1;
+                    ctx.count("membership", "suspicions_confirmed", 1);
+                    ctx.emit(ProtocolEvent::SuspicionConfirmed { subject: peer.0 });
                     self.declare_peer_dead(ctx, peer, s.level);
                 }
             }
@@ -727,12 +738,18 @@ impl MembershipNode {
         window.retain(|w| !seq_events.iter().any(|e| e.seq == w.seq));
         window.extend(seq_events);
         window.sort_by_key(|e| e.seq);
+        let n_events = window.len() as u32;
         let msg = Message::Update(UpdateMsg {
             origin: self.me,
             events: window,
         });
         for l in levels {
             self.counters.updates_sent += 1;
+            ctx.count("membership", "updates_sent", 1);
+            ctx.emit(ProtocolEvent::UpdateRelayed {
+                level: l,
+                events: n_events,
+            });
             ctx.send_multicast(self.cfg.channel(l), self.cfg.ttl(l), msg.clone());
         }
     }
@@ -754,6 +771,8 @@ impl MembershipNode {
                 latest_update_seq: self.log.latest_seq(),
                 record: self.record.clone(),
             });
+            ctx.count("membership", "heartbeats_sent", 1);
+            ctx.emit(ProtocolEvent::HeartbeatSent { level: l });
             ctx.send_multicast(self.cfg.channel(l), self.cfg.ttl(l), msg);
         }
     }
@@ -796,6 +815,8 @@ impl MembershipNode {
         let salt = ctx.rand_below(u64::MAX);
         let now = ctx.now();
         self.counters.leaderships_claimed += 1;
+        ctx.count("membership", "leaderships_claimed", 1);
+        ctx.emit(ProtocolEvent::LeadershipClaimed { level });
         let g = self.groups[level as usize].as_mut().unwrap();
         g.leader = Some(self.me);
         g.election = Election::Idle;
@@ -867,6 +888,7 @@ impl MembershipNode {
     /// subtree it may have been relaying.
     fn declare_peer_dead(&mut self, ctx: &mut Context, peer: NodeId, level: u8) {
         self.counters.deaths_declared += 1;
+        ctx.count("membership", "deaths_declared", 1);
 
         let now = ctx.now();
         let mut events: Vec<MemberEvent> = Vec::new();
@@ -947,6 +969,8 @@ impl MembershipNode {
                     // not (it may be deaf or about to fail), escalate by
                     // announcing our own candidacy at the deadline.
                     self.counters.elections_started += 1;
+                    ctx.count("membership", "elections_started", 1);
+                    ctx.emit(ProtocolEvent::ElectionRound { level });
                     let g = self.groups[level as usize].as_mut().unwrap();
                     ctx.send_multicast(
                         self.cfg.channel(level),
@@ -1146,6 +1170,7 @@ impl MembershipNode {
         for l in self.active_levels() {
             if self.am_leader(l) {
                 self.counters.digests_sent += 1;
+                ctx.count("membership", "digests_sent", 1);
                 ctx.send_multicast(
                     self.cfg.channel(l),
                     self.cfg.ttl(l),
@@ -1624,6 +1649,8 @@ impl MembershipNode {
                             },
                         );
                         self.counters.suspicions_raised += 1;
+                        ctx.count("membership", "suspicions_raised", 1);
+                        ctx.emit(ProtocolEvent::SuspicionArmed { subject: n.0 });
                         ctx.observe_suspected(n);
                         effective.push(ev.event.clone());
                     }
@@ -1715,6 +1742,7 @@ impl MembershipNode {
             let events = self.log.events_after(q.since_seq, now);
             if !events.is_empty() {
                 self.counters.backfills_served += 1;
+                ctx.count("membership", "backfills_served", 1);
                 ctx.send_unicast(
                     q.from,
                     Message::Update(UpdateMsg {
@@ -1726,6 +1754,7 @@ impl MembershipNode {
             }
         }
         self.counters.full_syncs_served += 1;
+        ctx.count("membership", "full_syncs_served", 1);
         let records = self.directory.read(|d| d.snapshot());
         ctx.send_unicast(
             q.from,

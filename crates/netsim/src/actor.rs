@@ -34,11 +34,31 @@ pub trait Actor: Send {
 /// One queued side effect of an actor callback.
 #[derive(Debug, Clone)]
 pub enum Effect {
-    Send { dest: Destination, msg: Message },
-    SetTimer { delay: SimTime, token: u64 },
+    Send {
+        dest: Destination,
+        msg: Message,
+    },
+    SetTimer {
+        delay: SimTime,
+        token: u64,
+    },
     Subscribe(ChannelId),
     Unsubscribe(ChannelId),
     Observe(crate::stats::ObservationKind),
+    /// Add `n` to the telemetry counter `(me, subsystem, name)`.
+    Count {
+        subsystem: &'static str,
+        name: &'static str,
+        n: u64,
+    },
+    /// Record `value` into the telemetry histogram `(me, subsystem, name)`.
+    Record {
+        subsystem: &'static str,
+        name: &'static str,
+        value: u64,
+    },
+    /// Emit a typed protocol event into the telemetry event log.
+    Emit(tamp_telemetry::ProtocolEvent),
 }
 
 /// Capability handle passed to actor callbacks.
@@ -151,6 +171,28 @@ impl<'a> Context<'a> {
             .push(Effect::Observe(crate::stats::ObservationKind::Refuted(
                 member,
             )));
+    }
+
+    /// Add `n` to this host's telemetry counter `subsystem/name`.
+    /// No-op when the driver runs without a metrics registry.
+    pub fn count(&mut self, subsystem: &'static str, name: &'static str, n: u64) {
+        self.effects.push(Effect::Count { subsystem, name, n });
+    }
+
+    /// Record `value` into this host's telemetry histogram
+    /// `subsystem/name`.
+    pub fn record(&mut self, subsystem: &'static str, name: &'static str, value: u64) {
+        self.effects.push(Effect::Record {
+            subsystem,
+            name,
+            value,
+        });
+    }
+
+    /// Emit a typed protocol event (heartbeat sent, suspicion armed,
+    /// election round, …) into the driver's telemetry event log.
+    pub fn emit(&mut self, event: tamp_telemetry::ProtocolEvent) {
+        self.effects.push(Effect::Emit(event));
     }
 
     /// Deterministic uniform random in `[0, 1)`.

@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet};
 use std::sync::Arc;
+use tamp_telemetry::{Counter, Histogram, Registry, Sample, CLUSTER};
 use tamp_topology::{HostId, Nanos, SegmentId, Topology};
 use tamp_wire::Message;
 
@@ -70,6 +71,10 @@ pub struct EngineConfig {
     pub loss_bursts: Vec<LossBurst>,
     /// Event tracing (off by default; see [`crate::trace`]).
     pub trace: TraceConfig,
+    /// Telemetry metrics (off by default): when enabled the engine keeps
+    /// a [`Registry`] with per-host / per-kind / per-channel network
+    /// accounting and routes actor `Count`/`Record` effects into it.
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +89,7 @@ impl Default for EngineConfig {
             loss: LossModel::default(),
             loss_bursts: Vec::new(),
             trace: TraceConfig::default(),
+            metrics: false,
         }
     }
 }
@@ -123,6 +129,70 @@ struct Pkt {
     size: u32,
     /// Multicast metadata, `None` for unicast.
     channel: Option<(ChannelId, u8)>,
+    /// Send instant, for the delivery-latency histogram.
+    sent_at: SimTime,
+}
+
+/// Cached per-host telemetry handles (no-op handles when metrics are
+/// disabled, so the hot path is a branch + relaxed `fetch_add`).
+#[derive(Clone, Default)]
+struct HostMeters {
+    sent_pkts: Counter,
+    sent_bytes: Counter,
+    recv_pkts: Counter,
+    recv_bytes: Counter,
+    dropped_pkts: Counter,
+}
+
+/// Cluster-wide telemetry handles and lazily-built per-kind /
+/// per-channel counters.
+struct NetMeters {
+    hosts: Vec<HostMeters>,
+    /// `(pkts, bytes)` per message kind, node = [`CLUSTER`].
+    by_kind: BTreeMap<&'static str, (Counter, Counter)>,
+    /// `(pkts, bytes)` per multicast channel, node = [`CLUSTER`].
+    by_channel: BTreeMap<u16, (Counter, Counter)>,
+    /// Drop counts by reason (loss / dead-host / partition).
+    drop_loss: Counter,
+    drop_dead: Counter,
+    drop_partition: Counter,
+    /// Send→deliver latency in ns, cluster-wide.
+    delivery_ns: Histogram,
+}
+
+impl NetMeters {
+    fn new(registry: &Registry, n: usize) -> Self {
+        let hosts = (0..n)
+            .map(|i| {
+                let node = i as u32;
+                HostMeters {
+                    sent_pkts: registry.counter(node, "net", "sent_pkts"),
+                    sent_bytes: registry.counter(node, "net", "sent_bytes"),
+                    recv_pkts: registry.counter(node, "net", "recv_pkts"),
+                    recv_bytes: registry.counter(node, "net", "recv_bytes"),
+                    dropped_pkts: registry.counter(node, "net", "dropped_pkts"),
+                }
+            })
+            .collect();
+        NetMeters {
+            hosts,
+            by_kind: BTreeMap::new(),
+            by_channel: BTreeMap::new(),
+            drop_loss: registry.counter(CLUSTER, "net", "drop.loss"),
+            drop_dead: registry.counter(CLUSTER, "net", "drop.dead_host"),
+            drop_partition: registry.counter(CLUSTER, "net", "drop.partition"),
+            delivery_ns: registry.histogram(CLUSTER, "net", "delivery_ns"),
+        }
+    }
+
+    fn on_drop(&self, host: HostId, reason: DropReason) {
+        self.hosts[host.index()].dropped_pkts.inc();
+        match reason {
+            DropReason::Loss => self.drop_loss.inc(),
+            DropReason::DeadHost => self.drop_dead.inc(),
+            DropReason::Partition => self.drop_partition.inc(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -183,6 +253,8 @@ pub struct Engine {
     started: bool,
     effects_buf: Vec<Effect>,
     tracelog: TraceLog,
+    registry: Registry,
+    meters: Option<NetMeters>,
     /// Egress-NIC serialization model: when each host's transmit queue
     /// drains. A burst of sends from one host goes on the wire
     /// back-to-back, not simultaneously.
@@ -192,9 +264,17 @@ pub struct Engine {
 impl Engine {
     pub fn new(topo: Topology, config: EngineConfig, seed: u64) -> Self {
         let n = topo.num_hosts();
+        let registry = if config.metrics {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let meters = config.metrics.then(|| NetMeters::new(&registry, n));
         Engine {
             stats: Stats::new(n, config.series_bucket),
             tracelog: TraceLog::new(config.capacity_for_trace()),
+            registry,
+            meters,
             topo,
             config,
             clock: 0,
@@ -215,6 +295,12 @@ impl Engine {
     /// The trace log (empty unless tracing was enabled in the config).
     pub fn trace_log(&self) -> &TraceLog {
         &self.tracelog
+    }
+
+    /// The telemetry registry (disabled — hands out no-op handles and
+    /// empty snapshots — unless [`EngineConfig::metrics`] was set).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     fn trace(&mut self, ev: TraceEvent) {
@@ -411,11 +497,16 @@ impl Engine {
 
     fn deliver(&mut self, to: HostId, epoch: u32, pkt: Arc<Pkt>) {
         let idx = to.index();
+        let channel = pkt.channel.map(|(c, _)| c.0);
         if !self.alive[idx] || self.epoch[idx] != epoch {
             self.stats.on_drop(to);
+            if let Some(m) = &self.meters {
+                m.on_drop(to, DropReason::DeadHost);
+            }
             self.trace(TraceEvent::Drop {
                 src: pkt.src,
                 dst: to,
+                channel,
                 kind: pkt.msg.kind(),
                 reason: DropReason::DeadHost,
             });
@@ -425,9 +516,13 @@ impl Engine {
         // block it: the check happens at delivery time.
         if self.segments_blocked(pkt.src, to) {
             self.stats.on_drop(to);
+            if let Some(m) = &self.meters {
+                m.on_drop(to, DropReason::Partition);
+            }
             self.trace(TraceEvent::Drop {
                 src: pkt.src,
                 dst: to,
+                channel,
                 kind: pkt.msg.kind(),
                 reason: DropReason::Partition,
             });
@@ -435,9 +530,16 @@ impl Engine {
         }
         let cpu = self.config.cpu_per_packet + self.config.cpu_per_byte * pkt.size as u64;
         self.stats.on_recv(self.clock, to, pkt.size as u64, cpu);
+        if let Some(m) = &self.meters {
+            let hm = &m.hosts[idx];
+            hm.recv_pkts.inc();
+            hm.recv_bytes.add(pkt.size as u64);
+            m.delivery_ns.record(self.clock - pkt.sent_at);
+        }
         self.trace(TraceEvent::Deliver {
             src: pkt.src,
             dst: to,
+            channel,
             kind: pkt.msg.kind(),
             bytes: pkt.size,
         });
@@ -494,6 +596,28 @@ impl Engine {
                     kind,
                 });
             }
+            Effect::Count { subsystem, name, n } => {
+                self.registry
+                    .apply(host.0, Sample::Count { subsystem, name, n });
+            }
+            Effect::Record {
+                subsystem,
+                name,
+                value,
+            } => {
+                self.registry.apply(
+                    host.0,
+                    Sample::Record {
+                        subsystem,
+                        name,
+                        value,
+                    },
+                );
+            }
+            Effect::Emit(event) => {
+                self.registry.counter(host.0, "events", event.name()).inc();
+                self.trace(TraceEvent::Protocol { node: host, event });
+            }
         }
     }
 
@@ -508,11 +632,40 @@ impl Engine {
             msg,
             size,
             channel,
+            sent_at: self.clock,
         });
         // One NIC transmission regardless of receiver count (multicast is
         // switch-replicated, exactly why the paper prefers it).
         self.stats
             .on_send(self.clock, src, size as u64, pkt.msg.kind());
+        if let Some(m) = &mut self.meters {
+            let hm = &m.hosts[src.index()];
+            hm.sent_pkts.inc();
+            hm.sent_bytes.add(size as u64);
+            let kind = pkt.msg.kind();
+            let (kp, kb) = m.by_kind.entry(kind).or_insert_with(|| {
+                (
+                    self.registry
+                        .counter(CLUSTER, "net", format!("sent_pkts.{kind}")),
+                    self.registry
+                        .counter(CLUSTER, "net", format!("sent_bytes.{kind}")),
+                )
+            });
+            kp.inc();
+            kb.add(size as u64);
+            if let Some((ch, _)) = channel {
+                let (cp, cb) = m.by_channel.entry(ch.0).or_insert_with(|| {
+                    (
+                        self.registry
+                            .counter(CLUSTER, "net", format!("mcast_pkts.ch{}", ch.0)),
+                        self.registry
+                            .counter(CLUSTER, "net", format!("mcast_bytes.ch{}", ch.0)),
+                    )
+                });
+                cp.inc();
+                cb.add(size as u64);
+            }
+        }
 
         let receivers: Vec<HostId> = match dest {
             Destination::Unicast(to) => vec![to],
@@ -546,9 +699,13 @@ impl Engine {
         for to in receivers {
             if loss > 0.0 && self.rng.gen::<f64>() < loss {
                 self.stats.on_drop(to);
+                if let Some(m) = &self.meters {
+                    m.on_drop(to, DropReason::Loss);
+                }
                 self.trace(TraceEvent::Drop {
                     src,
                     dst: to,
+                    channel: pkt.channel.map(|(c, _)| c.0),
                     kind: pkt.msg.kind(),
                     reason: DropReason::Loss,
                 });

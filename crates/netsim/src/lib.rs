@@ -59,7 +59,11 @@ pub use actor::{collect_effects, Actor, Context, Effect};
 pub use engine::{Control, Engine, EngineConfig, LossBurst, LossModel};
 pub use packet::{ChannelId, Destination, PacketMeta};
 pub use stats::{HostStats, Observation, ObservationKind, SeriesPoint, Stats};
-pub use trace::{DropReason, TraceConfig, TraceEvent, TraceLog, TraceRecord};
+pub use trace::{DropReason, ProtocolEvent, TraceConfig, TraceEvent, TraceLog, TraceRecord};
+
+/// The shared observability substrate (re-exported so drivers can name
+/// registry/snapshot types without a direct `tamp-telemetry` dep).
+pub use tamp_telemetry as telemetry;
 
 pub use tamp_topology::{Nanos, MICROS, MILLIS, SECS};
 

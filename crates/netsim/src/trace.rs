@@ -1,295 +1,12 @@
-//! Structured event tracing: a bounded in-memory log of everything the
-//! engine does, with filtering — the "tcpdump + ps" of the simulator.
+//! Structured event tracing — the "tcpdump + ps" of the simulator.
 //!
-//! Tracing is off by default (zero overhead beyond a branch); enable it
-//! with [`crate::EngineConfig::trace`]. The harness's `tamp-exp trace`
-//! command renders a scenario's timeline from this log.
+//! The event schema, filter, and ring buffer live in `tamp-telemetry`
+//! (one schema for the simulator, the chaos runner, and `tamp-exp
+//! trace`); this module re-exports them under the names netsim users
+//! have always imported. Tracing is off by default (zero overhead
+//! beyond a branch); enable it with [`crate::EngineConfig::trace`].
 
-use crate::SimTime;
-use tamp_topology::HostId;
-
-/// What happened.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A packet left a host.
-    Send {
-        src: HostId,
-        /// `None` for unicast, `Some((channel, ttl))` for multicast.
-        multicast: Option<(u16, u8)>,
-        kind: &'static str,
-        bytes: u32,
-        receivers: u32,
-    },
-    /// A packet arrived at a host.
-    Deliver {
-        src: HostId,
-        dst: HostId,
-        kind: &'static str,
-        bytes: u32,
-    },
-    /// A delivery was dropped (loss, dead host, partition).
-    Drop {
-        src: HostId,
-        dst: HostId,
-        kind: &'static str,
-        reason: DropReason,
-    },
-    /// A timer fired on a host.
-    Timer { host: HostId, token: u64 },
-    /// Fault injection.
-    Fault(&'static str, HostId),
-    /// Network-wide fault transition (partition, heal, loss change):
-    /// a short verb plus a preformatted detail string.
-    Net(&'static str, String),
-}
-
-/// Why a delivery was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DropReason {
-    /// Random packet loss.
-    Loss,
-    /// The destination was dead (or restarted since the send).
-    DeadHost,
-    /// A network partition blocked the segment pair.
-    Partition,
-}
-
-/// One timestamped trace record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceRecord {
-    pub time: SimTime,
-    pub event: TraceEvent,
-}
-
-/// Trace configuration.
-#[derive(Debug, Clone)]
-pub struct TraceConfig {
-    /// Master switch.
-    pub enabled: bool,
-    /// Keep only the most recent `capacity` records (ring buffer).
-    pub capacity: usize,
-    /// Record timer firings too (noisy; off by default).
-    pub include_timers: bool,
-    /// Only record events touching these hosts (empty = all hosts).
-    pub hosts: Vec<HostId>,
-    /// Only record these message kinds (empty = all kinds).
-    pub kinds: Vec<&'static str>,
-}
-
-impl Default for TraceConfig {
-    fn default() -> Self {
-        TraceConfig {
-            enabled: false,
-            capacity: 100_000,
-            include_timers: false,
-            hosts: Vec::new(),
-            kinds: Vec::new(),
-        }
-    }
-}
-
-impl TraceConfig {
-    /// Convenience: tracing on, everything recorded.
-    pub fn all() -> Self {
-        TraceConfig {
-            enabled: true,
-            ..Default::default()
-        }
-    }
-
-    fn wants_host(&self, h: HostId) -> bool {
-        self.hosts.is_empty() || self.hosts.contains(&h)
-    }
-
-    fn wants_kind(&self, k: &str) -> bool {
-        self.kinds.is_empty() || self.kinds.contains(&k)
-    }
-
-    pub(crate) fn wants(&self, ev: &TraceEvent) -> bool {
-        if !self.enabled {
-            return false;
-        }
-        match ev {
-            TraceEvent::Send { src, kind, .. } => self.wants_host(*src) && self.wants_kind(kind),
-            TraceEvent::Deliver { src, dst, kind, .. } => {
-                (self.wants_host(*src) || self.wants_host(*dst)) && self.wants_kind(kind)
-            }
-            TraceEvent::Drop { src, dst, kind, .. } => {
-                (self.wants_host(*src) || self.wants_host(*dst)) && self.wants_kind(kind)
-            }
-            TraceEvent::Timer { host, .. } => self.include_timers && self.wants_host(*host),
-            TraceEvent::Fault(_, host) => self.wants_host(*host),
-            // Network-wide transitions touch every host; never filtered.
-            TraceEvent::Net(..) => true,
-        }
-    }
-}
-
-/// The bounded trace log.
-#[derive(Debug, Default)]
-pub struct TraceLog {
-    records: std::collections::VecDeque<TraceRecord>,
-    capacity: usize,
-    /// Total records ever pushed (including evicted ones).
-    pushed: u64,
-}
-
-impl TraceLog {
-    pub(crate) fn new(capacity: usize) -> Self {
-        TraceLog {
-            records: std::collections::VecDeque::with_capacity(capacity.min(4096)),
-            capacity,
-            pushed: 0,
-        }
-    }
-
-    pub(crate) fn push(&mut self, time: SimTime, event: TraceEvent) {
-        if self.records.len() == self.capacity {
-            self.records.pop_front();
-        }
-        self.records.push_back(TraceRecord { time, event });
-        self.pushed += 1;
-    }
-
-    /// Retained records, oldest first.
-    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter()
-    }
-
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Total records observed, including any evicted by the ring buffer.
-    pub fn total_recorded(&self) -> u64 {
-        self.pushed
-    }
-
-    /// Render one record as a human-readable timeline line.
-    pub fn render(r: &TraceRecord) -> String {
-        let t = r.time as f64 / 1e9;
-        match &r.event {
-            TraceEvent::Send {
-                src,
-                multicast,
-                kind,
-                bytes,
-                receivers,
-            } => match multicast {
-                Some((ch, ttl)) => format!(
-                    "{t:11.6}  {src:>5} ──▶ ch{ch}/ttl{ttl}  {kind} ({bytes} B, {receivers} rcvrs)"
-                ),
-                None => format!("{t:11.6}  {src:>5} ──▶ unicast  {kind} ({bytes} B)"),
-            },
-            TraceEvent::Deliver {
-                src,
-                dst,
-                kind,
-                bytes,
-            } => format!("{t:11.6}  {src:>5} ─▷ {dst:<5} {kind} ({bytes} B)"),
-            TraceEvent::Drop {
-                src,
-                dst,
-                kind,
-                reason,
-            } => format!("{t:11.6}  {src:>5} ─✕ {dst:<5} {kind} ({reason:?})"),
-            TraceEvent::Timer { host, token } => {
-                format!("{t:11.6}  {host:>5} ⏰ timer {token:#x}")
-            }
-            TraceEvent::Fault(what, host) => format!("{t:11.6}  ==== {what} {host} ===="),
-            TraceEvent::Net(what, detail) => format!("{t:11.6}  ==== net {what} {detail} ===="),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ring_buffer_evicts_oldest() {
-        let mut log = TraceLog::new(3);
-        for i in 0..5u64 {
-            log.push(
-                i,
-                TraceEvent::Timer {
-                    host: HostId(0),
-                    token: i,
-                },
-            );
-        }
-        assert_eq!(log.len(), 3);
-        assert_eq!(log.total_recorded(), 5);
-        let times: Vec<SimTime> = log.records().map(|r| r.time).collect();
-        assert_eq!(times, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn filters_apply() {
-        let cfg = TraceConfig {
-            enabled: true,
-            hosts: vec![HostId(1)],
-            kinds: vec!["heartbeat"],
-            ..Default::default()
-        };
-        let ok = TraceEvent::Deliver {
-            src: HostId(1),
-            dst: HostId(2),
-            kind: "heartbeat",
-            bytes: 10,
-        };
-        let wrong_kind = TraceEvent::Deliver {
-            src: HostId(1),
-            dst: HostId(2),
-            kind: "update",
-            bytes: 10,
-        };
-        let wrong_host = TraceEvent::Deliver {
-            src: HostId(3),
-            dst: HostId(4),
-            kind: "heartbeat",
-            bytes: 10,
-        };
-        assert!(cfg.wants(&ok));
-        assert!(!cfg.wants(&wrong_kind));
-        assert!(!cfg.wants(&wrong_host));
-    }
-
-    #[test]
-    fn disabled_wants_nothing() {
-        let cfg = TraceConfig::default();
-        assert!(!cfg.wants(&TraceEvent::Fault("kill", HostId(0))));
-    }
-
-    #[test]
-    fn timers_gated_separately() {
-        let mut cfg = TraceConfig::all();
-        let t = TraceEvent::Timer {
-            host: HostId(0),
-            token: 1,
-        };
-        assert!(!cfg.wants(&t), "timers are opt-in");
-        cfg.include_timers = true;
-        assert!(cfg.wants(&t));
-    }
-
-    #[test]
-    fn render_formats() {
-        let r = TraceRecord {
-            time: 1_500_000_000,
-            event: TraceEvent::Drop {
-                src: HostId(1),
-                dst: HostId(2),
-                kind: "update",
-                reason: DropReason::Loss,
-            },
-        };
-        let line = TraceLog::render(&r);
-        assert!(line.contains("1.500000"));
-        assert!(line.contains("Loss"));
-    }
-}
+pub use tamp_telemetry::events::{
+    DropReason, Event as TraceEvent, EventFilter as TraceConfig, EventLog as TraceLog,
+    EventRecord as TraceRecord, ProtocolEvent,
+};

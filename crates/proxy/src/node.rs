@@ -184,6 +184,11 @@ impl ProxyNode {
             let Some(vip) = self.vips.get(dc) else {
                 continue;
             };
+            ctx.count("proxy", "summaries_sent", 1);
+            ctx.emit(tamp_netsim::ProtocolEvent::ProxySummary {
+                services: summary.len() as u32,
+                dc: dc.0,
+            });
             for (i, chunk) in chunks.iter().enumerate() {
                 ctx.send_unicast(
                     vip,
@@ -226,6 +231,7 @@ impl ProxyNode {
             let Some(vip) = self.vips.get(dc) else {
                 continue;
             };
+            ctx.count("proxy", "updates_sent", 1);
             ctx.send_unicast(
                 vip,
                 Message::ProxyUpdate(ProxyUpdate {

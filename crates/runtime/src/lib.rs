@@ -42,9 +42,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tamp_netsim::telemetry::{Counter, MetricsSnapshot, Registry};
 use tamp_netsim::{Actor, ChannelId, Context, Destination, Effect, Nanos, PacketMeta};
 use tamp_topology::{HostId, SegmentId, Topology};
 use tamp_wire::codec;
@@ -157,34 +158,35 @@ impl Fabric {
 const SEND_RETRIES: u32 = 3;
 const SEND_BACKOFF: Duration = Duration::from_micros(50);
 
-/// Per-host counters for the UDP send path. The previous driver ignored
-/// `send_to` errors outright; these make every dropped datagram and
-/// every retry observable so deployments (and tests) can distinguish
-/// "the network lost it" from "we never handed it to the kernel".
-#[derive(Debug, Default)]
-pub struct NetCounters {
-    send_drops: AtomicU64,
-    send_retries: AtomicU64,
+/// Per-host telemetry handles for one driver thread. The send-path
+/// counters (`runtime/send_drops`, `runtime/send_retries`) make every
+/// dropped datagram and every retry observable so deployments (and
+/// tests) can distinguish "the network lost it" from "we never handed
+/// it to the kernel". Recording is a relaxed `fetch_add` on a shared
+/// registry slot — the same storage `Runtime::metrics` snapshots.
+#[derive(Clone)]
+struct HostMeters {
+    send_drops: Counter,
+    send_retries: Counter,
+    registry: Registry,
+    node: u32,
 }
 
-impl NetCounters {
-    /// Datagrams abandoned after the retry budget was exhausted (or on a
-    /// non-transient error).
-    pub fn send_drops(&self) -> u64 {
-        self.send_drops.load(Ordering::Relaxed)
-    }
-
-    /// Individual retry attempts (a datagram that succeeded on the
-    /// second try counts one retry and zero drops).
-    pub fn send_retries(&self) -> u64 {
-        self.send_retries.load(Ordering::Relaxed)
+impl HostMeters {
+    fn new(registry: &Registry, host: HostId) -> Self {
+        HostMeters {
+            send_drops: registry.counter(host.0, "runtime", "send_drops"),
+            send_retries: registry.counter(host.0, "runtime", "send_retries"),
+            registry: registry.clone(),
+            node: host.0,
+        }
     }
 }
 
 /// Send one frame with bounded retry + exponential backoff. Transient
 /// errors (buffer pressure, interrupted syscall) are retried; anything
 /// else — or exhausting the budget — counts a drop and moves on.
-fn send_with_retry(socket: &UdpSocket, frame: &[u8], addr: SocketAddr, counters: &NetCounters) {
+fn send_with_retry(socket: &UdpSocket, frame: &[u8], addr: SocketAddr, meters: &HostMeters) {
     let mut backoff = SEND_BACKOFF;
     for attempt in 0..=SEND_RETRIES {
         match socket.send_to(frame, addr) {
@@ -198,14 +200,14 @@ fn send_with_retry(socket: &UdpSocket, frame: &[u8], addr: SocketAddr, counters:
                             | std::io::ErrorKind::OutOfMemory
                     ) =>
             {
-                counters.send_retries.fetch_add(1, Ordering::Relaxed);
+                meters.send_retries.inc();
                 std::thread::sleep(backoff);
                 backoff *= 2;
             }
             Err(_) => break,
         }
     }
-    counters.send_drops.fetch_add(1, Ordering::Relaxed);
+    meters.send_drops.inc();
 }
 
 struct TimerEntry {
@@ -238,7 +240,7 @@ pub struct Runtime {
     pending: Vec<(HostId, Box<dyn Actor>)>,
     threads: Vec<std::thread::JoinHandle<()>>,
     stops: HashMap<HostId, Arc<AtomicBool>>,
-    counters: HashMap<HostId, Arc<NetCounters>>,
+    registry: Registry,
 }
 
 impl Runtime {
@@ -249,7 +251,7 @@ impl Runtime {
             pending: Vec::new(),
             threads: Vec::new(),
             stops: HashMap::new(),
-            counters: HashMap::new(),
+            registry: Registry::new(),
         }
     }
 
@@ -277,26 +279,37 @@ impl Runtime {
         self.fabric.register(host, addr);
         let stop = Arc::new(AtomicBool::new(false));
         self.stops.insert(host, Arc::clone(&stop));
-        // Cumulative across restarts of the same host.
-        let counters = Arc::clone(self.counters.entry(host).or_default());
+        // Registry slots are cumulative across restarts of the same host.
+        let meters = HostMeters::new(&self.registry, host);
         let fabric = self.fabric.clone();
         let epoch = self.epoch;
         let handle = std::thread::Builder::new()
             .name(format!("tamp-{host}"))
-            .spawn(move || drive(host, actor, socket, fabric, epoch, stop, counters))
+            .spawn(move || drive(host, actor, socket, fabric, epoch, stop, meters))
             .expect("spawn driver thread");
         self.threads.push(handle);
     }
 
-    /// Send-path counters for one host (zeroed handle if the host never
-    /// ran). Cumulative across [`Runtime::start_node`] restarts.
-    pub fn net_counters(&self, host: HostId) -> Arc<NetCounters> {
-        self.counters.get(&host).cloned().unwrap_or_default()
+    /// The live telemetry registry every driver thread records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of all runtime and protocol metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Datagrams the send path abandoned on one host (retry budget
+    /// exhausted or non-transient error). Cumulative across
+    /// [`Runtime::start_node`] restarts.
+    pub fn send_drops(&self, host: HostId) -> u64 {
+        self.registry.counter(host.0, "runtime", "send_drops").get()
     }
 
     /// Total datagrams the send path abandoned, across all hosts.
     pub fn total_send_drops(&self) -> u64 {
-        self.counters.values().map(|c| c.send_drops()).sum()
+        self.metrics().counter_total("runtime", "send_drops")
     }
 
     /// Handle to the shared fabric (for live partition injection).
@@ -348,7 +361,7 @@ fn drive(
     fabric: Fabric,
     epoch: Instant,
     stop: Arc<AtomicBool>,
-    counters: Arc<NetCounters>,
+    meters: HostMeters,
 ) {
     let mut rng = StdRng::seed_from_u64(host.0 as u64 ^ 0x7a3f);
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
@@ -361,7 +374,7 @@ fn drive(
         let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
         actor.on_start(&mut ctx);
     }
-    apply(host, &fabric, &socket, &counters, &mut timers, effects);
+    apply(host, &fabric, &socket, &meters, &mut timers, effects);
 
     while !stop.load(Ordering::Relaxed) {
         // Fire due timers.
@@ -374,7 +387,7 @@ fn drive(
                         let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
                         actor.on_timer(&mut ctx, t.token);
                     }
-                    apply(host, &fabric, &socket, &counters, &mut timers, effects);
+                    apply(host, &fabric, &socket, &meters, &mut timers, effects);
                 }
                 _ => break,
             }
@@ -405,7 +418,7 @@ fn drive(
                         let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
                         actor.on_packet(&mut ctx, meta, &msg);
                     }
-                    apply(host, &fabric, &socket, &counters, &mut timers, effects);
+                    apply(host, &fabric, &socket, &meters, &mut timers, effects);
                 }
             }
             _ => {} // timeout or short datagram
@@ -417,7 +430,7 @@ fn apply(
     host: HostId,
     fabric: &Fabric,
     socket: &UdpSocket,
-    counters: &NetCounters,
+    meters: &HostMeters,
     timers: &mut BinaryHeap<TimerEntry>,
     effects: Vec<Effect>,
 ) {
@@ -435,7 +448,7 @@ fn apply(
                 frame.push(ttl);
                 frame.extend_from_slice(&body);
                 for addr in fabric.resolve(host, dest) {
-                    send_with_retry(socket, &frame, addr, counters);
+                    send_with_retry(socket, &frame, addr, meters);
                 }
             }
             Effect::SetTimer { delay, token } => {
@@ -447,6 +460,28 @@ fn apply(
             Effect::Subscribe(ch) => fabric.subscribe(host, ch),
             Effect::Unsubscribe(ch) => fabric.unsubscribe(host, ch),
             Effect::Observe(_) => {} // observations are a simulation-side tool
+            Effect::Count { subsystem, name, n } => meters.registry.apply(
+                meters.node,
+                tamp_netsim::telemetry::Sample::Count { subsystem, name, n },
+            ),
+            Effect::Record {
+                subsystem,
+                name,
+                value,
+            } => meters.registry.apply(
+                meters.node,
+                tamp_netsim::telemetry::Sample::Record {
+                    subsystem,
+                    name,
+                    value,
+                },
+            ),
+            // No event log at real-time rates: fold protocol events into
+            // per-kind counters instead.
+            Effect::Emit(ev) => meters
+                .registry
+                .counter(meters.node, "events", ev.name())
+                .inc(),
         }
     }
 }

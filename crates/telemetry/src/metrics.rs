@@ -1,0 +1,614 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms
+//! keyed by `(node, subsystem, name)`.
+//!
+//! Recording is lock-free after handle creation — a handle is an
+//! `Arc<AtomicU64>` (or a bucket array of them), so the hot path is one
+//! relaxed `fetch_add`. Handle creation takes a registry lock and is
+//! meant for setup or cold paths. A *disabled* registry hands out no-op
+//! handles so instrumented code pays only a branch when telemetry is
+//! off (the run-time equivalent of compiling it out).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Pseudo-node id for cluster-wide (not per-host) series.
+pub const CLUSTER: u32 = u32::MAX;
+
+/// Identifies one instrument. Ordered `(subsystem, name, node)` so
+/// exports group related series together deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    pub subsystem: &'static str,
+    pub name: String,
+    pub node: u32,
+}
+
+impl Key {
+    pub fn new(node: u32, subsystem: &'static str, name: impl Into<String>) -> Self {
+        Key {
+            subsystem,
+            name: name.into(),
+            node,
+        }
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.node == CLUSTER {
+            write!(f, "{}/{}", self.subsystem, self.name)
+        } else {
+            write!(f, "{}/{}[n{}]", self.subsystem, self.name, self.node)
+        }
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values whose bit
+/// length is `i` (powers of two), so the full `u64` range is covered
+/// with constant memory and recording is a `leading_zeros`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (used for percentile estimates).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotone counter handle. Cheap to clone; no-op when detached.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that records nothing (disabled registry).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(a) = &self.0 {
+            a.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(a) = &self.0 {
+            a.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket (power-of-two) histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::default(),
+            Some(h) => HistogramSnapshot {
+                buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+                count: h.count.load(Ordering::Relaxed),
+                sum: h.sum.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram. Merging is bucket-wise addition,
+/// which is associative and commutative — per-node histograms can be
+/// folded into cluster aggregates in any order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`). Deterministic: pure integer bucket walk.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Upper bound of the highest non-empty bucket.
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_upper)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// One metric sample queued by a sans-io actor (see
+/// `tamp_netsim::Effect`): the driver routes it into its registry under
+/// the emitting host's node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sample {
+    Count {
+        subsystem: &'static str,
+        name: &'static str,
+        n: u64,
+    },
+    SetGauge {
+        subsystem: &'static str,
+        name: &'static str,
+        value: u64,
+    },
+    Record {
+        subsystem: &'static str,
+        name: &'static str,
+        value: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: Mutex<BTreeMap<Key, Slot>>,
+}
+
+/// The shared metrics registry. Clones share storage. A registry is
+/// either *enabled* (stores data) or *disabled* (hands out no-op
+/// handles); drivers hold one either way so instrumentation sites never
+/// need an `Option`.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A registry that records nothing and allocates nothing.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Get-or-create the counter at `(node, subsystem, name)`.
+    pub fn counter(&self, node: u32, subsystem: &'static str, name: impl Into<String>) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::noop();
+        };
+        let key = Key::new(node, subsystem, name);
+        let mut slots = inner.slots.lock().unwrap();
+        match slots
+            .entry(key)
+            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Slot::Counter(a) => Counter(Some(Arc::clone(a))),
+            _ => Counter::noop(), // key already holds a different kind
+        }
+    }
+
+    /// Get-or-create the gauge at `(node, subsystem, name)`.
+    pub fn gauge(&self, node: u32, subsystem: &'static str, name: impl Into<String>) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::noop();
+        };
+        let key = Key::new(node, subsystem, name);
+        let mut slots = inner.slots.lock().unwrap();
+        match slots
+            .entry(key)
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicU64::new(0))))
+        {
+            Slot::Gauge(a) => Gauge(Some(Arc::clone(a))),
+            _ => Gauge::noop(),
+        }
+    }
+
+    /// Get-or-create the histogram at `(node, subsystem, name)`.
+    pub fn histogram(
+        &self,
+        node: u32,
+        subsystem: &'static str,
+        name: impl Into<String>,
+    ) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::noop();
+        };
+        let key = Key::new(node, subsystem, name);
+        let mut slots = inner.slots.lock().unwrap();
+        match slots
+            .entry(key)
+            .or_insert_with(|| Slot::Histogram(Arc::new(HistogramCore::default())))
+        {
+            Slot::Histogram(h) => Histogram(Some(Arc::clone(h))),
+            _ => Histogram::noop(),
+        }
+    }
+
+    /// One-shot recording (cold path: takes the registry lock). Drivers
+    /// that route high-rate samples should cache handles instead.
+    pub fn apply(&self, node: u32, sample: Sample) {
+        match sample {
+            Sample::Count { subsystem, name, n } => self.counter(node, subsystem, name).add(n),
+            Sample::SetGauge {
+                subsystem,
+                name,
+                value,
+            } => self.gauge(node, subsystem, name).set(value),
+            Sample::Record {
+                subsystem,
+                name,
+                value,
+            } => self.histogram(node, subsystem, name).record(value),
+        }
+    }
+
+    /// Deterministic point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries = BTreeMap::new();
+        if let Some(inner) = &self.inner {
+            let slots = inner.slots.lock().unwrap();
+            for (k, slot) in slots.iter() {
+                let v = match slot {
+                    Slot::Counter(a) => MetricValue::Counter(a.load(Ordering::Relaxed)),
+                    Slot::Gauge(a) => MetricValue::Gauge(a.load(Ordering::Relaxed)),
+                    Slot::Histogram(h) => {
+                        MetricValue::Histogram(Box::new(Histogram(Some(Arc::clone(h))).snapshot()))
+                    }
+                };
+                entries.insert(k.clone(), v);
+            }
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
+/// One exported value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(u64),
+    /// Boxed: a snapshot is ~540 bytes against the 8-byte scalars.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl MetricValue {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A deterministic copy of a [`Registry`], sorted by [`Key`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub entries: BTreeMap<Key, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value at an exact key (0 when absent).
+    pub fn counter(&self, node: u32, subsystem: &str, name: &str) -> u64 {
+        match self
+            .entries
+            .iter()
+            .find(|(k, _)| k.node == node && k.subsystem == subsystem && k.name == name)
+        {
+            Some((_, MetricValue::Counter(v))) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot at an exact key, when present.
+    pub fn histogram(&self, node: u32, subsystem: &str, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|(k, v)| match v {
+            MetricValue::Histogram(h)
+                if k.node == node && k.subsystem == subsystem && k.name == name =>
+            {
+                Some(&**h)
+            }
+            _ => None,
+        })
+    }
+
+    /// Counters in `subsystem` whose name starts with `prefix`, as
+    /// `(name-suffix, summed value)` pairs in name order — e.g. prefix
+    /// `"sent_bytes."` yields per-message-kind byte totals.
+    pub fn counters_with_prefix(&self, subsystem: &str, prefix: &str) -> Vec<(String, u64)> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for (k, v) in &self.entries {
+            if k.subsystem == subsystem && k.name.starts_with(prefix) {
+                if let MetricValue::Counter(c) = v {
+                    *out.entry(k.name[prefix.len()..].to_string()).or_insert(0) += c;
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Sum of a counter over every node it was recorded for.
+    pub fn counter_total(&self, subsystem: &str, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.subsystem == subsystem && k.name == name)
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Fold per-node series into cluster-wide aggregates: counters and
+    /// gauges sum, histograms merge bucket-wise. Keys keep their
+    /// `(subsystem, name)` and get node = [`CLUSTER`].
+    pub fn aggregate(&self) -> MetricsSnapshot {
+        let mut out: BTreeMap<Key, MetricValue> = BTreeMap::new();
+        for (k, v) in &self.entries {
+            let key = Key::new(CLUSTER, k.subsystem, k.name.clone());
+            match out.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    match (e.get_mut(), v) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                        _ => {} // kind clash: keep the first
+                    }
+                }
+            }
+        }
+        MetricsSnapshot { entries: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let reg = Registry::new();
+        let c = reg.counter(0, "net", "sent");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same key → same storage.
+        assert_eq!(reg.counter(0, "net", "sent").get(), 5);
+        let g = reg.gauge(1, "net", "queue");
+        g.set(7);
+        g.set(3);
+        assert_eq!(reg.gauge(1, "net", "queue").get(), 3);
+    }
+
+    #[test]
+    fn disabled_registry_is_noop() {
+        let reg = Registry::disabled();
+        let c = reg.counter(0, "net", "sent");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(reg.snapshot().entries.is_empty());
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn histogram_quantiles_and_max() {
+        let reg = Registry::new();
+        let h = reg.histogram(0, "net", "latency");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        // p50 falls in the bucket of value 3 (bit length 2 → upper 3).
+        assert_eq!(s.quantile(0.5), 3);
+        assert!(s.quantile(1.0) >= 1000);
+        assert!(s.max() >= 1000 && s.max() < 2048);
+        assert_eq!(s.mean(), 1106.0 / 5.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        fn h(values: &[u64]) -> HistogramSnapshot {
+            let reg = Registry::new();
+            let h = reg.histogram(0, "t", "x");
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        }
+        let (a, b, c) = (h(&[1, 5, 9]), h(&[2, 1000]), h(&[7, 7, 7, 70]));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.count, 9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_aggregates() {
+        let reg = Registry::new();
+        reg.counter(3, "net", "sent").add(1);
+        reg.counter(1, "net", "sent").add(2);
+        reg.counter(2, "membership", "updates").add(5);
+        let snap = reg.snapshot();
+        let keys: Vec<String> = snap.entries.keys().map(|k| k.to_string()).collect();
+        assert_eq!(
+            keys,
+            vec!["membership/updates[n2]", "net/sent[n1]", "net/sent[n3]"]
+        );
+        assert_eq!(snap.counter_total("net", "sent"), 3);
+        let agg = snap.aggregate();
+        assert_eq!(agg.counter(CLUSTER, "net", "sent"), 3);
+    }
+
+    #[test]
+    fn apply_routes_sample_kinds() {
+        let reg = Registry::new();
+        reg.apply(
+            4,
+            Sample::Count {
+                subsystem: "m",
+                name: "c",
+                n: 2,
+            },
+        );
+        reg.apply(
+            4,
+            Sample::SetGauge {
+                subsystem: "m",
+                name: "g",
+                value: 9,
+            },
+        );
+        reg.apply(
+            4,
+            Sample::Record {
+                subsystem: "m",
+                name: "h",
+                value: 16,
+            },
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(4, "m", "c"), 2);
+        assert!(matches!(
+            snap.entries.get(&Key::new(4, "m", "g")),
+            Some(MetricValue::Gauge(9))
+        ));
+        assert!(matches!(
+            snap.entries.get(&Key::new(4, "m", "h")),
+            Some(MetricValue::Histogram(h)) if h.count == 1
+        ));
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+}

@@ -481,7 +481,7 @@ pub mod collection {
     use rand::Rng;
     use std::fmt::Debug;
 
-    /// Accepted by [`vec`]: an exact length or a half-open range.
+    /// Accepted by [`fn@vec`]: an exact length or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
