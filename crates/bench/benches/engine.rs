@@ -1,0 +1,59 @@
+//! Simulator hot-path benches for the 10k-node scale work: raw
+//! scheduler throughput (timer wheel vs the reference heap it
+//! replaced), multicast fan-out with shared payload buffers, and a full
+//! membership cluster driven end to end under both schedulers.
+//!
+//! The checked-in `engine_baseline.txt` pins the scheduler numbers; the
+//! opt-in guard in `tamp_bench::tests` re-measures against it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tamp_bench::{scheduler_mix, MIX_EVENTS};
+use tamp_membership::{MembershipConfig, MembershipNode};
+use tamp_netsim::{Engine, EngineConfig, SchedulerKind, SECS};
+use tamp_topology::generators;
+use tamp_wire::NodeId;
+
+const KINDS: [(&str, SchedulerKind); 2] = [
+    ("timer_wheel", SchedulerKind::TimerWheel),
+    ("reference_heap", SchedulerKind::ReferenceHeap),
+];
+
+/// Raw queue throughput on the synthetic multi-scale push/pop mix.
+fn bench_scheduler_mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/scheduler_mix");
+    g.throughput(Throughput::Elements(MIX_EVENTS));
+    for (name, kind) in KINDS {
+        g.bench_function(name, |b| b.iter(|| scheduler_mix(kind)));
+    }
+    g.finish();
+}
+
+/// A full hierarchical membership cluster, simulated for 20 virtual
+/// seconds: heartbeat fan-out, leader election, timers — the workload
+/// the A9 scale sweep runs at 10k nodes.
+fn bench_membership_cluster(c: &mut Criterion) {
+    let run = |kind: SchedulerKind| {
+        let topo = generators::star_of_segments(5, 20);
+        let cfg = EngineConfig {
+            scheduler: kind,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(topo, cfg, 2005);
+        for h in engine.hosts() {
+            let node = MembershipNode::new(NodeId(h.0), MembershipConfig::default());
+            engine.add_actor(h, Box::new(node));
+        }
+        engine.start();
+        engine.run_until(20 * SECS);
+        engine.stats().totals().recv_pkts
+    };
+    let mut g = c.benchmark_group("engine/membership_n100_20s");
+    g.sample_size(10);
+    for (name, kind) in KINDS {
+        g.bench_function(name, |b| b.iter(|| run(kind)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler_mix, bench_membership_cluster);
+criterion_main!(benches);

@@ -16,3 +16,129 @@
 //! ```sh
 //! cargo bench --workspace
 //! ```
+//!
+//! The scheduler workload below is shared between `benches/engine.rs`
+//! and the opt-in ±10% regression guard against the checked-in
+//! `engine_baseline.txt`.
+
+use tamp_netsim::scheduler::{EventQueue, Scheduled, SchedulerKind};
+
+/// Events per [`scheduler_mix`] round.
+pub const MIX_EVENTS: u64 = 100_000;
+
+/// The scheduler stress mix: interleaved pushes across every wheel
+/// regime (same-tick bursts, level-0/1/2 spans, far-future overflow)
+/// with windowed pops, then a full drain. Deterministic (a fixed LCG
+/// drives the times), so wheel and heap see the identical schedule.
+/// Returns the number of popped events (consumed so the work isn't
+/// optimized away).
+pub fn scheduler_mix(kind: SchedulerKind) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new(kind);
+    let mut popped = 0u64;
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let mut lcg = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let mut cursor = 0u64;
+    for seq in 0..MIX_EVENTS {
+        let r = lcg();
+        // Offsets weighted like the real engine's event population:
+        // mostly µs–ms packet deliveries, some ≤1 s protocol timers, a
+        // sliver of far-future (suspicion/expiry) events that exercise
+        // the overflow heap and frame cascades.
+        let dt = match r % 16 {
+            0 => (r >> 22) & ((1 << 41) - 1),     // ~35 min scale
+            1..=3 => (r >> 34) & ((1 << 30) - 1), // ~1 s scale
+            4..=7 => (r >> 42) & ((1 << 22) - 1), // ~4 ms scale
+            _ => r >> 50,                         // ~16 µs scale
+        };
+        q.push(Scheduled {
+            time: cursor + dt,
+            key: (r % 101) as u32,
+            seq,
+            payload: seq,
+        });
+        // Every 64 pushes, advance virtual time and drain what's due.
+        if seq % 64 == 63 {
+            cursor += 2_000_000; // 2 ms
+            while let Some(e) = q.pop_before(cursor) {
+                popped += std::hint::black_box(e.payload % 2) + 1;
+            }
+        }
+    }
+    while let Some(e) = q.pop_before(u64::MAX) {
+        popped += std::hint::black_box(e.payload % 2) + 1;
+    }
+    popped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_drains_every_event_on_both_schedulers() {
+        let w = scheduler_mix(SchedulerKind::TimerWheel);
+        let h = scheduler_mix(SchedulerKind::ReferenceHeap);
+        assert_eq!(w, h);
+        assert!(w > MIX_EVENTS, "every event popped exactly once");
+    }
+
+    /// Opt-in wall-clock guard: the scheduler mix must stay within ±10%
+    /// of the checked-in per-event baseline (`engine_baseline.txt`,
+    /// measured in release on the reference box — regenerate it there
+    /// when the scheduler legitimately changes). Machine- and
+    /// build-sensitive, so ignored by default:
+    ///
+    /// ```sh
+    /// cargo test -p tamp-bench --release -- --ignored baseline
+    /// ```
+    #[test]
+    #[ignore = "wall-clock sensitive; run in release against engine_baseline.txt"]
+    fn scheduler_mix_within_ten_percent_of_baseline() {
+        if cfg!(debug_assertions) {
+            panic!("baseline is a release measurement; run with --release");
+        }
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("engine_baseline.txt");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (name, base_ns): (&str, f64) = (
+                parts.next().expect("baseline name"),
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("baseline ns"),
+            );
+            let kind = match name {
+                "timer_wheel" => SchedulerKind::TimerWheel,
+                "reference_heap" => SchedulerKind::ReferenceHeap,
+                other => panic!("unknown baseline entry {other}"),
+            };
+            // Median of five rounds, per-event.
+            let mut rounds: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(scheduler_mix(kind));
+                    t.elapsed().as_nanos() as f64 / MIX_EVENTS as f64
+                })
+                .collect();
+            rounds.sort_by(f64::total_cmp);
+            let got = rounds[2];
+            let ratio = got / base_ns;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{name}: {got:.1} ns/event vs baseline {base_ns:.1} (ratio {ratio:.3}) — \
+                 outside ±10%; if intentional, regenerate engine_baseline.txt"
+            );
+        }
+    }
+}

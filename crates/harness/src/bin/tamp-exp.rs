@@ -38,6 +38,7 @@ fn main() {
     let mut topo_file: Option<String> = None;
     let mut scenario: Option<String> = None;
     let mut sweep: Option<u64> = None;
+    let mut nodes: Option<usize> = None;
     let mut broken = false;
     let mut proxy = false;
     let mut chaos_trace = false;
@@ -70,6 +71,13 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--quick" => quick = true,
+            "--nodes" => {
+                nodes = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--nodes needs a number")),
+                );
+            }
             "--trials" => {
                 trials = it
                     .next()
@@ -132,6 +140,14 @@ fn main() {
         "ablation-suspicion" => ablations::run_suspicion(seed),
         "trace" => trace_tool::run(seed),
         "metrics" => metrics_tool::run_and_print(if quick { 20 } else { 60 }, seed),
+        "scale" => {
+            let sizes: Vec<usize> = match nodes {
+                Some(n) => vec![n],
+                None if quick => vec![1000],
+                None => scale::SWEEP_SIZES.to_vec(),
+            };
+            scale::run_and_print(&sizes, seed);
+        }
         "chaos" => {
             let code = chaos::run(&chaos::ChaosOptions {
                 seed,
@@ -180,9 +196,10 @@ fn print_help() {
     println!(
         "tamp-exp — regenerate the paper's evaluation\n\n\
          commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
-         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  all\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  scale  all\n\
          options:  --seed <u64>    deterministic seed (default 2005)\n\
          \u{20}         --quick         smaller sweeps for smoke runs\n\
+         \u{20}         --nodes <n>     scale: one run at ~n nodes (default sweep 1000/4000/10000)\n\
          \u{20}         --trials <n>    fig12/fig13: statistics over n seeds\n\
          chaos:    --scenario <f>  run a fault-scenario DSL file\n\
          \u{20}         --sweep <n>     sweep n seeds, shrink first failure\n\

@@ -27,6 +27,7 @@ pub mod fig14;
 pub mod fig2;
 pub mod metrics_tool;
 pub mod report;
+pub mod scale;
 pub mod topo_tool;
 pub mod trace_tool;
 

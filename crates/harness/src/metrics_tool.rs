@@ -278,6 +278,31 @@ mod tests {
         assert_eq!(a.dashboard, b.dashboard);
     }
 
+    /// The checked-in exports under `results/telemetry/` are goldens:
+    /// a scheduler or fan-out change that reorders events shows up here
+    /// as a diff, not as a silent drift. Regenerate deliberately with
+    /// `tamp-exp metrics --quick --seed 2005` and commit the result.
+    #[test]
+    fn exports_match_checked_in_goldens() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/telemetry");
+        let m = collect(20, 2005);
+        for (ext, body) in [
+            ("events.jsonl", &m.jsonl),
+            ("metrics.csv", &m.csv),
+            ("summary.txt", &m.summary),
+        ] {
+            let path = dir.join(format!("metrics-n20-seed2005.{ext}"));
+            let golden = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+            assert_eq!(
+                body,
+                &golden,
+                "{ext} drifted from the checked-in golden {}",
+                path.display()
+            );
+        }
+    }
+
     #[test]
     fn bandwidth_reconciles_with_netsim_stats() {
         let m = collect(20, 7);

@@ -1,0 +1,338 @@
+//! A9 — large-cluster scale sweep: measured bandwidth, detection, and
+//! convergence for the hierarchical scheme at n ≈ {1000, 4000, 10000},
+//! side by side with the §4 closed-form model.
+//!
+//! The paper's evaluation stops at a 100-node testbed; §4 argues the
+//! scheme stays cheap to tens of thousands of nodes. This experiment
+//! drives the simulator there. To make a 10k-node run tractable the
+//! cluster *warm-starts*: every node's directory is pre-seeded with the
+//! measurement-relevant slice of the converged view — its own leaf
+//! segment, every leaf leader, and the failure subject
+//! ([`MembershipNode::preload_directory`]) — and `warm_start` skips the
+//! bootstrap exchange, so the run begins in steady state instead of
+//! flooding O(n²) join traffic first.
+//!
+//! Topology: a depth-2 router tree (`tree_of_segments`) with ~20 hosts
+//! per leaf segment — the paper's "20 nodes per layer-2 network" scaled
+//! out, giving TTL-1 leaf groups, TTL-2 sibling groups, and a TTL-4 root
+//! group.
+//!
+//! Measurements:
+//! * **Bandwidth** — aggregate received bytes/s over a 10 s steady-state
+//!   window, vs the model `n·g/(g−1)·(g−1)·s/T` with `s` = 256 B
+//!   (228 B heartbeat + 28 B simulated UDP/IP header).
+//! * **Detection / convergence** — one plain leaf member is killed
+//!   immediately *after* a heartbeat (worst-case alignment, matching the
+//!   model's `k·T` bound); earliest and latest removal observations give
+//!   the two times, exactly as in Figs. 12–13.
+
+use tamp_analysis::{hierarchical, ModelParams};
+use tamp_directory::{Directory, Provenance};
+use tamp_membership::{MembershipConfig, MembershipNode};
+use tamp_netsim::{Control, Engine, EngineConfig, SimTime, MILLIS, SECS};
+use tamp_topology::{generators, HostId, Topology};
+use tamp_wire::NodeId;
+
+/// One scale measurement next to its model prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRow {
+    /// Actual cluster size (the requested size rounded to the topology
+    /// grid; e.g. 10000 → 22²·21 = 10164).
+    pub n: usize,
+    pub segments: usize,
+    pub group_size: usize,
+    pub agg_recv_bytes_per_s: f64,
+    pub model_bytes_per_s: f64,
+    pub detect_s: f64,
+    pub model_detect_s: f64,
+    pub converge_s: f64,
+    pub model_converge_s: f64,
+    /// Survivors that recorded the victim's removal (complete = n−1).
+    pub observers: usize,
+    /// Host wall-clock for the whole measurement, milliseconds.
+    pub wall_ms: u64,
+}
+
+/// On-wire heartbeat size: 228 B payload (the paper's measured packet)
+/// plus the simulator's fixed UDP/IP header model.
+const WIRE_RECORD_BYTES: f64 = 256.0;
+
+/// Depth-2 router tree sized for ≈`nodes` hosts in ~20-host leaf
+/// segments. Returns the topology and the hosts-per-leaf actually used.
+pub fn scale_topology(nodes: usize) -> (Topology, usize) {
+    let fanout = ((nodes as f64 / 20.0).sqrt().round() as usize).max(1);
+    let leaves = fanout * fanout;
+    let hosts_per_leaf = ((nodes as f64 / leaves as f64).round() as usize).max(2);
+    (
+        generators::tree_of_segments(2, fanout, hosts_per_leaf),
+        hosts_per_leaf,
+    )
+}
+
+/// Paper-mode configuration for the scale runs: immediate removal (no
+/// suspicion escrow), no anti-entropy digests, warm start.
+fn scale_config() -> MembershipConfig {
+    MembershipConfig {
+        warm_start: true,
+        suspicion_window: 0,
+        quarantine_window: 0,
+        anti_entropy_period: 0,
+        ..Default::default()
+    }
+}
+
+/// Build, warm-start, and measure one cluster of ≈`nodes` hosts.
+pub fn measure(nodes: usize, seed: u64) -> ScaleRow {
+    let wall = std::time::Instant::now();
+    let (topo, group_size) = scale_topology(nodes);
+    let n = topo.num_hosts();
+    let segments = topo.num_segments();
+
+    // Segment layout (captured before the engine consumes the topology).
+    let seg_of: Vec<u16> = topo.hosts().map(|h| topo.segment_of(h).0).collect();
+    let leader_of: Vec<NodeId> = (0..segments)
+        .map(|s| {
+            NodeId(
+                topo.hosts_on(tamp_topology::SegmentId(s as u16))
+                    .iter()
+                    .map(|h| h.0)
+                    .min()
+                    .expect("empty segment"),
+            )
+        })
+        .collect();
+
+    let mut members: Vec<MembershipNode> = (0..n)
+        .map(|i| MembershipNode::new(NodeId(i as u32), scale_config()))
+        .collect();
+    // The record every node will announce on start (incarnation 1).
+    let boot: Vec<_> = members.iter().map(|m| m.boot_record()).collect();
+
+    // One warm-start template per segment: the converged view's
+    // *measurement-relevant* subset. Own segment heard directly (the
+    // entries heartbeats keep alive), every leaf leader plus the victim
+    // relayed by the segment's own leader — the provenance the real
+    // protocol converges to. Preloading the full converged view instead
+    // (all n entries at all n nodes) changes none of the measured
+    // quantities — steady-state traffic is heartbeats only, and removal
+    // propagation touches exactly the victim's entry — but the O(n²)
+    // directory clone dominates wall time at 10k (~10 GB, minutes).
+    let victim_idx = n - 1;
+    let leader_set: std::collections::HashSet<u32> = leader_of.iter().map(|l| l.0).collect();
+    let mut engine = Engine::new(topo, EngineConfig::default(), seed);
+    for (seg, &my_leader) in leader_of.iter().enumerate() {
+        let mut template = Directory::new();
+        for (i, rec) in boot.iter().enumerate() {
+            let mine = seg_of[i] as usize == seg;
+            if !(mine || i == victim_idx || leader_set.contains(&(i as u32))) {
+                continue;
+            }
+            let prov = if mine {
+                Provenance::Direct
+            } else {
+                Provenance::Relayed(my_leader)
+            };
+            template.apply_join(rec.clone(), prov, 0);
+        }
+        for (i, m) in members.iter_mut().enumerate() {
+            if seg_of[i] as usize == seg {
+                m.preload_directory(&template);
+            }
+        }
+    }
+    for (i, m) in members.into_iter().enumerate() {
+        engine.add_actor(HostId(i as u32), Box::new(m));
+    }
+    engine.start();
+
+    // Steady-state bandwidth over [settle, settle+window).
+    let settle: SimTime = 8 * SECS;
+    let window: SimTime = 10 * SECS;
+    engine.run_until(settle);
+    engine.stats_mut().reset_traffic();
+    engine.run_until(settle + window);
+    let totals = engine.stats().totals();
+    let agg_recv_bytes_per_s = totals.recv_bytes as f64 / (window as f64 / 1e9);
+
+    // Kill a plain leaf member (highest id: never a leader under
+    // lowest-id-wins) right after it heartbeats, so the detection sample
+    // sits at the model's worst-case k·T alignment.
+    let victim = HostId(n as u32 - 1);
+    let base = engine.stats().host(victim).sent_pkts;
+    while engine.stats().host(victim).sent_pkts == base {
+        engine.run_for(10 * MILLIS);
+    }
+    let kill_at = engine.now();
+    engine.schedule(kill_at, Control::Kill(victim));
+    engine.run_until(kill_at + 12 * SECS);
+
+    let subject = NodeId(victim.0);
+    let first = engine.stats().first_removal(subject);
+    let last = engine.stats().last_removal(subject);
+    let observers = engine
+        .stats()
+        .removal_observers(subject)
+        .into_iter()
+        .filter(|&h| h != victim)
+        .count();
+
+    let p = ModelParams {
+        n,
+        record_bytes: WIRE_RECORD_BYTES,
+        group_size,
+        ..Default::default()
+    };
+    let model = hierarchical(&p);
+
+    ScaleRow {
+        n,
+        segments,
+        group_size,
+        agg_recv_bytes_per_s,
+        model_bytes_per_s: model.bandwidth_bytes_per_s,
+        detect_s: first.map_or(f64::NAN, |t| (t - kill_at) as f64 / 1e9),
+        model_detect_s: model.detection_s,
+        converge_s: last.map_or(f64::NAN, |t| (t - kill_at) as f64 / 1e9),
+        model_converge_s: model.convergence_s,
+        observers,
+        wall_ms: wall.elapsed().as_millis() as u64,
+    }
+}
+
+/// The A9 sweep sizes (requested; the topology grid rounds them).
+pub const SWEEP_SIZES: [usize; 3] = [1000, 4000, 10000];
+
+pub fn sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
+    sizes.iter().map(|&n| measure(n, seed)).collect()
+}
+
+/// Render rows to the A9 table (shared by the CLI and the golden test).
+pub fn table(rows: &[ScaleRow]) -> crate::report::Table {
+    let mut t = crate::report::Table::new(
+        "A9 — hierarchical scheme at scale vs §4 model (warm start, tree topology)",
+        &[
+            "nodes",
+            "segs",
+            "g",
+            "meas KB/s",
+            "model KB/s",
+            "bw ratio",
+            "detect s",
+            "model s",
+            "converge s",
+            "observers",
+            "wall ms",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.segments.to_string(),
+            r.group_size.to_string(),
+            format!("{:.1}", r.agg_recv_bytes_per_s / 1e3),
+            format!("{:.1}", r.model_bytes_per_s / 1e3),
+            format!("{:.3}", r.agg_recv_bytes_per_s / r.model_bytes_per_s),
+            format!("{:.3}", r.detect_s),
+            format!("{:.3}", r.model_detect_s),
+            format!("{:.3}", r.converge_s),
+            r.observers.to_string(),
+            r.wall_ms.to_string(),
+        ]);
+    }
+    t
+}
+
+/// CLI entry: run the sweep, print/export the table, and enforce the
+/// 15% model envelope on bandwidth and detection.
+pub fn run_and_print(sizes: &[usize], seed: u64) {
+    let rows = sweep(sizes, seed);
+    let t = table(&rows);
+    t.print();
+    let _ = t.write_csv("scale");
+    let mut ok = true;
+    for r in &rows {
+        let bw = r.agg_recv_bytes_per_s / r.model_bytes_per_s;
+        let det = r.detect_s / r.model_detect_s;
+        let complete = r.observers == r.n - 1;
+        if !((0.85..=1.15).contains(&bw) && (0.85..=1.15).contains(&det) && complete) {
+            println!(
+                "FAIL n={}: bw ratio {bw:.3}, detect ratio {det:.3}, observers {}/{}",
+                r.n,
+                r.observers,
+                r.n - 1
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("\nall sizes within 15% of the §4 model; every survivor observed the failure");
+    } else {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_topology_grid() {
+        let (t, g) = scale_topology(1000);
+        assert_eq!(g, 20);
+        assert_eq!(t.num_hosts(), 980);
+        assert_eq!(t.num_segments(), 49);
+        let (t, g) = scale_topology(10000);
+        assert_eq!(g, 21);
+        assert_eq!(t.num_hosts(), 10164);
+        assert_eq!(t.num_segments(), 484);
+    }
+
+    /// Small-size smoke of the full warm-start measurement pipeline;
+    /// the real sizes run in release via `tamp-exp scale` and the
+    /// release-gated golden test.
+    #[test]
+    fn warm_started_cluster_measures_sane() {
+        let r = measure(80, 7);
+        assert_eq!(r.n, 80);
+        assert_eq!(r.observers, r.n - 1, "incomplete removal propagation");
+        assert!(
+            (0.5..=1.5).contains(&(r.agg_recv_bytes_per_s / r.model_bytes_per_s)),
+            "bandwidth ratio off: {} vs {}",
+            r.agg_recv_bytes_per_s,
+            r.model_bytes_per_s
+        );
+        assert!(
+            r.detect_s > 1.0 && r.detect_s < 10.0,
+            "detect {}",
+            r.detect_s
+        );
+        assert!(r.converge_s >= r.detect_s);
+    }
+
+    /// Same-seed golden for the A9 sweep's first size: two n=1000 runs
+    /// with seed 2005 must agree on every measured quantity (wall clock
+    /// excluded). Release-only — the run is debug-prohibitive.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "release-only: ~1s release, minutes in debug"
+    )]
+    fn scale_n1000_seed2005_is_reproducible() {
+        let fields = |r: &ScaleRow| {
+            (
+                r.n,
+                r.segments,
+                r.group_size,
+                r.agg_recv_bytes_per_s.to_bits(),
+                r.model_bytes_per_s.to_bits(),
+                r.detect_s.to_bits(),
+                r.converge_s.to_bits(),
+                r.observers,
+            )
+        };
+        let a = measure(1000, 2005);
+        let b = measure(1000, 2005);
+        assert_eq!(fields(&a), fields(&b), "A9 n=1000 run is not deterministic");
+        assert_eq!(a.observers, a.n - 1);
+    }
+}

@@ -105,6 +105,13 @@ pub struct MembershipConfig {
     /// Ceiling on the loss-degradation timeout stretch factor.
     pub degrade_max_stretch: f64,
     /// Services this node exports (`*SERVICE` sections).
+    /// Trust pre-seeded directories at boot: groups start `bootstrapped`
+    /// (no pull from the first leader heard) and an *initial* leadership
+    /// claim skips the takeover snapshot exchange. Used by the harness to
+    /// start 10k-node runs in a converged state; mid-run leader deaths
+    /// still trigger the full §3.1.2 exchange. See
+    /// [`MembershipNode::preload`](crate::MembershipNode::preload).
+    pub warm_start: bool,
     pub services: Vec<ServiceDecl>,
     /// Machine attributes published in this node's record.
     pub attrs: Vec<(String, String)>,
@@ -137,6 +144,7 @@ impl Default for MembershipConfig {
             flap_score_cap: 3.0,
             degrade_stretch_threshold: 1.5,
             degrade_max_stretch: 3.0,
+            warm_start: false,
             services: Vec::new(),
             attrs: Vec::new(),
             pad_heartbeat_to: 228,

@@ -202,6 +202,11 @@ pub struct MembershipNode {
     /// this instant even if the raw signal flickers off (see
     /// [`MembershipNode::distress_stretch`]).
     distress_until: u64,
+    /// Next instant the catch-all directory expiry needs to scan. The
+    /// scan is O(members); re-armed from the earliest surviving deadline
+    /// (and forced by group-coverage changes) instead of running every
+    /// sweep.
+    next_catchall: u64,
     /// Deferred record mutations from application code.
     control: ControlHandle,
     counters: ProtocolCounters,
@@ -226,6 +231,7 @@ impl MembershipNode {
             flap: std::collections::HashMap::new(),
             quarantine: std::collections::HashMap::new(),
             distress_until: 0,
+            next_catchall: 0,
             control: Arc::new(Mutex::new(Vec::new())),
             counters: ProtocolCounters::default(),
             probe: Arc::new(Mutex::new(ProbeState::default())),
@@ -259,14 +265,70 @@ impl MembershipNode {
         self.me
     }
 
-    fn rebuild_record(&mut self) {
-        let mut r = NodeRecord::new(self.me, self.incarnation);
+    fn make_record(&self, incarnation: u64) -> NodeRecord {
+        let mut r = NodeRecord::new(self.me, incarnation);
         r.services = self.cfg.services.clone();
         r.attrs = self.cfg.attrs.clone();
         if self.cfg.pad_heartbeat_to > 0 {
             r.pad_to_encoded_size(self.cfg.pad_heartbeat_to);
         }
-        self.record = r;
+        r
+    }
+
+    fn rebuild_record(&mut self) {
+        self.record = self.make_record(self.incarnation);
+    }
+
+    /// Preview the record this node will announce on its first
+    /// `on_start` (including the incarnation bump). A warm-starting
+    /// harness captures every node's boot record before the run and
+    /// [`preload`](MembershipNode::preload)s them into the others, so
+    /// the cluster boots already converged.
+    pub fn boot_record(&self) -> NodeRecord {
+        self.make_record(self.incarnation + 1)
+    }
+
+    /// Pre-seed this node's directory before the simulation starts (the
+    /// warm-start path; pair with [`MembershipConfig::warm_start`]).
+    /// Records are inserted as-is with the given provenance and a
+    /// last-refresh of t=0; entries covered by a group are kept alive by
+    /// heartbeats, relayed entries by their relayer, exactly as if the
+    /// cluster had converged the slow way.
+    pub fn preload(
+        &mut self,
+        records: impl IntoIterator<Item = (NodeRecord, tamp_directory::Provenance)>,
+    ) {
+        self.directory.update(|d| {
+            let mut changed = false;
+            for (r, p) in records {
+                if r.node == self.me {
+                    continue; // `on_start` installs the Local self-entry
+                }
+                changed |= d.apply_join(r, p, 0).changed();
+            }
+            (changed, ())
+        });
+    }
+
+    /// Bulk variant of [`preload`](MembershipNode::preload): replace the
+    /// directory wholesale with a pre-built template. At 10k nodes the
+    /// harness builds one template per segment and clones it into every
+    /// member — O(clone) instead of 10k individual merges per node.
+    ///
+    /// A template self-entry is dropped, like [`Self::preload`] skips it:
+    /// `on_start` must install the `Local` self-entry itself. Keeping a
+    /// `Direct` one would be a time bomb — `on_start`'s equal-incarnation
+    /// re-apply does not change provenance, and a `Direct` self-entry is
+    /// covered by no group, so the catch-all expiry would remove it at
+    /// `2·timeout(top)` and cascade to everything stamped
+    /// `Relayed(self)` (on a leaf leader: the entire remote directory).
+    pub fn preload_directory(&mut self, template: &tamp_directory::Directory) {
+        let me = self.me;
+        self.directory.update(|d| {
+            *d = template.clone();
+            d.remove(me);
+            (true, ())
+        });
     }
 
     /// Publish or update a service at runtime (the paper's
@@ -318,15 +380,26 @@ impl MembershipNode {
     }
 
     fn update_probe(&self) {
+        let member_count = self.directory.read(|d| d.len());
         let mut p = self.probe.lock();
-        p.leaders = self
-            .groups
-            .iter()
-            .map(|g| g.as_ref().and_then(|g| g.leader))
-            .collect();
-        p.active_levels = self.active_levels();
+        // Reuse the probe's buffers: this runs every sweep on every node,
+        // and fresh allocations here show up at 10k-node scale.
+        p.leaders.clear();
+        p.leaders.extend(
+            self.groups
+                .iter()
+                .map(|g| g.as_ref().and_then(|g| g.leader)),
+        );
+        p.active_levels.clear();
+        p.active_levels.extend(
+            self.groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.is_some())
+                .map(|(l, _)| l as u8),
+        );
         p.incarnation = self.incarnation;
-        p.member_count = self.directory.read(|d| d.len());
+        p.member_count = member_count;
         p.counters = self.counters;
     }
 
@@ -781,7 +854,11 @@ impl MembershipNode {
         if self.groups[level as usize].is_some() {
             return;
         }
-        self.groups[level as usize] = Some(GroupState::new(level, ctx.now()));
+        let mut group = GroupState::new(level, ctx.now());
+        // A warm-started node's directory was pre-seeded; pulling the
+        // leader's snapshot would only re-fetch what it already holds.
+        group.bootstrapped = self.cfg.warm_start;
+        self.groups[level as usize] = Some(group);
         ctx.subscribe(self.cfg.channel(level));
         // Announce ourselves on the new channel immediately so existing
         // members learn of us within one heartbeat period.
@@ -818,6 +895,12 @@ impl MembershipNode {
         ctx.count("membership", "leaderships_claimed", 1);
         ctx.emit(ProtocolEvent::LeadershipClaimed { level });
         let g = self.groups[level as usize].as_mut().unwrap();
+        // An initial claim (no predecessor known on this channel) on a
+        // warm-started node has nothing to re-stamp: every member was
+        // pre-seeded with the same provenance this exchange would carry.
+        // A takeover (the previous leader died) still does the full
+        // §3.1.2 exchange.
+        let takeover = g.leader.is_some_and(|l| l != self.me);
         g.leader = Some(self.me);
         g.election = Election::Idle;
         g.backup = g.pick_backup(salt);
@@ -839,18 +922,20 @@ impl MembershipNode {
         // snapshots — in overlapping-group topologies a member may hold
         // knowledge from its *other* group that this leader has never
         // seen, and the exchange must flow both ways.
-        let records = self.directory.read(|d| d.snapshot());
-        if !records.is_empty() {
-            ctx.send_multicast(
-                self.cfg.channel(level),
-                self.cfg.ttl(level),
-                Message::DirectoryExchange(DirectoryExchange {
-                    from: self.me,
-                    reply_wanted: true,
-                    latest_seq: self.log.latest_seq(),
-                    records,
-                }),
-            );
+        if !self.cfg.warm_start || takeover {
+            let records = self.directory.read(|d| d.snapshot());
+            if !records.is_empty() {
+                ctx.send_multicast(
+                    self.cfg.channel(level),
+                    self.cfg.ttl(level),
+                    Message::DirectoryExchange(DirectoryExchange {
+                        from: self.me,
+                        reply_wanted: true,
+                        latest_seq: self.log.latest_seq(),
+                        records,
+                    }),
+                );
+            }
         }
         // Group leaders join the next level up (TTL grows by one).
         let next = level + 1;
@@ -876,6 +961,9 @@ impl MembershipNode {
         if heard_elsewhere {
             return;
         }
+        // The peer just left group coverage: entries it covered may now be
+        // catch-all eligible, so re-arm the throttled scan.
+        self.next_catchall = 0;
         if self.cfg.suspicion_window == 0 {
             self.declare_peer_dead(ctx, peer, level);
         } else {
@@ -1046,11 +1134,11 @@ impl MembershipNode {
                 .update(|d| (d.apply_join(me_rec, Provenance::Local, now).changed(), ()));
             self.send_heartbeats(ctx);
         }
+        // Graceful degradation: measured heavy loss widens the effective
+        // timeout (in effect widening MAX_LOSS) while the distress lasts.
+        // One evaluation covers every level in this sweep.
+        let stretch = self.distress_stretch(now);
         for level in self.active_levels() {
-            // Graceful degradation: measured heavy loss widens the
-            // effective timeout (in effect widening MAX_LOSS) while the
-            // distress lasts.
-            let stretch = self.distress_stretch(now);
             let timeout = (self.cfg.timeout(level) as f64 * stretch) as u64;
             let adaptive = self.cfg.adaptive_timeout;
             let max_loss = self.cfg.max_loss;
@@ -1079,6 +1167,9 @@ impl MembershipNode {
             if level > 0 && !self.am_leader(level - 1) {
                 self.groups[level as usize] = None;
                 ctx.unsubscribe(self.cfg.channel(level));
+                // Entries only that group covered may now be catch-all
+                // eligible: re-arm the throttled scan.
+                self.next_catchall = 0;
             }
         }
         // Elections and backup maintenance.
@@ -1105,46 +1196,55 @@ impl MembershipNode {
             }
         }
         // Catch-all expiry for direct entries no longer covered by any
-        // group (rare; e.g. heard during a transient overlap).
-        let top_timeout = 2 * self.cfg.timeout(self.cfg.top_level());
-        let in_groups: std::collections::HashSet<NodeId> = self
-            .groups
-            .iter()
-            .flatten()
-            .flat_map(|g| g.peers.keys().copied())
-            .collect();
-        // Relayed entries must be re-vouched by *somebody's* digest
-        // within a few anti-entropy periods, or they rot: the last line
-        // of defense against ghost members that no live node actually
-        // hears. Disabled together with anti-entropy (paper mode keeps
-        // relayed lifetimes purely relayer-bound).
-        let relayed_rot = if self.cfg.anti_entropy_period > 0 {
-            6 * self.cfg.anti_entropy_period
-        } else {
-            u64::MAX
-        };
-        let removed = self.directory.update(|d| {
-            let v = d.expire(now, |e| match e.provenance {
-                Provenance::Local => u64::MAX,
-                Provenance::Relayed(_) => relayed_rot,
-                Provenance::Direct => {
-                    if in_groups.contains(&e.record.node) {
-                        u64::MAX // group sweeps own this entry
-                    } else {
-                        top_timeout
+        // group (rare; e.g. heard during a transient overlap). The scan
+        // walks the whole directory, so it only runs when an entry could
+        // actually have rotted: `next_catchall` is re-armed from the
+        // earliest surviving deadline, capped by `top_timeout` (coverage
+        // changes also force a rescan via `next_catchall = 0`).
+        if now >= self.next_catchall {
+            let top_timeout = 2 * self.cfg.timeout(self.cfg.top_level());
+            let in_groups: std::collections::HashSet<NodeId> = self
+                .groups
+                .iter()
+                .flatten()
+                .flat_map(|g| g.peers.keys().copied())
+                .collect();
+            // Relayed entries must be re-vouched by *somebody's* digest
+            // within a few anti-entropy periods, or they rot: the last line
+            // of defense against ghost members that no live node actually
+            // hears. Disabled together with anti-entropy (paper mode keeps
+            // relayed lifetimes purely relayer-bound).
+            let relayed_rot = if self.cfg.anti_entropy_period > 0 {
+                6 * self.cfg.anti_entropy_period
+            } else {
+                u64::MAX
+            };
+            let (removed, next_due) = self.directory.update(|d| {
+                let (v, next) = d.expire_with_next(now, |e| match e.provenance {
+                    Provenance::Local => u64::MAX,
+                    Provenance::Relayed(_) => relayed_rot,
+                    Provenance::Direct => {
+                        if in_groups.contains(&e.record.node) {
+                            u64::MAX // group sweeps own this entry
+                        } else {
+                            top_timeout
+                        }
                     }
-                }
+                });
+                (!v.is_empty(), (v, next))
             });
-            (!v.is_empty(), v)
-        });
-        if !removed.is_empty() {
-            let mut events = Vec::new();
-            for r in removed {
-                ctx.observe_removed(r.node);
-                events.push(MemberEvent::Leave(r.node, r.incarnation));
+            self.next_catchall = next_due
+                .min(now.saturating_add(top_timeout))
+                .max(now.saturating_add(self.cfg.sweep_period));
+            if !removed.is_empty() {
+                let mut events = Vec::new();
+                for r in removed {
+                    ctx.observe_removed(r.node);
+                    events.push(MemberEvent::Leave(r.node, r.incarnation));
+                }
+                let levels = self.relay_levels(u8::MAX); // lateral only: groups we lead
+                self.relay_events(ctx, events, levels);
             }
-            let levels = self.relay_levels(u8::MAX); // lateral only: groups we lead
-            self.relay_events(ctx, events, levels);
         }
         self.update_probe();
     }

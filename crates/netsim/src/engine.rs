@@ -2,14 +2,13 @@
 
 use crate::actor::{Actor, Context, Effect};
 use crate::packet::{ChannelId, Destination, PacketMeta};
+use crate::scheduler::{EventQueue, Scheduled, SchedulerKind};
 use crate::stats::{Observation, Stats};
 use crate::trace::{DropReason, TraceConfig, TraceEvent, TraceLog};
 use crate::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet};
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use tamp_telemetry::{Counter, Histogram, Registry, Sample, CLUSTER};
 use tamp_topology::{HostId, Nanos, SegmentId, Topology};
 use tamp_wire::Message;
@@ -75,6 +74,10 @@ pub struct EngineConfig {
     /// a [`Registry`] with per-host / per-kind / per-channel network
     /// accounting and routes actor `Count`/`Record` effects into it.
     pub metrics: bool,
+    /// Event scheduler selection. Defaults to the hierarchical
+    /// [`SchedulerKind::TimerWheel`]; the reference binary heap exists
+    /// only so differential tests can pin the wheel against it.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +93,7 @@ impl Default for EngineConfig {
             loss_bursts: Vec::new(),
             trace: TraceConfig::default(),
             metrics: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -131,6 +135,54 @@ struct Pkt {
     channel: Option<(ChannelId, u8)>,
     /// Send instant, for the delivery-latency histogram.
     sent_at: SimTime,
+}
+
+/// Refcounted packet arena: one send interns its payload once, every
+/// scheduled delivery holds a `u32` handle instead of an `Arc` clone,
+/// and slots are recycled through a free list so the steady-state hot
+/// path allocates nothing. The refcount is the number of still-pending
+/// deliveries; the last one returns the slot.
+#[derive(Debug, Default)]
+struct PktArena {
+    slots: Vec<(Option<Pkt>, u32)>,
+    free: Vec<u32>,
+}
+
+impl PktArena {
+    fn insert(&mut self, pkt: Pkt, refs: u32) -> u32 {
+        debug_assert!(refs > 0, "arena packet with no deliveries");
+        match self.free.pop() {
+            Some(id) => {
+                let slot = &mut self.slots[id as usize];
+                slot.0 = Some(pkt);
+                slot.1 = refs;
+                id
+            }
+            None => {
+                self.slots.push((Some(pkt), refs));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Move the packet out for one delivery (the engine needs it by
+    /// value so the actor callback can borrow the engine mutably).
+    fn checkout(&mut self, id: u32) -> Pkt {
+        let slot = &mut self.slots[id as usize];
+        slot.1 -= 1;
+        slot.0.take().expect("packet checked out twice")
+    }
+
+    /// Return the packet after a delivery; frees the slot when this was
+    /// the last pending reference.
+    fn restore(&mut self, id: u32, pkt: Pkt) {
+        let slot = &mut self.slots[id as usize];
+        if slot.1 == 0 {
+            self.free.push(id);
+        } else {
+            slot.0 = Some(pkt);
+        }
+    }
 }
 
 /// Cached per-host telemetry handles (no-op handles when metrics are
@@ -200,7 +252,8 @@ enum EventKind {
     Deliver {
         to: HostId,
         epoch: u32,
-        pkt: Arc<Pkt>,
+        /// Handle into the packet arena.
+        pkt: u32,
     },
     Timer {
         host: HostId,
@@ -210,26 +263,15 @@ enum EventKind {
     Control(Control),
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+impl EventKind {
+    /// The `(time, key, seq)` tie-break key: control events first, then
+    /// hosts in id order. See `scheduler` module docs.
+    fn order_key(&self) -> u32 {
+        match self {
+            EventKind::Deliver { to, .. } => to.0 + 1,
+            EventKind::Timer { host, .. } => host.0 + 1,
+            EventKind::Control(_) => 0,
+        }
     }
 }
 
@@ -241,12 +283,20 @@ pub struct Engine {
     config: EngineConfig,
     clock: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<EventKind>,
+    arena: PktArena,
     actors: Vec<Option<Box<dyn Actor>>>,
     alive: Vec<bool>,
     /// Bumped on every kill/revive; stale events are discarded by epoch.
     epoch: Vec<u32>,
     subs: BTreeMap<ChannelId, BTreeSet<HostId>>,
+    /// Multicast fan-out cache: `(channel, src segment, ttl)` → the
+    /// subscriber list a send from that segment reaches (sorted by host
+    /// id, sender included — skipped at use). Invalidated whenever the
+    /// underlying subscription sets change.
+    mcast_cache: HashMap<(u16, u16, u8), Vec<HostId>>,
+    /// Reusable per-send buffer of `(receiver, deliver_at)` pairs.
+    deliver_buf: Vec<(HostId, SimTime)>,
     blocked: HashSet<(u16, u16)>,
     rng: StdRng,
     stats: Stats,
@@ -275,15 +325,18 @@ impl Engine {
             tracelog: TraceLog::new(config.capacity_for_trace()),
             registry,
             meters,
+            queue: EventQueue::new(config.scheduler),
             topo,
             config,
             clock: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
+            arena: PktArena::default(),
             actors: (0..n).map(|_| None).collect(),
             alive: vec![true; n],
             epoch: vec![0; n],
             subs: BTreeMap::new(),
+            mcast_cache: HashMap::new(),
+            deliver_buf: Vec::new(),
             blocked: HashSet::new(),
             rng: StdRng::seed_from_u64(seed),
             started: false,
@@ -385,13 +438,9 @@ impl Engine {
     /// clock to exactly `t`.
     pub fn run_until(&mut self, t: SimTime) {
         assert!(self.started, "call start() before run_until()");
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > t {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().unwrap();
+        while let Some(ev) = self.queue.pop_before(t) {
             self.clock = ev.time;
-            self.dispatch(ev.kind);
+            self.dispatch(ev.payload);
         }
         self.clock = t;
     }
@@ -405,11 +454,12 @@ impl Engine {
 
     fn push(&mut self, time: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
+        self.queue.push(Scheduled {
             time,
+            key: kind.order_key(),
             seq: self.seq,
-            kind,
-        }));
+            payload: kind,
+        });
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -441,6 +491,7 @@ impl Engine {
                 for set in self.subs.values_mut() {
                     set.remove(&h);
                 }
+                self.mcast_cache.clear();
                 if let Some(actor) = self.actors[idx].as_mut() {
                     actor.on_crash();
                 }
@@ -495,7 +546,16 @@ impl Engine {
         self.blocked.contains(&(sa.min(sb), sa.max(sb)))
     }
 
-    fn deliver(&mut self, to: HostId, epoch: u32, pkt: Arc<Pkt>) {
+    fn deliver(&mut self, to: HostId, epoch: u32, pkt_id: u32) {
+        // Move the packet out of the arena for the duration of the
+        // callback (the engine must stay mutably borrowable); the last
+        // pending delivery recycles the slot.
+        let pkt = self.arena.checkout(pkt_id);
+        self.deliver_pkt(to, epoch, &pkt);
+        self.arena.restore(pkt_id, pkt);
+    }
+
+    fn deliver_pkt(&mut self, to: HostId, epoch: u32, pkt: &Pkt) {
         let idx = to.index();
         let channel = pkt.channel.map(|(c, _)| c.0);
         if !self.alive[idx] || self.epoch[idx] != epoch {
@@ -583,11 +643,13 @@ impl Engine {
             }
             Effect::Subscribe(c) => {
                 self.subs.entry(c).or_default().insert(host);
+                self.mcast_cache.retain(|k, _| k.0 != c.0);
             }
             Effect::Unsubscribe(c) => {
                 if let Some(set) = self.subs.get_mut(&c) {
                     set.remove(&host);
                 }
+                self.mcast_cache.retain(|k, _| k.0 != c.0);
             }
             Effect::Observe(kind) => {
                 self.stats.observe(Observation {
@@ -621,28 +683,55 @@ impl Engine {
         }
     }
 
+    /// The subscriber list a multicast from `src` reaches, from the
+    /// fan-out cache (built on miss). The list is keyed and filtered by
+    /// the *segment* of `src` — TTL distance is segment-based — so one
+    /// list serves every sender on the segment. It may contain `src`
+    /// itself; callers skip it (no multicast loopback). Taken out of the
+    /// cache by value to keep the engine borrowable; return via
+    /// [`Engine::stash_receivers`].
+    fn take_receivers(&mut self, channel: ChannelId, src: HostId, ttl: u8) -> Vec<HostId> {
+        let src_seg = self.topo.segment_of(src);
+        let key = (channel.0, src_seg.0, ttl);
+        if let Some(list) = self.mcast_cache.get_mut(&key) {
+            return std::mem::take(list);
+        }
+        match self.subs.get(&channel) {
+            None => Vec::new(),
+            Some(set) => set
+                .iter()
+                .copied()
+                .filter(|&h| {
+                    let hs = self.topo.segment_of(h);
+                    let dist = if hs == src_seg {
+                        1
+                    } else {
+                        self.topo.segment_hops(src_seg, hs).saturating_add(1)
+                    };
+                    dist <= ttl
+                })
+                .collect(),
+        }
+    }
+
+    fn stash_receivers(&mut self, channel: ChannelId, src_seg: u16, ttl: u8, list: Vec<HostId>) {
+        self.mcast_cache.insert((channel.0, src_seg, ttl), list);
+    }
+
     fn send(&mut self, src: HostId, dest: Destination, msg: Message) {
         let size = tamp_wire::codec::encoded_len(&msg) as u32 + self.config.header_overhead;
+        let kind = msg.kind();
         let channel = match dest {
             Destination::Unicast(_) => None,
             Destination::Multicast { channel, ttl } => Some((channel, ttl)),
         };
-        let pkt = Arc::new(Pkt {
-            src,
-            msg,
-            size,
-            channel,
-            sent_at: self.clock,
-        });
         // One NIC transmission regardless of receiver count (multicast is
         // switch-replicated, exactly why the paper prefers it).
-        self.stats
-            .on_send(self.clock, src, size as u64, pkt.msg.kind());
+        self.stats.on_send(self.clock, src, size as u64, kind);
         if let Some(m) = &mut self.meters {
             let hm = &m.hosts[src.index()];
             hm.sent_pkts.inc();
             hm.sent_bytes.add(size as u64);
-            let kind = pkt.msg.kind();
             let (kp, kb) = m.by_kind.entry(kind).or_insert_with(|| {
                 (
                     self.registry
@@ -667,20 +756,13 @@ impl Engine {
             }
         }
 
-        let receivers: Vec<HostId> = match dest {
-            Destination::Unicast(to) => vec![to],
-            Destination::Multicast { channel, ttl } => {
-                match self.subs.get(&channel) {
-                    None => Vec::new(),
-                    Some(set) => set
-                        .iter()
-                        .copied()
-                        // No multicast loopback: senders do not receive
-                        // their own packets.
-                        .filter(|&h| h != src && self.topo.ttl_distance(src, h) <= ttl)
-                        .collect(),
-                }
-            }
+        let receivers: Option<Vec<HostId>> = match dest {
+            Destination::Unicast(_) => None,
+            Destination::Multicast { channel, ttl } => Some(self.take_receivers(channel, src, ttl)),
+        };
+        let receiver_count = match (&receivers, dest) {
+            (None, _) => 1,
+            (Some(list), _) => list.len() - list.binary_search(&src).is_ok() as usize,
         };
         // Serialize onto the wire after any transmissions already
         // queued at this host's NIC.
@@ -690,43 +772,83 @@ impl Engine {
         let serialize = on_wire - self.clock;
         self.trace(TraceEvent::Send {
             src,
-            multicast: pkt.channel.map(|(c, t)| (c.0, t)),
-            kind: pkt.msg.kind(),
+            multicast: channel.map(|(c, t)| (c.0, t)),
+            kind,
             bytes: size,
-            receivers: receivers.len() as u32,
+            receivers: receiver_count as u32,
         });
+        // Roll loss and jitter per receiver (in ascending host order —
+        // the RNG consumption order is part of the determinism contract)
+        // into a reusable buffer of scheduled deliveries.
         let loss = self.effective_loss();
-        for to in receivers {
-            if loss > 0.0 && self.rng.gen::<f64>() < loss {
-                self.stats.on_drop(to);
-                if let Some(m) = &self.meters {
-                    m.on_drop(to, DropReason::Loss);
+        let mut pending = std::mem::take(&mut self.deliver_buf);
+        pending.clear();
+        {
+            let schedule_one = |eng: &mut Engine, to: HostId, buf: &mut Vec<(HostId, SimTime)>| {
+                if loss > 0.0 && eng.rng.gen::<f64>() < loss {
+                    eng.stats.on_drop(to);
+                    if let Some(m) = &eng.meters {
+                        m.on_drop(to, DropReason::Loss);
+                    }
+                    eng.trace(TraceEvent::Drop {
+                        src,
+                        dst: to,
+                        channel: channel.map(|(c, _)| c.0),
+                        kind,
+                        reason: DropReason::Loss,
+                    });
+                    return;
                 }
-                self.trace(TraceEvent::Drop {
-                    src,
-                    dst: to,
-                    channel: pkt.channel.map(|(c, _)| c.0),
-                    kind: pkt.msg.kind(),
-                    reason: DropReason::Loss,
-                });
-                continue;
-            }
-            let jitter = if self.config.latency_jitter > 0 {
-                self.rng.gen_range(0..self.config.latency_jitter)
-            } else {
-                0
+                let jitter = if eng.config.latency_jitter > 0 {
+                    eng.rng.gen_range(0..eng.config.latency_jitter)
+                } else {
+                    0
+                };
+                let at = eng.clock + serialize + eng.topo.latency(src, to) + jitter;
+                buf.push((to, at));
             };
-            let at = self.clock + serialize + self.topo.latency(src, to) + jitter;
-            let epoch = self.epoch[to.index()];
-            self.push(
-                at,
-                EventKind::Deliver {
-                    to,
-                    epoch,
-                    pkt: Arc::clone(&pkt),
-                },
-            );
+            match (&receivers, dest) {
+                (None, Destination::Unicast(to)) => schedule_one(self, to, &mut pending),
+                (Some(list), _) => {
+                    for &to in list {
+                        // No multicast loopback: senders do not receive
+                        // their own packets.
+                        if to != src {
+                            schedule_one(self, to, &mut pending);
+                        }
+                    }
+                }
+                (None, Destination::Multicast { .. }) => unreachable!(),
+            }
         }
+        if let (Some(list), Destination::Multicast { channel, ttl }) = (receivers, dest) {
+            self.stash_receivers(channel, self.topo.segment_of(src).0, ttl, list);
+        }
+        if !pending.is_empty() {
+            let pkt_id = self.arena.insert(
+                Pkt {
+                    src,
+                    msg,
+                    size,
+                    channel,
+                    sent_at: self.clock,
+                },
+                pending.len() as u32,
+            );
+            for &(to, at) in pending.iter() {
+                let epoch = self.epoch[to.index()];
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        to,
+                        epoch,
+                        pkt: pkt_id,
+                    },
+                );
+            }
+        }
+        pending.clear();
+        self.deliver_buf = pending;
     }
 }
 

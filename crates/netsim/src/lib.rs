@@ -52,12 +52,14 @@
 mod actor;
 mod engine;
 mod packet;
+pub mod scheduler;
 mod stats;
 pub mod trace;
 
 pub use actor::{collect_effects, Actor, Context, Effect};
 pub use engine::{Control, Engine, EngineConfig, LossBurst, LossModel};
 pub use packet::{ChannelId, Destination, PacketMeta};
+pub use scheduler::SchedulerKind;
 pub use stats::{HostStats, Observation, ObservationKind, SeriesPoint, Stats};
 pub use trace::{DropReason, ProtocolEvent, TraceConfig, TraceEvent, TraceLog, TraceRecord};
 

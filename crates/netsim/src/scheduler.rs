@@ -1,0 +1,557 @@
+//! Event schedulers for the discrete-event engine.
+//!
+//! The engine needs one operation done billions of times: "hand me the
+//! next pending event at or before time `t`, in deterministic order".
+//! Two implementations share that contract:
+//!
+//! * [`TimerWheel`] — a hierarchical timer wheel (Varghese & Lauck) with
+//!   256-slot levels, per-level occupancy bitmaps and a binary-heap
+//!   overflow for far-future timers. O(1) amortized insert, near-O(1)
+//!   pop, and cache-friendly: this is what 10k-node runs use.
+//! * [`ReferenceHeap`] — the original global `BinaryHeap`. O(log n) per
+//!   operation, kept as the executable specification: differential tests
+//!   run whole clusters under both schedulers and assert identical event
+//!   streams. Select it with [`SchedulerKind::ReferenceHeap`]; it is not
+//!   meant for production runs.
+//!
+//! # Ordering contract
+//!
+//! Events are totally ordered by `(time, key, seq)`:
+//!
+//! * `time` — absolute virtual time in ns;
+//! * `key` — a small integer derived from the event target (the engine
+//!   uses `0` for control events and `host_id + 1` for deliveries and
+//!   timers), so that equal-timestamp events at *different hosts* fire
+//!   in host order rather than in whatever order they were inserted;
+//! * `seq` — the global insertion sequence number, breaking the
+//!   remaining ties (same instant, same host) in causal insertion order.
+//!
+//! Both schedulers implement exactly this order; the proptest suite in
+//! `tests/timer_wheel_props.rs` pins the wheel against a sorted-vec
+//! model, and `tests/scheduler_tiebreak.rs` pins the `(time, key, seq)`
+//! contract itself.
+//!
+//! The module is public so property tests and benches can drive the
+//! wheel directly; the engine is its only in-tree production consumer.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// One scheduled event carrying an opaque payload.
+///
+/// Ordering ignores the payload entirely — see the module docs for the
+/// `(time, key, seq)` contract.
+#[derive(Debug, Clone)]
+pub struct Scheduled<T> {
+    /// Absolute due time (virtual ns).
+    pub time: SimTime,
+    /// Host-derived tie-break key (`0` = engine control events).
+    pub key: u32,
+    /// Global insertion sequence number; unique per scheduler.
+    pub seq: u64,
+    /// The event itself.
+    pub payload: T,
+}
+
+impl<T> Scheduled<T> {
+    #[inline]
+    fn ord_key(&self) -> (SimTime, u32, u64) {
+        (self.time, self.key, self.seq)
+    }
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ord_key() == other.ord_key()
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ord_key().cmp(&other.ord_key())
+    }
+}
+
+/// Which scheduler an [`crate::Engine`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel with heap overflow (production default).
+    #[default]
+    TimerWheel,
+    /// The original global binary heap, kept as the executable
+    /// specification for differential testing.
+    ReferenceHeap,
+}
+
+/// The common scheduler interface used by the engine.
+#[derive(Debug)]
+pub enum EventQueue<T> {
+    Wheel(TimerWheel<T>),
+    Heap(ReferenceHeap<T>),
+}
+
+impl<T> EventQueue<T> {
+    pub fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::TimerWheel => EventQueue::Wheel(TimerWheel::new()),
+            SchedulerKind::ReferenceHeap => EventQueue::Heap(ReferenceHeap::new()),
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: Scheduled<T>) {
+        match self {
+            EventQueue::Wheel(w) => w.push(ev),
+            EventQueue::Heap(h) => h.push(ev),
+        }
+    }
+
+    /// Remove and return the globally-next event if it is due at or
+    /// before `t`.
+    #[inline]
+    pub fn pop_before(&mut self, t: SimTime) -> Option<Scheduled<T>> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_before(t),
+            EventQueue::Heap(h) => h.pop_before(t),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len(),
+            EventQueue::Heap(h) => h.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The original scheduler: one global binary heap ordered by
+/// `(time, key, seq)`.
+#[derive(Debug)]
+pub struct ReferenceHeap<T> {
+    heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    cancelled: HashSet<u64>,
+}
+
+impl<T> Default for ReferenceHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReferenceHeap<T> {
+    pub fn new() -> Self {
+        ReferenceHeap {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    pub fn push(&mut self, ev: Scheduled<T>) {
+        self.heap.push(Reverse(ev));
+    }
+
+    /// Lazily cancel the event with sequence number `seq` (it is skipped
+    /// when its turn comes). The engine itself never cancels — epochs
+    /// make stale events inert — but the schedulers support it so the
+    /// property suite exercises identical semantics on both.
+    pub fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    pub fn pop_before(&mut self, t: SimTime) -> Option<Scheduled<T>> {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.time > t {
+                return None;
+            }
+            let Reverse(ev) = self.heap.pop().unwrap();
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// Wheel geometry: 256 slots per level, 2^16 ns (≈ 65 µs) finest tick.
+// Level spans: L0 ≈ 16.8 ms, L1 ≈ 4.3 s, L2 ≈ 18.3 min; anything
+// further out sits in the overflow heap until its level-2 frame opens.
+const SLOT_BITS: u32 = 8;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+const TICK_BITS: u32 = 16;
+const LEVELS: usize = 3;
+/// Ticks covered by the wheel proper (beyond → overflow heap).
+const WHEEL_SPAN_TICKS: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+#[derive(Debug)]
+struct Level<T> {
+    slots: Vec<Vec<Scheduled<T>>>,
+    /// One bit per slot; lets the cursor skip empty regions in O(1).
+    occupied: [u64; SLOTS / 64],
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; SLOTS / 64],
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// The first occupied slot index `>= from`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let mut word = from / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= SLOTS / 64 {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+}
+
+/// Hierarchical timer wheel with exact `(time, key, seq)` ordering.
+///
+/// Events within one finest-level tick (65 µs) are sorted when the
+/// cursor reaches that tick; higher-level slots cascade down as virtual
+/// time approaches them. The `ready` staging deque always holds the
+/// globally-earliest events (already sorted), so `pop_before` is a
+/// front-pop in the common case.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    levels: Vec<Level<T>>,
+    overflow: BinaryHeap<Reverse<Scheduled<T>>>,
+    /// Sorted events for the tick currently being drained. Invariant:
+    /// every event here is earlier than everything still in the wheel.
+    ready: VecDeque<Scheduled<T>>,
+    /// All ticks `< horizon` have been drained into `ready` (or popped).
+    horizon: u64,
+    len: usize,
+    cancelled: HashSet<u64>,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            horizon: 0,
+            len: 0,
+            cancelled: HashSet::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn tick_of(time: SimTime) -> u64 {
+        time >> TICK_BITS
+    }
+
+    pub fn push(&mut self, ev: Scheduled<T>) {
+        self.len += 1;
+        let tick = Self::tick_of(ev.time);
+        if tick < self.horizon {
+            // The tick was already drained: merge into the sorted staging
+            // deque. Rare (only same-tick-as-now insertions).
+            let pos = self.ready.partition_point(|e| e < &ev);
+            self.ready.insert(pos, ev);
+            return;
+        }
+        self.place(ev, tick);
+    }
+
+    /// Lazily cancel the event with sequence number `seq`.
+    pub fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    /// Insert into the correct level for `tick`, relative to `horizon`.
+    fn place(&mut self, ev: Scheduled<T>, tick: u64) {
+        let delta = tick
+            .checked_sub(self.horizon)
+            .expect("scheduler invariant: place() on an already-drained tick");
+        if delta >= WHEEL_SPAN_TICKS {
+            self.overflow.push(Reverse(ev));
+            return;
+        }
+        // The highest level at which `tick` and `horizon` share a frame
+        // is where the event parks; level 0 holds the current frame.
+        for level in 0..LEVELS {
+            let shift = SLOT_BITS * (level as u32 + 1);
+            if tick >> shift == self.horizon >> shift {
+                let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+                self.levels[level].slots[slot].push(ev);
+                self.levels[level].mark(slot);
+                return;
+            }
+        }
+        // tick - horizon < WHEEL_SPAN_TICKS but no shared frame: the
+        // level-2 frame boundary lies between them.
+        self.overflow.push(Reverse(ev));
+    }
+
+    pub fn pop_before(&mut self, t: SimTime) -> Option<Scheduled<T>> {
+        loop {
+            if let Some(front) = self.ready.front() {
+                if front.time > t {
+                    return None;
+                }
+                let ev = self.ready.pop_front().unwrap();
+                self.len -= 1;
+                if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
+                    continue;
+                }
+                return Some(ev);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    /// Drain the next occupied tick into `ready`, cascading higher
+    /// levels / overflow down as frames open. Only called when `ready`
+    /// is empty and at least one event is pending.
+    fn advance(&mut self) {
+        loop {
+            // Open the higher-level slots enclosing the current position:
+            // after `horizon` rolls across a frame boundary by plain
+            // slot-to-slot advancement, the new frame's events still sit
+            // one level up and must cascade down before level 0 is
+            // scanned (else later level-0 arrivals would overtake them).
+            for level in (1..LEVELS).rev() {
+                let shift = SLOT_BITS * level as u32;
+                let idx = ((self.horizon >> shift) & SLOT_MASK) as usize;
+                if !self.levels[level].slots[idx].is_empty() {
+                    let batch = std::mem::take(&mut self.levels[level].slots[idx]);
+                    self.levels[level].clear(idx);
+                    for ev in batch {
+                        let tick = Self::tick_of(ev.time);
+                        self.place(ev, tick);
+                    }
+                }
+            }
+            // Next occupied level-0 slot within the current frame.
+            let l0_from = (self.horizon & SLOT_MASK) as usize;
+            if let Some(slot) = self.levels[0].next_occupied(l0_from) {
+                let frame_base = self.horizon & !SLOT_MASK;
+                let tick = frame_base | slot as u64;
+                let mut batch = std::mem::take(&mut self.levels[0].slots[slot]);
+                self.levels[0].clear(slot);
+                self.horizon = tick + 1;
+                batch.sort_unstable_by_key(|e| e.ord_key());
+                self.ready = batch.into();
+                return;
+            }
+            // Level-0 frame exhausted: open the next occupied frame at
+            // the lowest level that has one, cascading its slot down.
+            let mut cascaded = false;
+            for level in 1..LEVELS {
+                let from = ((self.horizon >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize + 1;
+                if let Some(slot) = self.levels[level].next_occupied(from) {
+                    let shift = SLOT_BITS * level as u32;
+                    let frame_base = self.horizon >> (shift + SLOT_BITS) << (shift + SLOT_BITS);
+                    self.horizon = frame_base | ((slot as u64) << shift);
+                    let batch = std::mem::take(&mut self.levels[level].slots[slot]);
+                    self.levels[level].clear(slot);
+                    for ev in batch {
+                        let tick = Self::tick_of(ev.time);
+                        self.place(ev, tick);
+                    }
+                    cascaded = true;
+                    break;
+                }
+            }
+            if cascaded {
+                continue;
+            }
+            // Wheel empty: jump to the overflow head's level-2 frame and
+            // pull everything in that frame back into the wheel.
+            let Some(Reverse(head)) = self.overflow.peek() else {
+                // Only cancelled debris is left; drop it.
+                let removed: usize = self
+                    .levels
+                    .iter_mut()
+                    .flat_map(|l| l.slots.iter_mut())
+                    .map(|s| std::mem::take(s).len())
+                    .sum();
+                for l in &mut self.levels {
+                    l.occupied = [0; SLOTS / 64];
+                }
+                debug_assert_eq!(removed, 0, "live events lost during advance");
+                self.len = 0;
+                self.cancelled.clear();
+                return;
+            };
+            let head_tick = Self::tick_of(head.time);
+            let top_shift = SLOT_BITS * LEVELS as u32;
+            self.horizon = head_tick >> top_shift << top_shift;
+            let frame = head_tick >> top_shift;
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                if Self::tick_of(head.time) >> top_shift != frame {
+                    break;
+                }
+                let Reverse(ev) = self.overflow.pop().unwrap();
+                let tick = Self::tick_of(ev.time);
+                self.place(ev, tick);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: SimTime, key: u32, seq: u64) -> Scheduled<u64> {
+        Scheduled {
+            time,
+            key,
+            seq,
+            payload: seq,
+        }
+    }
+
+    fn drain<T>(q: &mut TimerWheel<T>) -> Vec<(SimTime, u32, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop_before(SimTime::MAX) {
+            out.push((e.time, e.key, e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_key_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(ev(500, 3, 1));
+        w.push(ev(500, 1, 2));
+        w.push(ev(100, 9, 3));
+        w.push(ev(500, 1, 4));
+        assert_eq!(
+            drain(&mut w),
+            vec![(100, 9, 3), (500, 1, 2), (500, 1, 4), (500, 3, 1)]
+        );
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow() {
+        let mut w = TimerWheel::new();
+        // > 18 min out: must park in the overflow heap, then still pop
+        // in order once time reaches it.
+        let far = 30 * 60 * crate::SECS;
+        w.push(ev(far, 1, 1));
+        w.push(ev(10, 1, 2));
+        assert!(w.pop_before(far - 1).map(|e| e.seq) == Some(2));
+        assert!(w.pop_before(far - 1).is_none());
+        assert_eq!(w.pop_before(far).map(|e| e.seq), Some(1));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_insert_while_draining() {
+        let mut w = TimerWheel::new();
+        w.push(ev(1000, 1, 1));
+        w.push(ev(1000, 1, 2));
+        assert_eq!(w.pop_before(2000).map(|e| e.seq), Some(1));
+        // Insert into the already-drained tick (as an actor scheduling a
+        // zero-delay follow-up would): must slot between/after by order.
+        w.push(ev(1001, 0, 3));
+        w.push(ev(3000, 0, 4));
+        assert_eq!(w.pop_before(2000).map(|e| e.seq), Some(2));
+        assert_eq!(w.pop_before(2000).map(|e| e.seq), Some(3));
+        assert!(w.pop_before(2000).is_none());
+        assert_eq!(w.pop_before(3000).map(|e| e.seq), Some(4));
+    }
+
+    #[test]
+    fn cancel_skips_events_in_both_schedulers() {
+        let mut w = TimerWheel::new();
+        let mut h = ReferenceHeap::new();
+        for (t, k, s) in [(100, 1, 1), (100, 2, 2), (200, 1, 3)] {
+            w.push(ev(t, k, s));
+            h.push(ev(t, k, s));
+        }
+        w.cancel(2);
+        h.cancel(2);
+        let got_w: Vec<u64> =
+            std::iter::from_fn(|| w.pop_before(u64::MAX).map(|e| e.seq)).collect();
+        let got_h: Vec<u64> =
+            std::iter::from_fn(|| h.pop_before(u64::MAX).map(|e| e.seq)).collect();
+        assert_eq!(got_w, vec![1, 3]);
+        assert_eq!(got_h, vec![1, 3]);
+    }
+
+    #[test]
+    fn sparse_far_apart_events() {
+        let mut w = TimerWheel::new();
+        // Events spread over hours exercise every cascade path.
+        let times = [
+            1u64,
+            70_000,
+            16_800_000,
+            4_300_000_000,
+            1_100_000_000_000,
+            3 * 3600 * crate::SECS,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(ev(t, 0, i as u64));
+        }
+        let got = drain(&mut w);
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+        assert_eq!(got.len(), times.len());
+    }
+}

@@ -1,0 +1,223 @@
+//! Property suite for the event schedulers: the hierarchical
+//! [`TimerWheel`] must be observationally identical to a trivial
+//! sorted-vec model — and to the [`ReferenceHeap`] it replaced — under
+//! arbitrary interleavings of insert, cancel, and advance.
+//!
+//! This is the lock on the `(time, key, seq)` total order the whole
+//! simulator's determinism rests on (see the `scheduler` module docs).
+//! Failing seeds persist to `timer_wheel_props.proptest-regressions`
+//! next to this file and re-run before novel cases.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tamp_netsim::scheduler::{ReferenceHeap, Scheduled, TimerWheel};
+
+/// An event's observable identity: everything but the payload.
+type Key = (u64, u32, u64);
+
+fn ev(time: u64, key: u32, seq: u64) -> Scheduled<u64> {
+    Scheduled {
+        time,
+        key,
+        seq,
+        payload: seq,
+    }
+}
+
+/// Executable specification: an unsorted vec, scanned for the minimum
+/// `(time, key, seq)` on every pop. Cancellation is lazy exactly like
+/// the real schedulers' (a cancelled seq is skipped when its turn
+/// comes), so all three structures see the same call sequence.
+#[derive(Default)]
+struct ModelQueue {
+    live: Vec<Key>,
+    cancelled: HashSet<u64>,
+}
+
+impl ModelQueue {
+    fn push(&mut self, e: Key) {
+        self.live.push(e);
+    }
+
+    fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    fn pop_before(&mut self, t: u64) -> Option<Key> {
+        loop {
+            let idx = self
+                .live
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| **e)
+                .map(|(i, _)| i)?;
+            if self.live[idx].0 > t {
+                return None;
+            }
+            let e = self.live.swap_remove(idx);
+            if self.cancelled.remove(&e.2) {
+                continue;
+            }
+            return Some(e);
+        }
+    }
+}
+
+/// One step of a generated schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert at an absolute time (may land before the current cursor:
+    /// that exercises the wheel's drained-tick merge into `ready`).
+    Push { time: u64, key: u32 },
+    /// Cancel the `nth % pushed` previously-inserted event.
+    Cancel { nth: usize },
+    /// Advance the cursor by `dt` and pop everything due from all three
+    /// queues, comparing each popped event.
+    Drain { dt: u64 },
+}
+
+/// Times spanning every wheel regime: within one tick (2^16 ns), the
+/// level-0/1 spans, the level-2 span, and past the 2^40 ns wheel span
+/// into the overflow heap (including several top-level frames apart).
+fn arb_time() -> BoxedStrategy<u64> {
+    prop_oneof![
+        0u64..(1 << 17),
+        0u64..(1 << 26),
+        0u64..(1 << 36),
+        0u64..(1 << 45),
+        (1u64 << 50)..(1 << 54),
+    ]
+    .boxed()
+}
+
+fn arb_push() -> BoxedStrategy<Op> {
+    (arb_time(), 0u32..40)
+        .prop_map(|(time, key)| Op::Push { time, key })
+        .boxed()
+}
+
+fn arb_op() -> BoxedStrategy<Op> {
+    prop_oneof![
+        arb_push(),
+        arb_push(), // bias toward pushes so queues stay populated
+        (0usize..64).prop_map(|nth| Op::Cancel { nth }),
+        arb_time().prop_map(|dt| Op::Drain { dt }),
+    ]
+    .boxed()
+}
+
+/// Pop everything due at or before `t` from all three queues, asserting
+/// they agree event by event (and on exhaustion).
+fn drain_eq(
+    wheel: &mut TimerWheel<u64>,
+    heap: &mut ReferenceHeap<u64>,
+    model: &mut ModelQueue,
+    t: u64,
+) -> Result<(), TestCaseError> {
+    loop {
+        let w = wheel.pop_before(t).map(|e| (e.time, e.key, e.seq));
+        let h = heap.pop_before(t).map(|e| (e.time, e.key, e.seq));
+        let m = model.pop_before(t);
+        prop_assert_eq!(w, h, "wheel vs reference heap at t={}", t);
+        prop_assert_eq!(w, m, "wheel vs sorted-vec model at t={}", t);
+        if w.is_none() {
+            return Ok(());
+        }
+    }
+}
+
+fn run_schedule(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut wheel = TimerWheel::new();
+    let mut heap = ReferenceHeap::new();
+    let mut model = ModelQueue::default();
+    let mut cursor = 0u64;
+    let mut next_seq = 0u64;
+    let mut pushed: Vec<u64> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Push { time, key } => {
+                let seq = next_seq;
+                next_seq += 1;
+                wheel.push(ev(time, key, seq));
+                heap.push(ev(time, key, seq));
+                model.push((time, key, seq));
+                pushed.push(seq);
+            }
+            Op::Cancel { nth } => {
+                if pushed.is_empty() {
+                    continue;
+                }
+                let seq = pushed[nth % pushed.len()];
+                wheel.cancel(seq);
+                heap.cancel(seq);
+                model.cancel(seq);
+            }
+            Op::Drain { dt } => {
+                cursor = cursor.saturating_add(dt);
+                drain_eq(&mut wheel, &mut heap, &mut model, cursor)?;
+            }
+        }
+    }
+    // Final full drain: nothing live may be left behind in any slot,
+    // cascade level, or the overflow heap.
+    drain_eq(&mut wheel, &mut heap, &mut model, u64::MAX)?;
+    prop_assert!(wheel.is_empty(), "wheel not empty after full drain");
+    prop_assert!(wheel.pop_before(u64::MAX).is_none());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// The headline property: arbitrary insert/cancel/advance schedules
+    /// are indistinguishable across wheel, reference heap, and model.
+    #[test]
+    fn wheel_matches_model_and_reference_heap(
+        ops in prop::collection::vec(arb_op(), 1..140)
+    ) {
+        run_schedule(&ops)?;
+    }
+
+    /// Pure ordering with no cancellation: a batch drain pops exactly
+    /// the sorted `(time, key, seq)` permutation of what went in —
+    /// equal-time events by key, equal `(time, key)` events by seq.
+    #[test]
+    fn full_drain_is_globally_sorted(
+        pushes in prop::collection::vec((arb_time(), 0u32..8), 1..120)
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut expect: Vec<Key> = Vec::new();
+        for (seq, &(time, key)) in pushes.iter().enumerate() {
+            wheel.push(ev(time, key, seq as u64));
+            expect.push((time, key, seq as u64));
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some(e) = wheel.pop_before(u64::MAX) {
+            got.push((e.time, e.key, e.seq));
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Cancelling every event leaves both schedulers able to report
+    /// emptiness without surfacing debris.
+    #[test]
+    fn cancel_all_drains_clean(
+        pushes in prop::collection::vec(arb_time(), 1..60)
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut heap = ReferenceHeap::new();
+        for (seq, &time) in pushes.iter().enumerate() {
+            wheel.push(ev(time, 1, seq as u64));
+            heap.push(ev(time, 1, seq as u64));
+        }
+        for seq in 0..pushes.len() as u64 {
+            wheel.cancel(seq);
+            heap.cancel(seq);
+        }
+        prop_assert!(wheel.pop_before(u64::MAX).is_none());
+        prop_assert!(heap.pop_before(u64::MAX).is_none());
+        prop_assert!(wheel.is_empty());
+    }
+}

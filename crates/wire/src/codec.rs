@@ -472,12 +472,7 @@ fn read_record(r: &mut Reader) -> Result<NodeRecord, DecodeError> {
         services.push(read_service_decl(r)?);
     }
     let attrs = read_kv(r)?;
-    Ok(NodeRecord {
-        node,
-        incarnation,
-        services,
-        attrs,
-    })
+    Ok(NodeRecord::from_parts(node, incarnation, services, attrs))
 }
 
 fn read_event(r: &mut Reader) -> Result<MemberEvent, DecodeError> {

@@ -38,8 +38,8 @@ pub mod seqnum;
 pub use messages::{
     DcId, DigestEntry, DigestMsg, DirectoryExchange, ElectionMsg, Gossip, GossipEntry, Heartbeat,
     MemberEvent, Message, NodeId, NodeRecord, PartitionSet, ProxySummary, ProxyUpdate,
-    RelayedRecord, SeqEvent, ServiceAvail, ServiceDecl, ServiceRequest, ServiceResponse,
-    SummaryEvent, SyncRequest, SyncResponse, UpdateMsg,
+    RecordPayload, RelayedRecord, SeqEvent, ServiceAvail, ServiceDecl, ServiceRequest,
+    ServiceResponse, SummaryEvent, SyncRequest, SyncResponse, UpdateMsg,
 };
 
 #[cfg(test)]
@@ -77,11 +77,8 @@ mod proptests {
             proptest::collection::vec(arb_service_decl(), 0..4),
             proptest::collection::vec(("[a-z]{1,8}", "[a-z0-9]{0,16}"), 0..4),
         )
-            .prop_map(|(node, incarnation, services, attrs)| NodeRecord {
-                node,
-                incarnation,
-                services,
-                attrs,
+            .prop_map(|(node, incarnation, services, attrs)| {
+                NodeRecord::from_parts(node, incarnation, services, attrs)
             })
     }
 

@@ -146,31 +146,91 @@ impl ServiceDecl {
     }
 }
 
-/// Everything the membership directory stores about one node: the "yellow
-/// page" entry. Contains the *relatively stable* information the paper
-/// scopes the protocol to (service names, partition ids, machine
-/// configuration) — load data is explicitly out of scope.
+/// The bulky, rarely-changing part of a [`NodeRecord`]: service
+/// declarations and machine-configuration attributes. Kept behind a
+/// refcounted pointer so that copying a record between directories (which
+/// a 10k-node simulation does millions of times) is a pointer bump, not a
+/// deep clone of every string.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct NodeRecord {
-    pub node: NodeId,
-    /// Monotonic restart counter. A record with a higher incarnation
-    /// always supersedes one with a lower incarnation for the same node,
-    /// which keeps rejoin-after-crash unambiguous.
-    pub incarnation: u64,
+pub struct RecordPayload {
     pub services: Vec<ServiceDecl>,
     /// Machine configuration key-value pairs (the `/proc`-derived data in
     /// the paper's implementation).
     pub attrs: Vec<(String, String)>,
 }
 
+/// Everything the membership directory stores about one node: the "yellow
+/// page" entry. Contains the *relatively stable* information the paper
+/// scopes the protocol to (service names, partition ids, machine
+/// configuration) — load data is explicitly out of scope.
+///
+/// The payload (`services` + `attrs`, reachable through `Deref`) is
+/// copy-on-write: `clone()` shares it, and the first mutation through
+/// `DerefMut` splits off a private copy. Records flowing between
+/// simulated nodes therefore share one allocation cluster-wide until a
+/// node actually edits its entry.
+#[derive(Debug, Clone, Default)]
+pub struct NodeRecord {
+    pub node: NodeId,
+    /// Monotonic restart counter. A record with a higher incarnation
+    /// always supersedes one with a lower incarnation for the same node,
+    /// which keeps rejoin-after-crash unambiguous.
+    pub incarnation: u64,
+    payload: std::sync::Arc<RecordPayload>,
+}
+
+impl std::ops::Deref for NodeRecord {
+    type Target = RecordPayload;
+    fn deref(&self) -> &RecordPayload {
+        &self.payload
+    }
+}
+
+impl std::ops::DerefMut for NodeRecord {
+    fn deref_mut(&mut self) -> &mut RecordPayload {
+        std::sync::Arc::make_mut(&mut self.payload)
+    }
+}
+
+impl PartialEq for NodeRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node
+            && self.incarnation == other.incarnation
+            && (std::sync::Arc::ptr_eq(&self.payload, &other.payload)
+                || self.payload == other.payload)
+    }
+}
+
+impl Eq for NodeRecord {}
+
 impl NodeRecord {
     pub fn new(node: NodeId, incarnation: u64) -> Self {
         NodeRecord {
             node,
             incarnation,
-            services: Vec::new(),
-            attrs: Vec::new(),
+            payload: std::sync::Arc::default(),
         }
+    }
+
+    /// Build a record from its four logical fields (what the pre-CoW
+    /// struct literal spelled out). Used by the codec and test fixtures.
+    pub fn from_parts(
+        node: NodeId,
+        incarnation: u64,
+        services: Vec<ServiceDecl>,
+        attrs: Vec<(String, String)>,
+    ) -> Self {
+        NodeRecord {
+            node,
+            incarnation,
+            payload: std::sync::Arc::new(RecordPayload { services, attrs }),
+        }
+    }
+
+    /// True when `self` and `other` share one payload allocation (CoW has
+    /// not split them). Test-facing; protocol code never needs this.
+    pub fn shares_payload_with(&self, other: &NodeRecord) -> bool {
+        std::sync::Arc::ptr_eq(&self.payload, &other.payload)
     }
 
     pub fn with_service(mut self, s: ServiceDecl) -> Self {
@@ -551,6 +611,32 @@ mod tests {
         assert_eq!(r.services.len(), 1);
         assert_eq!(r.attrs.len(), 1);
         assert_eq!(r.incarnation, 3);
+    }
+
+    #[test]
+    fn record_clone_shares_payload_until_mutation() {
+        let a = NodeRecord::new(NodeId(1), 3)
+            .with_service(ServiceDecl::new("http", PartitionSet::parse("0").unwrap()))
+            .with_attr("cpu", "8");
+        let mut b = a.clone();
+        assert!(a.shares_payload_with(&b));
+        assert_eq!(a, b);
+
+        // Mutating incarnation alone must NOT split the payload.
+        b.incarnation = 4;
+        assert!(a.shares_payload_with(&b));
+        assert_ne!(a, b);
+
+        // First payload mutation splits; the original is untouched.
+        b.attrs.push(("mem".into(), "4G".into()));
+        assert!(!a.shares_payload_with(&b));
+        assert_eq!(a.attrs.len(), 1);
+        assert_eq!(b.attrs.len(), 2);
+
+        // Equality still compares by value once split.
+        let c = NodeRecord::from_parts(a.node, a.incarnation, a.services.clone(), a.attrs.clone());
+        assert!(!a.shares_payload_with(&c));
+        assert_eq!(a, c);
     }
 
     #[test]
