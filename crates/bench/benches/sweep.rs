@@ -1,0 +1,38 @@
+//! Sweep-orchestration throughput: the strict chaos sweep (the
+//! `tamp-exp chaos --sweep --strict` hot path) at pool width 1 and at
+//! the machine's core count. Reported throughput is seeds per second;
+//! the cross-width ratio is the orchestration speedup, recorded in
+//! `results/bench_sweep.json`.
+//!
+//! The workload (`tamp_bench::strict_sweep`) produces byte-identical
+//! reports at every width — locked by `tests/par_determinism.rs` — so
+//! this bench measures pure wall-clock, never behavior.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tamp_bench::{strict_sweep, SWEEP_SEEDS};
+
+fn bench_sweep(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut widths = vec![1];
+    if cores > 1 {
+        widths.push(cores);
+    }
+    let mut g = c.benchmark_group("sweep/strict_chaos");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SWEEP_SEEDS));
+    for jobs in widths {
+        g.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| {
+                let report = strict_sweep(jobs, SWEEP_SEEDS);
+                assert!(report.passed());
+                report.runs.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

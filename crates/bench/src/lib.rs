@@ -75,6 +75,31 @@ pub fn scheduler_mix(kind: SchedulerKind) -> u64 {
     popped
 }
 
+/// Seeds per [`strict_sweep`] round — the sweep-throughput workload
+/// shared by `benches/sweep.rs` and the opt-in guard against
+/// `sweep_baseline.txt`.
+pub const SWEEP_SEEDS: u64 = 40;
+
+/// A strict-oracle chaos sweep over `count` seeds on a `jobs`-wide
+/// pool: the multi-run orchestration hot path (`tamp-exp chaos --sweep
+/// --strict --jobs N`). Every seed passes under the strict oracle, so
+/// the pool never early-stops and each round measures `count` full
+/// scenario simulations plus the ordered re-sequencing overhead.
+pub fn strict_sweep(jobs: usize, count: u64) -> tamp_chaos::SweepReport {
+    use tamp_chaos::{sweep_on, GeneratorConfig, ScenarioConfig};
+    sweep_on(
+        &tamp_par::Pool::new(jobs),
+        2005,
+        count,
+        &GeneratorConfig::default(),
+        |seed| {
+            let mut cfg = ScenarioConfig::two_segments(seed);
+            cfg.strict = true;
+            cfg
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +163,60 @@ mod tests {
                 (0.9..=1.1).contains(&ratio),
                 "{name}: {got:.1} ns/event vs baseline {base_ns:.1} (ratio {ratio:.3}) — \
                  outside ±10%; if intentional, regenerate engine_baseline.txt"
+            );
+        }
+    }
+
+    /// Opt-in wall-clock guard for the sweep orchestration path: a
+    /// sequential [`strict_sweep`] round must stay near the checked-in
+    /// per-seed baseline (`sweep_baseline.txt`, measured in release on
+    /// the reference box). The band is wider than the scheduler guard's
+    /// (-20%/+25%): each round is a full multi-hundred-millisecond
+    /// simulation batch, which drifts more on shared CI boxes than the
+    /// µs-scale scheduler mix.
+    ///
+    /// ```sh
+    /// cargo test -p tamp-bench --release -- --ignored baseline
+    /// ```
+    #[test]
+    #[ignore = "wall-clock sensitive; run in release against sweep_baseline.txt"]
+    fn strict_sweep_within_band_of_baseline() {
+        if cfg!(debug_assertions) {
+            panic!("baseline is a release measurement; run with --release");
+        }
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("sweep_baseline.txt");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (name, base_ms): (&str, f64) = (
+                parts.next().expect("baseline name"),
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("baseline ms"),
+            );
+            assert_eq!(name, "strict_sweep_seq", "unknown baseline entry {name}");
+            // Median of three rounds, per-seed.
+            let mut rounds: Vec<f64> = (0..3)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    let report = std::hint::black_box(strict_sweep(1, SWEEP_SEEDS));
+                    assert!(report.passed(), "baseline workload must pass");
+                    t.elapsed().as_secs_f64() * 1e3 / SWEEP_SEEDS as f64
+                })
+                .collect();
+            rounds.sort_by(f64::total_cmp);
+            let got = rounds[1];
+            let ratio = got / base_ms;
+            assert!(
+                (0.8..=1.25).contains(&ratio),
+                "{name}: {got:.2} ms/seed vs baseline {base_ms:.2} (ratio {ratio:.3}) — \
+                 outside band; if intentional, regenerate sweep_baseline.txt"
             );
         }
     }

@@ -10,9 +10,11 @@
 
 use crate::runner::{run_scenario, ScenarioConfig, ScenarioRun};
 use crate::schedule::{Action, Schedule, ScheduledFault, Target};
-use crate::shrink::shrink;
+use crate::shrink::shrink_on;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tamp_netsim::telemetry::MetricsSnapshot;
+use tamp_par::Pool;
 use tamp_topology::SECS;
 
 /// Shape constraints for generated schedules.
@@ -106,6 +108,9 @@ pub struct SweepReport {
     pub runs: Vec<(u64, bool)>,
     /// First failure, shrunk (the sweep stops there).
     pub failure: Option<SweepFailure>,
+    /// Per-run telemetry snapshots folded across every attempted seed
+    /// (associative merge, so parallel sweeps equal sequential ones).
+    pub metrics: MetricsSnapshot,
 }
 
 impl SweepReport {
@@ -144,38 +149,80 @@ impl SweepReport {
     }
 }
 
+/// The seeds a sweep of `count` seeds starting at `first_seed` visits.
+/// Saturating: a sweep starting near `u64::MAX` is truncated at the
+/// type's ceiling instead of overflowing (which used to panic in debug
+/// builds as `first_seed..first_seed + count`).
+pub fn seed_range(first_seed: u64, count: u64) -> std::ops::Range<u64> {
+    first_seed..first_seed.saturating_add(count)
+}
+
 /// Run `count` seeds starting at `first_seed`: generate a schedule per
 /// seed, execute it, and on the first oracle failure shrink it to a
-/// minimal repro and stop.
+/// minimal repro and stop. Sequential; see [`sweep_on`] to spread the
+/// runs over a worker pool.
 pub fn sweep(
     first_seed: u64,
     count: u64,
     g: &GeneratorConfig,
-    mk_cfg: impl Fn(u64) -> ScenarioConfig,
+    mk_cfg: impl Fn(u64) -> ScenarioConfig + Sync,
 ) -> SweepReport {
+    sweep_on(&Pool::sequential(), first_seed, count, g, mk_cfg)
+}
+
+/// [`sweep`] over a worker pool. Runs execute speculatively in
+/// work-stealing order, but verdicts are consumed in seed order and the
+/// sweep still stops at the first failing *seed* (results for later
+/// seeds are discarded unseen), so the report — pass/fail lines, the
+/// failing seed, the shrunk repro — is byte-identical to the
+/// sequential sweep. The shrinker reuses the same pool for its
+/// candidate evaluation.
+pub fn sweep_on(
+    pool: &Pool,
+    first_seed: u64,
+    count: u64,
+    g: &GeneratorConfig,
+    mk_cfg: impl Fn(u64) -> ScenarioConfig + Sync,
+) -> SweepReport {
+    let seeds: Vec<u64> = seed_range(first_seed, count).collect();
     let mut runs = Vec::new();
-    for seed in first_seed..first_seed + count {
-        let schedule = random_schedule(seed, g);
-        let cfg = mk_cfg(seed);
-        let run = run_scenario(&cfg, &schedule);
-        let passed = run.passed();
-        runs.push((seed, passed));
-        if !passed {
-            let (shrunk, run) = shrink(&cfg, &schedule);
-            return SweepReport {
-                runs,
-                failure: Some(SweepFailure {
-                    seed,
-                    original: schedule,
-                    shrunk,
-                    run,
-                }),
-            };
+    let mut metrics = MetricsSnapshot::default();
+    let mut first_fail: Option<(u64, Schedule, ScenarioConfig)> = None;
+    pool.ordered_scan(
+        seeds.len(),
+        |i| {
+            let seed = seeds[i];
+            let schedule = random_schedule(seed, g);
+            let cfg = mk_cfg(seed);
+            let run = run_scenario(&cfg, &schedule);
+            (schedule, cfg, run)
+        },
+        |i, (schedule, cfg, run)| {
+            let seed = seeds[i];
+            let passed = run.passed();
+            runs.push((seed, passed));
+            metrics.merge(&run.metrics);
+            if passed {
+                std::ops::ControlFlow::Continue(())
+            } else {
+                first_fail = Some((seed, schedule, cfg));
+                std::ops::ControlFlow::Break(())
+            }
+        },
+    );
+    let failure = first_fail.map(|(seed, original, cfg)| {
+        let (shrunk, run) = shrink_on(pool, &cfg, &original);
+        SweepFailure {
+            seed,
+            original,
+            shrunk,
+            run,
         }
-    }
+    });
     SweepReport {
         runs,
-        failure: None,
+        failure,
+        metrics,
     }
 }
 
@@ -192,6 +239,17 @@ mod tests {
             random_schedule(5, &g).render(),
             random_schedule(6, &g).render()
         );
+    }
+
+    #[test]
+    fn seed_range_saturates_near_u64_max() {
+        // The pre-fix arithmetic (`first + count`) overflowed here.
+        let r = seed_range(u64::MAX - 2, 10);
+        assert_eq!(r.clone().count(), 2);
+        assert_eq!(r.collect::<Vec<_>>(), vec![u64::MAX - 2, u64::MAX - 1]);
+        // Ordinary ranges are untouched.
+        assert_eq!(seed_range(5, 3).collect::<Vec<_>>(), vec![5, 6, 7]);
+        assert_eq!(seed_range(0, 0).count(), 0);
     }
 
     #[test]

@@ -41,11 +41,11 @@ pub mod shrink;
 pub mod truth;
 
 pub use dsl::ParseError;
-pub use generator::{random_schedule, sweep, GeneratorConfig, SweepReport};
+pub use generator::{random_schedule, seed_range, sweep, sweep_on, GeneratorConfig, SweepReport};
 pub use inject::{FaultInjector, RuntimeInjector};
 pub use oracle::{OracleConfig, Violation};
 pub use proxy::{run_proxy_scenario, ProxyScenarioConfig};
 pub use runner::{run_scenario, ScenarioConfig, ScenarioRun};
 pub use schedule::{Action, Schedule, ScheduledFault, Target};
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_on};
 pub use truth::GroundTruth;

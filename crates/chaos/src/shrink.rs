@@ -8,6 +8,7 @@
 
 use crate::runner::{run_scenario, ScenarioConfig, ScenarioRun};
 use crate::schedule::Schedule;
+use tamp_par::Pool;
 
 /// Shrink `schedule` (which must fail under `cfg`) to a locally minimal
 /// failing schedule. Returns the shrunk schedule and its failing run.
@@ -15,7 +16,27 @@ use crate::schedule::Schedule;
 /// "Locally minimal": removing any single remaining event makes the
 /// failure disappear. The schedule's settle window is left untouched —
 /// it defines *when* the oracle judges, not *what* faults happen.
+/// Sequential; see [`shrink_on`] to evaluate deletion candidates over a
+/// worker pool.
 pub fn shrink(cfg: &ScenarioConfig, schedule: &Schedule) -> (Schedule, ScenarioRun) {
+    shrink_on(&Pool::sequential(), cfg, schedule)
+}
+
+/// [`shrink`] with deletion candidates evaluated over a worker pool.
+///
+/// Each greedy step scans candidates `i, i+1, …` (each "drop one event
+/// from the *current* best") in ordered parallel and adopts the first
+/// — lowest-index — candidate that still fails, then continues at that
+/// index; a pass that adopts nothing terminates the scan, and passes
+/// repeat until nothing shrinks. That is exactly the decision sequence
+/// of the sequential greedy loop, so the shrunk schedule and its
+/// failing run are identical for any pool width — speculative probes
+/// past the adopted candidate are discarded unseen.
+pub fn shrink_on(
+    pool: &Pool,
+    cfg: &ScenarioConfig,
+    schedule: &Schedule,
+) -> (Schedule, ScenarioRun) {
     let mut best = schedule.clone();
     let mut best_run = run_scenario(cfg, &best);
     assert!(!best_run.passed(), "shrink() called on a passing schedule");
@@ -24,16 +45,34 @@ pub fn shrink(cfg: &ScenarioConfig, schedule: &Schedule) -> (Schedule, ScenarioR
         let mut reduced = false;
         let mut i = 0;
         while i < best.events.len() {
-            let mut candidate = best.clone();
-            candidate.events.remove(i);
-            let run = run_scenario(cfg, &candidate);
-            if run.passed() {
-                i += 1; // this event is load-bearing; keep it
-            } else {
-                best = candidate;
-                best_run = run;
-                reduced = true;
-                // Same index now holds the next event.
+            let base = &best;
+            let mut adopted: Option<(usize, Schedule, ScenarioRun)> = None;
+            pool.ordered_scan(
+                best.events.len() - i,
+                |k| {
+                    let mut candidate = base.clone();
+                    candidate.events.remove(i + k);
+                    let run = run_scenario(cfg, &candidate);
+                    (candidate, run)
+                },
+                |k, (candidate, run)| {
+                    if run.passed() {
+                        // Event i+k is load-bearing; keep scanning.
+                        std::ops::ControlFlow::Continue(())
+                    } else {
+                        adopted = Some((i + k, candidate, run));
+                        std::ops::ControlFlow::Break(())
+                    }
+                },
+            );
+            match adopted {
+                Some((at, candidate, run)) => {
+                    best = candidate;
+                    best_run = run;
+                    reduced = true;
+                    i = at; // same index now holds the next event
+                }
+                None => break, // nothing in i.. shrinks this pass
             }
         }
         if !reduced {

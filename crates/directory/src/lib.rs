@@ -28,7 +28,7 @@ mod shared;
 pub use lookup::{LookupQuery, Machine};
 pub use shared::{DirectoryClient, SharedDirectory};
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tamp_wire::{MemberEvent, NodeId, NodeRecord, RelayedRecord, ServiceAvail};
 
 /// Nanosecond timestamps, matching `tamp_topology::Nanos`.
@@ -84,11 +84,11 @@ impl Applied {
 /// The yellow-page directory: complete view of cluster membership.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    entries: HashMap<NodeId, Entry>,
+    entries: BTreeMap<NodeId, Entry>,
     /// Incarnations known dead: `dead[n]` is the highest incarnation of
     /// `n` declared dead plus when it was declared. Records must exceed
     /// the incarnation to be accepted while the tombstone is fresh.
-    dead: HashMap<NodeId, (u64, Nanos)>,
+    dead: BTreeMap<NodeId, (u64, Nanos)>,
     /// How long a death declaration suppresses same-incarnation rejoins.
     /// Finite TTL keeps the directory soft-state: after a false positive
     /// (e.g. a healed partition), the node's own heartbeats re-add it
@@ -99,8 +99,8 @@ pub struct Directory {
 impl Default for Directory {
     fn default() -> Self {
         Directory {
-            entries: HashMap::new(),
-            dead: HashMap::new(),
+            entries: BTreeMap::new(),
+            dead: BTreeMap::new(),
             tombstone_ttl: DEFAULT_TOMBSTONE_TTL,
         }
     }
@@ -144,7 +144,10 @@ impl Directory {
         self.entries.contains_key(&node)
     }
 
-    /// All entries, unordered.
+    /// All entries, in `NodeId` order. The ordered backing map is a
+    /// determinism requirement, not a convenience: iteration order here
+    /// reaches digests, relay cascades, and expiry scans, and must not
+    /// vary by process or thread.
     pub fn entries(&self) -> impl Iterator<Item = &Entry> {
         self.entries.values()
     }

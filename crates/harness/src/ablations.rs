@@ -677,10 +677,27 @@ pub fn suspicion_sweep(
     rates: &[f64],
     seed: u64,
 ) -> Vec<SuspicionRow> {
+    suspicion_sweep_on(&tamp_par::Pool::sequential(), n, windows_ms, rates, seed)
+}
+
+/// [`suspicion_sweep`] over a worker pool: every (loss rate, window)
+/// cell is an independent deterministic run, and rows come back in the
+/// sequential loop's rate-major order regardless of pool width.
+pub fn suspicion_sweep_on(
+    pool: &tamp_par::Pool,
+    n: usize,
+    windows_ms: &[u64],
+    rates: &[f64],
+    seed: u64,
+) -> Vec<SuspicionRow> {
     use tamp_netsim::MILLIS;
-    let mut rows = Vec::new();
-    for &rate in rates {
-        for &w in windows_ms {
+    let cells: Vec<(f64, u64)> = rates
+        .iter()
+        .flat_map(|&rate| windows_ms.iter().map(move |&w| (rate, w)))
+        .collect();
+    pool.ordered_map(cells.len(), |c| {
+        let (rate, w) = cells[c];
+        {
             let cfg = MembershipConfig {
                 suspicion_window: w * MILLIS,
                 ..Default::default()
@@ -713,21 +730,21 @@ pub fn suspicion_sweep(
                 .stats()
                 .first_removal(NodeId(victim.0))
                 .map_or(f64::NAN, |t| t.saturating_sub(kill_at) as f64 / 1e9);
-            rows.push(SuspicionRow {
+            SuspicionRow {
                 suspicion_ms: w,
                 loss_pct: rate * 100.0,
                 accuracy,
                 detect_s: detect,
                 false_removals,
                 refutations,
-            });
+            }
         }
-    }
-    rows
+    })
 }
 
-pub fn run_suspicion(seed: u64) {
-    let rows = suspicion_sweep(100, &[0, 1000, 2000, 4000], &[0.0, 0.10, 0.20], seed);
+pub fn run_suspicion(seed: u64, jobs: usize) {
+    let pool = tamp_par::Pool::new(jobs);
+    let rows = suspicion_sweep_on(&pool, 100, &[0, 1000, 2000, 4000], &[0.0, 0.10, 0.20], seed);
     let mut t = crate::report::Table::new(
         "A8 — suspicion & refutation (hierarchical, n=100)",
         &[
@@ -840,6 +857,27 @@ mod tests {
         assert!(
             susp.refutations > 0,
             "20% loss must exercise the refutation path"
+        );
+    }
+
+    #[test]
+    fn parallel_suspicion_grid_matches_sequential() {
+        let fields = |r: &SuspicionRow| {
+            (
+                r.suspicion_ms,
+                r.loss_pct.to_bits(),
+                r.accuracy.to_bits(),
+                r.detect_s.to_bits(),
+                r.false_removals,
+                r.refutations,
+            )
+        };
+        let seq = suspicion_sweep(40, &[0, 2000], &[0.0], 31);
+        let par = suspicion_sweep_on(&tamp_par::Pool::new(4), 40, &[0, 2000], &[0.0], 31);
+        assert_eq!(
+            seq.iter().map(fields).collect::<Vec<_>>(),
+            par.iter().map(fields).collect::<Vec<_>>(),
+            "parallel A8 grid diverges from sequential"
         );
     }
 

@@ -43,6 +43,7 @@ fn main() {
     let mut proxy = false;
     let mut chaos_trace = false;
     let mut strict = false;
+    let mut jobs = tamp_par::default_jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,6 +72,13 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--quick" => quick = true,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a worker count >= 1"));
+            }
             "--nodes" => {
                 nodes = Some(
                     it.next()
@@ -137,7 +145,7 @@ fn main() {
         "ablation-piggyback" => ablations::run_piggyback(seed),
         "ablation-topology" => ablations::run_topology(seed),
         "ablation-detector" => ablations::run_detector(seed),
-        "ablation-suspicion" => ablations::run_suspicion(seed),
+        "ablation-suspicion" => ablations::run_suspicion(seed, jobs),
         "trace" => trace_tool::run(seed),
         "metrics" => metrics_tool::run_and_print(if quick { 20 } else { 60 }, seed),
         "scale" => {
@@ -146,7 +154,7 @@ fn main() {
                 None if quick => vec![1000],
                 None => scale::SWEEP_SIZES.to_vec(),
             };
-            scale::run_and_print(&sizes, seed);
+            scale::run_and_print(&sizes, seed, jobs);
         }
         "chaos" => {
             let code = chaos::run(&chaos::ChaosOptions {
@@ -157,6 +165,7 @@ fn main() {
                 proxy,
                 trace: chaos_trace,
                 strict,
+                jobs,
             });
             std::process::exit(code);
         }
@@ -186,7 +195,7 @@ fn main() {
             ablations::run_piggyback(seed);
             ablations::run_topology(seed);
             ablations::run_detector(seed);
-            ablations::run_suspicion(seed);
+            ablations::run_suspicion(seed, jobs);
         }
         other => die(&format!("unknown command {other}; try --help")),
     }
@@ -201,6 +210,8 @@ fn print_help() {
          \u{20}         --quick         smaller sweeps for smoke runs\n\
          \u{20}         --nodes <n>     scale: one run at ~n nodes (default sweep 1000/4000/10000)\n\
          \u{20}         --trials <n>    fig12/fig13: statistics over n seeds\n\
+         \u{20}         --jobs <n>      worker threads for sweeps/grids (default: cores;\n\
+         \u{20}                         output is byte-identical at any width)\n\
          chaos:    --scenario <f>  run a fault-scenario DSL file\n\
          \u{20}         --sweep <n>     sweep n seeds, shrink first failure\n\
          \u{20}         --proxy         multi-datacenter proxy deployment\n\

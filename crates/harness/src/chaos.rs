@@ -4,11 +4,12 @@
 //! demonstrate the oracle catching a broken configuration.
 
 use tamp_chaos::{
-    dsl, random_schedule, run_proxy_scenario, run_scenario, sweep, GeneratorConfig,
+    dsl, random_schedule, run_proxy_scenario, run_scenario, seed_range, sweep_on, GeneratorConfig,
     ProxyScenarioConfig, ScenarioConfig, Schedule,
 };
 use tamp_membership::MembershipConfig;
 use tamp_netsim::TraceConfig;
+use tamp_par::Pool;
 
 /// Options for the `chaos` subcommand.
 pub struct ChaosOptions {
@@ -28,6 +29,9 @@ pub struct ChaosOptions {
     /// Judge with the strict oracle: no loss or repair-window excuses;
     /// removals must follow the suspicion state machine.
     pub strict: bool,
+    /// Worker threads for sweeps (`--jobs`; 1 = sequential). Output is
+    /// byte-identical at any width.
+    pub jobs: usize,
 }
 
 fn membership(broken: bool) -> MembershipConfig {
@@ -70,9 +74,14 @@ pub fn run(opts: &ChaosOptions) -> i32 {
         if opts.proxy {
             return proxy_sweep(opts, count);
         }
-        let report = sweep(opts.seed, count, &GeneratorConfig::default(), |seed| {
-            scenario_config(seed, opts)
-        });
+        let pool = Pool::new(opts.jobs);
+        let report = sweep_on(
+            &pool,
+            opts.seed,
+            count,
+            &GeneratorConfig::default(),
+            |seed| scenario_config(seed, opts),
+        );
         print!("{}", report.report());
         return if report.passed() { 0 } else { 1 };
     }
@@ -115,35 +124,56 @@ pub fn run(opts: &ChaosOptions) -> i32 {
 /// checks by design (they are skipped while severed), so partition
 /// events would only dilute the sweep. Stops at the first failure (no
 /// shrinking — the shrinker is single-cluster only).
+///
+/// Runs execute across the pool but all printing happens here, in seed
+/// order, as verdicts are consumed — so the output is byte-identical to
+/// `--jobs 1`, including which seed is reported as the first failure.
 fn proxy_sweep(opts: &ChaosOptions, count: u64) -> i32 {
     let gen_cfg = GeneratorConfig {
         num_hosts: 16,
         num_segments: 1, // suppress partition generation
         ..GeneratorConfig::default()
     };
+    let seeds: Vec<u64> = seed_range(opts.seed, count).collect();
     let mut passed = 0u64;
-    for seed in opts.seed..opts.seed + count {
-        let cfg = ProxyScenarioConfig {
-            membership: membership(opts.broken),
-            strict: opts.strict,
-            ..ProxyScenarioConfig::two_dcs(seed)
-        };
-        let schedule = random_schedule(seed, &gen_cfg);
-        let run = run_proxy_scenario(&cfg, &schedule);
-        if run.passed() {
-            passed += 1;
-            println!("  seed {seed}: pass");
-        } else {
-            println!("  seed {seed}: FAIL");
-            print!("{}", run.report());
-            println!(
-                "== tamp-chaos proxy sweep: {passed}/{} seeds passed before first failure ==",
-                seed - opts.seed + 1
-            );
-            return 1;
-        }
+    let mut failed = false;
+    Pool::new(opts.jobs).ordered_scan(
+        seeds.len(),
+        |i| {
+            let seed = seeds[i];
+            let cfg = ProxyScenarioConfig {
+                membership: membership(opts.broken),
+                strict: opts.strict,
+                ..ProxyScenarioConfig::two_dcs(seed)
+            };
+            let schedule = random_schedule(seed, &gen_cfg);
+            run_proxy_scenario(&cfg, &schedule)
+        },
+        |i, run| {
+            let seed = seeds[i];
+            if run.passed() {
+                passed += 1;
+                println!("  seed {seed}: pass");
+                std::ops::ControlFlow::Continue(())
+            } else {
+                println!("  seed {seed}: FAIL");
+                print!("{}", run.report());
+                println!(
+                    "== tamp-chaos proxy sweep: {passed}/{} seeds passed before first failure ==",
+                    i as u64 + 1
+                );
+                failed = true;
+                std::ops::ControlFlow::Break(())
+            }
+        },
+    );
+    if failed {
+        return 1;
     }
-    println!("== tamp-chaos proxy sweep: {passed}/{count} seeds passed ==");
+    println!(
+        "== tamp-chaos proxy sweep: {passed}/{} seeds passed ==",
+        seeds.len()
+    );
     0
 }
 
@@ -177,6 +207,7 @@ mod tests {
             proxy: false,
             trace: false,
             strict: false,
+            jobs: 1,
         };
         assert_eq!(run(&opts), 0);
     }
@@ -191,6 +222,7 @@ mod tests {
             proxy: false,
             trace: false,
             strict: true,
+            jobs: 1,
         };
         assert_eq!(run(&opts), 0);
     }
@@ -205,6 +237,7 @@ mod tests {
             proxy: false,
             trace: false,
             strict: false,
+            jobs: 1,
         };
         assert_eq!(run(&opts), 1);
     }

@@ -30,6 +30,7 @@ use tamp_analysis::{hierarchical, ModelParams};
 use tamp_directory::{Directory, Provenance};
 use tamp_membership::{MembershipConfig, MembershipNode};
 use tamp_netsim::{Control, Engine, EngineConfig, SimTime, MILLIS, SECS};
+use tamp_par::Pool;
 use tamp_topology::{generators, HostId, Topology};
 use tamp_wire::NodeId;
 
@@ -81,66 +82,117 @@ fn scale_config() -> MembershipConfig {
     }
 }
 
-/// Build, warm-start, and measure one cluster of ≈`nodes` hosts.
-pub fn measure(nodes: usize, seed: u64) -> ScaleRow {
-    let wall = std::time::Instant::now();
-    let (topo, group_size) = scale_topology(nodes);
-    let n = topo.num_hosts();
-    let segments = topo.num_segments();
+/// Everything about one cluster size that is seed-independent: the
+/// topology grid, the segment layout, every node's bootstrap record
+/// (incarnation 1 — what it will announce on start), and the
+/// per-segment warm-start directory templates. Build once per size with
+/// [`SizeSetup::new`] and reuse across seeds via [`measure_with`]: at
+/// 10k nodes the templates are the dominant per-run setup cost, and
+/// they don't depend on the seed.
+pub struct SizeSetup {
+    topo: Topology,
+    group_size: usize,
+    seg_of: Vec<u16>,
+    templates: Vec<Directory>,
+}
 
-    // Segment layout (captured before the engine consumes the topology).
-    let seg_of: Vec<u16> = topo.hosts().map(|h| topo.segment_of(h).0).collect();
-    let leader_of: Vec<NodeId> = (0..segments)
-        .map(|s| {
-            NodeId(
-                topo.hosts_on(tamp_topology::SegmentId(s as u16))
-                    .iter()
-                    .map(|h| h.0)
-                    .min()
-                    .expect("empty segment"),
-            )
-        })
-        .collect();
+impl SizeSetup {
+    /// Build the seed-independent setup for a cluster of ≈`nodes`.
+    pub fn new(nodes: usize) -> SizeSetup {
+        let (topo, group_size) = scale_topology(nodes);
+        let n = topo.num_hosts();
+        let segments = topo.num_segments();
 
-    let mut members: Vec<MembershipNode> = (0..n)
-        .map(|i| MembershipNode::new(NodeId(i as u32), scale_config()))
-        .collect();
-    // The record every node will announce on start (incarnation 1).
-    let boot: Vec<_> = members.iter().map(|m| m.boot_record()).collect();
+        let seg_of: Vec<u16> = topo.hosts().map(|h| topo.segment_of(h).0).collect();
+        let leader_of: Vec<NodeId> = (0..segments)
+            .map(|s| {
+                NodeId(
+                    topo.hosts_on(tamp_topology::SegmentId(s as u16))
+                        .iter()
+                        .map(|h| h.0)
+                        .min()
+                        .expect("empty segment"),
+                )
+            })
+            .collect();
 
-    // One warm-start template per segment: the converged view's
-    // *measurement-relevant* subset. Own segment heard directly (the
-    // entries heartbeats keep alive), every leaf leader plus the victim
-    // relayed by the segment's own leader — the provenance the real
-    // protocol converges to. Preloading the full converged view instead
-    // (all n entries at all n nodes) changes none of the measured
-    // quantities — steady-state traffic is heartbeats only, and removal
-    // propagation touches exactly the victim's entry — but the O(n²)
-    // directory clone dominates wall time at 10k (~10 GB, minutes).
-    let victim_idx = n - 1;
-    let leader_set: std::collections::HashSet<u32> = leader_of.iter().map(|l| l.0).collect();
-    let mut engine = Engine::new(topo, EngineConfig::default(), seed);
-    for (seg, &my_leader) in leader_of.iter().enumerate() {
-        let mut template = Directory::new();
-        for (i, rec) in boot.iter().enumerate() {
-            let mine = seg_of[i] as usize == seg;
-            if !(mine || i == victim_idx || leader_set.contains(&(i as u32))) {
-                continue;
-            }
-            let prov = if mine {
-                Provenance::Direct
-            } else {
-                Provenance::Relayed(my_leader)
-            };
-            template.apply_join(rec.clone(), prov, 0);
+        // The record every node will announce on start (incarnation 1).
+        // `boot_record` is a pure function of (id, config), so records
+        // built here match the fresh `MembershipNode`s of every run.
+        let boot: Vec<_> = (0..n)
+            .map(|i| MembershipNode::new(NodeId(i as u32), scale_config()).boot_record())
+            .collect();
+
+        // One warm-start template per segment: the converged view's
+        // *measurement-relevant* subset. Own segment heard directly (the
+        // entries heartbeats keep alive), every leaf leader plus the
+        // victim relayed by the segment's own leader — the provenance
+        // the real protocol converges to. Preloading the full converged
+        // view instead (all n entries at all n nodes) changes none of
+        // the measured quantities — steady-state traffic is heartbeats
+        // only, and removal propagation touches exactly the victim's
+        // entry — but the O(n²) directory clone dominates wall time at
+        // 10k (~10 GB, minutes). Each template visits only its own
+        // segment plus the shared extras (leaders + victim), so
+        // building all of them is O(n + segments·g) instead of the old
+        // O(n·segments) scan over every boot record per segment.
+        let victim_idx = n - 1;
+        let extras: Vec<usize> = {
+            let mut v: Vec<usize> = leader_of.iter().map(|l| l.0 as usize).collect();
+            v.push(victim_idx);
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut hosts_in: Vec<Vec<usize>> = vec![Vec::new(); segments];
+        for (i, &s) in seg_of.iter().enumerate() {
+            hosts_in[s as usize].push(i);
         }
-        for (i, m) in members.iter_mut().enumerate() {
-            if seg_of[i] as usize == seg {
-                m.preload_directory(&template);
-            }
+        let templates: Vec<Directory> = leader_of
+            .iter()
+            .enumerate()
+            .map(|(seg, &my_leader)| {
+                let mut template = Directory::new();
+                let relevant: std::collections::BTreeSet<usize> =
+                    hosts_in[seg].iter().chain(extras.iter()).copied().collect();
+                for i in relevant {
+                    let prov = if seg_of[i] as usize == seg {
+                        Provenance::Direct
+                    } else {
+                        Provenance::Relayed(my_leader)
+                    };
+                    template.apply_join(boot[i].clone(), prov, 0);
+                }
+                template
+            })
+            .collect();
+
+        SizeSetup {
+            topo,
+            group_size,
+            seg_of,
+            templates,
         }
     }
-    for (i, m) in members.into_iter().enumerate() {
+}
+
+/// Build, warm-start, and measure one cluster of ≈`nodes` hosts.
+pub fn measure(nodes: usize, seed: u64) -> ScaleRow {
+    measure_with(&SizeSetup::new(nodes), seed)
+}
+
+/// [`measure`] against a prebuilt [`SizeSetup`], for callers running
+/// several seeds at one size.
+pub fn measure_with(setup: &SizeSetup, seed: u64) -> ScaleRow {
+    let wall = std::time::Instant::now();
+    let n = setup.topo.num_hosts();
+    let segments = setup.topo.num_segments();
+    let group_size = setup.group_size;
+
+    let mut engine = Engine::new(setup.topo.clone(), EngineConfig::default(), seed);
+    for i in 0..n {
+        let mut m = MembershipNode::new(NodeId(i as u32), scale_config());
+        m.preload_directory(&setup.templates[setup.seg_of[i] as usize]);
         engine.add_actor(HostId(i as u32), Box::new(m));
     }
     engine.start();
@@ -203,7 +255,14 @@ pub fn measure(nodes: usize, seed: u64) -> ScaleRow {
 pub const SWEEP_SIZES: [usize; 3] = [1000, 4000, 10000];
 
 pub fn sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
-    sizes.iter().map(|&n| measure(n, seed)).collect()
+    sweep_on(&Pool::sequential(), sizes, seed)
+}
+
+/// [`sweep`] with one worker per size: every size is an independent
+/// deterministic run, and rows come back in `sizes` order, so the table
+/// (minus the wall-clock column) is identical at any pool width.
+pub fn sweep_on(pool: &Pool, sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
+    pool.ordered_map(sizes.len(), |i| measure(sizes[i], seed))
 }
 
 /// Render rows to the A9 table (shared by the CLI and the golden test).
@@ -244,8 +303,8 @@ pub fn table(rows: &[ScaleRow]) -> crate::report::Table {
 
 /// CLI entry: run the sweep, print/export the table, and enforce the
 /// 15% model envelope on bandwidth and detection.
-pub fn run_and_print(sizes: &[usize], seed: u64) {
-    let rows = sweep(sizes, seed);
+pub fn run_and_print(sizes: &[usize], seed: u64, jobs: usize) {
+    let rows = sweep_on(&Pool::new(jobs), sizes, seed);
     let t = table(&rows);
     t.print();
     let _ = t.write_csv("scale");
@@ -311,7 +370,8 @@ mod tests {
 
     /// Same-seed golden for the A9 sweep's first size: two n=1000 runs
     /// with seed 2005 must agree on every measured quantity (wall clock
-    /// excluded). Release-only — the run is debug-prohibitive.
+    /// excluded) — and reusing one [`SizeSetup`] across runs must change
+    /// nothing. Release-only — the run is debug-prohibitive.
     #[test]
     #[cfg_attr(
         debug_assertions,
@@ -330,9 +390,57 @@ mod tests {
                 r.observers,
             )
         };
+        let setup = SizeSetup::new(1000);
         let a = measure(1000, 2005);
-        let b = measure(1000, 2005);
+        let b = measure_with(&setup, 2005);
         assert_eq!(fields(&a), fields(&b), "A9 n=1000 run is not deterministic");
         assert_eq!(a.observers, a.n - 1);
+    }
+
+    /// A parallel size sweep yields the same rows as the sequential
+    /// one, wall clock aside — the pool must not leak execution order
+    /// into anything measured.
+    #[test]
+    fn parallel_size_sweep_matches_sequential() {
+        let fields = |r: &ScaleRow| {
+            (
+                r.n,
+                r.segments,
+                r.group_size,
+                r.agg_recv_bytes_per_s.to_bits(),
+                r.detect_s.to_bits(),
+                r.converge_s.to_bits(),
+                r.observers,
+            )
+        };
+        let seq = sweep(&[60, 80], 7);
+        let par = sweep_on(&Pool::new(4), &[60, 80], 7);
+        assert_eq!(
+            seq.iter().map(fields).collect::<Vec<_>>(),
+            par.iter().map(fields).collect::<Vec<_>>(),
+            "parallel A9 sweep diverges from sequential"
+        );
+    }
+
+    /// Reusing a [`SizeSetup`] across seeds is exactly per-seed builds:
+    /// the templates and boot records are seed-independent.
+    #[test]
+    fn size_setup_reuse_matches_fresh_builds_across_seeds() {
+        let fields = |r: &ScaleRow| {
+            (
+                r.agg_recv_bytes_per_s.to_bits(),
+                r.detect_s.to_bits(),
+                r.converge_s.to_bits(),
+                r.observers,
+            )
+        };
+        let setup = SizeSetup::new(80);
+        for seed in [7, 8] {
+            assert_eq!(
+                fields(&measure_with(&setup, seed)),
+                fields(&measure(80, seed)),
+                "seed {seed}: shared setup diverges from fresh build"
+            );
+        }
     }
 }

@@ -683,7 +683,11 @@ impl MembershipNode {
             return;
         }
         let now = ctx.now();
-        let relayers: Vec<NodeId> = self.quarantine.keys().copied().collect();
+        // Pin the processing order: hash-map iteration order is seeded
+        // per thread, and lift/purge emit messages whose order must not
+        // depend on which thread runs the simulation.
+        let mut relayers: Vec<NodeId> = self.quarantine.keys().copied().collect();
+        relayers.sort_unstable();
         for relayer in relayers {
             let back = self.directory.read(|d| d.contains(relayer));
             if back {
@@ -748,13 +752,17 @@ impl MembershipNode {
             .retain(|_, &mut (_, at)| now.saturating_sub(at) <= hold);
 
         let stretch = self.distress_stretch(now);
-        let due: Vec<(NodeId, Suspicion)> = self
+        // Pin the resolution order: hash-map iteration order is seeded
+        // per thread, and confirm/refute emit messages whose order must
+        // not depend on which thread runs the simulation.
+        let mut due: Vec<(NodeId, Suspicion)> = self
             .suspicions
             .iter()
             .filter(|(_, s)| !s.advisory)
             .filter(|(_, s)| now.saturating_sub(s.since) >= (s.window as f64 * stretch) as u64)
             .map(|(&n, &s)| (n, s))
             .collect();
+        due.sort_unstable_by_key(|&(n, _)| n);
         for (peer, s) in due {
             let heard = self
                 .groups

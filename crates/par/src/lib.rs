@@ -1,0 +1,366 @@
+//! # tamp-par — deterministic parallel run-orchestration
+//!
+//! Every multi-run workload in this workspace (chaos sweeps, shrinking,
+//! the A9 scale sweep, ablation grids, the differential test suite) is a
+//! map over a dense index space where each job is a *sealed
+//! deterministic world* keyed by `(config, seed)`: no job observes
+//! another, and the consumer wants the results **in submission order**.
+//! That shape makes cross-run parallelism free speedup — as long as the
+//! orchestration layer never lets execution order leak into anything a
+//! consumer can observe.
+//!
+//! [`Pool`] enforces that contract:
+//!
+//! * Jobs carry a dense index `0..len`. Workers claim indices from a
+//!   shared atomic counter (work-stealing order, nondeterministic) but
+//!   results are re-sequenced through a [`BTreeMap`] buffer and handed
+//!   to the single consumer callback strictly in index order. Anything
+//!   derived from the consumer — stdout reports, CSV/JSONL exports,
+//!   oracle verdict aggregation, shrink candidate adoption — is
+//!   byte-identical to the sequential runner.
+//! * The consumer can stop early ([`ControlFlow::Break`]): exactly the
+//!   results before the break point are observed; speculative results
+//!   for later indices are discarded unseen and workers quit at their
+//!   next claim. Jobs must therefore be side-effect-free (print from
+//!   the consumer, never from a job).
+//! * A panicking job does not tear anything down by itself: its payload
+//!   travels back tagged with the job index and is re-raised **when the
+//!   consumer reaches that index**, so the lowest panicking index wins —
+//!   the same panic the sequential loop would have surfaced — with the
+//!   run index prepended to the message.
+//! * `jobs == 1` short-circuits to a plain inline loop: today's exact
+//!   sequential code path, no threads, no `catch_unwind`.
+//!
+//! The pool is std-only (`std::thread::scope` + `mpsc`): the build
+//! environment has no registry access and the vendored crates are
+//! stubs, so this is deliberately dependency-free.
+//!
+//! See `docs/PERFORMANCE.md` for the full determinism contract and when
+//! `--jobs 1` is still required.
+
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The worker count used when the user doesn't pass `--jobs`: the
+/// `TAMP_JOBS` environment variable if set to a positive integer, else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn default_jobs() -> usize {
+    match std::env::var("TAMP_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// A deterministic scoped worker pool. Cheap to construct (holds no
+/// threads — each [`Pool::ordered_scan`] call spawns and joins its own
+/// scoped workers), so pass it by reference through orchestration
+/// layers and nest freely (the sweep runner hands its pool to the
+/// shrinker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool running `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// The sequential pool: `ordered_scan` degenerates to an inline
+    /// `for` loop, byte- and panic-identical to pre-pool code.
+    pub fn sequential() -> Self {
+        Pool::new(1)
+    }
+
+    /// A pool sized by [`default_jobs`].
+    pub fn from_env() -> Self {
+        Pool::new(default_jobs())
+    }
+
+    /// Worker count this pool runs with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `f(0), f(1), …, f(len - 1)` across the pool's workers and
+    /// feed the results to `consume` **strictly in index order**,
+    /// stopping after the first [`ControlFlow::Break`].
+    ///
+    /// `f` must be a pure function of its index (plus captured shared
+    /// state): with more than one worker it runs speculatively and out
+    /// of order, and results past a break point are dropped unseen.
+    /// `consume` runs on the calling thread only.
+    ///
+    /// If `f(i)` panics, the panic is re-raised here once the consumer
+    /// reaches index `i` — after `consume` has seen every result before
+    /// `i`, exactly as a sequential loop would — with the job index
+    /// prepended to string payloads.
+    pub fn ordered_scan<T, F, C>(&self, len: usize, f: F, mut consume: C)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FnMut(usize, T) -> ControlFlow<()>,
+    {
+        if self.jobs == 1 || len <= 1 {
+            // Sequential fast path: the pre-pool code, verbatim. No
+            // threads, no unwind-catching, no buffering.
+            for i in 0..len {
+                if consume(i, f(i)).is_break() {
+                    return;
+                }
+            }
+            return;
+        }
+
+        type Caught<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+        let workers = self.jobs.min(len);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Caught<T>)>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (f, next, stop) = (&f, &next, &stop);
+                s.spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        return;
+                    }
+                    // Catch panics instead of unwinding the worker: a
+                    // crashing job must not prevent earlier-indexed
+                    // jobs from being claimed and delivered, or the
+                    // resequencer could never *reach* the crash in
+                    // order. Only the consumer sets `stop`.
+                    let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+                    if tx.send((i, r)).is_err() {
+                        return; // consumer gone (early stop)
+                    }
+                });
+            }
+            drop(tx);
+
+            // Re-sequence: buffer out-of-order arrivals, release in
+            // index order. Every index below `len` is eventually sent
+            // unless `stop` was raised, and `stop` is only raised on
+            // the two paths that leave this loop — so `recv` can't
+            // deadlock.
+            let mut pending: BTreeMap<usize, Caught<T>> = BTreeMap::new();
+            let mut expect = 0usize;
+            while expect < len {
+                let Ok((i, r)) = rx.recv() else { break };
+                pending.insert(i, r);
+                while let Some(r) = pending.remove(&expect) {
+                    let i = expect;
+                    expect += 1;
+                    match r {
+                        Ok(v) => {
+                            if consume(i, v).is_break() {
+                                stop.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        Err(payload) => {
+                            stop.store(true, Ordering::Relaxed);
+                            rethrow(i, payload);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Run `f` over `0..len` and collect the results in index order.
+    pub fn ordered_map<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(len);
+        self.ordered_scan(len, f, |_, v| {
+            out.push(v);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// Re-raise a job's panic on the consumer thread, prepending the job
+/// index to string payloads (the common `panic!("…")` case) so failures
+/// out of a sweep identify their run. Non-string payloads are resumed
+/// untouched.
+fn rethrow(index: usize, payload: Box<dyn std::any::Any + Send + 'static>) -> ! {
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()));
+    match msg {
+        Some(m) => panic!("parallel job {index} panicked: {m}"),
+        None => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A job function with deliberately skewed run times so that, with
+    /// several workers, completion order differs from index order.
+    fn skewed(i: usize) -> usize {
+        // Later indices finish first.
+        std::thread::sleep(std::time::Duration::from_micros(
+            ((97 - i as u64 % 97) % 7) * 300,
+        ));
+        i * i
+    }
+
+    #[test]
+    fn ordered_map_matches_sequential_at_any_width() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = Pool::new(jobs).ordered_map(97, skewed);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn consumer_observes_results_in_index_order() {
+        let mut seen = Vec::new();
+        Pool::new(8).ordered_scan(50, skewed, |i, v| {
+            seen.push((i, v));
+            ControlFlow::Continue(())
+        });
+        let expected: Vec<(usize, usize)> = (0..50).map(|i| (i, i * i)).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn early_stop_observes_exactly_the_prefix() {
+        for jobs in [1, 4, 16] {
+            let ran = AtomicUsize::new(0);
+            let mut seen = Vec::new();
+            Pool::new(jobs).ordered_scan(
+                1000,
+                |i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    skewed(i)
+                },
+                |i, v| {
+                    seen.push((i, v));
+                    if i == 9 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+            // The consumer saw exactly indices 0..=9 in order, no
+            // matter how many jobs ran speculatively.
+            let expected: Vec<(usize, usize)> = (0..=9).map(|i| (i, i * i)).collect();
+            assert_eq!(seen, expected, "jobs={jobs}");
+            // And the speculation is bounded: workers stop claiming
+            // once the break lands (generous slack for in-flight
+            // claims).
+            assert!(
+                ran.load(Ordering::Relaxed) < 1000,
+                "jobs={jobs}: every job ran despite early stop"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_propagates_with_run_index_and_in_order() {
+        for jobs in [2, 8] {
+            let mut seen = Vec::new();
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                Pool::new(jobs).ordered_scan(
+                    40,
+                    |i| {
+                        if i == 7 || i == 23 {
+                            panic!("boom at {i}");
+                        }
+                        skewed(i)
+                    },
+                    |i, v| {
+                        seen.push((i, v));
+                        ControlFlow::Continue(())
+                    },
+                );
+            }))
+            .expect_err("pool must re-raise the job panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("string panic payload");
+            // The *lowest* panicking index wins (sequential order), and
+            // the message carries the run index.
+            assert!(
+                msg.contains("parallel job 7") && msg.contains("boom at 7"),
+                "jobs={jobs}: unexpected panic message: {msg}"
+            );
+            // Everything before the panicking index was consumed first.
+            let expected: Vec<(usize, usize)> = (0..7).map(|i| (i, i * i)).collect();
+            assert_eq!(seen, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sequential_pool_panics_inline_without_wrapping() {
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Pool::sequential().ordered_map(10, |i| {
+                if i == 3 {
+                    panic!("plain");
+                }
+                i
+            });
+        }))
+        .expect_err("must panic");
+        // jobs=1 is the pre-pool code path: the payload is untouched.
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"plain"));
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work_at_any_width() {
+        for jobs in [1, 4] {
+            assert_eq!(Pool::new(jobs).ordered_map(0, |i| i), Vec::<usize>::new());
+            assert_eq!(Pool::new(jobs).ordered_map(1, |i| i + 41), vec![41]);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn nested_pools_compose() {
+        // The sweep runner hands its pool to the shrinker: an
+        // ordered_scan inside an ordered_scan consumer must work.
+        let outer = Pool::new(4);
+        let got = outer.ordered_map(6, |i| {
+            let inner: usize = Pool::new(2).ordered_map(5, move |j| i * j).iter().sum();
+            inner
+        });
+        let expected: Vec<usize> = (0..6).map(|i| i * 10).collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -473,6 +473,30 @@ impl MetricsSnapshot {
         }
         MetricsSnapshot { entries: out }
     }
+
+    /// Fold another snapshot into this one, key by key: counters and
+    /// gauges sum, histograms merge bucket-wise, and a key present in
+    /// only one side is kept as-is. The combiner is associative and
+    /// commutative, which is what lets parallel sweeps merge per-run
+    /// snapshots in submission order and still equal the sequential
+    /// fold (see `docs/PERFORMANCE.md`).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.entries {
+            match self.entries.entry(k.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    match (e.get_mut(), v) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                        _ => {} // kind clash: keep the first
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -542,6 +566,41 @@ mod tests {
         right.merge(&bc);
         assert_eq!(left, right);
         assert_eq!(left.count, 9);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative() {
+        fn snap(node: u32, sent: u64, lat: &[u64]) -> MetricsSnapshot {
+            let reg = Registry::new();
+            reg.counter(node, "net", "sent").add(sent);
+            reg.gauge(node, "net", "queue").set(sent);
+            let h = reg.histogram(0, "net", "latency");
+            for &v in lat {
+                h.record(v);
+            }
+            reg.snapshot()
+        }
+        let (a, b, c) = (snap(0, 3, &[1, 9]), snap(1, 5, &[2]), snap(0, 7, &[70]));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): sweeps may fold per-run
+        // snapshots in any grouping.
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // a ⊕ b == b ⊕ a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Overlapping keys combined, disjoint keys kept.
+        assert_eq!(left.counter(0, "net", "sent"), 10);
+        assert_eq!(left.counter_total("net", "sent"), 15);
+        assert_eq!(left.histogram(0, "net", "latency").unwrap().count, 4);
     }
 
     #[test]

@@ -63,6 +63,7 @@
 //! | [`runtime`]    | `tamp-runtime`    | Real-time UDP driver for the same actors |
 //! | [`analysis`]   | `tamp-analysis`   | §4 closed-form scalability model |
 //! | [`chaos`]      | `tamp-chaos`      | Fault-injection scenarios + invariant oracle |
+//! | [`par`]        | `tamp-par`        | Deterministic parallel run-orchestration |
 
 pub use tamp_analysis as analysis;
 pub use tamp_baselines as baselines;
@@ -71,6 +72,7 @@ pub use tamp_directory as directory;
 pub use tamp_membership as membership;
 pub use tamp_neptune as neptune;
 pub use tamp_netsim as netsim;
+pub use tamp_par as par;
 pub use tamp_proxy as proxy;
 pub use tamp_regexlite as regexlite;
 pub use tamp_runtime as runtime;

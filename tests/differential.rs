@@ -92,10 +92,27 @@ fn run_cluster(n: usize, seed: u64, kind: SchedulerKind) -> Fingerprint {
     }
 }
 
-fn assert_identical(n: usize, seed: u64) {
-    let wheel = run_cluster(n, seed, SchedulerKind::TimerWheel);
-    let heap = run_cluster(n, seed, SchedulerKind::ReferenceHeap);
+/// Run every (seed, scheduler) pair for one size across a worker pool
+/// (width from `TAMP_JOBS`, default `available_parallelism`; the runs
+/// are sealed deterministic worlds, so any width yields the same
+/// fingerprints), then compare wheel vs heap per seed in order.
+fn assert_identical_all(n: usize) {
+    let pool = tamp::par::Pool::from_env();
+    let seeds: Vec<u64> = SEEDS.collect();
+    let fps = pool.ordered_map(seeds.len() * 2, |i| {
+        let kind = if i % 2 == 0 {
+            SchedulerKind::TimerWheel
+        } else {
+            SchedulerKind::ReferenceHeap
+        };
+        run_cluster(n, seeds[i / 2], kind)
+    });
+    for (si, pair) in fps.chunks(2).enumerate() {
+        compare(n, seeds[si], &pair[0], &pair[1]);
+    }
+}
 
+fn compare(n: usize, seed: u64, wheel: &Fingerprint, heap: &Fingerprint) {
     assert_eq!(
         wheel.total_recorded, heap.total_recorded,
         "n={n} seed={seed}: trace event counts diverge"
@@ -132,21 +149,15 @@ const SEEDS: std::ops::Range<u64> = 2005..2015;
 
 #[test]
 fn schedulers_indistinguishable_n20() {
-    for seed in SEEDS {
-        assert_identical(20, seed);
-    }
+    assert_identical_all(20);
 }
 
 #[test]
 fn schedulers_indistinguishable_n60() {
-    for seed in SEEDS {
-        assert_identical(60, seed);
-    }
+    assert_identical_all(60);
 }
 
 #[test]
 fn schedulers_indistinguishable_n100() {
-    for seed in SEEDS {
-        assert_identical(100, seed);
-    }
+    assert_identical_all(100);
 }

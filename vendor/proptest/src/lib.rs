@@ -17,7 +17,10 @@
 //! per-test seed sequence (override with `PROPTEST_CASES` /
 //! `PROPTEST_SEED`), and failing cases are reported and persisted by
 //! seed but **not shrunk** — re-running a persisted seed regenerates the
-//! identical input while strategies are unchanged.
+//! identical input while strategies are unchanged. Novel cases execute
+//! across worker threads (`PROPTEST_JOBS`, else `TAMP_JOBS`, else all
+//! cores; `1` disables) with the first failure *in case order* reported,
+//! so the verdict is independent of thread count.
 
 use std::fmt::Debug;
 use std::marker::PhantomData;
@@ -572,11 +575,28 @@ pub mod option {
 pub mod runner {
     use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
     use rand::SeedableRng;
+    use std::collections::BTreeMap;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{mpsc, Mutex};
 
     fn env_u64(name: &str) -> Option<u64> {
         std::env::var(name).ok()?.trim().parse().ok()
+    }
+
+    /// Worker count for the novel-case loop: `PROPTEST_JOBS`, else
+    /// `TAMP_JOBS`, else the machine's parallelism. `1` keeps the
+    /// single-threaded loop.
+    fn parallel_jobs() -> usize {
+        for name in ["PROPTEST_JOBS", "TAMP_JOBS"] {
+            if let Some(n) = env_u64(name) {
+                return (n as usize).max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 
     /// Locate `<dir of source file>/<stem>.proptest-regressions`, the
@@ -676,11 +696,55 @@ pub mod runner {
         }
     }
 
+    /// Execute the closure against an already-generated value, with the
+    /// same error formatting as [`run_case`]. Used by the parallel case
+    /// loop, where values are generated up front on the caller thread.
+    fn run_value<V, F>(f: &F, value: V, value_dbg: &str) -> Result<(), String>
+    where
+        F: Fn(V) -> Result<(), TestCaseError>,
+    {
+        match catch_unwind(AssertUnwindSafe(|| f(value))) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(format!("{e}; input: {value_dbg}")),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic".into());
+                Err(format!("panicked: {msg}; input: {value_dbg}"))
+            }
+        }
+    }
+
     /// Entry point emitted by the `proptest!` macro.
+    ///
+    /// Novel cases run across `parallel_jobs()` worker threads; values
+    /// are still generated sequentially on this thread (strategies are
+    /// not required to be `Sync`), and the reported failure is the
+    /// first *in case order* — identical seed, message, and persisted
+    /// regression line to a single-threaded run.
     pub fn run<S, F>(config: &ProptestConfig, file: &str, test: &str, strat: &S, f: F)
     where
         S: Strategy,
-        F: Fn(S::Value) -> Result<(), TestCaseError>,
+        S::Value: Send,
+        F: Fn(S::Value) -> Result<(), TestCaseError> + Sync,
+    {
+        run_with_jobs(parallel_jobs(), config, file, test, strat, f)
+    }
+
+    /// [`run`] with an explicit worker count — the testable core.
+    pub fn run_with_jobs<S, F>(
+        jobs: usize,
+        config: &ProptestConfig,
+        file: &str,
+        test: &str,
+        strat: &S,
+        f: F,
+    ) where
+        S: Strategy,
+        S::Value: Send,
+        F: Fn(S::Value) -> Result<(), TestCaseError> + Sync,
     {
         let reg_path = regression_path(file);
         if let Some(p) = &reg_path {
@@ -706,19 +770,89 @@ pub mod runner {
         for b in test.bytes().chain(file.bytes()) {
             state = state.wrapping_mul(0x100_0000_01b3) ^ b as u64;
         }
-        for case in 0..cases {
-            let seed = splitmix(&mut state);
-            if let Err(msg) = run_case(strat, &f, seed) {
-                // Re-derive the failing value for the persistence line.
-                let mut rng = TestRng::seed_from_u64(seed);
-                let dbg = format!("{:?}", strat.generate(&mut rng));
-                persist_failure(&reg_path, seed, test, &dbg);
-                panic!(
-                    "{test}: case {}/{} failed (seed s{seed:016x}, persisted for replay): {msg}",
-                    case + 1,
-                    cases
-                );
+        let seeds: Vec<u64> = (0..cases).map(|_| splitmix(&mut state)).collect();
+        let jobs = jobs.max(1).min(seeds.len().max(1));
+        if jobs <= 1 {
+            for (case, &seed) in seeds.iter().enumerate() {
+                if let Err(msg) = run_case(strat, &f, seed) {
+                    // Re-derive the failing value for the persistence line.
+                    let mut rng = TestRng::seed_from_u64(seed);
+                    let dbg = format!("{:?}", strat.generate(&mut rng));
+                    persist_failure(&reg_path, seed, test, &dbg);
+                    panic!(
+                        "{test}: case {}/{} failed (seed s{seed:016x}, persisted for replay): {msg}",
+                        case + 1,
+                        cases
+                    );
+                }
             }
+            return;
+        }
+
+        // Parallel path. Inputs are generated here, in case order, so a
+        // non-`Sync` strategy never crosses a thread; workers only run
+        // the test closure. The consumer re-sequences results by case
+        // index and stops at the first failure in that order, so the
+        // failing (case, seed, input) triple — and everything printed or
+        // persisted — matches the single-threaded loop exactly.
+        let mut dbgs = Vec::with_capacity(seeds.len());
+        let mut values = Vec::with_capacity(seeds.len());
+        for &seed in &seeds {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strat.generate(&mut rng);
+            dbgs.push(format!("{value:?}"));
+            values.push(Some(value));
+        }
+        let values = Mutex::new(values);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Result<(), String>)>();
+        let first_fail = std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let (values, dbgs, next, stop, f) = (&values, &dbgs, &next, &stop, &f);
+                scope.spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= dbgs.len() {
+                        return;
+                    }
+                    let value = values.lock().unwrap()[i]
+                        .take()
+                        .expect("case claimed twice");
+                    let r = run_value(f, value, &dbgs[i]);
+                    if tx.send((i, r)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            let mut pending = BTreeMap::new();
+            let mut expect = 0usize;
+            while expect < seeds.len() {
+                let Ok((i, r)) = rx.recv() else { break };
+                pending.insert(i, r);
+                while let Some(r) = pending.remove(&expect) {
+                    let case = expect;
+                    expect += 1;
+                    if let Err(msg) = r {
+                        stop.store(true, Ordering::Relaxed);
+                        return Some((case, msg));
+                    }
+                }
+            }
+            None
+        });
+        if let Some((case, msg)) = first_fail {
+            let seed = seeds[case];
+            persist_failure(&reg_path, seed, test, &dbgs[case]);
+            panic!(
+                "{test}: case {}/{} failed (seed s{seed:016x}, persisted for replay): {msg}",
+                case + 1,
+                cases
+            );
         }
     }
 }
@@ -876,6 +1010,54 @@ mod tests {
         fn macro_roundtrip(x in 0u64..1000, y in any::<bool>()) {
             prop_assert!(x < 1000);
             prop_assert_eq!(y as u64 * 2 / 2, y as u64);
+        }
+    }
+
+    /// Drive `run_with_jobs` at a given width against a closure that
+    /// fails whenever the value is in `reject`, and return the panic
+    /// message (or `None` if every case passed). The `file` argument
+    /// resolves to no regression path, so nothing is persisted.
+    fn verdict(jobs: usize, reject: fn(u64) -> bool) -> Option<String> {
+        let cfg = ProptestConfig {
+            cases: 64,
+            ..ProptestConfig::default()
+        };
+        let r = std::panic::catch_unwind(|| {
+            crate::runner::run_with_jobs(
+                jobs,
+                &cfg,
+                "no/such/source_file.rs",
+                "verdict_probe",
+                &(0u64..1_000_000),
+                |v| {
+                    if reject(v) {
+                        Err(crate::TestCaseError::fail(format!("rejected {v}")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        r.err().map(|p| {
+            p.downcast_ref::<String>()
+                .cloned()
+                .expect("panic payload should be the formatted message")
+        })
+    }
+
+    /// The reported failure — case number, seed, input, message — must
+    /// not depend on how many workers ran the cases.
+    #[test]
+    fn parallel_failure_verdict_matches_sequential() {
+        for reject in [
+            (|v| v % 3 == 0) as fn(u64) -> bool, // many failures: ordering matters
+            |v| v > 900_000,                     // sparse failures
+            |_| false,                           // no failure at any width
+        ] {
+            let seq = verdict(1, reject);
+            for jobs in [2, 4, 7] {
+                assert_eq!(seq, verdict(jobs, reject), "jobs={jobs} diverged");
+            }
         }
     }
 }
