@@ -45,7 +45,7 @@ pub use generator::{random_schedule, seed_range, sweep, sweep_on, GeneratorConfi
 pub use inject::{FaultInjector, RuntimeInjector};
 pub use oracle::{OracleConfig, Violation};
 pub use proxy::{run_proxy_scenario, ProxyScenarioConfig};
-pub use runner::{run_scenario, ScenarioConfig, ScenarioRun};
+pub use runner::{apply_schedule, run_scenario, ScenarioConfig, ScenarioRun};
 pub use schedule::{Action, Schedule, ScheduledFault, Target};
 pub use shrink::{shrink, shrink_on};
 pub use truth::GroundTruth;

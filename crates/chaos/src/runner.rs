@@ -233,8 +233,10 @@ fn resolve_target(
 
 /// Step the engine through every event of `schedule`, firing faults and
 /// recording them in `truth`. Returns the concrete action log. Shared by
-/// the single-cluster and multi-datacenter runners.
-pub(crate) fn apply_schedule(
+/// the single-cluster and multi-datacenter runners, and by external
+/// drivers (e.g. `tamp-load` chaos-under-load campaigns) that need to
+/// replay a schedule against an engine they built themselves.
+pub fn apply_schedule(
     engine: &mut Engine,
     probes: &[Option<Probe>],
     schedule: &Schedule,

@@ -23,6 +23,8 @@
 //! tamp-exp chaos --proxy                # multi-datacenter proxy mode
 //! tamp-exp chaos --strict               # strict oracle (no excuse model)
 //! tamp-exp chaos --broken               # demo: oracle catches MAX_LOSS=0
+//! tamp-exp load                         # million-user workload + SLO exports
+//! tamp-exp load --campaign              # chaos-under-load fault campaign
 //! ```
 //!
 //! Options: `--seed <u64>` (default 2005), `--quick` (smaller sweeps).
@@ -43,6 +45,11 @@ fn main() {
     let mut proxy = false;
     let mut chaos_trace = false;
     let mut strict = false;
+    let mut users = 1_000_000u64;
+    let mut skew = String::from("zipf:1.1");
+    let mut datacenters = 3usize;
+    let mut campaign = false;
+    let mut open = false;
     let mut jobs = tamp_par::default_jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,6 +72,27 @@ fn main() {
             "--proxy" => proxy = true,
             "--trace" => chaos_trace = true,
             "--strict" => strict = true,
+            "--users" => {
+                users = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--users needs a number"));
+            }
+            "--skew" => {
+                skew = it
+                    .next()
+                    .unwrap_or_else(|| die("--skew needs uniform or zipf:<s>"))
+                    .to_string();
+            }
+            "--datacenters" => {
+                datacenters = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--datacenters needs a count >= 1"));
+            }
+            "--campaign" => campaign = true,
+            "--open" => open = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -156,6 +184,20 @@ fn main() {
             };
             scale::run_and_print(&sizes, seed, jobs);
         }
+        "load" => {
+            let code = load::run_and_print(&load::LoadOptions {
+                seed,
+                users,
+                skew,
+                datacenters,
+                campaign,
+                open,
+                scenario,
+                quick,
+                jobs,
+            });
+            std::process::exit(code);
+        }
         "chaos" => {
             let code = chaos::run(&chaos::ChaosOptions {
                 seed,
@@ -205,7 +247,7 @@ fn print_help() {
     println!(
         "tamp-exp — regenerate the paper's evaluation\n\n\
          commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
-         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  scale  all\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  scale  load  all\n\
          options:  --seed <u64>    deterministic seed (default 2005)\n\
          \u{20}         --quick         smaller sweeps for smoke runs\n\
          \u{20}         --nodes <n>     scale: one run at ~n nodes (default sweep 1000/4000/10000)\n\
@@ -217,7 +259,13 @@ fn print_help() {
          \u{20}         --proxy         multi-datacenter proxy deployment\n\
          \u{20}         --strict        strict oracle: no excuses, suspicion ordering\n\
          \u{20}         --broken        MAX_LOSS=0 demo (oracle must fail)\n\
-         \u{20}         --trace         interleave faults with packet trace"
+         \u{20}         --trace         interleave faults with packet trace\n\
+         load:     --users <n>     synthetic user population (default 1000000)\n\
+         \u{20}         --skew <s>      uniform | zipf:<exponent> (default zipf:1.1)\n\
+         \u{20}         --datacenters <n>  cluster spread (default 3)\n\
+         \u{20}         --open          open-loop arrivals (default closed-loop)\n\
+         \u{20}         --campaign      chaos-under-load: leader-death, proxy-failover,\n\
+         \u{20}                         wan-partition (or --scenario <f>) while loaded"
     );
 }
 

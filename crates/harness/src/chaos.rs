@@ -3,12 +3,12 @@
 //! seed), sweep many seeds, exercise the multi-datacenter proxy mode, or
 //! demonstrate the oracle catching a broken configuration.
 
+use crate::common::{chaos_trace_config, scenario_schedule};
 use tamp_chaos::{
-    dsl, random_schedule, run_proxy_scenario, run_scenario, seed_range, sweep_on, GeneratorConfig,
+    random_schedule, run_proxy_scenario, run_scenario, seed_range, sweep_on, GeneratorConfig,
     ProxyScenarioConfig, ScenarioConfig, Schedule,
 };
 use tamp_membership::MembershipConfig;
-use tamp_netsim::TraceConfig;
 use tamp_par::Pool;
 
 /// Options for the `chaos` subcommand.
@@ -42,15 +42,6 @@ fn membership(broken: bool) -> MembershipConfig {
         }
     } else {
         MembershipConfig::default()
-    }
-}
-
-fn chaos_trace_config() -> TraceConfig {
-    TraceConfig {
-        enabled: true,
-        capacity: 200_000,
-        kinds: vec!["update", "sync-req", "sync-resp", "election", "digest"],
-        ..Default::default()
     }
 }
 
@@ -178,19 +169,11 @@ fn proxy_sweep(opts: &ChaosOptions, count: u64) -> i32 {
 }
 
 fn load_schedule(opts: &ChaosOptions) -> Schedule {
-    match &opts.scenario {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("tamp-exp: cannot read scenario {path}: {e}");
-                std::process::exit(2);
-            });
-            dsl::parse(&text).unwrap_or_else(|e| {
-                eprintln!("tamp-exp: {e}");
-                std::process::exit(2);
-            })
-        }
-        None => random_schedule(opts.seed, &GeneratorConfig::default()),
-    }
+    scenario_schedule(
+        opts.scenario.as_deref(),
+        opts.seed,
+        &GeneratorConfig::default(),
+    )
 }
 
 #[cfg(test)]

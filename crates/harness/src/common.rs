@@ -1,9 +1,10 @@
 //! Shared cluster construction and measurement plumbing.
 
 use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode};
+use tamp_chaos::{dsl, random_schedule, GeneratorConfig, Schedule};
 use tamp_directory::DirectoryClient;
 use tamp_membership::{MembershipConfig, MembershipNode};
-use tamp_netsim::{Engine, EngineConfig, SimTime, SECS};
+use tamp_netsim::{Engine, EngineConfig, SimTime, TraceConfig, SECS};
 use tamp_topology::{generators, HostId, Topology};
 use tamp_wire::{NodeId, PartitionSet, ServiceDecl};
 
@@ -108,6 +109,37 @@ pub fn build_cluster(scheme: Scheme, topo: Topology, seed: u64, cfg: EngineConfi
 
 /// How long clusters get to reach steady state before measurements.
 pub const SETTLE: SimTime = 30 * SECS;
+
+/// The one scenario-loading path every `tamp-exp` subcommand shares
+/// (`chaos`, `load`): parse the `.chaos` DSL file at `path` when given,
+/// otherwise generate a schedule from the seed. Unreadable files and
+/// parse errors follow the CLI contract — diagnostic on stderr, exit 2.
+pub fn scenario_schedule(path: Option<&str>, seed: u64, gen: &GeneratorConfig) -> Schedule {
+    match path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("tamp-exp: cannot read scenario {path}: {e}");
+                std::process::exit(2);
+            });
+            dsl::parse(&text).unwrap_or_else(|e| {
+                eprintln!("tamp-exp: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => random_schedule(seed, gen),
+    }
+}
+
+/// Trace configuration used whenever a subcommand wants the fault
+/// timeline interleaved with control traffic.
+pub fn chaos_trace_config() -> TraceConfig {
+    TraceConfig {
+        enabled: true,
+        capacity: 200_000,
+        kinds: vec!["update", "sync-req", "sync-resp", "election", "digest"],
+        ..Default::default()
+    }
+}
 
 /// Mean [`view_accuracy`] over `samples` instants spaced `gap` apart
 /// (runs the engine forward); one instant can catch the cluster

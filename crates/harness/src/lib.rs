@@ -16,6 +16,7 @@
 //! | Ablations A1–A4 (DESIGN.md)              | [`ablations`] | `ablation-*` |
 //! | Chaos scenarios + invariant oracle       | [`chaos`]     | `chaos` |
 //! | Telemetry dashboard + canonical exports  | [`metrics_tool`] | `metrics` |
+//! | Fig. 14 at scale (load + chaos-under-load) | [`load`]    | `load` |
 
 pub mod ablations;
 pub mod analysis_tables;
@@ -25,6 +26,7 @@ pub mod common;
 pub mod detection;
 pub mod fig14;
 pub mod fig2;
+pub mod load;
 pub mod metrics_tool;
 pub mod report;
 pub mod scale;

@@ -236,6 +236,14 @@ fn render_dashboard(
 pub fn run_and_print(n: usize, seed: u64) {
     let m = collect(n, seed);
     print!("{}", m.dashboard);
+    // Request-SLO section, fed by a prior `tamp-exp load` run's exports
+    // (not part of the golden-pinned artifacts above).
+    match crate::load::slo_section() {
+        Some(section) => print!("{section}"),
+        None => {
+            println!("(no results/load exports — run `tamp-exp load` for the request-SLO section)")
+        }
+    }
     println!(
         "\nreconciliation: telemetry {} netsim::stats byte accounting",
         if m.reconciles() {

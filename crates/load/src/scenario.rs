@@ -1,0 +1,244 @@
+//! Scenario construction: wire generators, proxies, and index/doc
+//! providers into a multi-datacenter engine, sized for production-scale
+//! populations.
+//!
+//! Mirrors `tamp_neptune::search::build` but swaps the per-query
+//! gateways for [`LoadGenNode`]s and scales the service plane: more
+//! partitions, calibrated service times (hundreds of microseconds, not
+//! the paper's demo milliseconds) so a million-user population runs at
+//! sane utilization.
+
+use crate::generator::{LoadGenConfig, LoadGenNode};
+use crate::telemetry::LoadTelemetry;
+use crate::workload::WorkloadConfig;
+use tamp_membership::{MembershipConfig, Probe};
+use tamp_neptune::{ProviderConfig, ProviderNode};
+use tamp_netsim::{Engine, EngineConfig, Nanos, MICROS, MILLIS, SECS};
+use tamp_proxy::{ProxyConfig, ProxyNode, RemoteView, VipTable};
+use tamp_topology::{generators, HostId};
+use tamp_wire::{DcId, NodeId, PartitionSet, ServiceDecl};
+
+/// Knobs for the load scenario.
+#[derive(Debug, Clone)]
+pub struct LoadScenarioConfig {
+    /// Total synthetic users, split evenly across all generators.
+    pub users: u64,
+    pub workload: WorkloadConfig,
+    pub datacenters: usize,
+    pub generators_per_dc: usize,
+    pub proxies_per_dc: usize,
+    /// Replicas per partition per DC.
+    pub replicas: usize,
+    pub index_partitions: u16,
+    pub doc_partitions: u16,
+    /// One-way WAN latency between adjacent DCs.
+    pub wan_one_way: Nanos,
+    /// Service times, calibrated for the default million-user rate.
+    pub index_time: Nanos,
+    pub doc_time: Nanos,
+    /// Engine seed (the workload stream is seeded separately from
+    /// `workload.seed`).
+    pub seed: u64,
+}
+
+impl Default for LoadScenarioConfig {
+    fn default() -> Self {
+        LoadScenarioConfig {
+            users: 1_000_000,
+            workload: WorkloadConfig::default(),
+            datacenters: 3,
+            generators_per_dc: 1,
+            proxies_per_dc: 2,
+            replicas: 2,
+            index_partitions: 4,
+            doc_partitions: 12,
+            wan_one_way: 45 * MILLIS,
+            index_time: 200 * MICROS,
+            doc_time: 500 * MICROS,
+            seed: 2005,
+        }
+    }
+}
+
+impl LoadScenarioConfig {
+    pub fn hosts_per_dc(&self) -> usize {
+        self.generators_per_dc
+            + self.proxies_per_dc
+            + (self.index_partitions as usize + self.doc_partitions as usize) * self.replicas
+    }
+}
+
+/// A wired-up load scenario.
+pub struct LoadScenario {
+    pub engine: Engine,
+    pub telemetry: LoadTelemetry,
+    /// Leader-vote probes per host (`None` only for host roles without
+    /// one), in host order — the shape `tamp_chaos::apply_schedule`
+    /// expects.
+    pub probes: Vec<Option<Probe>>,
+    pub dc_hosts: Vec<Vec<HostId>>,
+    pub generators: Vec<Vec<HostId>>,
+    pub proxies: Vec<Vec<HostId>>,
+    pub vips: VipTable,
+    pub cfg: LoadScenarioConfig,
+}
+
+/// Build the scenario. Call `engine.start()` yourself, then run.
+pub fn build(cfg: &LoadScenarioConfig) -> LoadScenario {
+    let per_segment = cfg.hosts_per_dc().div_ceil(2);
+    let dcs: Vec<(usize, usize)> = (0..cfg.datacenters).map(|_| (2, per_segment)).collect();
+    let (topo, dc_hosts) = generators::multi_datacenter(&dcs, cfg.wan_one_way);
+    let num_hosts = topo.num_hosts();
+
+    let engine_cfg = EngineConfig {
+        series_bucket: SECS,
+        metrics: true,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(topo, engine_cfg, cfg.seed);
+    let telemetry = LoadTelemetry::new(engine.registry(), cfg.doc_partitions);
+
+    let vips = VipTable::new();
+    // Same failover pinning as the Fig. 14 scenario: a kill becomes a
+    // removal after exactly max_loss × period (no suspicion/quarantine
+    // settling on top).
+    let membership = MembershipConfig {
+        suspicion_window: 0,
+        quarantine_window: 0,
+        ..MembershipConfig::default()
+    };
+
+    let mut probes: Vec<Option<Probe>> = vec![None; num_hosts];
+    let mut generators_by_dc = vec![Vec::new(); cfg.datacenters];
+    let mut proxies_by_dc = vec![Vec::new(); cfg.datacenters];
+
+    let total_gens = (cfg.datacenters * cfg.generators_per_dc) as u64;
+    let mut gen_idx = 0u64;
+
+    for (dc_idx, hosts) in dc_hosts.iter().enumerate() {
+        let dc = DcId(dc_idx as u16);
+        let remote_dcs: Vec<DcId> = (0..cfg.datacenters)
+            .filter(|&d| d != dc_idx)
+            .map(|d| DcId(d as u16))
+            .collect();
+        let mut it = hosts.iter().copied();
+
+        // Generators: each runs an even slice of the population.
+        for _ in 0..cfg.generators_per_dc {
+            let h = it.next().expect("not enough hosts for generators");
+            let base = cfg.users / total_gens;
+            let users = base + u64::from(gen_idx < cfg.users % total_gens);
+            gen_idx += 1;
+            let workload = WorkloadConfig {
+                users,
+                ..cfg.workload.clone()
+            };
+            let mut gc = LoadGenConfig::new(membership.clone(), workload);
+            gc.index_partitions = cfg.index_partitions;
+            gc.doc_partitions = cfg.doc_partitions;
+            let node = LoadGenNode::new(NodeId(h.0), gc, telemetry.clone());
+            probes[h.0 as usize] = Some(node.probe());
+            generators_by_dc[dc_idx].push(h);
+            engine.add_actor(h, Box::new(node));
+        }
+
+        // Proxies (the first one seeds the DC's virtual IP).
+        let remote_view = RemoteView::new();
+        for i in 0..cfg.proxies_per_dc {
+            let h = it.next().expect("not enough hosts for proxies");
+            if i == 0 {
+                vips.set(dc, NodeId(h.0));
+            }
+            let p = ProxyNode::new(
+                NodeId(h.0),
+                ProxyConfig::new(dc, remote_dcs.clone(), membership.clone()),
+                vips.clone(),
+                remote_view.clone(),
+            );
+            probes[h.0 as usize] = Some(p.probe());
+            proxies_by_dc[dc_idx].push(h);
+            engine.add_actor(h, Box::new(p));
+        }
+
+        // Index then doc providers, `replicas` instances per partition.
+        for (service, partitions, time) in [
+            ("index", cfg.index_partitions, cfg.index_time),
+            ("doc", cfg.doc_partitions, cfg.doc_time),
+        ] {
+            for part in 0..partitions {
+                for _ in 0..cfg.replicas {
+                    let h = it.next().expect("not enough hosts for providers");
+                    let mut m = membership.clone();
+                    m.services = vec![ServiceDecl::new(service, PartitionSet::from_iter([part]))];
+                    let p = ProviderNode::new(NodeId(h.0), ProviderConfig::new(m, time));
+                    probes[h.0 as usize] = Some(p.probe());
+                    engine.add_actor(h, Box::new(p));
+                }
+            }
+        }
+    }
+
+    LoadScenario {
+        engine,
+        telemetry,
+        probes,
+        dc_hosts,
+        generators: generators_by_dc,
+        proxies: proxies_by_dc,
+        vips,
+        cfg: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_wires_expected_shape() {
+        let cfg = LoadScenarioConfig {
+            users: 1000,
+            datacenters: 3,
+            ..Default::default()
+        };
+        let s = build(&cfg);
+        assert_eq!(s.dc_hosts.len(), 3);
+        for dc in 0..3 {
+            assert_eq!(s.generators[dc].len(), 1);
+            assert_eq!(s.proxies[dc].len(), 2);
+            assert_eq!(
+                s.vips.get(DcId(dc as u16)),
+                Some(NodeId(s.proxies[dc][0].0))
+            );
+        }
+        // Every wired host has a probe (generators, proxies, providers);
+        // odd-sized DCs leave the last segment slot empty.
+        let wired = cfg.hosts_per_dc() * cfg.datacenters;
+        assert_eq!(s.probes.iter().flatten().count(), wired);
+    }
+
+    #[test]
+    fn closed_loop_completes_requests() {
+        let cfg = LoadScenarioConfig {
+            users: 500,
+            datacenters: 2,
+            workload: WorkloadConfig {
+                think_mean: 10 * SECS,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut s = build(&cfg);
+        s.engine.start();
+        s.engine.run_until(40 * SECS);
+        let snap = s.engine.registry().snapshot();
+        let completed = snap.counter_total("load", "completed");
+        let issued = snap.counter_total("load", "issued");
+        assert!(issued > 0, "no requests issued");
+        assert!(
+            completed * 10 >= issued * 9,
+            "too many losses: {completed}/{issued}"
+        );
+        assert!(s.telemetry.latency.snapshot().count > 0);
+    }
+}

@@ -253,6 +253,15 @@ impl MembershipNode {
         Arc::clone(&self.probe)
     }
 
+    /// Resolve `(service, partition)` through this node's live view:
+    /// the node ids currently believed to host that service partition.
+    /// The view-resolution entry point used by request routers
+    /// (gateways, the `tamp-load` generator) — equivalent to
+    /// `directory_client().resolve(...)` without constructing a client.
+    pub fn resolve_service(&self, service: &str, partition: u16) -> Vec<NodeId> {
+        self.directory.client().resolve(service, partition)
+    }
+
     /// Command queue for mutating this node's published services and
     /// attributes at runtime (applied on the next sweep, announced on
     /// the heartbeat that follows).

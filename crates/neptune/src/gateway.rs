@@ -263,14 +263,12 @@ impl GatewayNode {
             return true;
         }
         let client = self.inner.directory_client();
-        self.warmed = self.cfg.workflow.steps.iter().all(|s| {
-            (0..s.partition_count).all(|p| {
-                client
-                    .lookup_service(&s.service, &p.to_string())
-                    .map(|m| !m.is_empty())
-                    .unwrap_or(false)
-            })
-        });
+        self.warmed = self
+            .cfg
+            .workflow
+            .steps
+            .iter()
+            .all(|s| (0..s.partition_count).all(|p| !client.resolve(&s.service, p).is_empty()));
         self.warmed
     }
 
@@ -334,10 +332,8 @@ impl GatewayNode {
         let candidates: Vec<NodeId> = self
             .inner
             .directory_client()
-            .lookup_service(&step.service, &s.partition.to_string())
-            .unwrap_or_default()
+            .resolve(&step.service, s.partition)
             .into_iter()
-            .map(|m| m.node)
             .filter(|n| !s.tried.contains(n))
             .collect();
 

@@ -81,6 +81,12 @@ impl ProviderNode {
         self.inner.directory_client()
     }
 
+    /// Introspection handle of the embedded membership node (leader
+    /// votes for chaos target resolution).
+    pub fn probe(&self) -> tamp_membership::Probe {
+        self.inner.probe()
+    }
+
     /// Current queue length (what a poll reports).
     pub fn queue_len(&self) -> u32 {
         self.queue_len

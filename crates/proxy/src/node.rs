@@ -137,6 +137,12 @@ impl ProxyNode {
         self.remote.clone()
     }
 
+    /// Introspection handle of the embedded membership node (leader
+    /// votes for chaos target resolution).
+    pub fn probe(&self) -> tamp_membership::Probe {
+        self.inner.probe()
+    }
+
     /// Is this proxy currently the DC's proxy leader (VIP owner)?
     pub fn is_leader(&self) -> bool {
         self.am_leader

@@ -82,6 +82,17 @@ pub enum ProtocolEvent {
     ProxySummary { services: u32, dc: u16 },
     /// An anti-entropy sync poll was sent to `peer`.
     SyncPoll { peer: u32 },
+    /// A synthetic user request entered the system, targeting
+    /// `partition` of the workload's document service (`tamp-load`).
+    RequestIssued { partition: u16 },
+    /// A request completed end-to-end in `latency_us` microseconds.
+    RequestCompleted { partition: u16, latency_us: u32 },
+    /// A request failed; `reason` is its error-taxonomy class
+    /// (`routed-to-dead`, `timeout`, `retry-exhausted`).
+    RequestFailed {
+        partition: u16,
+        reason: &'static str,
+    },
 }
 
 impl ProtocolEvent {
@@ -98,6 +109,9 @@ impl ProtocolEvent {
             ProtocolEvent::LeadershipClaimed { .. } => "leadership-claimed",
             ProtocolEvent::ProxySummary { .. } => "proxy-summary",
             ProtocolEvent::SyncPoll { .. } => "sync-poll",
+            ProtocolEvent::RequestIssued { .. } => "request-issued",
+            ProtocolEvent::RequestCompleted { .. } => "request-completed",
+            ProtocolEvent::RequestFailed { .. } => "request-failed",
         }
     }
 }
@@ -293,6 +307,14 @@ impl EventLog {
                         format!("{services} services → dc{dc}")
                     }
                     ProtocolEvent::SyncPoll { peer } => format!("peer n{peer}"),
+                    ProtocolEvent::RequestIssued { partition } => format!("partition {partition}"),
+                    ProtocolEvent::RequestCompleted {
+                        partition,
+                        latency_us,
+                    } => format!("partition {partition}, {latency_us} us"),
+                    ProtocolEvent::RequestFailed { partition, reason } => {
+                        format!("partition {partition}, {reason}")
+                    }
                 };
                 format!("{t:11.6}  {node:>5} ⋄ {} {detail}", event.name())
             }

@@ -64,11 +64,13 @@
 //! | [`analysis`]   | `tamp-analysis`   | §4 closed-form scalability model |
 //! | [`chaos`]      | `tamp-chaos`      | Fault-injection scenarios + invariant oracle |
 //! | [`par`]        | `tamp-par`        | Deterministic parallel run-orchestration |
+//! | [`load`]       | `tamp-load`       | Production-scale workload generation + SLO measurement |
 
 pub use tamp_analysis as analysis;
 pub use tamp_baselines as baselines;
 pub use tamp_chaos as chaos;
 pub use tamp_directory as directory;
+pub use tamp_load as load;
 pub use tamp_membership as membership;
 pub use tamp_neptune as neptune;
 pub use tamp_netsim as netsim;
