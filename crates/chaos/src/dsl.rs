@@ -20,7 +20,7 @@
 //! `restart` and `rolling-restart` are sugar: they expand to kill/revive
 //! pairs at parse time, so every schedule is a flat timed event list.
 
-use crate::schedule::{Action, Schedule, ScheduledFault, Target};
+use crate::schedule::{Action, Schedule, ScheduledFault, Target, TopoSpec};
 use tamp_topology::Nanos;
 
 /// A parse failure, with the 1-based source line.
@@ -76,6 +76,30 @@ fn parse_rate(tok: &str, line: usize) -> Result<f64, ParseError> {
         Ok(r) if (0.0..=1.0).contains(&r) => Ok(r),
         _ => err(line, format!("bad loss rate {tok:?} (want 0.0–1.0)")),
     }
+}
+
+/// Signed clock-skew rate; bounded well inside what the skewed-delay
+/// arithmetic tolerates (|ppm| < 10^6 would stall or negate the clock).
+fn parse_ppm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    match tok.parse::<i64>() {
+        Ok(p) if p.abs() <= 500_000 => Ok(p),
+        _ => err(
+            line,
+            format!("bad skew {tok:?} (want signed ppm, |ppm| <= 500000)"),
+        ),
+    }
+}
+
+/// A two-segment-id pair for (gray-)partition/heal directives.
+fn parse_seg_pair(action: &[&str], line: usize, what: &str) -> Result<(u16, u16), ParseError> {
+    let (Some(a), Some(b)) = (action.get(1), action.get(2)) else {
+        return err(line, format!("{what} needs two segment ids"));
+    };
+    expect_end(action, 3, line)?;
+    Ok((
+        parse_u32(a, line, "segment")? as u16,
+        parse_u32(b, line, "segment")? as u16,
+    ))
 }
 
 fn parse_target(toks: &[&str], line: usize) -> Result<(Target, usize), ParseError> {
@@ -175,6 +199,75 @@ fn parse_at(toks: &[&str], line: usize) -> Result<ScheduledFault, ParseError> {
                 rate: parse_rate(r, line)?,
                 duration: parse_duration(d, line)?,
             }
+        }
+        Some(&"gray-partition") => {
+            let (a, b) = parse_seg_pair(action, line, "gray-partition")?;
+            if a == b {
+                return err(line, "cannot gray-partition a segment from itself");
+            }
+            Action::GrayPartition(a, b)
+        }
+        Some(&"gray-heal") => {
+            let (a, b) = parse_seg_pair(action, line, "gray-heal")?;
+            Action::GrayHeal(a, b)
+        }
+        Some(&"rack-fail") => {
+            let Some(s) = action.get(1) else {
+                return err(line, "rack-fail needs a segment id");
+            };
+            expect_end(action, 2, line)?;
+            Action::RackFail(parse_u32(s, line, "segment")? as u16)
+        }
+        Some(&"rack-recover") => {
+            let Some(s) = action.get(1) else {
+                return err(line, "rack-recover needs a segment id");
+            };
+            expect_end(action, 2, line)?;
+            Action::RackRecover(parse_u32(s, line, "segment")? as u16)
+        }
+        Some(&"churn-storm") => {
+            let (Some(c), Some(kw), Some(d)) = (action.get(1), action.get(2), action.get(3)) else {
+                return err(
+                    line,
+                    "churn-storm needs: churn-storm <count> for <duration>",
+                );
+            };
+            if *kw != "for" {
+                return err(line, format!("expected `for`, got {kw:?}"));
+            }
+            expect_end(action, 4, line)?;
+            let count = parse_u32(c, line, "churn count")?;
+            if count == 0 {
+                return err(line, "churn-storm count must be at least 1");
+            }
+            Action::ChurnStorm {
+                count,
+                duration: parse_duration(d, line)?,
+            }
+        }
+        Some(&"skew") => {
+            let (Some(h), Some(p)) = (action.get(1), action.get(2)) else {
+                return err(line, "skew needs: skew <host> <ppm>");
+            };
+            expect_end(action, 3, line)?;
+            Action::Skew {
+                host: parse_u32(h, line, "host index")?,
+                ppm: parse_ppm(p, line)?,
+            }
+        }
+        Some(&"router-down") => {
+            let Some(r) = action.get(1) else {
+                return err(line, "router-down needs a router id");
+            };
+            expect_end(action, 2, line)?;
+            Action::RouterDown(parse_u32(r, line, "router")? as u16)
+        }
+        Some(&"router-up") => {
+            let Some(r) = action.get(1) else {
+                return err(line, "router-up needs a router id");
+            };
+            expect_end(action, 2, line)?;
+            Action::RouterUp(parse_u32(r, line, "router")? as u16)
         }
         Some(other) => return err(line, format!("unknown action {other:?}")),
         None => return err(line, "at needs an action (kill/revive/partition/heal/loss)"),
@@ -280,6 +373,30 @@ pub fn parse(text: &str) -> Result<Schedule, ParseError> {
                 let ev = parse_at(&toks[1..], line)?;
                 schedule.events.push(ev);
             }
+            "topology" => {
+                let (Some(kind), Some(s), Some(h)) = (toks.get(1), toks.get(2), toks.get(3)) else {
+                    return err(
+                        line,
+                        "topology needs: topology star|ring <segments> <hosts>",
+                    );
+                };
+                expect_end(&toks, 4, line)?;
+                let segments = parse_u32(s, line, "segment count")? as u16;
+                let hosts_per_segment = parse_u32(h, line, "host count")? as u16;
+                schedule.topo = Some(match *kind {
+                    "star" => TopoSpec::Star {
+                        segments,
+                        hosts_per_segment,
+                    },
+                    "ring" => TopoSpec::Ring {
+                        segments,
+                        hosts_per_segment,
+                    },
+                    other => {
+                        return err(line, format!("unknown topology {other:?} (want star|ring)"))
+                    }
+                });
+            }
             "restart" => parse_restart(&toks[1..], line, &mut schedule.events)?,
             "rolling-restart" => parse_rolling(&toks[1..], line, &mut schedule.events)?,
             other => return err(line, format!("unknown directive {other:?}")),
@@ -364,6 +481,71 @@ at 50s revive random
         assert!(e.message.contains("revive"), "{}", e.message);
 
         let e = parse("at 5s kill host 1 junk\n").unwrap_err();
+        assert!(e.message.contains("trailing"), "{}", e.message);
+    }
+
+    #[test]
+    fn parses_the_adversarial_fault_classes() {
+        let text = "\
+topology ring 4 2
+settle 60s
+at 10s gray-partition 0 1      # 0→1 blocked, 1→0 flows
+at 20s skew 3 -200
+at 25s rack-fail 2
+at 30s churn-storm 5 for 10s
+at 45s router-down 1
+at 55s rack-recover 2
+at 60s gray-heal 0 1
+at 70s router-up 1
+";
+        let s = parse(text).unwrap();
+        assert_eq!(
+            s.topo,
+            Some(crate::schedule::TopoSpec::Ring {
+                segments: 4,
+                hosts_per_segment: 2
+            })
+        );
+        assert_eq!(s.events.len(), 8);
+        assert_eq!(s.events[0].action, Action::GrayPartition(0, 1));
+        assert_eq!(s.events[1].action, Action::Skew { host: 3, ppm: -200 });
+        assert_eq!(s.events[2].action, Action::RackFail(2));
+        assert_eq!(
+            s.events[3].action,
+            Action::ChurnStorm {
+                count: 5,
+                duration: 10 * SECS
+            }
+        );
+        assert_eq!(s.events[4].action, Action::RouterDown(1));
+        assert_eq!(s.events[7].action, Action::RouterUp(1));
+        // Full round trip through canonical text, topology included.
+        let reparsed = parse(&s.render()).unwrap();
+        assert_eq!(s, reparsed);
+        assert_eq!(s.render(), reparsed.render());
+    }
+
+    #[test]
+    fn adversarial_directives_reject_bad_operands() {
+        let e = parse("at 5s gray-partition 1 1\n").unwrap_err();
+        assert!(e.message.contains("itself"), "{}", e.message);
+
+        let e = parse("at 5s skew 3 600000\n").unwrap_err();
+        assert!(e.message.contains("skew"), "{}", e.message);
+
+        let e = parse("at 5s churn-storm 0 for 10s\n").unwrap_err();
+        assert!(e.message.contains("at least 1"), "{}", e.message);
+
+        let e = parse("at 5s churn-storm 5 over 10s\n").unwrap_err();
+        assert!(e.message.contains("expected `for`"), "{}", e.message);
+
+        let e = parse("at 5s router-down\n").unwrap_err();
+        assert!(e.message.contains("router"), "{}", e.message);
+
+        let e = parse("topology mesh 4 2\n").unwrap_err();
+        assert!(e.message.contains("unknown topology"), "{}", e.message);
+
+        let e = parse("at 5s rack-fail 1 2\n").unwrap_err();
         assert!(e.message.contains("trailing"), "{}", e.message);
     }
 

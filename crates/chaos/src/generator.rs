@@ -9,7 +9,7 @@
 //! would have to call a bug).
 
 use crate::runner::{run_scenario, ScenarioConfig, ScenarioRun};
-use crate::schedule::{Action, Schedule, ScheduledFault, Target};
+use crate::schedule::{Action, Schedule, ScheduledFault, Target, TopoSpec};
 use crate::shrink::shrink_on;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,6 +91,124 @@ fn random_target(rng: &mut StdRng, g: &GeneratorConfig) -> Target {
         1 => Target::Leader(if rng.gen_bool(0.5) { 0 } else { 1 }),
         _ => Target::Random,
     }
+}
+
+/// Shape constraints for the adversarial (A10) generator: the five
+/// production fault classes — gray partitions, correlated rack failure,
+/// churn storms, clock skew, router loss — on a router-ring fabric.
+///
+/// A separate profile (rather than new arms inside [`random_schedule`])
+/// keeps the classic generator's seed → schedule mapping stable: sweeps
+/// and shrunk repros recorded against old seeds stay replayable.
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    pub num_segments: u16,
+    pub hosts_per_segment: u16,
+    /// Fault events per schedule (inclusive bounds); paired recoveries
+    /// (gray-heal, rack-recover, router-up) ride along for free.
+    pub min_events: usize,
+    pub max_events: usize,
+    /// Events fire inside `[10s, active_window]`.
+    pub active_window_secs: u64,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            num_segments: 4,
+            hosts_per_segment: 2,
+            min_events: 1,
+            max_events: 4,
+            active_window_secs: 80,
+        }
+    }
+}
+
+impl AdversarialConfig {
+    fn num_hosts(&self) -> u32 {
+        self.num_segments as u32 * self.hosts_per_segment as u32
+    }
+}
+
+/// Generate an adversarial schedule from `seed`: every event is one of
+/// the five production fault classes, on a ring topology the schedule
+/// carries itself. Disruptions that must end for quiescence checks to
+/// bite (gray partitions, rack failures) always get a recovery before
+/// the settle window; routers come back up only half the time — on the
+/// ring, a run must converge around a still-missing router too.
+pub fn adversarial_schedule(seed: u64, g: &AdversarialConfig) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xadbe_ef01);
+    let mut events = Vec::new();
+    let n = rng.gen_range(g.min_events..=g.max_events);
+    for _ in 0..n {
+        let at = rng.gen_range(10..=g.active_window_secs) * SECS;
+        let recover_at = at + rng.gen_range(15u64..=25) * SECS;
+        match rng.gen_range(0u32..10) {
+            0..=1 => {
+                let a = rng.gen_range(0..g.num_segments);
+                let b = (a + rng.gen_range(1..g.num_segments)) % g.num_segments;
+                events.push(ScheduledFault {
+                    at,
+                    action: Action::GrayPartition(a, b),
+                });
+                events.push(ScheduledFault {
+                    at: recover_at,
+                    action: Action::GrayHeal(a, b),
+                });
+            }
+            2..=3 => {
+                let s = rng.gen_range(0..g.num_segments);
+                events.push(ScheduledFault {
+                    at,
+                    action: Action::RackFail(s),
+                });
+                events.push(ScheduledFault {
+                    at: recover_at,
+                    action: Action::RackRecover(s),
+                });
+            }
+            4..=5 => events.push(ScheduledFault {
+                at,
+                action: Action::ChurnStorm {
+                    count: rng.gen_range(2u32..=5),
+                    duration: rng.gen_range(5u64..=15) * SECS,
+                },
+            }),
+            6 => {
+                let sign: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                events.push(ScheduledFault {
+                    at,
+                    action: Action::Skew {
+                        host: rng.gen_range(0..g.num_hosts()),
+                        ppm: sign * rng.gen_range(50i64..=300),
+                    },
+                });
+            }
+            7..=8 => {
+                let r = rng.gen_range(0..g.num_segments); // ring: one router per segment
+                events.push(ScheduledFault {
+                    at,
+                    action: Action::RouterDown(r),
+                });
+                if rng.gen_bool(0.5) {
+                    events.push(ScheduledFault {
+                        at: recover_at,
+                        action: Action::RouterUp(r),
+                    });
+                }
+            }
+            _ => events.push(ScheduledFault {
+                at,
+                action: Action::Kill(Target::Random),
+            }),
+        }
+    }
+    let mut s = Schedule::new(events);
+    s.topo = Some(TopoSpec::Ring {
+        segments: g.num_segments,
+        hosts_per_segment: g.hosts_per_segment,
+    });
+    s
 }
 
 /// One failing sweep entry, shrunk to a minimal repro.
@@ -184,6 +302,42 @@ pub fn sweep_on(
     g: &GeneratorConfig,
     mk_cfg: impl Fn(u64) -> ScenarioConfig + Sync,
 ) -> SweepReport {
+    sweep_core(
+        pool,
+        first_seed,
+        count,
+        |seed| random_schedule(seed, g),
+        mk_cfg,
+    )
+}
+
+/// [`sweep_on`] drawing from the adversarial generator instead of the
+/// classic one: every seed exercises the five production fault classes
+/// on the ring fabric the schedule carries (which overrides whatever
+/// topology `mk_cfg` supplies).
+pub fn adversarial_sweep_on(
+    pool: &Pool,
+    first_seed: u64,
+    count: u64,
+    g: &AdversarialConfig,
+    mk_cfg: impl Fn(u64) -> ScenarioConfig + Sync,
+) -> SweepReport {
+    sweep_core(
+        pool,
+        first_seed,
+        count,
+        |seed| adversarial_schedule(seed, g),
+        mk_cfg,
+    )
+}
+
+fn sweep_core(
+    pool: &Pool,
+    first_seed: u64,
+    count: u64,
+    mk_schedule: impl Fn(u64) -> Schedule + Sync,
+    mk_cfg: impl Fn(u64) -> ScenarioConfig + Sync,
+) -> SweepReport {
     let seeds: Vec<u64> = seed_range(first_seed, count).collect();
     let mut runs = Vec::new();
     let mut metrics = MetricsSnapshot::default();
@@ -192,7 +346,7 @@ pub fn sweep_on(
         seeds.len(),
         |i| {
             let seed = seeds[i];
-            let schedule = random_schedule(seed, g);
+            let schedule = mk_schedule(seed);
             let cfg = mk_cfg(seed);
             let run = run_scenario(&cfg, &schedule);
             (schedule, cfg, run)
@@ -266,6 +420,83 @@ mod tests {
                 }
             }
             assert_eq!(open, 0, "seed {seed} leaves a partition open");
+        }
+    }
+
+    #[test]
+    fn adversarial_generation_is_seed_deterministic_and_round_trips() {
+        let g = AdversarialConfig::default();
+        for seed in 0..40 {
+            let s = adversarial_schedule(seed, &g);
+            assert_eq!(s, adversarial_schedule(seed, &g));
+            assert_eq!(
+                s.topo,
+                Some(TopoSpec::Ring {
+                    segments: 4,
+                    hosts_per_segment: 2
+                })
+            );
+            // The text form is the canonical exchange format: what the
+            // generator emits must parse back to the same schedule.
+            let reparsed = crate::dsl::parse(&s.render()).expect("generated DSL parses");
+            assert_eq!(s, reparsed, "seed {seed} round-trip mismatch");
+        }
+    }
+
+    #[test]
+    fn adversarial_disruptions_are_always_recovered() {
+        // Gray partitions and rack failures must end before quiescence;
+        // the oracle's convergence checks assume an eventually-connected
+        // fabric of live hosts.
+        let g = AdversarialConfig::default();
+        for seed in 0..60 {
+            let s = adversarial_schedule(seed, &g);
+            let mut gray = std::collections::BTreeSet::new();
+            let mut racks = std::collections::BTreeSet::new();
+            for e in &s.events {
+                match e.action {
+                    Action::GrayPartition(a, b) => {
+                        gray.insert((a, b));
+                    }
+                    Action::GrayHeal(a, b) => {
+                        gray.remove(&(a, b));
+                    }
+                    Action::RackFail(r) => {
+                        racks.insert(r);
+                    }
+                    Action::RackRecover(r) => {
+                        racks.remove(&r);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(gray.is_empty(), "seed {seed} leaves gray links open");
+            assert!(racks.is_empty(), "seed {seed} leaves a rack down");
+        }
+    }
+
+    #[test]
+    fn adversarial_schedules_use_only_the_five_fault_classes_plus_kills() {
+        let g = AdversarialConfig::default();
+        for seed in 0..40 {
+            for e in &adversarial_schedule(seed, &g).events {
+                assert!(
+                    matches!(
+                        e.action,
+                        Action::GrayPartition(..)
+                            | Action::GrayHeal(..)
+                            | Action::RackFail(_)
+                            | Action::RackRecover(_)
+                            | Action::ChurnStorm { .. }
+                            | Action::Skew { .. }
+                            | Action::RouterDown(_)
+                            | Action::RouterUp(_)
+                            | Action::Kill(_)
+                    ),
+                    "seed {seed}: unexpected action {:?}",
+                    e.action
+                );
+            }
         }
     }
 

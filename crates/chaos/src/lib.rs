@@ -41,11 +41,14 @@ pub mod shrink;
 pub mod truth;
 
 pub use dsl::ParseError;
-pub use generator::{random_schedule, seed_range, sweep, sweep_on, GeneratorConfig, SweepReport};
+pub use generator::{
+    adversarial_schedule, adversarial_sweep_on, random_schedule, seed_range, sweep, sweep_on,
+    AdversarialConfig, GeneratorConfig, SweepReport,
+};
 pub use inject::{FaultInjector, RuntimeInjector};
 pub use oracle::{OracleConfig, Violation};
 pub use proxy::{run_proxy_scenario, ProxyScenarioConfig};
 pub use runner::{apply_schedule, run_scenario, ScenarioConfig, ScenarioRun};
-pub use schedule::{Action, Schedule, ScheduledFault, Target};
+pub use schedule::{Action, Schedule, ScheduledFault, Target, TopoSpec};
 pub use shrink::{shrink, shrink_on};
 pub use truth::GroundTruth;

@@ -145,6 +145,15 @@ pub enum Violation {
         node: NodeId,
         at: Nanos,
     },
+    /// Strict mode: `observer` (re-)added `node` to its view although the
+    /// node had been continuously down for at least the removal window —
+    /// churn re-introduced refuted state instead of learning a real
+    /// revival.
+    Resurrection {
+        observer: HostId,
+        node: NodeId,
+        at: Nanos,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -188,6 +197,13 @@ impl std::fmt::Display for Violation {
             Violation::RefutedRemoval { observer, node, at } => write!(
                 f,
                 "refuted removal: host {} dropped live node {} at {} after refuting its suspicion",
+                observer.0,
+                node.0,
+                crate::schedule::fmt_duration(*at)
+            ),
+            Violation::Resurrection { observer, node, at } => write!(
+                f,
+                "resurrection: host {} re-added long-dead node {} at {}",
                 observer.0,
                 node.0,
                 crate::schedule::fmt_duration(*at)
@@ -243,18 +259,45 @@ pub fn check_removals(
                 continue;
             }
             ObservationKind::Removed(n) => n,
-            ObservationKind::Added(_) => continue,
+            ObservationKind::Added(n) => {
+                // Strict mode: re-adding a node that has been down for the
+                // whole removal window is a resurrection — by then every
+                // correct observer must have confirmed the death, so the
+                // Add can only be refuted state leaking back in (e.g. a
+                // churn survivor gossiping a stale roster).
+                if cfg.strict && obs.time >= cfg.removal_window {
+                    let from = obs.time - cfg.removal_window;
+                    if truth.down_throughout(n.0, from, obs.time) {
+                        out.push(Violation::Resurrection {
+                            observer: obs.observer,
+                            node: n,
+                            at: obs.time,
+                        });
+                    }
+                }
+                continue;
+            }
         };
         let from = obs.time.saturating_sub(cfg.removal_window);
         let to = obs.time;
         let node_seg = topo.segment_of(HostId(node.0));
         let obs_seg = topo.segment_of(obs.observer).0;
+        let cross_segment = node_seg.0 != obs_seg;
         // Faults that justify a removal in either mode, within the
-        // standard window.
+        // standard window. A gray (directional) drop or a router-driven
+        // re-formation justifies only *cross-segment* removals: both
+        // faults live in the routed fabric, so same-segment heartbeats
+        // keep flowing and a same-segment removal during a gray-only or
+        // reform-only window is a false removal attributable to
+        // asymmetry alone — exactly what refutation must prevent.
         let core_justified = truth.was_down_in(node.0, from, to)
             || truth.was_down_in(obs.observer.0, from, to)
             || truth.partition_involving_in(node_seg.0, from, to)
-            || truth.partition_involving_in(obs_seg, from, to);
+            || truth.partition_involving_in(obs_seg, from, to)
+            || (cross_segment
+                && (truth.gray_involving_in(node_seg.0, from, to)
+                    || truth.gray_involving_in(obs_seg, from, to)
+                    || truth.router_changed_in(from, to)));
         if cfg.strict {
             if cfg.require_suspicion && obs.observer.0 != node.0 && !ever_suspected.contains(&node)
             {
@@ -297,7 +340,11 @@ pub fn check_removals(
                 .iter()
                 .any(|h| truth.was_down_in(h.0, repair_from, to))
             || truth.partition_involving_in(node_seg.0, repair_from, to)
-            || truth.partition_involving_in(obs_seg, repair_from, to);
+            || truth.partition_involving_in(obs_seg, repair_from, to)
+            || (cross_segment
+                && (truth.gray_involving_in(node_seg.0, repair_from, to)
+                    || truth.gray_involving_in(obs_seg, repair_from, to)
+                    || truth.router_changed_in(repair_from, to)));
         if !justified {
             out.push(Violation::FalseRemoval {
                 observer: obs.observer,
@@ -311,9 +358,12 @@ pub fn check_removals(
 
 /// Invariant 2: at quiescence every live host's view equals the live
 /// set. `clients[i]` must belong to host `i`. Skipped (returns empty)
-/// while a partition is still active — divided halves cannot converge.
+/// while a partition — symmetric or gray — is still active: divided
+/// halves cannot converge, and a one-way link starves one side's
+/// updates. A *healed* router fault does not skip: re-formation must
+/// converge to a single consistent view within the settle window.
 pub fn check_convergence(clients: &[DirectoryClient], truth: &GroundTruth) -> Vec<Violation> {
-    if truth.any_partition_active() {
+    if truth.any_partition_active() || truth.any_gray_active() {
         return Vec::new();
     }
     let live: Vec<u32> = (0..clients.len() as u32)
@@ -337,9 +387,11 @@ pub fn check_convergence(clients: &[DirectoryClient], truth: &GroundTruth) -> Ve
 }
 
 /// Invariant 3: per-segment level-0 leader agreement among live members.
-/// `probes[i]` must belong to host `i`. Skipped while partitioned.
+/// `probes[i]` must belong to host `i`. Skipped while partitioned
+/// (symmetrically or gray) — level-0 elections are local, but a severed
+/// fabric can strand a segment mid-re-election at the horizon.
 pub fn check_leaders(probes: &[Probe], truth: &GroundTruth, topo: &Topology) -> Vec<Violation> {
-    if truth.any_partition_active() {
+    if truth.any_partition_active() || truth.any_gray_active() {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -589,6 +641,86 @@ mod tests {
         let v = check_removals(&obs, &truth, &topo, &strict_cfg());
         assert_eq!(v.len(), 1);
         assert!(matches!(v[0], Violation::FalseRemoval { .. }));
+    }
+
+    fn added(time: Nanos, observer: u32, node: u32) -> Observation {
+        Observation {
+            time,
+            observer: HostId(observer),
+            kind: ObservationKind::Added(NodeId(node)),
+        }
+    }
+
+    #[test]
+    fn gray_excuses_only_cross_segment_removals() {
+        // Hosts 0,1 on segment 0; 2,3 on segment 1. Gray 0→1: cross-
+        // segment removals in either direction are excused (asymmetry
+        // starves heartbeats through the fabric), but a same-segment
+        // removal during a gray-only fault is attributable to asymmetry
+        // alone — refutation over the intact local link must prevent it.
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_gray(20 * SECS, 0, 1);
+        let obs = [
+            suspected(22 * SECS, 0, 2),
+            removed(25 * SECS, 0, 2), // cross-segment: excused
+            suspected(22 * SECS, 0, 1),
+            removed(25 * SECS, 0, 1), // same-segment: violation
+        ];
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            v[0],
+            Violation::FalseRemoval {
+                node: NodeId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn router_reform_excuses_only_cross_segment_removals() {
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_router_change(20 * SECS);
+        let obs = [
+            suspected(22 * SECS, 0, 2),
+            removed(25 * SECS, 0, 2), // cross-segment during re-formation
+            suspected(22 * SECS, 1, 0),
+            removed(25 * SECS, 1, 0), // same-segment: violation
+        ];
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            v[0],
+            Violation::FalseRemoval {
+                node: NodeId(0),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn strict_mode_flags_resurrection_of_long_dead_node() {
+        let topo = tamp_topology::generators::star_of_segments(2, 2);
+        let mut truth = GroundTruth::new();
+        truth.record_kill(10 * SECS, 1);
+        // Node 1 has been down for >> removal_window (10s) at 40s.
+        let obs = [added(40 * SECS, 0, 1)];
+        let v = check_removals(&obs, &truth, &topo, &strict_cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            v[0],
+            Violation::Resurrection {
+                node: NodeId(1),
+                ..
+            }
+        ));
+        // Lax mode keeps the old behaviour (Adds are free).
+        assert!(check_removals(&obs, &truth, &topo, &cfg()).is_empty());
+        // A revive inside the window makes the Add legitimate.
+        truth.record_revive(35 * SECS, 1);
+        assert!(check_removals(&obs, &truth, &topo, &strict_cfg()).is_empty());
     }
 
     #[test]

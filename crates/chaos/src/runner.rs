@@ -4,14 +4,14 @@
 //! the same inputs produce a byte-identical [`ScenarioRun::report`].
 
 use crate::oracle::{self, OracleConfig, Violation};
-use crate::schedule::{fmt_duration, Action, Schedule, Target};
+use crate::schedule::{fmt_duration, Action, Schedule, ScheduledFault, Target};
 use crate::truth::GroundTruth;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tamp_membership::{MembershipConfig, MembershipNode, Probe};
 use tamp_netsim::telemetry::{MetricsSnapshot, CLUSTER};
 use tamp_netsim::{Engine, EngineConfig, TraceLog, TraceRecord};
-use tamp_topology::{HostId, Topology};
+use tamp_topology::{HostId, RouterId, SegmentId, Topology};
 use tamp_wire::NodeId;
 
 /// Everything a scenario run needs besides the schedule itself.
@@ -32,6 +32,20 @@ impl ScenarioConfig {
     pub fn two_segments(seed: u64) -> Self {
         ScenarioConfig {
             topo: tamp_topology::generators::star_of_segments(2, 5),
+            seed,
+            membership: MembershipConfig::default(),
+            engine: EngineConfig::default(),
+            strict: false,
+        }
+    }
+
+    /// A router-ring cluster — the adversarial target for router faults:
+    /// every segment pair has two disjoint paths, so a single router
+    /// loss re-routes (TTL re-scoping, live group re-formation) instead
+    /// of partitioning.
+    pub fn ring(segments: usize, hosts_per_segment: usize, seed: u64) -> Self {
+        ScenarioConfig {
+            topo: tamp_topology::generators::ring_of_segments(segments, hosts_per_segment),
             seed,
             membership: MembershipConfig::default(),
             engine: EngineConfig::default(),
@@ -80,10 +94,12 @@ impl ScenarioRun {
         let mut out = String::new();
         out.push_str("telemetry:\n");
         out.push_str(&format!(
-            "  drops: loss {} / dead-host {} / partition {}\n",
+            "  drops: loss {} / dead-host {} / partition {} / gray {} / unroutable {}\n",
             drop("drop.loss"),
             drop("drop.dead_host"),
             drop("drop.partition"),
+            drop("drop.gray"),
+            drop("drop.unroutable"),
         ));
         out.push_str(&format!(
             "  suspicions: raised {} refuted {} confirmed {}\n",
@@ -248,78 +264,289 @@ pub fn apply_schedule(
     // changes target resolution.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut resolved = Vec::new();
-    let segs = engine.topology().num_segments() as u16;
 
-    for ev in &schedule.events {
+    for (idx, ev) in schedule.events.iter().enumerate() {
         engine.run_until(ev.at);
-        let at = fmt_duration(ev.at);
-        match ev.action {
-            Action::Kill(t) => match resolve_target(t, probes, truth, &mut rng, true) {
-                Ok(h) => {
-                    truth.record_kill(ev.at, h);
-                    engine.kill_now(HostId(h));
-                    resolved.push(format!("at {at} kill host {h}"));
-                }
-                Err(why) => resolved.push(format!("at {at} kill skipped ({why})")),
-            },
-            Action::Revive(t) => match resolve_target(t, probes, truth, &mut rng, false) {
-                Ok(h) => {
-                    truth.record_revive(ev.at, h);
-                    engine.revive_now(HostId(h));
-                    resolved.push(format!("at {at} revive host {h}"));
-                }
-                Err(why) => resolved.push(format!("at {at} revive skipped ({why})")),
-            },
-            Action::Partition(a, b) => {
-                if a >= segs || b >= segs {
-                    resolved.push(format!("at {at} partition skipped (no such segment)"));
-                } else {
-                    truth.record_partition(ev.at, a, b);
-                    engine.control_now(tamp_netsim::Control::BlockSegments(
-                        tamp_topology::SegmentId(a),
-                        tamp_topology::SegmentId(b),
-                    ));
-                    resolved.push(format!("at {at} partition {a} {b}"));
-                }
+        if let Action::ChurnStorm { count, duration } = ev.action {
+            // Expand the storm into concrete kill/revive pairs up front,
+            // from an RNG derived from (run seed, event index) only — so
+            // the expansion is stable under schedule edits elsewhere and
+            // under shrinking (a storm is removed or kept whole). Every
+            // pair revives before the storm window closes, so the storm
+            // perturbs membership without changing the final live set.
+            let mut srng = StdRng::seed_from_u64(seed ^ 0x6368_7572_6e21 ^ idx as u64);
+            let mut subs: Vec<ScheduledFault> = Vec::new();
+            for _ in 0..count {
+                let span = duration.max(2);
+                let down_at = ev.at + srng.gen_range(0..span / 2);
+                let up_at = down_at + srng.gen_range(1..=(ev.at + span - down_at));
+                subs.push(ScheduledFault {
+                    at: down_at,
+                    action: Action::Kill(Target::Random),
+                });
+                subs.push(ScheduledFault {
+                    at: up_at,
+                    action: Action::Revive(Target::Random),
+                });
             }
-            Action::Heal(a, b) => {
-                truth.record_heal(ev.at, a, b);
-                engine.control_now(tamp_netsim::Control::UnblockSegments(
-                    tamp_topology::SegmentId(a),
-                    tamp_topology::SegmentId(b),
-                ));
-                resolved.push(format!("at {at} heal {a} {b}"));
+            subs.sort_by_key(|e| e.at);
+            resolved.push(format!(
+                "at {} churn-storm {count} for {} ({} events)",
+                fmt_duration(ev.at),
+                fmt_duration(duration),
+                subs.len()
+            ));
+            for sub in &subs {
+                engine.run_until(sub.at);
+                fire(
+                    engine,
+                    probes,
+                    truth,
+                    &mut rng,
+                    &mut resolved,
+                    base_loss,
+                    sub,
+                );
             }
-            Action::HealAll => {
-                truth.record_heal_all(ev.at);
-                for a in 0..segs {
-                    for b in (a + 1)..segs {
-                        engine.control_now(tamp_netsim::Control::UnblockSegments(
-                            tamp_topology::SegmentId(a),
-                            tamp_topology::SegmentId(b),
-                        ));
-                    }
-                }
-                resolved.push(format!("at {at} heal all"));
-            }
-            Action::Loss { rate, duration } => {
-                truth.record_loss(ev.at, rate, duration);
-                engine.control_now(tamp_netsim::Control::SetLoss(rate));
-                engine.schedule(ev.at + duration, tamp_netsim::Control::SetLoss(base_loss));
-                resolved.push(format!(
-                    "at {at} loss {rate} for {}",
-                    fmt_duration(duration)
-                ));
-            }
+            continue;
         }
+        fire(
+            engine,
+            probes,
+            truth,
+            &mut rng,
+            &mut resolved,
+            base_loss,
+            ev,
+        );
     }
     resolved
 }
 
-/// Execute `schedule` against a fresh cluster built from `cfg`.
+/// Segment pairs with no routed path between them (the fabric, not host
+/// death, keeps them apart).
+fn unreachable_pairs(topo: &Topology) -> Vec<(u16, u16)> {
+    let n = topo.num_segments() as u16;
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if topo.segment_hops(SegmentId(a), SegmentId(b)) == u8::MAX {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+/// Fire one concrete fault event: mutate the engine, record ground
+/// truth, and append the resolved-action log line.
+fn fire(
+    engine: &mut Engine,
+    probes: &[Option<Probe>],
+    truth: &mut GroundTruth,
+    rng: &mut StdRng,
+    resolved: &mut Vec<String>,
+    base_loss: f64,
+    ev: &ScheduledFault,
+) {
+    let segs = engine.topology().num_segments() as u16;
+    let at = fmt_duration(ev.at);
+    match ev.action {
+        Action::Kill(t) => match resolve_target(t, probes, truth, rng, true) {
+            Ok(h) => {
+                truth.record_kill(ev.at, h);
+                engine.kill_now(HostId(h));
+                resolved.push(format!("at {at} kill host {h}"));
+            }
+            Err(why) => resolved.push(format!("at {at} kill skipped ({why})")),
+        },
+        Action::Revive(t) => match resolve_target(t, probes, truth, rng, false) {
+            Ok(h) => {
+                truth.record_revive(ev.at, h);
+                engine.revive_now(HostId(h));
+                resolved.push(format!("at {at} revive host {h}"));
+            }
+            Err(why) => resolved.push(format!("at {at} revive skipped ({why})")),
+        },
+        Action::Partition(a, b) => {
+            if a >= segs || b >= segs {
+                resolved.push(format!("at {at} partition skipped (no such segment)"));
+            } else {
+                truth.record_partition(ev.at, a, b);
+                engine.control_now(tamp_netsim::Control::BlockSegments(
+                    SegmentId(a),
+                    SegmentId(b),
+                ));
+                resolved.push(format!("at {at} partition {a} {b}"));
+            }
+        }
+        Action::Heal(a, b) => {
+            truth.record_heal(ev.at, a, b);
+            engine.control_now(tamp_netsim::Control::UnblockSegments(
+                SegmentId(a),
+                SegmentId(b),
+            ));
+            resolved.push(format!("at {at} heal {a} {b}"));
+        }
+        Action::HealAll => {
+            truth.record_heal_all(ev.at);
+            for a in 0..segs {
+                for b in (a + 1)..segs {
+                    engine.control_now(tamp_netsim::Control::UnblockSegments(
+                        SegmentId(a),
+                        SegmentId(b),
+                    ));
+                    engine.control_now(tamp_netsim::Control::UnblockDirection(
+                        SegmentId(a),
+                        SegmentId(b),
+                    ));
+                    engine.control_now(tamp_netsim::Control::UnblockDirection(
+                        SegmentId(b),
+                        SegmentId(a),
+                    ));
+                }
+            }
+            resolved.push(format!("at {at} heal all"));
+        }
+        Action::Loss { rate, duration } => {
+            truth.record_loss(ev.at, rate, duration);
+            engine.control_now(tamp_netsim::Control::SetLoss(rate));
+            engine.schedule(ev.at + duration, tamp_netsim::Control::SetLoss(base_loss));
+            resolved.push(format!(
+                "at {at} loss {rate} for {}",
+                fmt_duration(duration)
+            ));
+        }
+        Action::GrayPartition(a, b) => {
+            if a >= segs || b >= segs {
+                resolved.push(format!("at {at} gray-partition skipped (no such segment)"));
+            } else {
+                truth.record_gray(ev.at, a, b);
+                engine.control_now(tamp_netsim::Control::BlockDirection(
+                    SegmentId(a),
+                    SegmentId(b),
+                ));
+                resolved.push(format!("at {at} gray-partition {a} {b}"));
+            }
+        }
+        Action::GrayHeal(a, b) => {
+            truth.record_gray_heal(ev.at, a, b);
+            engine.control_now(tamp_netsim::Control::UnblockDirection(
+                SegmentId(a),
+                SegmentId(b),
+            ));
+            resolved.push(format!("at {at} gray-heal {a} {b}"));
+        }
+        Action::RackFail(s) => {
+            if s >= segs {
+                resolved.push(format!("at {at} rack-fail skipped (no such segment)"));
+            } else {
+                // Atomic: the whole subtree dies in one instant, the
+                // correlated-failure shape a PDU or ToR loss produces.
+                let hosts: Vec<u32> = engine
+                    .topology()
+                    .hosts_on(SegmentId(s))
+                    .iter()
+                    .map(|h| h.0)
+                    .filter(|&h| truth.is_alive(h))
+                    .collect();
+                for &h in &hosts {
+                    truth.record_kill(ev.at, h);
+                    engine.kill_now(HostId(h));
+                }
+                resolved.push(format!("at {at} rack-fail {s} ({} hosts)", hosts.len()));
+            }
+        }
+        Action::RackRecover(s) => {
+            if s >= segs {
+                resolved.push(format!("at {at} rack-recover skipped (no such segment)"));
+            } else {
+                let hosts: Vec<u32> = engine
+                    .topology()
+                    .hosts_on(SegmentId(s))
+                    .iter()
+                    .map(|h| h.0)
+                    .filter(|&h| !truth.is_alive(h))
+                    .collect();
+                for &h in &hosts {
+                    truth.record_revive(ev.at, h);
+                    engine.revive_now(HostId(h));
+                }
+                resolved.push(format!("at {at} rack-recover {s} ({} hosts)", hosts.len()));
+            }
+        }
+        Action::Skew { host, ppm } => {
+            if host as usize >= engine.topology().num_hosts() {
+                resolved.push(format!("at {at} skew skipped (no such host)"));
+            } else {
+                truth.record_skew(host, ppm);
+                engine.control_now(tamp_netsim::Control::SetSkew(HostId(host), ppm));
+                resolved.push(format!("at {at} skew {host} {ppm}"));
+            }
+        }
+        Action::RouterDown(r) => {
+            if r as usize >= engine.topology().num_routers() {
+                resolved.push(format!("at {at} router-down skipped (no such router)"));
+            } else if !engine.topology().router_is_up(RouterId(r)) {
+                resolved.push(format!("at {at} router-down skipped (already down)"));
+            } else {
+                let before = unreachable_pairs(engine.topology());
+                engine.control_now(tamp_netsim::Control::RouterDown(r));
+                truth.record_router_change(ev.at);
+                // Pairs the fabric can no longer route count as
+                // partitions: the oracle excuses their removals and
+                // holds quiescence checks while they stand.
+                for &(a, b) in &unreachable_pairs(engine.topology()) {
+                    if !before.contains(&(a, b)) {
+                        truth.record_partition(ev.at, a, b);
+                    }
+                }
+                resolved.push(format!("at {at} router-down {r}"));
+            }
+        }
+        Action::RouterUp(r) => {
+            if r as usize >= engine.topology().num_routers() {
+                resolved.push(format!("at {at} router-up skipped (no such router)"));
+            } else if engine.topology().router_is_up(RouterId(r)) {
+                resolved.push(format!("at {at} router-up skipped (already up)"));
+            } else {
+                let before = unreachable_pairs(engine.topology());
+                engine.control_now(tamp_netsim::Control::RouterUp(r));
+                truth.record_router_change(ev.at);
+                let after = unreachable_pairs(engine.topology());
+                for &(a, b) in &before {
+                    if !after.contains(&(a, b)) {
+                        truth.record_heal(ev.at, a, b);
+                    }
+                }
+                resolved.push(format!("at {at} router-up {r}"));
+            }
+        }
+        // Expanded by `apply_schedule` before dispatch.
+        Action::ChurnStorm { .. } => unreachable!("churn storms are pre-expanded"),
+    }
+}
+
+/// Execute `schedule` against a fresh cluster built from `cfg`. A
+/// topology carried by the schedule (`topology` DSL directive) replaces
+/// `cfg.topo`, so scenario files that need a specific fabric shape
+/// (router faults want a ring) are self-contained.
 pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
     let mut schedule = schedule.clone();
     schedule.normalize();
+    let built;
+    let cfg = if let Some(spec) = schedule.topo {
+        built = ScenarioConfig {
+            topo: spec.build(),
+            seed: cfg.seed,
+            membership: cfg.membership.clone(),
+            engine: cfg.engine.clone(),
+            strict: cfg.strict,
+        };
+        &built
+    } else {
+        cfg
+    };
     let mut cluster = build(cfg);
     let mut truth = GroundTruth::new();
     let probes: Vec<Option<Probe>> = cluster.probes.iter().cloned().map(Some).collect();
@@ -434,6 +661,146 @@ mod tests {
         );
         assert!(run.passed(), "{}", run.report());
         assert_eq!(run.live.len(), 9);
+    }
+
+    #[test]
+    fn gray_partition_cycle_passes_strict() {
+        let cfg = ScenarioConfig {
+            strict: true,
+            ..ScenarioConfig::two_segments(7)
+        };
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::GrayPartition(0, 1),
+            },
+            ScheduledFault {
+                at: 50 * SECS,
+                action: Action::GrayHeal(0, 1),
+            },
+        ]);
+        let run = run_scenario(&cfg, &schedule);
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(run.live.len(), 10);
+    }
+
+    #[test]
+    fn rack_fail_and_recover_pass_strict() {
+        let cfg = ScenarioConfig {
+            strict: true,
+            ..ScenarioConfig::two_segments(7)
+        };
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::RackFail(1),
+            },
+            ScheduledFault {
+                at: 60 * SECS,
+                action: Action::RackRecover(1),
+            },
+        ]);
+        let run = run_scenario(&cfg, &schedule);
+        assert!(run.passed(), "{}", run.report());
+        assert!(
+            run.resolved
+                .iter()
+                .any(|l| l.contains("rack-fail 1 (5 hosts)")),
+            "{:?}",
+            run.resolved
+        );
+        assert_eq!(run.live.len(), 10);
+    }
+
+    #[test]
+    fn churn_storm_expansion_is_deterministic_and_self_healing() {
+        let cfg = ScenarioConfig::two_segments(9);
+        let schedule = Schedule::new(vec![ScheduledFault {
+            at: 20 * SECS,
+            action: Action::ChurnStorm {
+                count: 4,
+                duration: 20 * SECS,
+            },
+        }]);
+        let a = run_scenario(&cfg, &schedule);
+        let b = run_scenario(&cfg, &schedule);
+        assert_eq!(a.report(), b.report());
+        // 1 storm line + 8 sub-events (some may be skips).
+        assert_eq!(a.resolved.len(), 9, "{:?}", a.resolved);
+        assert!(a.resolved[0].contains("churn-storm 4 for 20s"));
+        assert!(a.passed(), "{}", a.report());
+        assert_eq!(a.live.len(), 10, "storm must self-heal: {:?}", a.resolved);
+    }
+
+    #[test]
+    fn schedule_topology_overrides_config() {
+        let schedule = Schedule {
+            topo: Some(crate::schedule::TopoSpec::Ring {
+                segments: 3,
+                hosts_per_segment: 2,
+            }),
+            ..Schedule::default()
+        };
+        // Config says 2×5 star; the schedule's ring 3×2 must win.
+        let run = run_scenario(&ScenarioConfig::two_segments(7), &schedule);
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(run.live.len(), 6);
+        assert!(run.report().contains("3 segments, 6 hosts"));
+    }
+
+    #[test]
+    fn router_down_on_ring_reforms_and_passes_strict() {
+        let cfg = ScenarioConfig {
+            strict: true,
+            ..ScenarioConfig::ring(4, 2, 7)
+        };
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 25 * SECS,
+                action: Action::RouterDown(0),
+            },
+            ScheduledFault {
+                at: 70 * SECS,
+                action: Action::RouterUp(0),
+            },
+        ]);
+        let run = run_scenario(&cfg, &schedule);
+        // The ring keeps every pair routable, so no partition is
+        // recorded and convergence/leader checks run for real.
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(run.live.len(), 8);
+    }
+
+    #[test]
+    fn router_down_on_star_counts_as_partition() {
+        let cfg = ScenarioConfig::two_segments(7);
+        let schedule = Schedule::new(vec![ScheduledFault {
+            at: 25 * SECS,
+            action: Action::RouterDown(0),
+        }]);
+        let mut truth = GroundTruth::new();
+        let mut cluster = build(&cfg);
+        let probes: Vec<Option<Probe>> = cluster.probes.iter().cloned().map(Some).collect();
+        apply_schedule(&mut cluster.engine, &probes, &schedule, 7, 0.0, &mut truth);
+        // The star's only router is gone: segments 0/1 are unroutable,
+        // recorded as a partition so quiescence checks hold off.
+        assert!(truth.any_partition_active());
+        assert!(truth.partitioned_in(0, 1, 25 * SECS, 26 * SECS));
+    }
+
+    #[test]
+    fn skew_event_applies_and_passes_strict() {
+        let cfg = ScenarioConfig {
+            strict: true,
+            ..ScenarioConfig::two_segments(7)
+        };
+        let schedule = Schedule::new(vec![ScheduledFault {
+            at: 15 * SECS,
+            action: Action::Skew { host: 3, ppm: 200 },
+        }]);
+        let run = run_scenario(&cfg, &schedule);
+        assert!(run.passed(), "{}", run.report());
+        assert!(run.resolved[0].contains("skew 3 200"), "{:?}", run.resolved);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub enum Action {
     Partition(u16, u16),
     /// Restore traffic between two segments.
     Heal(u16, u16),
-    /// Restore every active partition.
+    /// Restore every active partition (symmetric and gray).
     HealAll,
     /// Raise the uniform loss rate to `rate` for `duration`, then return
     /// to the scenario's base rate.
@@ -39,6 +39,36 @@ pub enum Action {
         rate: f64,
         duration: Nanos,
     },
+    /// Gray partition: sever traffic from the first segment *towards*
+    /// the second only — the reverse direction keeps flowing. The
+    /// asymmetric failure mode real switch faults produce.
+    GrayPartition(u16, u16),
+    /// Restore the directed link severed by [`Action::GrayPartition`].
+    GrayHeal(u16, u16),
+    /// Correlated rack failure: kill every live host on the segment
+    /// atomically (a PDU/ToR loss takes the whole subtree at once).
+    RackFail(u16),
+    /// Revive every dead host on the segment.
+    RackRecover(u16),
+    /// Churn storm: `count` random kill/revive pairs packed into
+    /// `duration`, expanded deterministically from the run seed at
+    /// execution time. Every churned host is revived before the storm
+    /// window closes.
+    ChurnStorm {
+        count: u32,
+        duration: Nanos,
+    },
+    /// Skew `host`'s local clock by `ppm` parts-per-million: positive
+    /// runs the clock fast (timers fire early), negative slow.
+    Skew {
+        host: u32,
+        ppm: i64,
+    },
+    /// Take a fabric router out of service: the topology re-scopes
+    /// around it (TTL distances grow or pairs go unroutable).
+    RouterDown(u16),
+    /// Return the router to service, restoring build-time distances.
+    RouterUp(u16),
 }
 
 /// An [`Action`] with its fire time.
@@ -46,6 +76,51 @@ pub enum Action {
 pub struct ScheduledFault {
     pub at: Nanos,
     pub action: Action,
+}
+
+/// Cluster shape a scenario wants to run against. Scenario files carry
+/// this so topology-sensitive schedules (router faults need redundant
+/// paths) are self-contained; `None` leaves the choice to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// All segments on one core router ([`star_of_segments`]).
+    ///
+    /// [`star_of_segments`]: tamp_topology::generators::star_of_segments
+    Star {
+        segments: u16,
+        hosts_per_segment: u16,
+    },
+    /// Segments in a router ring ([`ring_of_segments`]): every pair has
+    /// two disjoint paths, so any single router loss re-routes instead
+    /// of partitioning.
+    ///
+    /// [`ring_of_segments`]: tamp_topology::generators::ring_of_segments
+    Ring {
+        segments: u16,
+        hosts_per_segment: u16,
+    },
+}
+
+impl TopoSpec {
+    /// Materialize the described topology.
+    pub fn build(&self) -> tamp_topology::Topology {
+        match *self {
+            TopoSpec::Star {
+                segments,
+                hosts_per_segment,
+            } => tamp_topology::generators::star_of_segments(
+                segments as usize,
+                hosts_per_segment as usize,
+            ),
+            TopoSpec::Ring {
+                segments,
+                hosts_per_segment,
+            } => tamp_topology::generators::ring_of_segments(
+                segments as usize,
+                hosts_per_segment as usize,
+            ),
+        }
+    }
 }
 
 /// A timed fault program plus the observation window around it.
@@ -56,6 +131,9 @@ pub struct Schedule {
     /// Quiet tail after the last event before the oracle checks
     /// quiescence invariants.
     pub settle: Nanos,
+    /// Topology the scenario asks for (`topology` DSL directive); the
+    /// driver's default applies when absent.
+    pub topo: Option<TopoSpec>,
 }
 
 /// Default [`Schedule::settle`]: long enough for detection, re-election,
@@ -67,6 +145,7 @@ impl Default for Schedule {
         Schedule {
             events: Vec::new(),
             settle: DEFAULT_SETTLE,
+            topo: None,
         }
     }
 }
@@ -75,7 +154,7 @@ impl Schedule {
     pub fn new(events: Vec<ScheduledFault>) -> Self {
         let mut s = Schedule {
             events,
-            settle: DEFAULT_SETTLE,
+            ..Schedule::default()
         };
         s.normalize();
         s
@@ -92,9 +171,11 @@ impl Schedule {
         self.events
             .iter()
             .map(|e| {
-                // A loss burst occupies its whole window.
+                // Windowed faults occupy their whole window.
                 match e.action {
-                    Action::Loss { duration, .. } => e.at + duration,
+                    Action::Loss { duration, .. } | Action::ChurnStorm { duration, .. } => {
+                        e.at + duration
+                    }
                     _ => e.at,
                 }
             })
@@ -112,6 +193,19 @@ impl Schedule {
     /// always copy-pasteable into a scenario file.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if let Some(topo) = self.topo {
+            let (kind, s, h) = match topo {
+                TopoSpec::Star {
+                    segments,
+                    hosts_per_segment,
+                } => ("star", segments, hosts_per_segment),
+                TopoSpec::Ring {
+                    segments,
+                    hosts_per_segment,
+                } => ("ring", segments, hosts_per_segment),
+            };
+            out.push_str(&format!("topology {kind} {s} {h}\n"));
+        }
         out.push_str(&format!("settle {}\n", fmt_duration(self.settle)));
         for e in &self.events {
             out.push_str(&render_event(e));
@@ -140,6 +234,16 @@ fn render_event(e: &ScheduledFault) -> String {
         Action::Loss { rate, duration } => {
             format!("at {at} loss {rate} for {}", fmt_duration(duration))
         }
+        Action::GrayPartition(a, b) => format!("at {at} gray-partition {a} {b}"),
+        Action::GrayHeal(a, b) => format!("at {at} gray-heal {a} {b}"),
+        Action::RackFail(s) => format!("at {at} rack-fail {s}"),
+        Action::RackRecover(s) => format!("at {at} rack-recover {s}"),
+        Action::ChurnStorm { count, duration } => {
+            format!("at {at} churn-storm {count} for {}", fmt_duration(duration))
+        }
+        Action::Skew { host, ppm } => format!("at {at} skew {host} {ppm}"),
+        Action::RouterDown(r) => format!("at {at} router-down {r}"),
+        Action::RouterUp(r) => format!("at {at} router-up {r}"),
     }
 }
 
@@ -190,6 +294,31 @@ mod tests {
         }]);
         assert_eq!(s.last_event_at(), 40 * SECS);
         assert_eq!(s.horizon(), 40 * SECS + DEFAULT_SETTLE);
+    }
+
+    #[test]
+    fn horizon_covers_churn_storm_window() {
+        let s = Schedule::new(vec![ScheduledFault {
+            at: 10 * SECS,
+            action: Action::ChurnStorm {
+                count: 6,
+                duration: 25 * SECS,
+            },
+        }]);
+        assert_eq!(s.last_event_at(), 35 * SECS);
+    }
+
+    #[test]
+    fn topology_renders_first() {
+        let s = Schedule {
+            topo: Some(TopoSpec::Ring {
+                segments: 4,
+                hosts_per_segment: 2,
+            }),
+            ..Schedule::default()
+        };
+        assert!(s.render().starts_with("topology ring 4 2\n"));
+        assert_eq!(s.topo.unwrap().build().num_hosts(), 8);
     }
 
     #[test]

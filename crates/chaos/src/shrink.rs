@@ -126,4 +126,51 @@ mod tests {
             shrunk.render()
         );
     }
+
+    /// The adversarial fault classes shrink too: a failing schedule mixing
+    /// a gray partition, a churn storm, and decoy skew/heal events reduces
+    /// to a minimal repro. Churn storms are atomic to the shrinker (one
+    /// event, expanded only at execution), so deletion candidates stay
+    /// well-defined.
+    #[test]
+    fn shrinks_adversarial_schedule_to_minimal_repro() {
+        let cfg = ScenarioConfig {
+            membership: MembershipConfig {
+                max_loss: 0,
+                ..Default::default()
+            },
+            ..ScenarioConfig::two_segments(3)
+        };
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 12 * SECS,
+                action: Action::GrayPartition(0, 1),
+            },
+            ScheduledFault {
+                at: 18 * SECS,
+                action: Action::ChurnStorm {
+                    count: 3,
+                    duration: 8 * SECS,
+                },
+            },
+            ScheduledFault {
+                at: 22 * SECS,
+                action: Action::Skew { host: 1, ppm: 200 },
+            },
+            ScheduledFault {
+                at: 35 * SECS,
+                action: Action::GrayHeal(0, 1),
+            },
+        ]);
+        let (shrunk, run) = shrink(&cfg, &schedule);
+        assert!(!run.passed());
+        assert!(
+            shrunk.events.len() <= 1,
+            "expected ≤1 event, got:\n{}",
+            shrunk.render()
+        );
+        // The minimal repro must replay to the same failure standalone.
+        let replay = crate::runner::run_scenario(&cfg, &shrunk);
+        assert!(!replay.passed());
+    }
 }

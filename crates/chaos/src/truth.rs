@@ -39,6 +39,15 @@ pub struct GroundTruth {
     partitions: BTreeMap<(u16, u16), Vec<Interval>>,
     /// `(rate, window)` for every elevated-loss period.
     loss: Vec<(f64, Interval)>,
+    /// *Directed* `(from, to)` pair → intervals during which traffic
+    /// from → to was gray-dropped (the reverse direction kept flowing).
+    gray: BTreeMap<(u16, u16), Vec<Interval>>,
+    /// Times at which any router changed state (down or up). Each change
+    /// re-scopes TTL distances, so cross-segment groups re-form around it.
+    router_changes: Vec<Nanos>,
+    /// Host index → currently applied clock-skew ppm (informational;
+    /// bounded skew never excuses a removal).
+    skew: BTreeMap<u32, i64>,
 }
 
 impl GroundTruth {
@@ -88,11 +97,53 @@ impl GroundTruth {
     }
 
     pub fn record_heal_all(&mut self, at: Nanos) {
-        for ivs in self.partitions.values_mut() {
+        for ivs in self.partitions.values_mut().chain(self.gray.values_mut()) {
             if let Some(iv) = ivs.last_mut().filter(|iv| iv.until.is_none()) {
                 iv.until = Some(at);
             }
         }
+    }
+
+    /// Traffic `from → to` started gray-dropping at `at`. Directed: the
+    /// key is *not* normalized.
+    pub fn record_gray(&mut self, at: Nanos, from: u16, to: u16) {
+        let entry = self.gray.entry((from, to)).or_default();
+        if entry.last().is_some_and(|iv| iv.until.is_none()) {
+            return;
+        }
+        entry.push(Interval {
+            from: at,
+            until: None,
+        });
+    }
+
+    pub fn record_gray_heal(&mut self, at: Nanos, from: u16, to: u16) {
+        if let Some(iv) = self
+            .gray
+            .get_mut(&(from, to))
+            .and_then(|v| v.last_mut())
+            .filter(|iv| iv.until.is_none())
+        {
+            iv.until = Some(at);
+        }
+    }
+
+    /// A router changed state (either direction) at `at`.
+    pub fn record_router_change(&mut self, at: Nanos) {
+        self.router_changes.push(at);
+    }
+
+    pub fn record_skew(&mut self, host: u32, ppm: i64) {
+        if ppm == 0 {
+            self.skew.remove(&host);
+        } else {
+            self.skew.insert(host, ppm);
+        }
+    }
+
+    /// Currently applied skew for `host` (0 when unskewed).
+    pub fn skew_of(&self, host: u32) -> i64 {
+        self.skew.get(&host).copied().unwrap_or(0)
     }
 
     pub fn record_loss(&mut self, at: Nanos, rate: f64, duration: Nanos) {
@@ -132,6 +183,37 @@ impl GroundTruth {
         self.partitions.iter().any(|(&(a, b), ivs)| {
             (a == seg || b == seg) && ivs.iter().any(|iv| iv.overlaps(from, to))
         })
+    }
+
+    /// Was `host` down for the *entire* `[from, to)` window (no revive
+    /// inside it)?
+    pub fn down_throughout(&self, host: u32, from: Nanos, to: Nanos) -> bool {
+        self.down.get(&host).is_some_and(|v| {
+            v.iter()
+                .any(|iv| iv.from <= from && iv.until.is_none_or(|u| u >= to))
+        })
+    }
+
+    /// Was a gray drop involving `seg` (as source *or* sink) active at
+    /// some point during `[from, to)`?
+    pub fn gray_involving_in(&self, seg: u16, from: Nanos, to: Nanos) -> bool {
+        self.gray.iter().any(|(&(a, b), ivs)| {
+            (a == seg || b == seg) && ivs.iter().any(|iv| iv.overlaps(from, to))
+        })
+    }
+
+    /// Is any gray drop unhealed right now?
+    pub fn any_gray_active(&self) -> bool {
+        self.gray
+            .values()
+            .any(|v| v.last().is_some_and(|iv| iv.until.is_none()))
+    }
+
+    /// Did any router change state during `[from, to)`? Each change
+    /// triggers topology re-formation, which excuses cross-segment view
+    /// churn inside the detection window.
+    pub fn router_changed_in(&self, from: Nanos, to: Nanos) -> bool {
+        self.router_changes.iter().any(|&t| from <= t && t < to)
     }
 
     /// Is any partition unhealed right now?
@@ -180,6 +262,50 @@ mod tests {
         gt.record_heal_all(20 * SECS);
         assert!(!gt.any_partition_active());
         assert!(!gt.partitioned_in(1, 0, 25 * SECS, 26 * SECS));
+    }
+
+    #[test]
+    fn gray_intervals_are_directional() {
+        let mut gt = GroundTruth::new();
+        gt.record_gray(10 * SECS, 0, 1);
+        assert!(gt.any_gray_active());
+        assert!(gt.gray_involving_in(0, 12 * SECS, 13 * SECS));
+        assert!(gt.gray_involving_in(1, 12 * SECS, 13 * SECS));
+        assert!(!gt.gray_involving_in(2, 12 * SECS, 13 * SECS));
+        // Healing the reverse direction does not close 0→1.
+        gt.record_gray_heal(15 * SECS, 1, 0);
+        assert!(gt.any_gray_active());
+        gt.record_gray_heal(20 * SECS, 0, 1);
+        assert!(!gt.any_gray_active());
+        assert!(!gt.gray_involving_in(0, 25 * SECS, 26 * SECS));
+        // heal-all closes grays too.
+        gt.record_gray(30 * SECS, 1, 0);
+        gt.record_heal_all(40 * SECS);
+        assert!(!gt.any_gray_active());
+    }
+
+    #[test]
+    fn down_throughout_needs_full_coverage() {
+        let mut gt = GroundTruth::new();
+        gt.record_kill(10 * SECS, 3);
+        assert!(gt.down_throughout(3, 12 * SECS, 20 * SECS));
+        gt.record_revive(30 * SECS, 3);
+        assert!(gt.down_throughout(3, 12 * SECS, 30 * SECS));
+        assert!(!gt.down_throughout(3, 12 * SECS, 31 * SECS));
+        assert!(!gt.down_throughout(3, 5 * SECS, 20 * SECS));
+        assert!(!gt.down_throughout(4, 12 * SECS, 20 * SECS));
+    }
+
+    #[test]
+    fn router_changes_and_skew_are_recorded() {
+        let mut gt = GroundTruth::new();
+        gt.record_router_change(20 * SECS);
+        assert!(gt.router_changed_in(15 * SECS, 25 * SECS));
+        assert!(!gt.router_changed_in(21 * SECS, 25 * SECS));
+        gt.record_skew(3, -200);
+        assert_eq!(gt.skew_of(3), -200);
+        gt.record_skew(3, 0);
+        assert_eq!(gt.skew_of(3), 0);
     }
 
     #[test]

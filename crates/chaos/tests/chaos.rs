@@ -91,6 +91,13 @@ fn checked_in_regression_scenarios_pass_the_strict_oracle() {
         "leader-death.chaos",
         "partition-heal.chaos",
         "loss-burst.chaos",
+        // The adversarial fault classes; each file carries its own
+        // topology, which overrides the two-segment base config.
+        "gray-partition.chaos",
+        "rack-fail.chaos",
+        "churn-storm.chaos",
+        "clock-skew.chaos",
+        "router-reform.chaos",
     ];
     for file in files {
         let path = format!("{dir}/{file}");
@@ -105,6 +112,51 @@ fn checked_in_regression_scenarios_pass_the_strict_oracle() {
             assert!(run.passed(), "{file} seed {seed}:\n{}", run.report());
         }
     }
+}
+
+#[test]
+fn router_reformation_converges_across_fifty_seeds_at_any_pool_width() {
+    // The acceptance bar for live topology re-formation: router-down /
+    // router-up on the ring converges to a single consistent view with
+    // zero strict-oracle violations across >= 50 seeds, and the sweep
+    // report is byte-identical at any pool width.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let text = std::fs::read_to_string(format!("{dir}/router-reform.chaos")).unwrap();
+    let schedule = dsl::parse(&text).unwrap();
+    let verdicts = |pool: &tamp_par::Pool| -> Vec<String> {
+        pool.ordered_map(50, |i| {
+            let cfg = ScenarioConfig {
+                strict: true,
+                ..ScenarioConfig::ring(4, 2, 1000 + i as u64)
+            };
+            let run = run_scenario(&cfg, &schedule);
+            assert!(run.passed(), "seed {}:\n{}", 1000 + i, run.report());
+            run.report()
+        })
+    };
+    let sequential = verdicts(&tamp_par::Pool::sequential());
+    let parallel = verdicts(&tamp_par::Pool::new(4));
+    assert_eq!(sequential, parallel, "pool width changed a report");
+}
+
+#[test]
+fn adversarial_sweep_passes_strict_on_the_ring() {
+    use tamp_chaos::{adversarial_sweep_on, AdversarialConfig};
+    let strict_ring = |seed| ScenarioConfig {
+        strict: true,
+        ..ScenarioConfig::ring(4, 2, seed)
+    };
+    let pool = tamp_par::Pool::new(4);
+    let report = adversarial_sweep_on(&pool, 0, 15, &AdversarialConfig::default(), strict_ring);
+    assert!(report.passed(), "{}", report.report());
+    let sequential = adversarial_sweep_on(
+        &tamp_par::Pool::sequential(),
+        0,
+        15,
+        &AdversarialConfig::default(),
+        strict_ring,
+    );
+    assert_eq!(report.report(), sequential.report());
 }
 
 #[test]

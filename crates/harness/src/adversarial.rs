@@ -1,0 +1,200 @@
+//! A10 — adversarial fault grid: the five production fault classes
+//! (gray partitions, correlated rack failure, churn storms, clock skew,
+//! router loss with live re-formation) each swept across seeds on the
+//! router-ring fabric, judged by the strict oracle. A final "mixed" row
+//! draws generated schedules combining all classes.
+//!
+//! Every cell is an independent deterministic run; the grid executes on
+//! the tamp-par pool and its rows are byte-identical at any `--jobs`
+//! width.
+
+use tamp_chaos::{
+    adversarial_schedule, dsl, run_scenario, seed_range, AdversarialConfig, ScenarioConfig,
+    Schedule,
+};
+use tamp_par::Pool;
+
+/// The per-class schedule templates. `{s}` placeholders are filled from
+/// the seed so every seed exercises different timing and targets, while
+/// the class composition stays pure (one fault class per row, plus its
+/// recovery).
+pub const CLASSES: [&str; 5] = [
+    "gray-partition",
+    "rack-fail",
+    "churn-storm",
+    "clock-skew",
+    "router-reform",
+];
+
+/// Build the single-class schedule for `(class, seed)` on the 4-segment
+/// ring. Timing jitters with the seed (±5 s) so the sweep probes
+/// different protocol phases, not one fixed alignment.
+pub fn class_schedule(class: &str, seed: u64) -> Schedule {
+    let j = seed % 11; // 0..=10 s of start jitter
+    let seg = (seed % 4) as u16;
+    let other = ((seed % 3 + 1) as u16 + seg) % 4;
+    let host = (seed % 8) as u32;
+    let ppm = if seed.is_multiple_of(2) { 200i64 } else { -150 };
+    let text = match class {
+        "gray-partition" => format!(
+            "topology ring 4 2\nsettle 45s\nat {}s gray-partition {seg} {other}\nat {}s gray-heal {seg} {other}\n",
+            20 + j,
+            50 + j
+        ),
+        "rack-fail" => format!(
+            "topology ring 4 2\nsettle 45s\nat {}s rack-fail {seg}\nat {}s rack-recover {seg}\n",
+            20 + j,
+            50 + j
+        ),
+        "churn-storm" => format!(
+            "topology ring 4 2\nsettle 45s\nat {}s churn-storm {} for 12s\n",
+            20 + j,
+            2 + seed % 3
+        ),
+        "clock-skew" => format!(
+            "topology ring 4 2\nsettle 45s\nat {}s skew {host} {ppm}\n",
+            15 + j
+        ),
+        "router-reform" => format!(
+            "topology ring 4 2\nsettle 45s\nat {}s router-down {seg}\nat {}s router-up {seg}\n",
+            20 + j,
+            55 + j
+        ),
+        other => panic!("unknown fault class {other}"),
+    };
+    dsl::parse(&text).expect("class template parses")
+}
+
+/// One grid row: a fault class swept across seeds under the strict
+/// oracle.
+pub struct GridRow {
+    pub class: String,
+    pub seeds: u64,
+    pub passed: u64,
+    /// Violations across all failing seeds (0 when `passed == seeds`).
+    pub violations: usize,
+    /// First failing seed, if any — rerun it with
+    /// `tamp-exp chaos --adversarial --strict --seed <s>`.
+    pub first_failure: Option<u64>,
+}
+
+/// Run the full grid: every class × `count` seeds starting at
+/// `first_seed`, plus the mixed generated row. Cells run speculatively
+/// across the pool; rows aggregate in seed order, so the grid is
+/// byte-identical at any pool width.
+pub fn grid_on(pool: &Pool, first_seed: u64, count: u64) -> Vec<GridRow> {
+    let seeds: Vec<u64> = seed_range(first_seed, count).collect();
+    let mut cells: Vec<(usize, u64)> = Vec::new();
+    for class_idx in 0..=CLASSES.len() {
+        for &seed in &seeds {
+            cells.push((class_idx, seed));
+        }
+    }
+    let outcomes = pool.ordered_map(cells.len(), |i| {
+        let (class_idx, seed) = cells[i];
+        let schedule = if class_idx < CLASSES.len() {
+            class_schedule(CLASSES[class_idx], seed)
+        } else {
+            adversarial_schedule(seed, &AdversarialConfig::default())
+        };
+        let mut cfg = ScenarioConfig::ring(4, 2, seed);
+        cfg.strict = true;
+        let run = run_scenario(&cfg, &schedule);
+        (run.passed(), run.violations.len())
+    });
+    let mut rows = Vec::new();
+    for class_idx in 0..=CLASSES.len() {
+        let name = if class_idx < CLASSES.len() {
+            CLASSES[class_idx].to_string()
+        } else {
+            "mixed (generated)".to_string()
+        };
+        let mut row = GridRow {
+            class: name,
+            seeds: count,
+            passed: 0,
+            violations: 0,
+            first_failure: None,
+        };
+        for (k, &seed) in seeds.iter().enumerate() {
+            let (passed, violations) = outcomes[class_idx * seeds.len() + k];
+            if passed {
+                row.passed += 1;
+            } else {
+                row.violations += violations;
+                row.first_failure.get_or_insert(seed);
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Entry point for `tamp-exp adversarial`. Returns the process exit
+/// code: 0 when every cell passed the strict oracle.
+pub fn run_and_print(seed: u64, quick: bool, jobs: usize) -> i32 {
+    let count = if quick { 5 } else { 20 };
+    let pool = Pool::new(jobs);
+    let rows = grid_on(&pool, seed, count);
+    let mut t = crate::report::Table::new(
+        "A10 — adversarial fault grid (ring 4x2, strict oracle)",
+        &["class", "seeds", "passed", "violations", "first failure"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.class.clone(),
+            r.seeds.to_string(),
+            r.passed.to_string(),
+            r.violations.to_string(),
+            r.first_failure.map_or("-".to_string(), |s| s.to_string()),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("adversarial_grid");
+    let all_passed = rows.iter().all(|r| r.passed == r.seeds);
+    println!(
+        "\nExpected: every class passes strict. Gray partitions must not cause\n\
+         same-segment false removals (fresh direct liveness refutes relayed death\n\
+         claims); router re-formation must converge to one consistent view; churn\n\
+         storms must never resurrect a refuted node."
+    );
+    if all_passed {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_templates_parse_and_carry_the_ring() {
+        for class in CLASSES {
+            for seed in [0, 7, 13] {
+                let s = class_schedule(class, seed);
+                assert!(s.topo.is_some(), "{class} seed {seed} lost its topology");
+                assert!(!s.events.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn small_grid_passes_strict_and_is_pool_invariant() {
+        let a = grid_on(&Pool::sequential(), 7, 2);
+        let b = grid_on(&Pool::new(4), 7, 2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.class, y.class);
+            assert_eq!(
+                x.passed, y.passed,
+                "{}: pool width changed verdicts",
+                x.class
+            );
+            assert_eq!(x.violations, y.violations);
+            assert_eq!(x.first_failure, y.first_failure);
+            assert_eq!(x.passed, x.seeds, "{}: strict failure in grid", x.class);
+        }
+    }
+}

@@ -22,9 +22,13 @@
 //! tamp-exp chaos --sweep 20             # seeded sweep with shrinking
 //! tamp-exp chaos --proxy                # multi-datacenter proxy mode
 //! tamp-exp chaos --strict               # strict oracle (no excuse model)
+//! tamp-exp chaos --adversarial          # gray/rack/churn/skew/router faults on a ring
 //! tamp-exp chaos --broken               # demo: oracle catches MAX_LOSS=0
+//! tamp-exp adversarial                  # A10: adversarial fault grid, strict oracle
 //! tamp-exp load                         # million-user workload + SLO exports
 //! tamp-exp load --campaign              # chaos-under-load fault campaign
+//! tamp-exp slo-gate                     # CI gate: campaign vs ci/slo-goldens.csv
+//! tamp-exp slo-gate --update            # re-pin the golden numbers
 //! ```
 //!
 //! Options: `--seed <u64>` (default 2005), `--quick` (smaller sweeps).
@@ -43,6 +47,7 @@ fn main() {
     let mut nodes: Option<usize> = None;
     let mut broken = false;
     let mut proxy = false;
+    let mut adversarial = false;
     let mut chaos_trace = false;
     let mut strict = false;
     let mut users = 1_000_000u64;
@@ -50,6 +55,7 @@ fn main() {
     let mut datacenters = 3usize;
     let mut campaign = false;
     let mut open = false;
+    let mut update = false;
     let mut jobs = tamp_par::default_jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -70,6 +76,7 @@ fn main() {
             }
             "--broken" => broken = true,
             "--proxy" => proxy = true,
+            "--adversarial" => adversarial = true,
             "--trace" => chaos_trace = true,
             "--strict" => strict = true,
             "--users" => {
@@ -93,6 +100,7 @@ fn main() {
             }
             "--campaign" => campaign = true,
             "--open" => open = true,
+            "--update" => update = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -207,8 +215,17 @@ fn main() {
                 proxy,
                 trace: chaos_trace,
                 strict,
+                adversarial,
                 jobs,
             });
+            std::process::exit(code);
+        }
+        "adversarial" => {
+            let code = adversarial::run_and_print(seed, quick, jobs);
+            std::process::exit(code);
+        }
+        "slo-gate" => {
+            let code = slo_gate::run_and_print(update, jobs);
             std::process::exit(code);
         }
         "topo" => {
@@ -247,7 +264,7 @@ fn print_help() {
     println!(
         "tamp-exp — regenerate the paper's evaluation\n\n\
          commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
-         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  scale  load  all\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  adversarial  scale  load  slo-gate  all\n\
          options:  --seed <u64>    deterministic seed (default 2005)\n\
          \u{20}         --quick         smaller sweeps for smoke runs\n\
          \u{20}         --nodes <n>     scale: one run at ~n nodes (default sweep 1000/4000/10000)\n\
@@ -258,6 +275,7 @@ fn print_help() {
          \u{20}         --sweep <n>     sweep n seeds, shrink first failure\n\
          \u{20}         --proxy         multi-datacenter proxy deployment\n\
          \u{20}         --strict        strict oracle: no excuses, suspicion ordering\n\
+         \u{20}         --adversarial   gray/rack/churn/skew/router generator on the ring\n\
          \u{20}         --broken        MAX_LOSS=0 demo (oracle must fail)\n\
          \u{20}         --trace         interleave faults with packet trace\n\
          load:     --users <n>     synthetic user population (default 1000000)\n\
@@ -265,7 +283,8 @@ fn print_help() {
          \u{20}         --datacenters <n>  cluster spread (default 3)\n\
          \u{20}         --open          open-loop arrivals (default closed-loop)\n\
          \u{20}         --campaign      chaos-under-load: leader-death, proxy-failover,\n\
-         \u{20}                         wan-partition (or --scenario <f>) while loaded"
+         \u{20}                         wan-partition (or --scenario <f>) while loaded\n\
+         slo-gate: --update        rewrite ci/slo-goldens.csv from this run"
     );
 }
 

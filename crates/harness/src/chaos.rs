@@ -5,8 +5,9 @@
 
 use crate::common::{chaos_trace_config, scenario_schedule};
 use tamp_chaos::{
-    random_schedule, run_proxy_scenario, run_scenario, seed_range, sweep_on, GeneratorConfig,
-    ProxyScenarioConfig, ScenarioConfig, Schedule,
+    adversarial_schedule, adversarial_sweep_on, random_schedule, run_proxy_scenario, run_scenario,
+    seed_range, sweep_on, AdversarialConfig, GeneratorConfig, ProxyScenarioConfig, ScenarioConfig,
+    Schedule,
 };
 use tamp_membership::MembershipConfig;
 use tamp_par::Pool;
@@ -29,6 +30,10 @@ pub struct ChaosOptions {
     /// Judge with the strict oracle: no loss or repair-window excuses;
     /// removals must follow the suspicion state machine.
     pub strict: bool,
+    /// Generate from the adversarial profile instead of the classic one:
+    /// the five production fault classes (gray partitions, rack failure,
+    /// churn storms, clock skew, router loss) on the router-ring fabric.
+    pub adversarial: bool,
     /// Worker threads for sweeps (`--jobs`; 1 = sequential). Output is
     /// byte-identical at any width.
     pub jobs: usize,
@@ -46,7 +51,14 @@ fn membership(broken: bool) -> MembershipConfig {
 }
 
 fn scenario_config(seed: u64, opts: &ChaosOptions) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::two_segments(seed);
+    // Adversarial runs live on the router ring (a schedule-carried
+    // topology overrides this anyway; the base keeps single runs of
+    // hand-written schedules on the right fabric too).
+    let mut cfg = if opts.adversarial {
+        ScenarioConfig::ring(4, 2, seed)
+    } else {
+        ScenarioConfig::two_segments(seed)
+    };
     cfg.membership = membership(opts.broken);
     cfg.strict = opts.strict;
     if opts.trace {
@@ -66,13 +78,23 @@ pub fn run(opts: &ChaosOptions) -> i32 {
             return proxy_sweep(opts, count);
         }
         let pool = Pool::new(opts.jobs);
-        let report = sweep_on(
-            &pool,
-            opts.seed,
-            count,
-            &GeneratorConfig::default(),
-            |seed| scenario_config(seed, opts),
-        );
+        let report = if opts.adversarial {
+            adversarial_sweep_on(
+                &pool,
+                opts.seed,
+                count,
+                &AdversarialConfig::default(),
+                |seed| scenario_config(seed, opts),
+            )
+        } else {
+            sweep_on(
+                &pool,
+                opts.seed,
+                count,
+                &GeneratorConfig::default(),
+                |seed| scenario_config(seed, opts),
+            )
+        };
         print!("{}", report.report());
         return if report.passed() { 0 } else { 1 };
     }
@@ -169,6 +191,9 @@ fn proxy_sweep(opts: &ChaosOptions, count: u64) -> i32 {
 }
 
 fn load_schedule(opts: &ChaosOptions) -> Schedule {
+    if opts.adversarial && opts.scenario.is_none() {
+        return adversarial_schedule(opts.seed, &AdversarialConfig::default());
+    }
     scenario_schedule(
         opts.scenario.as_deref(),
         opts.seed,
@@ -190,6 +215,7 @@ mod tests {
             proxy: false,
             trace: false,
             strict: false,
+            adversarial: false,
             jobs: 1,
         };
         assert_eq!(run(&opts), 0);
@@ -205,6 +231,23 @@ mod tests {
             proxy: false,
             trace: false,
             strict: true,
+            adversarial: false,
+            jobs: 1,
+        };
+        assert_eq!(run(&opts), 0);
+    }
+
+    #[test]
+    fn adversarial_single_run_passes_strict() {
+        let opts = ChaosOptions {
+            seed: 11,
+            scenario: None,
+            sweep: None,
+            broken: false,
+            proxy: false,
+            trace: false,
+            strict: true,
+            adversarial: true,
             jobs: 1,
         };
         assert_eq!(run(&opts), 0);
@@ -220,6 +263,7 @@ mod tests {
             proxy: false,
             trace: false,
             strict: false,
+            adversarial: false,
             jobs: 1,
         };
         assert_eq!(run(&opts), 1);

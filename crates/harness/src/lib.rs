@@ -14,11 +14,14 @@
 //! | Fig. 14 (proxy failover timeline)        | [`fig14`]     | `fig14` |
 //! | §4 analysis (BDT/BCT model)              | [`analysis_tables`] | `analysis` |
 //! | Ablations A1–A4 (DESIGN.md)              | [`ablations`] | `ablation-*` |
+//! | A10 adversarial fault grid               | [`adversarial`] | `adversarial` |
 //! | Chaos scenarios + invariant oracle       | [`chaos`]     | `chaos` |
 //! | Telemetry dashboard + canonical exports  | [`metrics_tool`] | `metrics` |
 //! | Fig. 14 at scale (load + chaos-under-load) | [`load`]    | `load` |
+//! | SLO-regression gate (CI)                 | [`slo_gate`]  | `slo-gate` |
 
 pub mod ablations;
+pub mod adversarial;
 pub mod analysis_tables;
 pub mod bandwidth;
 pub mod chaos;
@@ -30,6 +33,7 @@ pub mod load;
 pub mod metrics_tool;
 pub mod report;
 pub mod scale;
+pub mod slo_gate;
 pub mod topo_tool;
 pub mod trace_tool;
 

@@ -161,6 +161,11 @@ fn slo_rows(summary: &RunSummary) -> Vec<(String, &tamp_netsim::telemetry::Histo
     for (p, h) in summary.per_partition.iter().enumerate() {
         rows.push((format!("doc{p:02}"), h));
     }
+    // Path attribution: requests that crossed a proxy hop vs those
+    // answered directly. Extra rows only — the CSV header and the
+    // per-partition rows above are schema-checked by CI.
+    rows.push(("proxied".to_string(), &summary.proxied_latency));
+    rows.push(("direct".to_string(), &summary.direct_latency));
     rows
 }
 
@@ -437,6 +442,9 @@ mod tests {
         assert!(run.slo_csv.lines().count() > 2, "{}", run.slo_csv);
         assert!(run.timeline_csv.starts_with("second,"));
         assert!(run.campaign_report.is_none());
+        // Path-attribution rows ride along without changing the schema.
+        assert!(run.slo_csv.lines().any(|l| l.starts_with("proxied,")));
+        assert!(run.slo_csv.lines().any(|l| l.starts_with("direct,")));
     }
 
     #[test]

@@ -213,6 +213,18 @@ fn render_dashboard(
             crate::report::secs(h.max()),
         ]);
     }
+    // Proxy-hop attribution (request seen at a proxy → response back),
+    // recorded per forwarded request id; absent in proxy-free runs.
+    if let Some(h) = snap.histogram(CLUSTER, "proxy", "hop_latency_ns") {
+        lat.row(vec![
+            "proxy hop".to_string(),
+            h.count.to_string(),
+            crate::report::secs(h.quantile(0.5)),
+            crate::report::secs(h.quantile(0.9)),
+            crate::report::secs(h.quantile(0.99)),
+            crate::report::secs(h.max()),
+        ]);
+    }
     out.push_str(&lat.render());
 
     let mem = |name: &str| snap.counter_total("membership", name);
@@ -223,10 +235,12 @@ fn render_dashboard(
         mem("suspicions_confirmed"),
     ));
     out.push_str(&format!(
-        "drops: loss {} / dead-host {} / partition {}\n",
+        "drops: loss {} / dead-host {} / partition {} / gray {} / unroutable {}\n",
         snap.counter(CLUSTER, "net", "drop.loss"),
         snap.counter(CLUSTER, "net", "drop.dead_host"),
         snap.counter(CLUSTER, "net", "drop.partition"),
+        snap.counter(CLUSTER, "net", "drop.gray"),
+        snap.counter(CLUSTER, "net", "drop.unroutable"),
     ));
     out
 }

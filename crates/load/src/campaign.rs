@@ -56,6 +56,10 @@ pub struct RunSummary {
     pub overall: HistogramSnapshot,
     /// Per doc-partition latency.
     pub per_partition: Vec<HistogramSnapshot>,
+    /// Latency of requests that crossed a proxy hop.
+    pub proxied_latency: HistogramSnapshot,
+    /// Latency of requests answered without a proxy hop.
+    pub direct_latency: HistogramSnapshot,
     /// Per-second throughput/latency timeline.
     pub cells: Vec<Cell>,
     /// `[start, end)` seconds of the pre-fault baseline window.
@@ -207,6 +211,8 @@ pub fn run_one(cfg: &LoadScenarioConfig, schedule: &Schedule, campaign: &Campaig
             errors,
             overall: s.telemetry.latency.snapshot(),
             per_partition,
+            proxied_latency: s.telemetry.proxied.snapshot(),
+            direct_latency: s.telemetry.direct.snapshot(),
             cells: timeline.cells().to_vec(),
             baseline,
             fault_window,
@@ -267,6 +273,7 @@ mod tests {
                         action: Action::Kill(Target::Leader(0)),
                     }],
                     settle: 10 * SECS,
+                    ..Schedule::default()
                 },
             }],
         }
@@ -281,6 +288,14 @@ mod tests {
         assert_eq!(outcomes[1].resolved.len(), 1);
         for o in &outcomes {
             assert!(o.summary.completed > 0, "{}: nothing completed", o.name);
+            // Every completion is attributed to exactly one path.
+            assert_eq!(
+                o.summary.proxied_latency.count + o.summary.direct_latency.count,
+                o.summary.overall.count,
+                "{}: proxied/direct split must partition the completions",
+                o.name
+            );
+            assert_eq!(o.summary.proxied_latency.count, o.summary.proxied);
         }
     }
 

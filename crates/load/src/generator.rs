@@ -398,7 +398,8 @@ impl LoadGenNode {
         if req.via_proxy {
             ctx.count("load", "proxied", 1);
         }
-        self.telemetry.record_completion(now, req.doc_part, latency);
+        self.telemetry
+            .record_completion(now, req.doc_part, latency, req.via_proxy);
         if self.cfg.emit_events {
             ctx.emit(ProtocolEvent::RequestCompleted {
                 partition: req.doc_part,

@@ -90,6 +90,11 @@ pub struct LoadTelemetry {
     pub latency: Histogram,
     /// Per doc-partition latency, indexed by partition.
     pub by_partition: Vec<Histogram>,
+    /// Latency of requests that crossed a proxy hop, so proxy-path time
+    /// can be attributed separately from direct-path time.
+    pub proxied: Histogram,
+    /// Latency of requests answered without a proxy hop.
+    pub direct: Histogram,
     pub timeline: Arc<Mutex<Timeline>>,
 }
 
@@ -103,15 +108,30 @@ impl LoadTelemetry {
             by_partition: (0..doc_partitions)
                 .map(|p| registry.histogram(CLUSTER, SUBSYSTEM, format!("latency_ns.doc{p:02}")))
                 .collect(),
+            proxied: registry.histogram(CLUSTER, SUBSYSTEM, "latency_ns.proxied"),
+            direct: registry.histogram(CLUSTER, SUBSYSTEM, "latency_ns.direct"),
             timeline: Arc::new(Mutex::new(Timeline::default())),
         }
     }
 
     /// Record one completed request against `doc_partition`.
-    pub fn record_completion(&self, now: Nanos, doc_partition: u16, latency: Nanos) {
+    /// `via_proxy` splits the sample into the proxied/direct histograms
+    /// so proxy-hop latency is attributable from the same run.
+    pub fn record_completion(
+        &self,
+        now: Nanos,
+        doc_partition: u16,
+        latency: Nanos,
+        via_proxy: bool,
+    ) {
         self.latency.record(latency);
         if let Some(h) = self.by_partition.get(doc_partition as usize) {
             h.record(latency);
+        }
+        if via_proxy {
+            self.proxied.record(latency);
+        } else {
+            self.direct.record(latency);
         }
         self.timeline
             .lock()

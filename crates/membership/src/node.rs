@@ -1718,6 +1718,45 @@ impl MembershipNode {
                         }
                         continue;
                     }
+                    // Fresh direct evidence beats a relayed removal, just
+                    // as it beats a relayed suspicion below: under an
+                    // asymmetric (gray) fabric fault, a remote group can
+                    // "confirm" the death of a node we still hear
+                    // heartbeating on the local segment. Applying that
+                    // removal would be a false removal attributable to
+                    // asymmetry alone — refute on the node's behalf
+                    // instead, at an incarnation that beats the claim.
+                    // Exception: the subject announcing its *own* leave
+                    // (graceful departure) is definitive — heartbeats
+                    // were fresh right up to the announcement.
+                    let heard_recently = relayer != *n
+                        && self.groups.iter().flatten().any(|g| {
+                            g.peers.get(n).is_some_and(|p| {
+                                now.saturating_sub(p.last_heard) <= 2 * self.cfg.heartbeat_period
+                            })
+                        });
+                    if heard_recently {
+                        if let Some(rec) = self.directory.read(|d| {
+                            d.get(*n)
+                                .filter(|e| e.record.incarnation >= *inc)
+                                .map(|e| e.record.clone())
+                        }) {
+                            // Arm the Leave-blocker (fresh direct liveness
+                            // is proof) so replays of this accusation are
+                            // answered by the branch above instead of
+                            // being re-relayed — that bounds the flood.
+                            self.refuted.insert(*n, (rec.incarnation, now));
+                            effective.push(MemberEvent::Refute(rec));
+                            // Still relay the accusation itself: our
+                            // same-incarnation proof cannot beat the
+                            // death claim at observers with no direct
+                            // evidence. Only the subject's own higher
+                            // re-incarnation can, and the subject must
+                            // see the claim to issue it.
+                            effective.push(ev.event.clone());
+                            continue;
+                        }
+                    }
                     // A removal consumes any open suspicion: the origin
                     // group confirmed what we (or the tree) suspected.
                     self.suspicions.remove(n);

@@ -122,6 +122,33 @@ pub enum Control {
     /// Change the base uniform loss rate from this instant on (bursts
     /// still layer on top).
     SetLoss(f64),
+    /// Gray (asymmetric) partition: sever traffic from the first segment
+    /// *to* the second only; the reverse direction keeps delivering. The
+    /// failure mode behind one-way fiber faults and asymmetric ACL
+    /// mistakes — a host can be heard but cannot hear.
+    BlockDirection(SegmentId, SegmentId),
+    /// Heal a gray partition (this direction only).
+    UnblockDirection(SegmentId, SegmentId),
+    /// Set a host's clock skew in parts-per-million. A host with +ppm
+    /// runs fast: its nominal timer delays elapse in less simulated
+    /// time, so its heartbeats/suspicions drift ahead of the cluster.
+    /// Applies to timers armed after this instant; 0 restores nominal.
+    SetSkew(HostId, i64),
+    /// Take a layer-3 router down: every segment-pair distance is
+    /// re-scoped around it (dynamic topology). Pairs with no redundant
+    /// path become unreachable; in-flight and future packets between
+    /// them drop with [`DropReason::Unroutable`].
+    RouterDown(u16),
+    /// Bring a router back and restore build-time TTL scoping.
+    RouterUp(u16),
+    /// Cap the directed inter-segment link (first → second) at
+    /// `bytes_per_sec`: packets crossing it serialize through a queue
+    /// and see buildup delay under contention. 0 removes the cap.
+    SetLinkBandwidth(SegmentId, SegmentId, u64),
+    /// Per-link directional loss: deliveries crossing first → second
+    /// drop with at least this probability (the max of this and the
+    /// global rate applies). 0 removes the entry.
+    SetLinkLoss(SegmentId, SegmentId, f64),
 }
 
 /// An in-flight packet (shared across all its multicast receivers).
@@ -204,10 +231,13 @@ struct NetMeters {
     by_kind: BTreeMap<&'static str, (Counter, Counter)>,
     /// `(pkts, bytes)` per multicast channel, node = [`CLUSTER`].
     by_channel: BTreeMap<u16, (Counter, Counter)>,
-    /// Drop counts by reason (loss / dead-host / partition).
+    /// Drop counts by reason (loss / dead-host / partition / gray /
+    /// unroutable).
     drop_loss: Counter,
     drop_dead: Counter,
     drop_partition: Counter,
+    drop_gray: Counter,
+    drop_unroutable: Counter,
     /// Send→deliver latency in ns, cluster-wide.
     delivery_ns: Histogram,
 }
@@ -233,6 +263,8 @@ impl NetMeters {
             drop_loss: registry.counter(CLUSTER, "net", "drop.loss"),
             drop_dead: registry.counter(CLUSTER, "net", "drop.dead_host"),
             drop_partition: registry.counter(CLUSTER, "net", "drop.partition"),
+            drop_gray: registry.counter(CLUSTER, "net", "drop.gray"),
+            drop_unroutable: registry.counter(CLUSTER, "net", "drop.unroutable"),
             delivery_ns: registry.histogram(CLUSTER, "net", "delivery_ns"),
         }
     }
@@ -243,6 +275,8 @@ impl NetMeters {
             DropReason::Loss => self.drop_loss.inc(),
             DropReason::DeadHost => self.drop_dead.inc(),
             DropReason::Partition => self.drop_partition.inc(),
+            DropReason::Gray => self.drop_gray.inc(),
+            DropReason::Unroutable => self.drop_unroutable.inc(),
         }
     }
 }
@@ -298,6 +332,21 @@ pub struct Engine {
     /// Reusable per-send buffer of `(receiver, deliver_at)` pairs.
     deliver_buf: Vec<(HostId, SimTime)>,
     blocked: HashSet<(u16, u16)>,
+    /// Gray partitions: `(from, to)` directed segment pairs whose
+    /// traffic is severed in that direction only.
+    gray_blocked: HashSet<(u16, u16)>,
+    /// Per-host clock skew in ppm (fast > 0, slow < 0). Scales timer
+    /// delays at arm time.
+    skew_ppm: Vec<i64>,
+    /// Directed inter-segment link bandwidth caps in bytes/sec, plus
+    /// when each capped link's transmit queue drains.
+    link_bw: HashMap<(u16, u16), u64>,
+    link_free: HashMap<(u16, u16), SimTime>,
+    /// Directed per-link loss floors (max of this and the global rate).
+    link_loss: HashMap<(u16, u16), f64>,
+    /// Reusable per-send map of link-queue delay already charged to a
+    /// directed segment pair (one multicast crosses each link once).
+    link_extra_buf: HashMap<(u16, u16), SimTime>,
     rng: StdRng,
     stats: Stats,
     started: bool,
@@ -338,6 +387,12 @@ impl Engine {
             mcast_cache: HashMap::new(),
             deliver_buf: Vec::new(),
             blocked: HashSet::new(),
+            gray_blocked: HashSet::new(),
+            skew_ppm: vec![0; n],
+            link_bw: HashMap::new(),
+            link_free: HashMap::new(),
+            link_loss: HashMap::new(),
+            link_extra_buf: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             started: false,
             effects_buf: Vec::new(),
@@ -523,6 +578,65 @@ impl Engine {
                 self.config.loss.rate = rate.clamp(0.0, 1.0);
                 self.trace(TraceEvent::Net("loss", format!("rate={rate:.3}")));
             }
+            Control::BlockDirection(from, to) => {
+                self.gray_blocked.insert((from.0, to.0));
+                self.trace(TraceEvent::Net(
+                    "gray-partition",
+                    format!("seg{}→seg{}", from.0, to.0),
+                ));
+            }
+            Control::UnblockDirection(from, to) => {
+                self.gray_blocked.remove(&(from.0, to.0));
+                self.trace(TraceEvent::Net(
+                    "gray-heal",
+                    format!("seg{}→seg{}", from.0, to.0),
+                ));
+            }
+            Control::SetSkew(h, ppm) => {
+                // A clock cannot run backwards faster than time itself.
+                let ppm = ppm.max(-999_999);
+                self.skew_ppm[h.index()] = ppm;
+                self.trace(TraceEvent::Net("skew", format!("{h} {ppm:+}ppm")));
+            }
+            Control::RouterDown(r) => {
+                if self.topo.set_router_down(tamp_topology::RouterId(r)) {
+                    // Every cached fan-out list was computed under the old
+                    // scoping.
+                    self.mcast_cache.clear();
+                    self.trace(TraceEvent::Net("router-down", format!("r{r}")));
+                }
+            }
+            Control::RouterUp(r) => {
+                if self.topo.set_router_up(tamp_topology::RouterId(r)) {
+                    self.mcast_cache.clear();
+                    self.trace(TraceEvent::Net("router-up", format!("r{r}")));
+                }
+            }
+            Control::SetLinkBandwidth(from, to, bytes_per_sec) => {
+                let key = (from.0, to.0);
+                if bytes_per_sec == 0 {
+                    self.link_bw.remove(&key);
+                    self.link_free.remove(&key);
+                } else {
+                    self.link_bw.insert(key, bytes_per_sec);
+                }
+                self.trace(TraceEvent::Net(
+                    "bandwidth",
+                    format!("seg{}→seg{} {bytes_per_sec} B/s", from.0, to.0),
+                ));
+            }
+            Control::SetLinkLoss(from, to, rate) => {
+                let key = (from.0, to.0);
+                if rate <= 0.0 {
+                    self.link_loss.remove(&key);
+                } else {
+                    self.link_loss.insert(key, rate.clamp(0.0, 1.0));
+                }
+                self.trace(TraceEvent::Net(
+                    "link-loss",
+                    format!("seg{}→seg{} rate={rate:.3}", from.0, to.0),
+                ));
+            }
         }
     }
 
@@ -544,6 +658,21 @@ impl Engine {
         }
         let (sa, sb) = (self.topo.segment_of(a).0, self.topo.segment_of(b).0);
         self.blocked.contains(&(sa.min(sb), sa.max(sb)))
+    }
+
+    /// Directional: is traffic *from* `a` *to* `b` gray-severed?
+    fn gray_blocked_towards(&self, a: HostId, b: HostId) -> bool {
+        if self.gray_blocked.is_empty() {
+            return false;
+        }
+        let (sa, sb) = (self.topo.segment_of(a).0, self.topo.segment_of(b).0);
+        self.gray_blocked.contains(&(sa, sb))
+    }
+
+    /// Is `b` currently routable from `a` (routers permitting)?
+    fn routable(&self, a: HostId, b: HostId) -> bool {
+        let (sa, sb) = (self.topo.segment_of(a), self.topo.segment_of(b));
+        sa == sb || self.topo.segment_hops(sa, sb) != u8::MAX
     }
 
     fn deliver(&mut self, to: HostId, epoch: u32, pkt_id: u32) {
@@ -573,18 +702,29 @@ impl Engine {
             return;
         }
         // Partitions that appeared while the packet was in flight still
-        // block it: the check happens at delivery time.
-        if self.segments_blocked(pkt.src, to) {
+        // block it: the check happens at delivery time. Gray partitions
+        // and router loss are checked the same way, each with its own
+        // drop reason so the taxonomy stays exact.
+        let blocked_reason = if self.segments_blocked(pkt.src, to) {
+            Some(DropReason::Partition)
+        } else if self.gray_blocked_towards(pkt.src, to) {
+            Some(DropReason::Gray)
+        } else if !self.routable(pkt.src, to) {
+            Some(DropReason::Unroutable)
+        } else {
+            None
+        };
+        if let Some(reason) = blocked_reason {
             self.stats.on_drop(to);
             if let Some(m) = &self.meters {
-                m.on_drop(to, DropReason::Partition);
+                m.on_drop(to, reason);
             }
             self.trace(TraceEvent::Drop {
                 src: pkt.src,
                 dst: to,
                 channel,
                 kind: pkt.msg.kind(),
-                reason: DropReason::Partition,
+                reason,
             });
             return;
         }
@@ -610,6 +750,18 @@ impl Engine {
             size: pkt.size,
         };
         self.run_callback(to, |actor, ctx| actor.on_packet(ctx, meta, &pkt.msg));
+    }
+
+    /// A host's nominal timer delay as simulated time: a clock running
+    /// `+ppm` fast measures out `delay` nominal ns in
+    /// `delay · 10⁶ / (10⁶ + ppm)` real ns. Zero skew is the identity.
+    fn skewed_delay(&self, host: HostId, delay: SimTime) -> SimTime {
+        let ppm = self.skew_ppm[host.index()];
+        if ppm == 0 {
+            return delay;
+        }
+        let denom = (1_000_000 + ppm) as u128;
+        ((delay as u128 * 1_000_000) / denom) as SimTime
     }
 
     /// Invoke an actor callback and apply its effects. The actor is moved
@@ -639,6 +791,7 @@ impl Engine {
             Effect::Send { dest, msg } => self.send(host, dest, msg),
             Effect::SetTimer { delay, token } => {
                 let epoch = self.epoch[host.index()];
+                let delay = self.skewed_delay(host, delay);
                 self.push(self.clock + delay, EventKind::Timer { host, epoch, token });
             }
             Effect::Subscribe(c) => {
@@ -781,11 +934,37 @@ impl Engine {
         // the RNG consumption order is part of the determinism contract)
         // into a reusable buffer of scheduled deliveries.
         let loss = self.effective_loss();
+        self.link_extra_buf.clear();
         let mut pending = std::mem::take(&mut self.deliver_buf);
         pending.clear();
         {
             let schedule_one = |eng: &mut Engine, to: HostId, buf: &mut Vec<(HostId, SimTime)>| {
-                if loss > 0.0 && eng.rng.gen::<f64>() < loss {
+                // A receiver with no router path (dynamic topology) never
+                // gets a delivery scheduled; no RNG is consumed for it.
+                if !eng.routable(src, to) {
+                    eng.stats.on_drop(to);
+                    if let Some(m) = &eng.meters {
+                        m.on_drop(to, DropReason::Unroutable);
+                    }
+                    eng.trace(TraceEvent::Drop {
+                        src,
+                        dst: to,
+                        channel: channel.map(|(c, _)| c.0),
+                        kind,
+                        reason: DropReason::Unroutable,
+                    });
+                    return;
+                }
+                let mut p = loss;
+                if !eng.link_loss.is_empty() {
+                    let (sa, sb) = (eng.topo.segment_of(src).0, eng.topo.segment_of(to).0);
+                    if sa != sb {
+                        if let Some(&link) = eng.link_loss.get(&(sa, sb)) {
+                            p = p.max(link);
+                        }
+                    }
+                }
+                if p > 0.0 && eng.rng.gen::<f64>() < p {
                     eng.stats.on_drop(to);
                     if let Some(m) = &eng.meters {
                         m.on_drop(to, DropReason::Loss);
@@ -804,7 +983,30 @@ impl Engine {
                 } else {
                     0
                 };
-                let at = eng.clock + serialize + eng.topo.latency(src, to) + jitter;
+                let mut at = eng.clock + serialize + eng.topo.latency(src, to) + jitter;
+                if !eng.link_bw.is_empty() {
+                    let (sa, sb) = (eng.topo.segment_of(src).0, eng.topo.segment_of(to).0);
+                    if sa != sb {
+                        if let Some(&bw) = eng.link_bw.get(&(sa, sb)).filter(|&&bw| bw > 0) {
+                            // One multicast occupies the link once; every
+                            // receiver behind it shares the queue delay.
+                            let extra = match eng.link_extra_buf.get(&(sa, sb)) {
+                                Some(&e) => e,
+                                None => {
+                                    let depart = eng.clock + serialize;
+                                    let start =
+                                        depart.max(*eng.link_free.get(&(sa, sb)).unwrap_or(&0));
+                                    let tx = (size as u128 * 1_000_000_000 / bw as u128) as SimTime;
+                                    eng.link_free.insert((sa, sb), start + tx);
+                                    let e = start + tx - depart;
+                                    eng.link_extra_buf.insert((sa, sb), e);
+                                    e
+                                }
+                            };
+                            at += extra;
+                        }
+                    }
+                }
                 buf.push((to, at));
             };
             match (&receivers, dest) {
@@ -1076,6 +1278,261 @@ mod tests {
         assert_eq!(read(&counters[1]), 3, "partitioned traffic leaked");
         eng.run_until(9 * SECS + 400 * crate::MILLIS);
         assert_eq!(read(&counters[1]), 6, "traffic did not resume");
+    }
+
+    #[test]
+    fn gray_partition_blocks_one_direction_only() {
+        // Hosts 0 (seg 0) and 1 (seg 1) both beacon with TTL 2. Severing
+        // seg0→seg1 must stop 0's beacons reaching 1 while 1's beacons
+        // keep reaching 0 — the defining asymmetry of a gray failure.
+        let topo = generators::star_of_segments(2, 1);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 2,
+                    received: counters[i].clone(),
+                    sends: true,
+                }),
+            );
+        }
+        eng.start();
+        eng.schedule(
+            3 * SECS + 500 * crate::MILLIS,
+            Control::BlockDirection(SegmentId(0), SegmentId(1)),
+        );
+        eng.schedule(
+            6 * SECS + 500 * crate::MILLIS,
+            Control::UnblockDirection(SegmentId(0), SegmentId(1)),
+        );
+        eng.run_until(6 * SECS + 400 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 3, "gray direction leaked traffic");
+        assert_eq!(read(&counters[0]), 6, "healthy direction was blocked");
+        eng.run_until(9 * SECS + 400 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 6, "gray heal did not restore traffic");
+        assert_eq!(read(&counters[0]), 9);
+    }
+
+    #[test]
+    fn clock_skew_scales_timer_cadence() {
+        // +100000 ppm (10% fast): ~11 beacons where a nominal clock
+        // sends 10; -100000 ppm (10% slow... ppm is per-million so this
+        // is 1.1s per beacon): ~9.
+        for (ppm, expect) in [(100_000i64, 11u64), (-100_000, 9), (0, 10)] {
+            let topo = generators::single_segment(2);
+            let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+            let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+            for (i, h) in eng.hosts().into_iter().enumerate() {
+                eng.add_actor(
+                    h,
+                    Box::new(Beacon {
+                        channel: ChannelId(0),
+                        ttl: 1,
+                        received: counters[i].clone(),
+                        sends: i == 0,
+                    }),
+                );
+            }
+            let h0 = eng.hosts()[0];
+            eng.control_now(Control::SetSkew(h0, ppm));
+            eng.start();
+            eng.run_until(10 * SECS + 100 * crate::MILLIS);
+            assert_eq!(read(&counters[1]), expect, "{ppm:+}ppm skewed beacon count");
+        }
+    }
+
+    #[test]
+    fn router_down_rescopes_and_revives() {
+        // Ring of 4 single-host segments; host 0 beacons with TTL 2,
+        // reaching hosts 1 and 3 (adjacent) but not 2 (2 hops). With r0
+        // down, host 1 re-scopes to 3 hops away — out of TTL 2 — while
+        // host 3 stays adjacent via r3.
+        let topo = generators::ring_of_segments(4, 1);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..4).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 2,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        eng.schedule(3 * SECS + 500 * crate::MILLIS, Control::RouterDown(0));
+        eng.schedule(6 * SECS + 500 * crate::MILLIS, Control::RouterUp(0));
+        eng.run_until(6 * SECS + 400 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 3, "re-scoped host kept receiving");
+        assert_eq!(read(&counters[3]), 6, "redundant path was lost");
+        assert_eq!(read(&counters[2]), 0, "TTL 2 never covered 2 hops");
+        eng.run_until(9 * SECS + 400 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 6, "router-up did not restore scoping");
+    }
+
+    #[test]
+    fn router_down_without_redundancy_is_unroutable() {
+        // Star: the single core router is the only path. Down, every
+        // cross-segment delivery must drop as Unroutable (not Partition).
+        let topo = generators::star_of_segments(2, 1);
+        let cfg = EngineConfig {
+            metrics: true,
+            ..Default::default()
+        };
+        let mut eng = Engine::new(topo, cfg, 1);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 2,
+                    received: counters[i].clone(),
+                    sends: i == 0,
+                }),
+            );
+        }
+        eng.start();
+        eng.schedule(3 * SECS + 500 * crate::MILLIS, Control::RouterDown(0));
+        eng.run_until(10 * SECS);
+        assert_eq!(read(&counters[1]), 3, "unroutable traffic leaked");
+        let snap = eng.registry().snapshot();
+        let unroutable = snap.counter(tamp_telemetry::CLUSTER, "net", "drop.unroutable");
+        assert!(unroutable == 0, "mcast scoping already excludes receivers");
+        // Unicast across the dead core *does* record the drop reason.
+        struct Uni;
+        impl Actor for Uni {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.send_unicast(
+                    tamp_wire::NodeId(1),
+                    Message::SyncRequest(SyncRequest {
+                        from: ctx.node_id(),
+                        since_seq: 0,
+                    }),
+                );
+            }
+            fn on_packet(&mut self, _c: &mut Context, _m: PacketMeta, _msg: &Message) {}
+            fn on_timer(&mut self, _c: &mut Context, _t: u64) {}
+        }
+        let topo = generators::star_of_segments(2, 1);
+        let cfg = EngineConfig {
+            metrics: true,
+            ..Default::default()
+        };
+        let mut eng = Engine::new(topo, cfg, 1);
+        let hs = eng.hosts();
+        eng.control_now(Control::RouterDown(0));
+        eng.add_actor(hs[0], Box::new(Uni));
+        eng.start();
+        eng.run_until(SECS);
+        let snap = eng.registry().snapshot();
+        let unroutable = snap.counter(tamp_telemetry::CLUSTER, "net", "drop.unroutable");
+        assert_eq!(unroutable, 1, "unicast unroutable drop not metered");
+    }
+
+    #[test]
+    fn link_bandwidth_queue_builds_up() {
+        // Two hosts across one router; cap the seg0→seg1 link to 100 kB/s
+        // so each ~60 B beacon costs ~0.6 ms of link time. A burst of
+        // sends must arrive serialized through the link queue.
+        use tamp_wire::{NodeId, ServiceRequest};
+        struct BigBurst {
+            deliveries: std::sync::Arc<std::sync::Mutex<Vec<SimTime>>>,
+            sender: bool,
+        }
+        impl Actor for BigBurst {
+            fn on_start(&mut self, ctx: &mut Context) {
+                if self.sender {
+                    ctx.set_timer(SECS, 0);
+                }
+            }
+            fn on_packet(&mut self, ctx: &mut Context, _m: PacketMeta, _msg: &Message) {
+                self.deliveries.lock().unwrap().push(ctx.now());
+            }
+            fn on_timer(&mut self, ctx: &mut Context, _t: u64) {
+                for _ in 0..5 {
+                    ctx.send_unicast(
+                        NodeId(1),
+                        Message::ServiceRequest(ServiceRequest {
+                            id: 0,
+                            from: ctx.node_id(),
+                            service: "x".into(),
+                            partition: 0,
+                            payload: vec![0; 1000],
+                            hops_left: 0,
+                        }),
+                    );
+                }
+            }
+        }
+        let topo = generators::star_of_segments(2, 1);
+        let cfg = EngineConfig {
+            latency_jitter: 0,
+            ..Default::default()
+        };
+        let mut eng = Engine::new(topo, cfg, 1);
+        let deliveries = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let hs = eng.hosts();
+        eng.add_actor(
+            hs[0],
+            Box::new(BigBurst {
+                deliveries: deliveries.clone(),
+                sender: true,
+            }),
+        );
+        eng.add_actor(
+            hs[1],
+            Box::new(BigBurst {
+                deliveries: deliveries.clone(),
+                sender: false,
+            }),
+        );
+        eng.control_now(Control::SetLinkBandwidth(
+            SegmentId(0),
+            SegmentId(1),
+            100_000,
+        ));
+        eng.start();
+        eng.run_until(3 * SECS);
+        let d = deliveries.lock().unwrap();
+        assert_eq!(d.len(), 5);
+        // ~1060 B at 100 kB/s ≈ 10.6 ms per packet of link time — far
+        // above the ~85 µs NIC serialization, so the queue dominates.
+        let gaps: Vec<u64> = d.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.iter().all(|&g| g >= 10 * crate::MILLIS),
+            "link queue did not build up: gaps {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn per_link_loss_is_directional() {
+        // Total loss seg0→seg1 only: host 1 hears nothing, host 0 hears
+        // everything.
+        let topo = generators::star_of_segments(2, 1);
+        let mut eng = Engine::new(topo, EngineConfig::default(), 1);
+        let counters: Vec<_> = (0..2).map(|_| counter()).collect();
+        for (i, h) in eng.hosts().into_iter().enumerate() {
+            eng.add_actor(
+                h,
+                Box::new(Beacon {
+                    channel: ChannelId(0),
+                    ttl: 2,
+                    received: counters[i].clone(),
+                    sends: true,
+                }),
+            );
+        }
+        eng.control_now(Control::SetLinkLoss(SegmentId(0), SegmentId(1), 1.0));
+        eng.start();
+        eng.run_until(10 * SECS + 100 * crate::MILLIS);
+        assert_eq!(read(&counters[1]), 0, "lossy direction delivered");
+        assert_eq!(read(&counters[0]), 10, "clean direction dropped");
     }
 
     #[test]

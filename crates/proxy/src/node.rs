@@ -68,10 +68,17 @@ const T_PROXY_SWEEP: u64 = 2 << 32;
 const T_PROXY_CHANGE: u64 = 3 << 32;
 const PROXY_TOKEN_MASK: u64 = !0u64 << 32;
 
-/// Where to send a forwarded request's response.
+/// Where to send a forwarded request's response. The originating
+/// request id rides the whole forwarding chain unchanged (every hop
+/// forwards `req.id` verbatim), so `origin` — the issuing node, encoded
+/// in the id's high half — survives even though `req.from` is rewritten
+/// at each hop. That is what lets `tamp-exp metrics` attribute
+/// proxy-path latency back to the request's source.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     reply_to: NodeId,
+    /// Issuing node of the original request (`req.id >> 32`).
+    origin: u32,
     at: Nanos,
 }
 
@@ -329,10 +336,12 @@ impl ProxyNode {
             let target = candidates.into_iter().find_map(|dc| self.vips.get(dc));
             match target {
                 Some(vip) => {
+                    ctx.count("proxy", "requests_forwarded", 1);
                     self.pending.insert(
                         req.id,
                         Pending {
                             reply_to: req.from,
+                            origin: (req.id >> 32) as u32,
                             at: now,
                         },
                     );
@@ -344,6 +353,7 @@ impl ProxyNode {
                 None => {
                     // "If it cannot find an appropriate data center, the
                     // request will be rejected."
+                    ctx.count("proxy", "requests_rejected", 1);
                     ctx.send_unicast(
                         req.from,
                         Message::ServiceResponse(ServiceResponse {
@@ -370,10 +380,12 @@ impl ProxyNode {
             };
             match target {
                 Some(node) => {
+                    ctx.count("proxy", "requests_forwarded", 1);
                     self.pending.insert(
                         req.id,
                         Pending {
                             reply_to: req.from,
+                            origin: (req.id >> 32) as u32,
                             at: now,
                         },
                     );
@@ -383,6 +395,7 @@ impl ProxyNode {
                     ctx.send_unicast(node, Message::ServiceRequest(fwd));
                 }
                 None => {
+                    ctx.count("proxy", "requests_rejected", 1);
                     ctx.send_unicast(
                         req.from,
                         Message::ServiceResponse(ServiceResponse {
@@ -399,8 +412,18 @@ impl ProxyNode {
     }
 
     fn handle_response(&mut self, ctx: &mut Context, resp: &ServiceResponse) {
-        // Steps (4)–(6): unwind the forwarding chain.
+        // Steps (4)–(6): unwind the forwarding chain. The hop latency
+        // (request seen here → response back here) is recorded against
+        // this proxy and attributed to the originating request id, so
+        // the metrics dashboard can split proxy-path time out of the
+        // end-to-end latency the consumer sees.
         if let Some(p) = self.pending.remove(&resp.id) {
+            let hop = ctx.now().saturating_sub(p.at);
+            ctx.record("proxy", "hop_latency_ns", hop);
+            ctx.emit(tamp_netsim::ProtocolEvent::ProxyForwarded {
+                origin: p.origin,
+                hop_latency_us: (hop / 1_000).min(u64::from(u32::MAX)) as u32,
+            });
             let mut fwd = resp.clone();
             fwd.from = self.me;
             ctx.send_unicast(p.reply_to, Message::ServiceResponse(fwd));

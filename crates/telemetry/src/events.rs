@@ -80,6 +80,11 @@ pub enum ProtocolEvent {
     /// A proxy pushed a service summary (`services` entries) to remote
     /// data centre `dc`.
     ProxySummary { services: u32, dc: u16 },
+    /// A proxy unwound a forwarded request's response. `origin` is the
+    /// node that issued the original request (the high half of the
+    /// request id, which rides the whole forwarding chain unchanged), so
+    /// proxy-path latency can be attributed back to its source.
+    ProxyForwarded { origin: u32, hop_latency_us: u32 },
     /// An anti-entropy sync poll was sent to `peer`.
     SyncPoll { peer: u32 },
     /// A synthetic user request entered the system, targeting
@@ -108,6 +113,7 @@ impl ProtocolEvent {
             ProtocolEvent::ElectionRound { .. } => "election-round",
             ProtocolEvent::LeadershipClaimed { .. } => "leadership-claimed",
             ProtocolEvent::ProxySummary { .. } => "proxy-summary",
+            ProtocolEvent::ProxyForwarded { .. } => "proxy-forwarded",
             ProtocolEvent::SyncPoll { .. } => "sync-poll",
             ProtocolEvent::RequestIssued { .. } => "request-issued",
             ProtocolEvent::RequestCompleted { .. } => "request-completed",
@@ -125,6 +131,14 @@ pub enum DropReason {
     DeadHost,
     /// A network partition blocked the segment pair.
     Partition,
+    /// A gray (asymmetric) partition blocked this direction only; the
+    /// reverse direction still delivers. Kept distinct from
+    /// [`DropReason::Partition`] so metrics reconciliation can attribute
+    /// directional loss exactly.
+    Gray,
+    /// The destination became unreachable because a router on every
+    /// path between the segments is down (dynamic topology).
+    Unroutable,
 }
 
 /// One timestamped trace record.
@@ -315,6 +329,10 @@ impl EventLog {
                     ProtocolEvent::RequestFailed { partition, reason } => {
                         format!("partition {partition}, {reason}")
                     }
+                    ProtocolEvent::ProxyForwarded {
+                        origin,
+                        hop_latency_us,
+                    } => format!("origin n{origin}, {hop_latency_us} us"),
                 };
                 format!("{t:11.6}  {node:>5} ⋄ {} {detail}", event.name())
             }

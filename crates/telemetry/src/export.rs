@@ -117,6 +117,10 @@ pub fn event_to_json(r: &EventRecord) -> String {
                 ProtocolEvent::ProxySummary { services, dc } => {
                     format!("\"services\":{services},\"dc\":{dc}")
                 }
+                ProtocolEvent::ProxyForwarded {
+                    origin,
+                    hop_latency_us,
+                } => format!("\"origin\":{origin},\"hop_latency_us\":{hop_latency_us}"),
                 ProtocolEvent::SyncPoll { peer } => format!("\"peer\":{peer}"),
                 ProtocolEvent::RequestIssued { partition } => {
                     format!("\"partition\":{partition}")

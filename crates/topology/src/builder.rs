@@ -135,6 +135,7 @@ impl TopologyBuilder {
             segment_hosts,
             seg_hops,
             seg_latency,
+            fabric,
         )
     }
 }

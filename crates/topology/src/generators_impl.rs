@@ -83,6 +83,31 @@ pub fn tree_of_segments(depth: usize, fanout: usize, hosts_per_leaf: usize) -> T
     b.build()
 }
 
+/// A ring of segments: router `r_i` joins segment `i` to segment
+/// `(i + 1) % segments`, so every segment pair has two disjoint router
+/// paths. This is the redundant-fabric shape for dynamic-topology chaos:
+/// taking any single router down keeps the cluster connected but
+/// re-scopes TTL distances onto the detour the long way around the ring
+/// (worst case `segments - 1` hops), forcing live group re-formation
+/// instead of a partition. `resilient_max_ttl()` is `segments`.
+pub fn ring_of_segments(segments: usize, hosts_per_segment: usize) -> Topology {
+    assert!(segments >= 2, "a ring needs at least two segments");
+    let mut b = TopologyBuilder::new();
+    let segs: Vec<_> = (0..segments)
+        .map(|_| {
+            let s = b.add_segment();
+            b.add_hosts(s, hosts_per_segment);
+            s
+        })
+        .collect();
+    for i in 0..segments {
+        let r = b.add_router();
+        b.link_segment_router(segs[i], r, None);
+        b.link_segment_router(segs[(i + 1) % segments], r, None);
+    }
+    b.build()
+}
+
 /// A small two-tier Clos-like fabric: `pods` pods, each with one edge
 /// router and `segs_per_pod` segments; every edge router connects to every
 /// one of `spines` spine routers. Intra-pod segments are 1 hop (TTL 2)
@@ -241,6 +266,44 @@ mod tests {
     }
 
     #[test]
+    fn ring_survives_any_single_router_loss() {
+        let mut t = ring_of_segments(4, 2);
+        assert_eq!(t.num_segments(), 4);
+        assert_eq!(t.num_routers(), 4);
+        assert_eq!(t.max_ttl(), 3); // opposite segments: 2 hops
+        assert_eq!(t.resilient_max_ttl(), 4); // detour: 3 hops
+        let hs: Vec<_> = t.hosts().collect();
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), 2); // s0 -> s1 via r0
+        assert!(t.set_router_down(crate::RouterId(0)));
+        // Re-scoped the long way around: s0 - r3 - s3 - r2 - s2 - r1 - s1.
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), 4);
+        // Still fully connected.
+        for &a in &hs {
+            for &b in &hs {
+                assert_ne!(t.ttl_distance(a, b), u8::MAX);
+            }
+        }
+        // Idempotent down, then revival restores the build-time scoping.
+        assert!(!t.set_router_down(crate::RouterId(0)));
+        assert!(t.set_router_up(crate::RouterId(0)));
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), 2);
+        assert_eq!(t.max_ttl(), 3);
+    }
+
+    #[test]
+    fn star_core_router_down_partitions_everything() {
+        let mut t = star_of_segments(3, 2);
+        assert_eq!(t.num_routers(), 1);
+        let hs: Vec<_> = t.hosts().collect();
+        assert!(t.set_router_down(crate::RouterId(0)));
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), u8::MAX);
+        // Same-segment delivery never needed the router.
+        assert_eq!(t.ttl_distance(hs[0], hs[1]), 1);
+        assert!(t.set_router_up(crate::RouterId(0)));
+        assert_eq!(t.ttl_distance(hs[0], hs[2]), 2);
+    }
+
+    #[test]
     fn generators_produce_fully_reachable_clusters() {
         for t in [
             single_segment(5),
@@ -248,6 +311,7 @@ mod tests {
             chain_of_segments(4, 2),
             tree_of_segments(2, 2, 2),
             fat_tree(2, 2, 2, 2),
+            ring_of_segments(4, 2),
             non_transitive_triangle(),
         ] {
             let hs: Vec<_> = t.hosts().collect();

@@ -81,6 +81,10 @@ impl Fabric {
         }
     }
 
+    pub(crate) fn num_routers(&self) -> usize {
+        self.adj.len() - self.num_segments
+    }
+
     fn index(&self, v: Vertex) -> usize {
         match v {
             Vertex::Segment(s) => s as usize,
@@ -102,7 +106,22 @@ impl Fabric {
     /// Returns `(hops, latency)` per segment; unreachable segments get
     /// `(u8::MAX, Nanos::MAX)`.
     pub(crate) fn distances_from(&self, seg: u16) -> (Vec<u8>, Vec<Nanos>) {
+        self.distances_from_masked(seg, &[])
+    }
+
+    /// [`Fabric::distances_from`] with some routers administratively down:
+    /// `router_down[r]` (indexed by router id, missing entries = up) makes
+    /// router `r` unusable, so paths must route around it — this is the
+    /// primitive behind live TTL re-scoping when a router dies mid-run.
+    pub(crate) fn distances_from_masked(
+        &self,
+        seg: u16,
+        router_down: &[bool],
+    ) -> (Vec<u8>, Vec<Nanos>) {
         let n = self.adj.len();
+        let down = |v: usize| -> bool {
+            v >= self.num_segments && router_down.get(v - self.num_segments) == Some(&true)
+        };
         let mut best = vec![Cost::INF; n];
         let src = seg as usize;
         best[src] = Cost {
@@ -119,6 +138,9 @@ impl Fabric {
                 continue;
             }
             for &(next, lat) in &self.adj[vertex] {
+                if down(next) {
+                    continue;
+                }
                 // Passing *through* a router decrements the TTL once. We
                 // charge the hop on the edge that enters a router vertex;
                 // entering a segment vertex is free. This yields:
@@ -200,6 +222,26 @@ mod tests {
         let (hops, lat) = f.distances_from(0);
         assert_eq!(hops[1], u8::MAX);
         assert_eq!(lat[1], Nanos::MAX);
+    }
+
+    #[test]
+    fn masked_router_forces_detour() {
+        // Primary 1-hop path through r0; backup 2-hop path through r1, r2.
+        let mut f = Fabric::new(2, 3);
+        f.link(Vertex::Segment(0), Vertex::Router(0), 100);
+        f.link(Vertex::Router(0), Vertex::Segment(1), 100);
+        f.link(Vertex::Segment(0), Vertex::Router(1), 1);
+        f.link(Vertex::Router(1), Vertex::Router(2), 1);
+        f.link(Vertex::Router(2), Vertex::Segment(1), 1);
+        let (hops, lat) = f.distances_from_masked(0, &[true, false, false]);
+        assert_eq!(hops[1], 2);
+        assert_eq!(lat[1], 3);
+        // All three routers down: unreachable.
+        let (hops, _) = f.distances_from_masked(0, &[true, true, true]);
+        assert_eq!(hops[1], u8::MAX);
+        // Empty mask means everything is up.
+        let (hops, _) = f.distances_from_masked(0, &[]);
+        assert_eq!(hops[1], 1);
     }
 
     #[test]

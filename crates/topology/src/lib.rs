@@ -42,8 +42,8 @@ mod parse;
 pub mod generators {
     //! Ready-made topology shapes used by the experiments.
     pub use crate::generators_impl::{
-        chain_of_segments, fat_tree, multi_datacenter, non_transitive_triangle, single_segment,
-        star_of_segments, tree_of_segments,
+        chain_of_segments, fat_tree, multi_datacenter, non_transitive_triangle, ring_of_segments,
+        single_segment, star_of_segments, tree_of_segments,
     };
 }
 
@@ -84,8 +84,15 @@ pub struct Topology {
     /// One-way switch-to-switch latency along the best path between
     /// segments (excludes host link latency on either end).
     seg_latency: Vec<Vec<Nanos>>,
-    /// Largest finite TTL distance between any two hosts.
+    /// Largest finite TTL distance between any two hosts *with every
+    /// router up* (stable across [`Topology::set_router_up`] so group
+    /// sizing does not flap with the fault schedule).
     max_ttl: u8,
+    /// The underlying segment/router graph, retained so distances can be
+    /// recomputed when a router goes down or comes back mid-run.
+    fabric: graph::Fabric,
+    /// `router_down[r]` marks router `r` administratively down.
+    router_down: Vec<bool>,
 }
 
 impl Topology {
@@ -169,12 +176,84 @@ impl Topology {
             .collect()
     }
 
+    /// Number of layer-3 routers in the fabric.
+    pub fn num_routers(&self) -> usize {
+        self.fabric.num_routers()
+    }
+
+    /// Whether router `r` is currently up (routers start up).
+    pub fn router_is_up(&self, r: RouterId) -> bool {
+        self.router_down.get(r.0 as usize) != Some(&true)
+    }
+
+    /// Take router `r` down and recompute every segment-pair distance
+    /// around it. Segment pairs whose only paths crossed `r` become
+    /// unreachable (`u8::MAX`); pairs with a redundant path are re-scoped
+    /// to the detour's (possibly larger) hop count. `max_ttl()` is *not*
+    /// changed: it reflects the fully-up fabric, so callers sizing group
+    /// hierarchies must provision their own headroom for detours.
+    ///
+    /// Returns `true` if the router was up (state changed).
+    pub fn set_router_down(&mut self, r: RouterId) -> bool {
+        self.set_router_state(r, true)
+    }
+
+    /// Bring router `r` back and recompute distances. Returns `true` if
+    /// the router was down (state changed).
+    pub fn set_router_up(&mut self, r: RouterId) -> bool {
+        self.set_router_state(r, false)
+    }
+
+    fn set_router_state(&mut self, r: RouterId, down: bool) -> bool {
+        let idx = r.0 as usize;
+        assert!(idx < self.num_routers(), "unknown router {r}");
+        if self.router_down.len() < idx + 1 {
+            self.router_down.resize(idx + 1, false);
+        }
+        if self.router_down[idx] == down {
+            return false;
+        }
+        self.router_down[idx] = down;
+        for s in 0..self.num_segments() {
+            let (hops, lat) = self
+                .fabric
+                .distances_from_masked(s as u16, &self.router_down);
+            self.seg_hops[s] = hops;
+            self.seg_latency[s] = lat;
+        }
+        true
+    }
+
+    /// The largest finite TTL distance between any two hosts after taking
+    /// any *single* router down — the headroom a membership hierarchy
+    /// needs so that groups can re-form over detour paths when one router
+    /// dies. Equals [`Topology::max_ttl`] when there are no routers.
+    pub fn resilient_max_ttl(&self) -> u8 {
+        let mut worst = self.max_ttl;
+        let nr = self.num_routers();
+        let ns = self.num_segments();
+        for r in 0..nr {
+            let mut mask = vec![false; nr];
+            mask[r] = true;
+            for s in 0..ns {
+                let (hops, _) = self.fabric.distances_from_masked(s as u16, &mask);
+                for &h in &hops {
+                    if h != u8::MAX {
+                        worst = worst.max(h.saturating_add(1));
+                    }
+                }
+            }
+        }
+        worst
+    }
+
     pub(crate) fn from_parts(
         host_segment: Vec<SegmentId>,
         host_link_latency: Vec<Nanos>,
         segment_hosts: Vec<Vec<HostId>>,
         seg_hops: Vec<Vec<u8>>,
         seg_latency: Vec<Vec<Nanos>>,
+        fabric: graph::Fabric,
     ) -> Self {
         let mut max_ttl = 0u8;
         for row in &seg_hops {
@@ -188,6 +267,7 @@ impl Topology {
         if !host_segment.is_empty() {
             max_ttl = max_ttl.max(1);
         }
+        let router_down = vec![false; fabric.num_routers()];
         Topology {
             host_segment,
             host_link_latency,
@@ -195,6 +275,8 @@ impl Topology {
             seg_hops,
             seg_latency,
             max_ttl,
+            fabric,
+            router_down,
         }
     }
 }
