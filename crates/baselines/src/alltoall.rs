@@ -200,6 +200,7 @@ impl Actor for AllToAllNode {
                     if let Some(inc) = inc {
                         self.directory
                             .update(|d| (d.apply_leave(n, inc, now).changed(), ()));
+                        ctx.count("alltoall", "deaths_declared", 1);
                         ctx.observe_removed(n);
                     }
                 }

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tamp_directory::{DirectoryClient, Provenance, SharedDirectory};
-use tamp_netsim::{Actor, Context, Nanos, PacketMeta, SECS};
+use tamp_netsim::{Actor, Context, Nanos, PacketMeta, ProtocolEvent, SECS};
 use tamp_wire::{Gossip, GossipEntry, Message, NodeId, NodeRecord, ServiceDecl};
 
 /// Tunables for one gossip node.
@@ -248,6 +248,13 @@ impl Actor for GossipNode {
                 if now < until && !restarted {
                     continue;
                 }
+                if restarted && now < until {
+                    // A higher incarnation overrode an active blacklist
+                    // entry: the presumed death was refuted by a genuine
+                    // restart — gossip's analogue of a refutation.
+                    ctx.count("gossip", "suspicions_refuted", 1);
+                    ctx.emit(ProtocolEvent::SuspicionRefuted { subject: node.0 });
+                }
                 self.blacklist.remove(&node);
             }
             let m = self.members.entry(node).or_insert(MemberState {
@@ -312,6 +319,7 @@ impl Actor for GossipNode {
                     if let Some(inc) = inc {
                         self.directory
                             .update(|d| (d.apply_leave(n, inc, now).changed(), ()));
+                        ctx.count("gossip", "deaths_declared", 1);
                         ctx.observe_removed(n);
                     }
                 }

@@ -14,13 +14,25 @@
 //!   `T_fail`. Probabilistic, `Θ(n·s)` bytes *per message*, detection
 //!   time growing with `log n`.
 //!
-//! Both implement the same sans-io [`tamp_netsim::Actor`] interface as
+//! A third, newer baseline rides along for perspective the paper could
+//! not have had in 2003:
+//!
+//! * [`SwimNode`] — SWIM (Das, Gupta & Motivala, DSN 2002): round-robin
+//!   direct probes over a randomized permutation, `k` indirect probes
+//!   via ping-req on a missed ack, and suspect/alive/confirm updates
+//!   piggybacked on the probe traffic itself with incarnation-number
+//!   refutation. Constant per-node probe load, `O(log n)` dissemination
+//!   latency, bounded worst-case detection time.
+//!
+//! All implement the same sans-io [`tamp_netsim::Actor`] interface as
 //! the hierarchical node, publish the same [`tamp_directory`] yellow
 //! pages, and emit the same add/remove observations, so the experiment
 //! harness can swap protocols behind one interface.
 
 mod alltoall;
 mod gossip;
+mod swim;
 
 pub use alltoall::{AllToAllConfig, AllToAllNode};
 pub use gossip::{GossipConfig, GossipNode};
+pub use swim::{SwimConfig, SwimNode};

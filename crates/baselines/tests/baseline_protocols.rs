@@ -1,6 +1,8 @@
-//! End-to-end tests for the two baseline protocols in the simulator.
+//! End-to-end tests for the baseline protocols in the simulator.
 
-use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode};
+use tamp_baselines::{
+    AllToAllConfig, AllToAllNode, GossipConfig, GossipNode, SwimConfig, SwimNode,
+};
 use tamp_directory::DirectoryClient;
 use tamp_netsim::{Control, Engine, EngineConfig, SECS};
 use tamp_topology::{generators, HostId};
@@ -156,6 +158,108 @@ fn gossip_message_bytes_scale_with_view() {
         (1.6..2.5).contains(&ratio),
         "expected ~2x per-node bytes, got {ratio:.2}"
     );
+}
+
+fn swim_cluster(n: usize, seed: u64) -> (Engine, Vec<DirectoryClient>) {
+    let topo = generators::star_of_segments(2, n / 2);
+    let mut engine = Engine::new(topo, EngineConfig::default(), seed);
+    let seeds: Vec<NodeId> = engine.hosts().iter().map(|h| NodeId(h.0)).collect();
+    let mut clients = Vec::new();
+    for h in engine.hosts() {
+        let cfg = SwimConfig {
+            seeds: seeds.clone(),
+            ..Default::default()
+        };
+        let node = SwimNode::new(NodeId(h.0), cfg);
+        clients.push(node.directory_client());
+        engine.add_actor(h, Box::new(node));
+    }
+    engine.start();
+    (engine, clients)
+}
+
+#[test]
+fn swim_converges_to_full_view() {
+    let (mut engine, clients) = swim_cluster(10, 23);
+    engine.run_until(30 * SECS);
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.member_count(), 10, "node {i}");
+    }
+}
+
+#[test]
+fn swim_detects_failure_within_probe_and_suspect_window() {
+    let (mut engine, clients) = swim_cluster(10, 29);
+    engine.run_until(30 * SECS);
+    engine.schedule(30 * SECS, Control::Kill(HostId(7)));
+    engine.run_until(60 * SECS);
+    for (i, c) in clients.iter().enumerate().filter(|(i, _)| *i != 7) {
+        assert_eq!(c.member_count(), 9, "node {i} still sees the dead node");
+    }
+    let first = engine.stats().first_removal(NodeId(7)).unwrap();
+    let detect = first - 30 * SECS;
+    // Time-to-first-probe (up to one lap of the n-member permutation at
+    // one probe per second) + direct/indirect phases + 5 s suspicion.
+    assert!(
+        (5 * SECS..=20 * SECS).contains(&detect),
+        "swim detection {}ms",
+        detect / 1_000_000
+    );
+    // Piggybacked dissemination converges within a few probe periods.
+    let last = engine.stats().last_removal(NodeId(7)).unwrap();
+    assert!(
+        last - first <= 12 * SECS,
+        "spread {}ms",
+        (last - first) / 1_000_000
+    );
+}
+
+#[test]
+fn swim_refutes_a_live_but_partitioned_probe_miss() {
+    // Kill and quickly revive a node: the revived node re-incarnates on
+    // restart, so even nodes that suspected (or confirmed) it converge
+    // back to the full view.
+    let (mut engine, clients) = swim_cluster(10, 31);
+    engine.run_until(30 * SECS);
+    engine.schedule(30 * SECS, Control::Kill(HostId(4)));
+    engine.schedule(50 * SECS, Control::Revive(HostId(4)));
+    engine.run_until(110 * SECS);
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.member_count(), 10, "node {i} missing the rejoined node");
+    }
+}
+
+#[test]
+fn swim_probe_traffic_is_constant_per_node() {
+    // SWIM's defining cost property: per-node send rate is O(1) in
+    // cluster size (one probe per period + bounded piggyback), unlike
+    // gossip's O(n) messages or all-to-all's O(n) heartbeat fan-out.
+    let per_node_rate = |n: usize| {
+        let (mut engine, _c) = swim_cluster(n, 37);
+        engine.run_until(20 * SECS);
+        engine.stats_mut().reset_traffic();
+        engine.run_until(40 * SECS);
+        engine.stats().totals().sent_bytes as f64 / n as f64 / 20.0
+    };
+    let r10 = per_node_rate(10);
+    let r20 = per_node_rate(20);
+    let ratio = r20 / r10;
+    assert!(
+        ratio < 1.5,
+        "expected ~flat per-node bytes, got {ratio:.2}x ({r10:.0} -> {r20:.0} B/s)"
+    );
+}
+
+#[test]
+fn deterministic_swim() {
+    let run = |seed: u64| {
+        let (mut engine, clients) = swim_cluster(10, seed);
+        engine.schedule(20 * SECS, Control::Kill(HostId(3)));
+        engine.run_until(45 * SECS);
+        let counts: Vec<_> = clients.iter().map(|c| c.member_count()).collect();
+        (counts, engine.stats().totals().sent_bytes)
+    };
+    assert_eq!(run(42), run(42));
 }
 
 #[test]

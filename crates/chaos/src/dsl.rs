@@ -397,6 +397,19 @@ pub fn parse(text: &str) -> Result<Schedule, ParseError> {
                     }
                 });
             }
+            "protocol" => {
+                let Some(p) = toks.get(1) else {
+                    return err(line, "protocol needs a name");
+                };
+                expect_end(&toks, 2, line)?;
+                if !crate::PROTOCOLS.contains(p) {
+                    return err(
+                        line,
+                        format!("unknown protocol {p:?} (want one of {:?})", crate::PROTOCOLS),
+                    );
+                }
+                schedule.protocol = Some(p.to_string());
+            }
             "restart" => parse_restart(&toks[1..], line, &mut schedule.events)?,
             "rolling-restart" => parse_rolling(&toks[1..], line, &mut schedule.events)?,
             other => return err(line, format!("unknown directive {other:?}")),
@@ -553,5 +566,19 @@ at 70s router-up 1
     fn comments_and_blanks_ignored() {
         let s = parse("\n# nothing\n   \nat 1s kill random # inline\n").unwrap();
         assert_eq!(s.events.len(), 1);
+    }
+
+    #[test]
+    fn protocol_directive_round_trips_and_validates() {
+        let s = parse("protocol swim\nsettle 30s\nat 5s kill host 1\n").unwrap();
+        assert_eq!(s.protocol.as_deref(), Some("swim"));
+        let reparsed = parse(&s.render()).unwrap();
+        assert_eq!(s, reparsed);
+
+        for p in crate::PROTOCOLS {
+            assert!(parse(&format!("protocol {p}\n")).is_ok(), "{p}");
+        }
+        let e = parse("protocol raft\n").unwrap_err();
+        assert!(e.message.contains("unknown protocol"), "{}", e.message);
     }
 }

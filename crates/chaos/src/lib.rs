@@ -48,7 +48,11 @@ pub use generator::{
 pub use inject::{FaultInjector, RuntimeInjector};
 pub use oracle::{OracleConfig, Violation};
 pub use proxy::{run_proxy_scenario, ProxyScenarioConfig};
-pub use runner::{apply_schedule, run_scenario, ScenarioConfig, ScenarioRun};
+pub use runner::{apply_schedule, run_scenario, Protocol, ScenarioConfig, ScenarioRun};
 pub use schedule::{Action, Schedule, ScheduledFault, Target, TopoSpec};
 pub use shrink::{shrink, shrink_on};
 pub use truth::GroundTruth;
+
+/// The protocol names the `protocol` DSL directive (and the harness's
+/// `--protocol` flag) accepts, in canonical order.
+pub const PROTOCOLS: [&str; 5] = ["tamp", "tamp-rapid", "alltoall", "gossip", "swim"];

@@ -101,6 +101,80 @@ impl OracleConfig {
             ..OracleConfig::for_membership(cfg, max_level)
         }
     }
+
+    /// Window for the Rapid-style cut-detection discipline: detection
+    /// still starts from the timeout machinery, but confirmation waits
+    /// for the vote pattern to stabilize — reports live for
+    /// `cut_report_ttl` and the batch fires only after `cut_batch_delay`
+    /// of quiescence, so a correct removal can trail the fault by that
+    /// much more than in timeout mode.
+    pub fn for_cut_detection(cfg: &MembershipConfig, max_level: u8) -> Self {
+        let base = OracleConfig::for_membership(cfg, max_level);
+        OracleConfig {
+            removal_window: base.removal_window + cfg.cut_report_ttl + cfg.cut_batch_delay,
+            ..base
+        }
+    }
+
+    /// Strict cut-detection variant. Every confirmed cut is preceded by
+    /// an advisory suspicion at the reporting observers, so the
+    /// suspect-before-remove ordering check stays on.
+    pub fn strict_for_cut_detection(cfg: &MembershipConfig, max_level: u8) -> Self {
+        OracleConfig {
+            strict: true,
+            require_suspicion: true,
+            ..OracleConfig::for_cut_detection(cfg, max_level)
+        }
+    }
+
+    /// Window for the all-to-all baseline: a correct removal fires
+    /// within `max_loss` missed heartbeats of the fault, plus sweep
+    /// granularity and a little heartbeat phase slack. No suspicion
+    /// machinery exists, so strict runs don't require the ordering.
+    pub fn for_alltoall(cfg: &tamp_baselines::AllToAllConfig) -> Self {
+        OracleConfig {
+            removal_window: cfg.heartbeat_period * (cfg.max_loss as u64 + 3) + cfg.sweep_period,
+            loss_excuse_rate: 0.25,
+            repair_window: 2 * cfg.heartbeat_period,
+            strict: false,
+            require_suspicion: false,
+        }
+    }
+
+    /// Window for the gossip baseline: staleness is judged against
+    /// `T_fail`, the blacklist holds entries until `T_cleanup = 2×T_fail`,
+    /// and the removal itself still has to gossip out.
+    pub fn for_gossip(cfg: &tamp_baselines::GossipConfig) -> Self {
+        OracleConfig {
+            removal_window: cfg.t_cleanup() + 4 * cfg.period + cfg.sweep_period,
+            loss_excuse_rate: 0.25,
+            repair_window: cfg.t_fail(),
+            strict: false,
+            require_suspicion: false,
+        }
+    }
+
+    /// Window for the SWIM baseline on an `n`-host cluster: up to one
+    /// full probe lap before the dead member's turn comes up, the
+    /// direct + indirect probe phases, the refutable suspicion window,
+    /// and piggybacked dissemination of the confirmation (`O(log n)`
+    /// probe periods; budgeted generously). SWIM suspects before it
+    /// confirms, so strict runs keep the ordering check.
+    pub fn for_swim(cfg: &tamp_baselines::SwimConfig, n_hosts: usize) -> Self {
+        let lap = cfg.probe_period * n_hosts as u64;
+        OracleConfig {
+            removal_window: lap
+                + 15 * cfg.probe_period
+                + cfg.direct_timeout
+                + cfg.indirect_timeout
+                + cfg.suspect_timeout
+                + cfg.sweep_period,
+            loss_excuse_rate: 0.25,
+            repair_window: cfg.suspect_timeout,
+            strict: false,
+            require_suspicion: true,
+        }
+    }
 }
 
 /// One invariant breach, with enough detail to debug from the report.

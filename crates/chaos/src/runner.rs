@@ -8,11 +8,72 @@ use crate::schedule::{fmt_duration, Action, Schedule, ScheduledFault, Target};
 use crate::truth::GroundTruth;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tamp_membership::{MembershipConfig, MembershipNode, Probe};
+use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode, SwimConfig, SwimNode};
+use tamp_membership::{MembershipConfig, MembershipNode, Probe, RemovalDiscipline};
 use tamp_netsim::telemetry::{MetricsSnapshot, CLUSTER};
 use tamp_netsim::{Engine, EngineConfig, TraceLog, TraceRecord};
 use tamp_topology::{HostId, RouterId, SegmentId, Topology};
 use tamp_wire::NodeId;
+
+/// Which membership protocol a scenario exercises. `Tamp` and
+/// `TampRapid` are the hierarchical node (timeout vs cut-detection
+/// removal discipline); the rest are the comparison baselines. One
+/// scenario file runs against any of them — the runner swaps the actors
+/// and sizes the oracle's removal window to the protocol's own
+/// detection bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Hierarchical node, timeout/suspicion removal discipline.
+    Tamp,
+    /// Hierarchical node, Rapid-style multi-process cut detection.
+    TampRapid,
+    /// All-to-all heartbeat baseline.
+    AllToAll,
+    /// Gossip-style failure detection baseline.
+    Gossip,
+    /// SWIM probe/ping-req baseline.
+    Swim,
+}
+
+impl Protocol {
+    pub const ALL: [Protocol; 5] = [
+        Protocol::Tamp,
+        Protocol::TampRapid,
+        Protocol::AllToAll,
+        Protocol::Gossip,
+        Protocol::Swim,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Tamp => "tamp",
+            Protocol::TampRapid => "tamp-rapid",
+            Protocol::AllToAll => "alltoall",
+            Protocol::Gossip => "gossip",
+            Protocol::Swim => "swim",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Protocol> {
+        Protocol::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Does this protocol run the hierarchical node (groups, leaders,
+    /// the full yellow-page machinery)?
+    pub fn is_hierarchical(self) -> bool {
+        matches!(self, Protocol::Tamp | Protocol::TampRapid)
+    }
+
+    /// Telemetry counter namespace the protocol's actors write.
+    pub fn counter_namespace(self) -> &'static str {
+        match self {
+            Protocol::Tamp | Protocol::TampRapid => "membership",
+            Protocol::AllToAll => "alltoall",
+            Protocol::Gossip => "gossip",
+            Protocol::Swim => "swim",
+        }
+    }
+}
 
 /// Everything a scenario run needs besides the schedule itself.
 pub struct ScenarioConfig {
@@ -24,6 +85,10 @@ pub struct ScenarioConfig {
     /// and removals must follow the suspicion state machine (see
     /// [`OracleConfig::strict`]).
     pub strict: bool,
+    /// Protocol to build the cluster from. A `protocol` directive in the
+    /// schedule overrides this, the same way a `topology` directive
+    /// overrides `topo`.
+    pub protocol: Protocol,
 }
 
 impl ScenarioConfig {
@@ -36,6 +101,7 @@ impl ScenarioConfig {
             membership: MembershipConfig::default(),
             engine: EngineConfig::default(),
             strict: false,
+            protocol: Protocol::Tamp,
         }
     }
 
@@ -50,6 +116,7 @@ impl ScenarioConfig {
             membership: MembershipConfig::default(),
             engine: EngineConfig::default(),
             strict: false,
+            protocol: Protocol::Tamp,
         }
     }
 }
@@ -72,6 +139,8 @@ pub struct ScenarioRun {
     /// for chaos runs (the runner forces them on) so a failing report
     /// can explain itself.
     pub metrics: MetricsSnapshot,
+    /// Protocol the cluster actually ran (config or schedule override).
+    pub protocol: Protocol,
     pub(crate) topo_desc: String,
 }
 
@@ -90,7 +159,8 @@ impl ScenarioRun {
     /// where packets went missing and what the failure detector did.
     fn diagnostics(&self) -> String {
         let drop = |name: &str| self.metrics.counter(CLUSTER, "net", name);
-        let mem = |name: &str| self.metrics.counter_total("membership", name);
+        let ns = self.protocol.counter_namespace();
+        let mem = |name: &str| self.metrics.counter_total(ns, name);
         let mut out = String::new();
         out.push_str("telemetry:\n");
         out.push_str(&format!(
@@ -107,18 +177,29 @@ impl ScenarioRun {
             mem("suspicions_refuted"),
             mem("suspicions_confirmed"),
         ));
-        out.push_str(&format!(
-            "  deaths declared {} / elections started {} / leaderships claimed {}\n",
-            mem("deaths_declared"),
-            mem("elections_started"),
-            mem("leaderships_claimed"),
-        ));
-        out.push_str(&format!(
-            "  quarantines: armed {} lifted {} purged {}\n",
-            mem("subtrees_quarantined"),
-            mem("quarantines_lifted"),
-            mem("quarantine_purged"),
-        ));
+        if self.protocol.is_hierarchical() {
+            out.push_str(&format!(
+                "  deaths declared {} / elections started {} / leaderships claimed {}\n",
+                mem("deaths_declared"),
+                mem("elections_started"),
+                mem("leaderships_claimed"),
+            ));
+            out.push_str(&format!(
+                "  quarantines: armed {} lifted {} purged {}\n",
+                mem("subtrees_quarantined"),
+                mem("quarantines_lifted"),
+                mem("quarantine_purged"),
+            ));
+            if self.protocol == Protocol::TampRapid {
+                out.push_str(&format!(
+                    "  cut detection: reports {} batches {}\n",
+                    mem("cut_reports"),
+                    mem("cut_batches"),
+                ));
+            }
+        } else {
+            out.push_str(&format!("  deaths declared {}\n", mem("deaths_declared")));
+        }
         out
     }
 
@@ -128,6 +209,7 @@ impl ScenarioRun {
         let mut out = String::new();
         out.push_str("== tamp-chaos scenario report ==\n");
         out.push_str(&format!("seed:     {}\n", self.seed));
+        out.push_str(&format!("protocol: {}\n", self.protocol.name()));
         out.push_str(&format!("topology: {}\n", self.topo_desc));
         out.push_str(&format!("horizon:  {}\n", fmt_duration(self.horizon)));
         out.push_str("schedule:\n");
@@ -162,22 +244,61 @@ impl ScenarioRun {
 struct Cluster {
     engine: Engine,
     clients: Vec<tamp_directory::DirectoryClient>,
-    probes: Vec<Probe>,
+    /// `Some` per host for the hierarchical protocols (leadership
+    /// probes); `None` for the leaderless baselines.
+    probes: Vec<Option<Probe>>,
 }
 
-fn build(cfg: &ScenarioConfig) -> Cluster {
+fn build(cfg: &ScenarioConfig, protocol: Protocol) -> Cluster {
     // Chaos runs always meter the network and the protocol: a failing
     // report must be able to explain itself without a re-run.
     let mut engine_cfg = cfg.engine.clone();
     engine_cfg.metrics = true;
     let mut engine = Engine::new(cfg.topo.clone(), engine_cfg, cfg.seed);
+    let all_nodes: Vec<NodeId> = engine.hosts().iter().map(|h| NodeId(h.0)).collect();
+    let n = all_nodes.len();
     let mut clients = Vec::new();
     let mut probes = Vec::new();
     for h in engine.hosts() {
-        let node = MembershipNode::new(NodeId(h.0), cfg.membership.clone());
-        clients.push(node.directory_client());
-        probes.push(node.probe());
-        engine.add_actor(h, Box::new(node));
+        match protocol {
+            Protocol::Tamp | Protocol::TampRapid => {
+                let mut mcfg = cfg.membership.clone();
+                if protocol == Protocol::TampRapid {
+                    mcfg.removal_discipline = RemovalDiscipline::CutDetection;
+                }
+                let node = MembershipNode::new(NodeId(h.0), mcfg);
+                clients.push(node.directory_client());
+                probes.push(Some(node.probe()));
+                engine.add_actor(h, Box::new(node));
+            }
+            Protocol::AllToAll => {
+                let node = AllToAllNode::new(NodeId(h.0), AllToAllConfig::default());
+                clients.push(node.directory_client());
+                probes.push(None);
+                engine.add_actor(h, Box::new(node));
+            }
+            Protocol::Gossip => {
+                let gcfg = GossipConfig {
+                    expected_cluster_size: n,
+                    seeds: all_nodes.clone(),
+                    ..Default::default()
+                };
+                let node = GossipNode::new(NodeId(h.0), gcfg);
+                clients.push(node.directory_client());
+                probes.push(None);
+                engine.add_actor(h, Box::new(node));
+            }
+            Protocol::Swim => {
+                let scfg = SwimConfig {
+                    seeds: all_nodes.clone(),
+                    ..Default::default()
+                };
+                let node = SwimNode::new(NodeId(h.0), scfg);
+                clients.push(node.directory_client());
+                probes.push(None);
+                engine.add_actor(h, Box::new(node));
+            }
+        }
     }
     engine.start();
     Cluster {
@@ -542,17 +663,23 @@ pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
             membership: cfg.membership.clone(),
             engine: cfg.engine.clone(),
             strict: cfg.strict,
+            protocol: cfg.protocol,
         };
         &built
     } else {
         cfg
     };
-    let mut cluster = build(cfg);
+    // A `protocol` directive in the scenario wins, like `topology`.
+    let protocol = schedule
+        .protocol
+        .as_deref()
+        .and_then(Protocol::parse)
+        .unwrap_or(cfg.protocol);
+    let mut cluster = build(cfg, protocol);
     let mut truth = GroundTruth::new();
-    let probes: Vec<Option<Probe>> = cluster.probes.iter().cloned().map(Some).collect();
     let resolved = apply_schedule(
         &mut cluster.engine,
-        &probes,
+        &cluster.probes.clone(),
         &schedule,
         cfg.seed,
         cfg.engine.loss.rate,
@@ -562,13 +689,36 @@ pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
     let horizon = schedule.horizon();
     cluster.engine.run_until(horizon);
 
-    // Oracle pass.
+    // Oracle pass, with the removal window sized to the protocol's own
+    // detection bound.
     let max_level = (usize::BITS - cfg.topo.num_segments().leading_zeros()) as u8;
-    let ocfg = if cfg.strict {
-        OracleConfig::strict_for_membership(&cfg.membership, max_level)
-    } else {
-        OracleConfig::for_membership(&cfg.membership, max_level)
+    let mut ocfg = match protocol {
+        Protocol::Tamp => {
+            if cfg.strict {
+                OracleConfig::strict_for_membership(&cfg.membership, max_level)
+            } else {
+                OracleConfig::for_membership(&cfg.membership, max_level)
+            }
+        }
+        Protocol::TampRapid => {
+            if cfg.strict {
+                OracleConfig::strict_for_cut_detection(&cfg.membership, max_level)
+            } else {
+                OracleConfig::for_cut_detection(&cfg.membership, max_level)
+            }
+        }
+        Protocol::AllToAll => OracleConfig::for_alltoall(&AllToAllConfig::default()),
+        Protocol::Gossip => OracleConfig::for_gossip(&GossipConfig {
+            expected_cluster_size: cfg.topo.num_hosts(),
+            ..Default::default()
+        }),
+        Protocol::Swim => OracleConfig::for_swim(&SwimConfig::default(), cfg.topo.num_hosts()),
     };
+    if cfg.strict && !protocol.is_hierarchical() {
+        // The baselines keep their lax-sized windows (already derived
+        // from their own detection bounds) but lose the excuse model.
+        ocfg.strict = true;
+    }
     let mut violations = Vec::new();
     violations.extend(oracle::check_removals(
         cluster.engine.stats().observations(),
@@ -577,11 +727,15 @@ pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
         &ocfg,
     ));
     violations.extend(oracle::check_convergence(&cluster.clients, &truth));
-    violations.extend(oracle::check_leaders(
-        &cluster.probes,
-        &truth,
-        cluster.engine.topology(),
-    ));
+    // Leader agreement only means something for the hierarchical node.
+    let leader_probes: Vec<Probe> = cluster.probes.iter().flatten().cloned().collect();
+    if leader_probes.len() == cluster.probes.len() {
+        violations.extend(oracle::check_leaders(
+            &leader_probes,
+            &truth,
+            cluster.engine.topology(),
+        ));
+    }
 
     let live: Vec<u32> = (0..cluster.clients.len() as u32)
         .filter(|&h| truth.is_alive(h))
@@ -602,6 +756,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, schedule: &Schedule) -> ScenarioRun {
         horizon,
         trace,
         metrics,
+        protocol,
         topo_desc,
     }
 }
@@ -779,8 +934,8 @@ mod tests {
             action: Action::RouterDown(0),
         }]);
         let mut truth = GroundTruth::new();
-        let mut cluster = build(&cfg);
-        let probes: Vec<Option<Probe>> = cluster.probes.iter().cloned().map(Some).collect();
+        let mut cluster = build(&cfg, Protocol::Tamp);
+        let probes = cluster.probes.clone();
         apply_schedule(&mut cluster.engine, &probes, &schedule, 7, 0.0, &mut truth);
         // The star's only router is gone: segments 0/1 are unroutable,
         // recorded as a partition so quiescence checks hold off.
@@ -801,6 +956,97 @@ mod tests {
         let run = run_scenario(&cfg, &schedule);
         assert!(run.passed(), "{}", run.report());
         assert!(run.resolved[0].contains("skew 3 200"), "{:?}", run.resolved);
+    }
+
+    #[test]
+    fn swim_kill_and_restart_passes_strict() {
+        let cfg = ScenarioConfig {
+            strict: true,
+            protocol: Protocol::Swim,
+            ..ScenarioConfig::two_segments(7)
+        };
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::Kill(Target::Host(3)),
+            },
+            ScheduledFault {
+                at: 60 * SECS,
+                action: Action::Revive(Target::Host(3)),
+            },
+        ]);
+        let run = run_scenario(&cfg, &schedule);
+        assert_eq!(run.protocol, Protocol::Swim);
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(run.live.len(), 10);
+        // The death went through SWIM's suspicion machinery, not a
+        // silent drop.
+        assert!(run.metrics.counter_total("swim", "suspicions_raised") > 0);
+        assert!(run.metrics.counter_total("swim", "deaths_declared") > 0);
+    }
+
+    #[test]
+    fn rapid_kill_confirms_via_cut_detection_strict() {
+        let cfg = ScenarioConfig {
+            strict: true,
+            protocol: Protocol::TampRapid,
+            ..ScenarioConfig::two_segments(9)
+        };
+        let schedule = Schedule::new(vec![ScheduledFault {
+            at: 20 * SECS,
+            action: Action::Kill(Target::Host(3)),
+        }]);
+        let run = run_scenario(&cfg, &schedule);
+        assert_eq!(run.protocol, Protocol::TampRapid);
+        assert!(run.passed(), "{}", run.report());
+        // The removal was an aggregated cut, not a lone-observer timeout.
+        assert!(run.metrics.counter_total("membership", "cut_reports") >= 2);
+        assert!(run.metrics.counter_total("membership", "cut_batches") > 0);
+    }
+
+    #[test]
+    fn rapid_gray_cut_causes_zero_removals() {
+        // The acceptance bar for cut detection: a one-way (gray) cut
+        // leaves a single cross-segment observer starved of heartbeats.
+        // In timeout mode that observer eventually declares the remote
+        // side dead; in cut-detection mode its lone vote stays below the
+        // effective watermark forever, so NOBODY is removed — not even
+        // with the cross-segment gray excuse available.
+        let cfg = ScenarioConfig {
+            strict: true,
+            protocol: Protocol::TampRapid,
+            ..ScenarioConfig::two_segments(7)
+        };
+        let schedule = Schedule::new(vec![
+            ScheduledFault {
+                at: 20 * SECS,
+                action: Action::GrayPartition(0, 1),
+            },
+            ScheduledFault {
+                at: 42 * SECS,
+                action: Action::GrayHeal(0, 1),
+            },
+        ]);
+        let run = run_scenario(&cfg, &schedule);
+        assert!(run.passed(), "{}", run.report());
+        assert_eq!(
+            run.metrics.counter_total("membership", "deaths_declared"),
+            0,
+            "a one-way cut must not kill anyone under cut detection"
+        );
+        assert_eq!(run.live.len(), 10);
+    }
+
+    #[test]
+    fn schedule_protocol_directive_overrides_config() {
+        let schedule = Schedule {
+            protocol: Some("alltoall".to_string()),
+            ..Schedule::default()
+        };
+        let run = run_scenario(&ScenarioConfig::two_segments(7), &schedule);
+        assert_eq!(run.protocol, Protocol::AllToAll);
+        assert!(run.passed(), "{}", run.report());
+        assert!(run.report().contains("protocol: alltoall"));
     }
 
     #[test]

@@ -134,6 +134,11 @@ pub struct Schedule {
     /// Topology the scenario asks for (`topology` DSL directive); the
     /// driver's default applies when absent.
     pub topo: Option<TopoSpec>,
+    /// Protocol the scenario is written for (`protocol` DSL directive):
+    /// one of `tamp`, `tamp-rapid`, `alltoall`, `gossip`, `swim`. The
+    /// runner builds that protocol's actors and picks a matching oracle
+    /// removal window; absent means the driver's default (`tamp`).
+    pub protocol: Option<String>,
 }
 
 /// Default [`Schedule::settle`]: long enough for detection, re-election,
@@ -146,6 +151,7 @@ impl Default for Schedule {
             events: Vec::new(),
             settle: DEFAULT_SETTLE,
             topo: None,
+            protocol: None,
         }
     }
 }
@@ -205,6 +211,9 @@ impl Schedule {
                 } => ("ring", segments, hosts_per_segment),
             };
             out.push_str(&format!("topology {kind} {s} {h}\n"));
+        }
+        if let Some(p) = &self.protocol {
+            out.push_str(&format!("protocol {p}\n"));
         }
         out.push_str(&format!("settle {}\n", fmt_duration(self.settle)));
         for e in &self.events {

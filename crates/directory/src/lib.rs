@@ -239,6 +239,10 @@ impl Directory {
             // remains resolvable) until the suspicion is confirmed as a
             // Leave. The node state machine tracks the pending suspicion.
             MemberEvent::Suspect(..) => Applied::Ignored,
+            // Cut-detection alerts are likewise a membership-layer
+            // signal (one reporter's vote); the subject stays resolvable
+            // until the aggregated cut is confirmed as a Leave.
+            MemberEvent::Alert { .. } => Applied::Ignored,
             // A refutation carries a full record at a (usually bumped)
             // incarnation; directory-wise it is a join/refresh.
             MemberEvent::Refute(r) => self.apply_join(r.clone(), provenance, now),

@@ -25,6 +25,8 @@
 //! tamp-exp chaos --adversarial          # gray/rack/churn/skew/router faults on a ring
 //! tamp-exp chaos --broken               # demo: oracle catches MAX_LOSS=0
 //! tamp-exp adversarial                  # A10: adversarial fault grid, strict oracle
+//! tamp-exp baselines                    # A11: five-protocol comparison grid
+//! tamp-exp chaos --protocol swim        # any subcommand: pick the protocol column
 //! tamp-exp load                         # million-user workload + SLO exports
 //! tamp-exp load --campaign              # chaos-under-load fault campaign
 //! tamp-exp slo-gate                     # CI gate: campaign vs ci/slo-goldens.csv
@@ -56,6 +58,7 @@ fn main() {
     let mut campaign = false;
     let mut open = false;
     let mut update = false;
+    let mut protocol: Option<String> = None;
     let mut jobs = tamp_par::default_jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -97,6 +100,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--datacenters needs a count >= 1"));
+            }
+            "--protocol" => {
+                let p = it
+                    .next()
+                    .unwrap_or_else(|| die("--protocol needs a name (tamp, tamp-rapid, alltoall, gossip, swim)"));
+                if common::Scheme::parse(p).is_none() {
+                    die(&format!(
+                        "unknown protocol {p:?} (want one of {:?})",
+                        tamp_chaos::PROTOCOLS
+                    ));
+                }
+                protocol = Some(p.to_string());
             }
             "--campaign" => campaign = true,
             "--open" => open = true,
@@ -154,6 +169,12 @@ fn main() {
         bandwidth::PAPER_SIZES.to_vec()
     };
     let analysis_sizes: Vec<usize> = vec![20, 100, 500, 1000, 4000];
+    // `--protocol` narrows figure sweeps to one column; default is all
+    // five (the paper's three plus swim and tamp-rapid).
+    let schemes: Vec<common::Scheme> = match protocol.as_deref() {
+        Some(p) => vec![common::Scheme::parse(p).expect("validated above")],
+        None => common::Scheme::ALL.to_vec(),
+    };
 
     let run = |name: &str| {
         println!("\n================================================================");
@@ -163,15 +184,15 @@ fn main() {
 
     match cmd.as_str() {
         "fig2" => fig2::run_and_print(&fig2_sizes, seed),
-        "fig11" => bandwidth::run_and_print(&fig11_sizes, seed),
+        "fig11" => bandwidth::run_and_print(&fig11_sizes, seed, &schemes),
         "fig12" if trials > 1 => {
-            detection::run_and_print_trials(&fig11_sizes, seed, trials, "fig12")
+            detection::run_and_print_trials(&fig11_sizes, seed, trials, "fig12", &schemes)
         }
-        "fig12" => detection::run_and_print(&fig11_sizes, seed, "fig12"),
+        "fig12" => detection::run_and_print(&fig11_sizes, seed, "fig12", &schemes),
         "fig13" if trials > 1 => {
-            detection::run_and_print_trials(&fig11_sizes, seed, trials, "fig13")
+            detection::run_and_print_trials(&fig11_sizes, seed, trials, "fig13", &schemes)
         }
-        "fig13" => detection::run_and_print(&fig11_sizes, seed, "fig13"),
+        "fig13" => detection::run_and_print(&fig11_sizes, seed, "fig13", &schemes),
         "fig14" => fig14::run_and_print(seed),
         "analysis" => analysis_tables::run_and_print(&analysis_sizes),
         "ablation-group-size" => ablations::run_group_size(seed),
@@ -217,11 +238,16 @@ fn main() {
                 strict,
                 adversarial,
                 jobs,
+                protocol: protocol.clone(),
             });
             std::process::exit(code);
         }
         "adversarial" => {
             let code = adversarial::run_and_print(seed, quick, jobs);
+            std::process::exit(code);
+        }
+        "baselines" => {
+            let code = baselines_grid::run_and_print(seed, quick, jobs, &schemes);
             std::process::exit(code);
         }
         "slo-gate" => {
@@ -240,10 +266,10 @@ fn main() {
             run("§4 analysis");
             analysis_tables::run_and_print(&analysis_sizes);
             run("Fig. 11");
-            bandwidth::run_and_print(&fig11_sizes, seed);
+            bandwidth::run_and_print(&fig11_sizes, seed, &schemes);
             run("Figs. 12 & 13");
-            detection::run_and_print(&fig11_sizes, seed, "fig12");
-            detection::run_and_print(&fig11_sizes, seed, "fig13");
+            detection::run_and_print(&fig11_sizes, seed, "fig12", &schemes);
+            detection::run_and_print(&fig11_sizes, seed, "fig13", &schemes);
             run("Fig. 14");
             fig14::run_and_print(seed);
             run("Ablations");
@@ -255,6 +281,8 @@ fn main() {
             ablations::run_topology(seed);
             ablations::run_detector(seed);
             ablations::run_suspicion(seed, jobs);
+            run("A11 baselines grid");
+            let _ = baselines_grid::run_and_print(seed, quick, jobs, &schemes);
         }
         other => die(&format!("unknown command {other}; try --help")),
     }
@@ -264,9 +292,11 @@ fn print_help() {
     println!(
         "tamp-exp — regenerate the paper's evaluation\n\n\
          commands: fig2 fig11 fig12 fig13 fig14 analysis\n\
-         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  adversarial  scale  load  slo-gate  all\n\
+         \u{20}         ablation-group-size ablation-loss ablation-scale ablation-leader\n\u{20}         ablation-piggyback ablation-topology ablation-detector ablation-suspicion\n\u{20}         topo <file.topo>  trace  metrics  chaos  adversarial  baselines  scale  load\n\u{20}         slo-gate  all\n\
          options:  --seed <u64>    deterministic seed (default 2005)\n\
          \u{20}         --quick         smaller sweeps for smoke runs\n\
+         \u{20}         --protocol <p>  tamp | tamp-rapid | alltoall | gossip | swim\n\
+         \u{20}                         (figures/baselines: one column; chaos: the cluster)\n\
          \u{20}         --nodes <n>     scale: one run at ~n nodes (default sweep 1000/4000/10000)\n\
          \u{20}         --trials <n>    fig12/fig13: statistics over n seeds\n\
          \u{20}         --jobs <n>      worker threads for sweeps/grids (default: cores;\n\

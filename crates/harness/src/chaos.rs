@@ -37,6 +37,9 @@ pub struct ChaosOptions {
     /// Worker threads for sweeps (`--jobs`; 1 = sequential). Output is
     /// byte-identical at any width.
     pub jobs: usize,
+    /// Which protocol the cluster runs (`--protocol`); `None` keeps the
+    /// default (tamp). A schedule's own `protocol` directive still wins.
+    pub protocol: Option<String>,
 }
 
 fn membership(broken: bool) -> MembershipConfig {
@@ -61,6 +64,15 @@ fn scenario_config(seed: u64, opts: &ChaosOptions) -> ScenarioConfig {
     };
     cfg.membership = membership(opts.broken);
     cfg.strict = opts.strict;
+    if let Some(p) = opts.protocol.as_deref() {
+        cfg.protocol = tamp_chaos::Protocol::parse(p).unwrap_or_else(|| {
+            eprintln!(
+                "tamp-exp: unknown protocol {p:?} (want one of {:?})",
+                tamp_chaos::PROTOCOLS
+            );
+            std::process::exit(2);
+        });
+    }
     if opts.trace {
         cfg.engine.trace = chaos_trace_config();
     }
@@ -72,6 +84,10 @@ fn scenario_config(seed: u64, opts: &ChaosOptions) -> ScenarioConfig {
 pub fn run(opts: &ChaosOptions) -> i32 {
     if opts.broken {
         println!("(broken config: MAX_LOSS = 0 — detection timeout < heartbeat period)\n");
+    }
+    if opts.proxy && opts.protocol.as_deref().is_some_and(|p| p != "tamp") {
+        eprintln!("tamp-exp: --proxy deployments are hierarchical-only (--protocol tamp)");
+        return 2;
     }
     if let Some(count) = opts.sweep {
         if opts.proxy {
@@ -217,6 +233,7 @@ mod tests {
             strict: false,
             adversarial: false,
             jobs: 1,
+            protocol: None,
         };
         assert_eq!(run(&opts), 0);
     }
@@ -233,6 +250,7 @@ mod tests {
             strict: true,
             adversarial: false,
             jobs: 1,
+            protocol: None,
         };
         assert_eq!(run(&opts), 0);
     }
@@ -249,6 +267,46 @@ mod tests {
             strict: true,
             adversarial: true,
             jobs: 1,
+            protocol: None,
+        };
+        assert_eq!(run(&opts), 0);
+    }
+
+    #[test]
+    fn swim_scenario_file_passes_strict() {
+        let opts = ChaosOptions {
+            seed: 4,
+            scenario: Some(
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/swim-restart.chaos")
+                    .to_string(),
+            ),
+            sweep: None,
+            broken: false,
+            proxy: false,
+            trace: false,
+            strict: true,
+            adversarial: false,
+            jobs: 1,
+            protocol: None,
+        };
+        assert_eq!(run(&opts), 0);
+    }
+
+    #[test]
+    fn protocol_flag_reaches_the_runner() {
+        // tamp-rapid via the flag (no directive in the generated
+        // schedule) must run the cut-detection discipline end to end.
+        let opts = ChaosOptions {
+            seed: 4,
+            scenario: None,
+            sweep: None,
+            broken: false,
+            proxy: false,
+            trace: false,
+            strict: true,
+            adversarial: false,
+            jobs: 1,
+            protocol: Some("tamp-rapid".to_string()),
         };
         assert_eq!(run(&opts), 0);
     }
@@ -265,6 +323,7 @@ mod tests {
             strict: false,
             adversarial: false,
             jobs: 1,
+            protocol: None,
         };
         assert_eq!(run(&opts), 1);
     }

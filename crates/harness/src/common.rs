@@ -1,9 +1,9 @@
 //! Shared cluster construction and measurement plumbing.
 
-use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode};
+use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode, SwimConfig, SwimNode};
 use tamp_chaos::{dsl, random_schedule, GeneratorConfig, Schedule};
 use tamp_directory::DirectoryClient;
-use tamp_membership::{MembershipConfig, MembershipNode};
+use tamp_membership::{MembershipConfig, MembershipNode, RemovalDiscipline};
 use tamp_netsim::{Engine, EngineConfig, SimTime, TraceConfig, SECS};
 use tamp_topology::{generators, HostId, Topology};
 use tamp_wire::{NodeId, PartitionSet, ServiceDecl};
@@ -14,16 +14,71 @@ pub enum Scheme {
     AllToAll,
     Gossip,
     Hierarchical,
+    /// SWIM: randomized round-robin probing with indirect ping-req and
+    /// piggybacked dissemination ([`tamp_baselines::SwimNode`]).
+    Swim,
+    /// The hierarchical protocol with the Rapid-style multi-process
+    /// cut-detection removal discipline instead of per-observer
+    /// timeouts.
+    Rapid,
 }
 
 impl Scheme {
-    pub const ALL: [Scheme; 3] = [Scheme::AllToAll, Scheme::Gossip, Scheme::Hierarchical];
+    /// Every protocol column, legacy three first so existing tables keep
+    /// their row order and the two new columns append.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::AllToAll,
+        Scheme::Gossip,
+        Scheme::Hierarchical,
+        Scheme::Swim,
+        Scheme::Rapid,
+    ];
+
+    /// The paper's original §2 comparison set (Figs. 11–13).
+    pub const PAPER: [Scheme; 3] = [Scheme::AllToAll, Scheme::Gossip, Scheme::Hierarchical];
 
     pub fn name(&self) -> &'static str {
         match self {
             Scheme::AllToAll => "all-to-all",
             Scheme::Gossip => "gossip",
             Scheme::Hierarchical => "hierarchical",
+            Scheme::Swim => "swim",
+            Scheme::Rapid => "rapid",
+        }
+    }
+
+    /// Canonical `--protocol` flag value, shared with the chaos DSL's
+    /// `protocol` directive ([`tamp_chaos::PROTOCOLS`]).
+    pub fn protocol_name(&self) -> &'static str {
+        match self {
+            Scheme::AllToAll => "alltoall",
+            Scheme::Gossip => "gossip",
+            Scheme::Hierarchical => "tamp",
+            Scheme::Swim => "swim",
+            Scheme::Rapid => "tamp-rapid",
+        }
+    }
+
+    /// Parse a `--protocol` value. Accepts the canonical names plus the
+    /// legacy display aliases ("hierarchical", "all-to-all", "rapid").
+    pub fn parse(s: &str) -> Option<Scheme> {
+        match s {
+            "tamp" | "hierarchical" => Some(Scheme::Hierarchical),
+            "tamp-rapid" | "rapid" => Some(Scheme::Rapid),
+            "alltoall" | "all-to-all" => Some(Scheme::AllToAll),
+            "gossip" => Some(Scheme::Gossip),
+            "swim" => Some(Scheme::Swim),
+            _ => None,
+        }
+    }
+
+    /// Telemetry counter namespace each scheme's node registers under.
+    pub fn counter_namespace(&self) -> &'static str {
+        match self {
+            Scheme::AllToAll => "alltoall",
+            Scheme::Gossip => "gossip",
+            Scheme::Hierarchical | Scheme::Rapid => "membership",
+            Scheme::Swim => "swim",
         }
     }
 }
@@ -85,11 +140,32 @@ pub fn build_cluster(scheme: Scheme, topo: Topology, seed: u64, cfg: EngineConfi
                 engine.add_actor(h, Box::new(node));
             }
         }
-        Scheme::Hierarchical => {
+        Scheme::Hierarchical | Scheme::Rapid => {
+            let discipline = if scheme == Scheme::Rapid {
+                RemovalDiscipline::CutDetection
+            } else {
+                RemovalDiscipline::Timeout
+            };
             for h in engine.hosts() {
                 let node = MembershipNode::new(
                     NodeId(h.0),
                     MembershipConfig {
+                        services: demo_services(h),
+                        removal_discipline: discipline,
+                        ..Default::default()
+                    },
+                );
+                clients.push(node.directory_client());
+                engine.add_actor(h, Box::new(node));
+            }
+        }
+        Scheme::Swim => {
+            let seeds: Vec<NodeId> = engine.hosts().iter().map(|h| NodeId(h.0)).collect();
+            for h in engine.hosts() {
+                let node = SwimNode::new(
+                    NodeId(h.0),
+                    SwimConfig {
+                        seeds: seeds.clone(),
                         services: demo_services(h),
                         ..Default::default()
                     },
@@ -181,7 +257,17 @@ mod tests {
     }
 
     #[test]
-    fn all_three_schemes_converge_on_small_cluster() {
+    fn protocol_names_round_trip() {
+        for scheme in Scheme::ALL {
+            assert_eq!(Scheme::parse(scheme.protocol_name()), Some(scheme));
+            assert_eq!(Scheme::parse(scheme.name()), Some(scheme));
+            assert!(tamp_chaos::PROTOCOLS.contains(&scheme.protocol_name()));
+        }
+        assert_eq!(Scheme::parse("raft"), None);
+    }
+
+    #[test]
+    fn all_five_schemes_converge_on_small_cluster() {
         for scheme in Scheme::ALL {
             let mut c = build_cluster(scheme, paper_topology(20, 20), 9, EngineConfig::default());
             c.engine.run_until(SETTLE);

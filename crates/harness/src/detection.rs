@@ -81,10 +81,16 @@ pub fn measure(
     }
 }
 
-pub fn sweep(sizes: &[usize], seg_size: usize, victim: Victim, seed: u64) -> Vec<DetectionRow> {
+pub fn sweep(
+    sizes: &[usize],
+    seg_size: usize,
+    victim: Victim,
+    seed: u64,
+    schemes: &[Scheme],
+) -> Vec<DetectionRow> {
     let mut rows = Vec::new();
     for &n in sizes {
-        for scheme in Scheme::ALL {
+        for &scheme in schemes {
             rows.push(measure(scheme, n, seg_size, victim, seed));
         }
     }
@@ -131,7 +137,13 @@ pub fn measure_trials(
 }
 
 /// Print mean/min/max detection and convergence across `trials` seeds.
-pub fn run_and_print_trials(sizes: &[usize], base_seed: u64, trials: usize, which: &str) {
+pub fn run_and_print_trials(
+    sizes: &[usize],
+    base_seed: u64,
+    trials: usize,
+    which: &str,
+    schemes: &[Scheme],
+) {
     let (title, csv) = match which {
         "fig12" => (
             format!("Fig. 12 — failure detection time, {trials} trials (s)"),
@@ -155,7 +167,7 @@ pub fn run_and_print_trials(sizes: &[usize], base_seed: u64, trials: usize, whic
         ],
     );
     for &n in sizes {
-        for scheme in Scheme::ALL {
+        for &scheme in schemes {
             let st = measure_trials(scheme, n, 20, Victim::Leaf, base_seed, trials);
             t.row(vec![
                 n.to_string(),
@@ -174,8 +186,8 @@ pub fn run_and_print_trials(sizes: &[usize], base_seed: u64, trials: usize, whic
 
 /// Fig. 12 (detection) and Fig. 13 (convergence) come from the same runs;
 /// `which` only selects the headline column ordering.
-pub fn run_and_print(sizes: &[usize], seed: u64, which: &str) {
-    let rows = sweep(sizes, 20, Victim::Leaf, seed);
+pub fn run_and_print(sizes: &[usize], seed: u64, which: &str, schemes: &[Scheme]) {
+    let rows = sweep(sizes, 20, Victim::Leaf, seed, schemes);
     let (title, csv) = match which {
         "fig12" => ("Fig. 12 — failure detection time (s)", "fig12"),
         _ => ("Fig. 13 — view convergence time (s)", "fig13"),
@@ -198,7 +210,9 @@ pub fn run_and_print(sizes: &[usize], seed: u64, which: &str) {
     println!(
         "\nPaper shape: all-to-all and hierarchical detect in ≈ max_loss × period = 5 s,\n\
          independent of n, and converge almost immediately after detection; gossip detection\n\
-         starts ≈ 2x higher and grows logarithmically with n (mistake probability 0.1%)."
+         starts ≈ 2x higher and grows logarithmically with n (mistake probability 0.1%).\n\
+         swim detects in probe-lap + suspect-timeout (grows with n); rapid adds the cut\n\
+         quiescence delay to hierarchical detection in exchange for vote-confirmed removals."
     );
 }
 
@@ -232,6 +246,39 @@ mod tests {
             r20.detect_s
         );
         assert_eq!(r60.observers, 59);
+    }
+
+    #[test]
+    fn swim_detects_within_probe_lap_plus_suspect_timeout() {
+        let r = measure(Scheme::Swim, 40, 20, Victim::Leaf, 3);
+        // A full probe lap is ≤ n−1 periods; the suspect timeout adds
+        // 5 s. In practice some node probes the victim within a few
+        // periods of the kill.
+        assert!(
+            (5.0..45.0).contains(&r.detect_s),
+            "swim detect {}",
+            r.detect_s
+        );
+        assert_eq!(r.observers, 39, "swim observers");
+    }
+
+    #[test]
+    fn rapid_detection_stays_near_hierarchical_plus_batch_delay() {
+        let h = measure(Scheme::Hierarchical, 40, 20, Victim::Leaf, 3);
+        let r = measure(Scheme::Rapid, 40, 20, Victim::Leaf, 3);
+        assert_eq!(r.observers, 39, "rapid observers");
+        assert!(
+            r.detect_s >= h.detect_s - 1.0,
+            "cut detection cannot be faster than the suspicion feeding it: {} vs {}",
+            r.detect_s,
+            h.detect_s
+        );
+        assert!(
+            r.detect_s < h.detect_s + 10.0,
+            "cut quiescence delay blew up detection: {} vs {}",
+            r.detect_s,
+            h.detect_s
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | §4 analysis (BDT/BCT model)              | [`analysis_tables`] | `analysis` |
 //! | Ablations A1–A4 (DESIGN.md)              | [`ablations`] | `ablation-*` |
 //! | A10 adversarial fault grid               | [`adversarial`] | `adversarial` |
+//! | A11 five-protocol comparison grid        | [`baselines_grid`] | `baselines` |
 //! | Chaos scenarios + invariant oracle       | [`chaos`]     | `chaos` |
 //! | Telemetry dashboard + canonical exports  | [`metrics_tool`] | `metrics` |
 //! | Fig. 14 at scale (load + chaos-under-load) | [`load`]    | `load` |
@@ -24,6 +25,7 @@ pub mod ablations;
 pub mod adversarial;
 pub mod analysis_tables;
 pub mod bandwidth;
+pub mod baselines_grid;
 pub mod chaos;
 pub mod common;
 pub mod detection;

@@ -245,11 +245,62 @@ fn render_dashboard(
     out
 }
 
+/// Per-protocol counter comparison: one small instrumented cluster per
+/// scheme, a kill at steady state, and the shared suspicion/removal
+/// counter vocabulary read from each scheme's namespace. Stand-alone so
+/// the golden-pinned [`collect`] exports are untouched.
+pub fn protocol_comparison(n: usize, seed: u64) -> String {
+    let mut t = crate::report::Table::new(
+        format!("protocol comparison (n={n}, one kill at steady state)"),
+        &[
+            "protocol",
+            "deaths",
+            "suspected",
+            "refuted",
+            "confirmed",
+            "detect s",
+        ],
+    );
+    for scheme in Scheme::ALL {
+        let mut c = build_cluster(
+            scheme,
+            paper_topology(n, 20),
+            seed,
+            EngineConfig {
+                metrics: true,
+                ..Default::default()
+            },
+        );
+        c.engine.run_until(SETTLE);
+        let victim = HostId(n as u32 - 1);
+        let t_kill = c.engine.now();
+        c.engine.kill_now(victim);
+        c.engine.run_for(60 * SECS);
+        let detect = c
+            .engine
+            .stats()
+            .first_removal(NodeId(victim.0))
+            .map_or(f64::NAN, |t| t.saturating_sub(t_kill) as f64 / 1e9);
+        let snap = c.engine.registry().snapshot();
+        let ns = scheme.counter_namespace();
+        t.row(vec![
+            scheme.protocol_name().to_string(),
+            snap.counter_total(ns, "deaths_declared").to_string(),
+            snap.counter_total(ns, "suspicions_raised").to_string(),
+            snap.counter_total(ns, "suspicions_refuted").to_string(),
+            snap.counter_total(ns, "suspicions_confirmed").to_string(),
+            format!("{detect:.2}"),
+        ]);
+    }
+    t.render()
+}
+
 /// Entry point for `tamp-exp metrics`: print the dashboard and write
 /// the canonical exports under `results/telemetry/`.
 pub fn run_and_print(n: usize, seed: u64) {
     let m = collect(n, seed);
     print!("{}", m.dashboard);
+    print!("{}", protocol_comparison(20, seed));
     // Request-SLO section, fed by a prior `tamp-exp load` run's exports
     // (not part of the golden-pinned artifacts above).
     match crate::load::slo_section() {
@@ -323,6 +374,16 @@ mod tests {
                 path.display()
             );
         }
+    }
+
+    #[test]
+    fn protocol_comparison_renders_all_five_columns() {
+        let table = protocol_comparison(10, 7);
+        for name in ["alltoall", "gossip", "tamp", "swim", "tamp-rapid"] {
+            assert!(table.contains(name), "missing {name} row:\n{table}");
+        }
+        // Every protocol declared the kill: no NaN detect cells.
+        assert!(!table.contains("NaN"), "undetected kill:\n{table}");
     }
 
     #[test]

@@ -22,6 +22,27 @@ use tamp_netsim::ChannelId;
 use tamp_topology::{Nanos, MILLIS, SECS};
 use tamp_wire::{PartitionSet, ServiceDecl};
 
+/// How a timed-out (and, with a suspicion window, unrefuted) member is
+/// ultimately removed from the view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalDiscipline {
+    /// The paper's discipline: each observer confirms its own timeouts
+    /// independently (after the refutable suspicion window, if enabled).
+    Timeout,
+    /// Rapid-style multi-process cut detection (Suresh et al., 2018):
+    /// a timeout only makes the observer broadcast an `Alert` report.
+    /// Every node aggregates reports per subject, counting *distinct*
+    /// reporters, and removes nothing until the report pattern is
+    /// *stable* — every reported subject has reached the high watermark
+    /// `cut_high_watermark` (clamped to the observer count in small
+    /// groups) and the batch has been quiescent for `cut_batch_delay`.
+    /// The whole stable cut is then applied as one batched view change.
+    /// Subjects stuck between one report and the watermark (e.g. one
+    /// asymmetric reporter under a gray partition) block nothing and
+    /// expire after `cut_report_ttl`; refutations clear them instantly.
+    CutDetection,
+}
+
 /// All tunables of one membership node.
 #[derive(Debug, Clone)]
 pub struct MembershipConfig {
@@ -104,6 +125,26 @@ pub struct MembershipConfig {
     pub degrade_stretch_threshold: f64,
     /// Ceiling on the loss-degradation timeout stretch factor.
     pub degrade_max_stretch: f64,
+    /// How timed-out members are removed: independent per-observer
+    /// timeouts (the paper) or Rapid-style aggregated cut detection.
+    pub removal_discipline: RemovalDiscipline,
+    /// Cut-detection low watermark `L`: a subject with `[1, L)` distinct
+    /// reporters is considered noise and never blocks a batch (it still
+    /// expires via `cut_report_ttl`). Subjects in `[L, H)` mark the cut
+    /// *unstable* and defer the view change.
+    pub cut_low_watermark: usize,
+    /// Cut-detection high watermark `H`: distinct reporters needed before
+    /// a subject joins the stable cut. Clamped to the number of live
+    /// observers at the subject's level so small groups stay live.
+    pub cut_high_watermark: usize,
+    /// Quiescence delay before a stable cut is applied as a batched view
+    /// change: the batch executes only after no report for any pending
+    /// subject has arrived for this long.
+    pub cut_batch_delay: Nanos,
+    /// How long an unconfirmed report (reporter, subject) vote stays
+    /// valid. Bounds how long a lone gray-partition reporter can keep a
+    /// subject on the books.
+    pub cut_report_ttl: Nanos,
     /// Services this node exports (`*SERVICE` sections).
     /// Trust pre-seeded directories at boot: groups start `bootstrapped`
     /// (no pull from the first leader heard) and an *initial* leadership
@@ -144,6 +185,11 @@ impl Default for MembershipConfig {
             flap_score_cap: 3.0,
             degrade_stretch_threshold: 1.5,
             degrade_max_stretch: 3.0,
+            removal_discipline: RemovalDiscipline::Timeout,
+            cut_low_watermark: 2,
+            cut_high_watermark: 3,
+            cut_batch_delay: SECS,
+            cut_report_ttl: 8 * SECS,
             warm_start: false,
             services: Vec::new(),
             attrs: Vec::new(),
@@ -197,6 +243,32 @@ impl MembershipConfig {
     /// Highest group level (`max_ttl - 1`).
     pub fn top_level(&self) -> u8 {
         self.max_ttl.saturating_sub(1)
+    }
+
+    /// The tombstone TTL actually installed in the directory.
+    ///
+    /// Under `Timeout` this is `tombstone_ttl` as configured. Under
+    /// `CutDetection` it is stretched to at least the relayed-rot
+    /// horizon (`6 × anti_entropy_period`): the watermark filter means
+    /// a side of a real partition with too few cross-cut observers
+    /// (correctly) removes nothing, so at heal it still advertises
+    /// nodes the other side buried long ago. The digest death
+    /// back-push is the only channel that reconciles that divided
+    /// knowledge, and it only fires while the tombstone is fresh —
+    /// with the short `Timeout`-tuned TTL a death near the end of a
+    /// long partition expires before the first cross-cut digest and
+    /// the stale side re-infects everyone with an uncovered,
+    /// mutually-re-vouched ghost entry. Long tombstones are free in
+    /// this mode: removals need multi-observer agreement, and a
+    /// wrongly buried *live* node refutes `Leave(self)` by incarnation
+    /// bump, which beats any tombstone immediately.
+    pub fn effective_tombstone_ttl(&self) -> Nanos {
+        match self.removal_discipline {
+            RemovalDiscipline::CutDetection if self.anti_entropy_period > 0 => {
+                self.tombstone_ttl.max(6 * self.anti_entropy_period)
+            }
+            _ => self.tombstone_ttl,
+        }
     }
 
     /// Parse the paper's Fig. 7 configuration format. Unknown `*SYSTEM`
@@ -404,5 +476,36 @@ MAX_LOSS = 5
     fn bad_partition_rejected() {
         let e = MembershipConfig::parse("*SERVICE\n[A]\nPARTITION = x-y\n").unwrap_err();
         assert!(e.message.contains("PARTITION"));
+    }
+
+    #[test]
+    fn cut_detection_stretches_tombstones_to_rot_horizon() {
+        let cfg = MembershipConfig::default();
+        assert_eq!(cfg.effective_tombstone_ttl(), cfg.tombstone_ttl);
+        let rapid = MembershipConfig {
+            removal_discipline: RemovalDiscipline::CutDetection,
+            ..MembershipConfig::default()
+        };
+        assert_eq!(
+            rapid.effective_tombstone_ttl(),
+            6 * rapid.anti_entropy_period,
+            "back-push must outlive a partition-scale knowledge divide"
+        );
+        let long = MembershipConfig {
+            removal_discipline: RemovalDiscipline::CutDetection,
+            tombstone_ttl: 120 * SECS,
+            ..MembershipConfig::default()
+        };
+        assert_eq!(long.effective_tombstone_ttl(), 120 * SECS);
+        let no_ae = MembershipConfig {
+            removal_discipline: RemovalDiscipline::CutDetection,
+            anti_entropy_period: 0,
+            ..MembershipConfig::default()
+        };
+        assert_eq!(
+            no_ae.effective_tombstone_ttl(),
+            no_ae.tombstone_ttl,
+            "no anti-entropy → no rot horizon to outlive"
+        );
     }
 }

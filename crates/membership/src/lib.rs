@@ -44,7 +44,7 @@ pub mod node;
 mod api;
 
 pub use api::{MClient, MService, ServiceError};
-pub use config::{ConfigError, MembershipConfig};
+pub use config::{ConfigError, MembershipConfig, RemovalDiscipline};
 pub use node::{
     ControlHandle, MembershipNode, Probe, ProbeState, ProtocolCounters, ServiceCommand,
 };

@@ -28,7 +28,7 @@
 //!   piggyback the previous `piggyback_window - 1` events; a gap beyond
 //!   the window triggers a full-directory resynchronization poll.
 
-use crate::config::MembershipConfig;
+use crate::config::{MembershipConfig, RemovalDiscipline};
 use crate::group::{Election, GroupState};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -108,6 +108,10 @@ pub struct ProtocolCounters {
     pub quarantines_lifted: u64,
     /// Entries purged at quarantine expiry (no successor re-attached).
     pub quarantine_purged: u64,
+    /// Cut-detection mode: distinct (subject, reporter) votes recorded.
+    pub cut_reports: u64,
+    /// Cut-detection mode: batched view changes applied.
+    pub cut_batches: u64,
 }
 
 /// Cloneable handle to a node's [`ProbeState`].
@@ -134,6 +138,24 @@ struct Suspicion {
     /// detector: we track it for refutation bookkeeping but never confirm
     /// it ourselves — confirmation is the origin group's call.
     advisory: bool,
+}
+
+/// Aggregated failure reports for one subject in cut-detection mode
+/// ([`RemovalDiscipline::CutDetection`]): who has voted the subject dead,
+/// and at which incarnation. Nothing is removed until the whole report
+/// pattern is stable — see [`MembershipNode::process_cuts`].
+#[derive(Debug, Clone)]
+struct CutState {
+    /// Incarnation the reports accuse. Older-incarnation votes are
+    /// discarded; a higher-incarnation vote resets the count.
+    incarnation: u64,
+    /// Detector level of our own observation, or the arrival level of
+    /// the first Alert — picks the relay set and the subtree handling
+    /// when the cut is confirmed.
+    level: u8,
+    /// Distinct reporters, each with the time its vote was last
+    /// asserted (votes expire after `cut_report_ttl`).
+    reporters: std::collections::BTreeMap<NodeId, u64>,
 }
 
 /// A dead relayer's subtree held in escrow: entries it vouched for stay
@@ -198,6 +220,12 @@ pub struct MembershipNode {
     flap: std::collections::HashMap<NodeId, (f64, u64)>,
     /// Subtree quarantines keyed by the dead relayer.
     quarantine: std::collections::HashMap<NodeId, Quarantine>,
+    /// Cut-detection vote aggregator, keyed by subject (BTreeMap so the
+    /// batched view change executes in a pool-width-independent order).
+    cuts: std::collections::BTreeMap<NodeId, CutState>,
+    /// Last time the report pattern gained a vote; batched view changes
+    /// wait out `cut_batch_delay` of quiescence after this instant.
+    cut_last_change: u64,
     /// Distress latch: the loss-degradation stretch stays engaged until
     /// this instant even if the raw signal flickers off (see
     /// [`MembershipNode::distress_stretch`]).
@@ -222,7 +250,7 @@ impl MembershipNode {
             incarnation: 0,
             crashed: false,
             directory: SharedDirectory::new(),
-            log: UpdateLog::with_max_age(cfg.piggyback_window, cfg.tombstone_ttl / 2),
+            log: UpdateLog::with_max_age(cfg.piggyback_window, cfg.effective_tombstone_ttl() / 2),
             seqs: SeqTracker::new(),
             groups: (0..levels).map(|_| None).collect(),
             sync_polls: std::collections::HashMap::new(),
@@ -230,6 +258,8 @@ impl MembershipNode {
             refuted: std::collections::HashMap::new(),
             flap: std::collections::HashMap::new(),
             quarantine: std::collections::HashMap::new(),
+            cuts: std::collections::BTreeMap::new(),
+            cut_last_change: 0,
             distress_until: 0,
             next_catchall: 0,
             control: Arc::new(Mutex::new(Vec::new())),
@@ -598,6 +628,7 @@ impl MembershipNode {
             return false; // stale proof: an older incarnation's liveness
         }
         self.suspicions.remove(&node);
+        self.cuts.remove(&node);
         self.counters.suspicions_refuted += 1;
         ctx.count("membership", "suspicions_refuted", 1);
         ctx.emit(ProtocolEvent::SuspicionRefuted { subject: node.0 });
@@ -645,6 +676,214 @@ impl MembershipNode {
         ctx.observe_suspected(peer);
         let levels = self.relay_levels(level);
         self.relay_events(ctx, vec![MemberEvent::Suspect(peer, inc)], levels);
+    }
+
+    /// Cut-detection mode: our own failure detector timed out `peer`.
+    /// We do not arm a removal of our own — we record and multicast one
+    /// `Alert` vote (into the detecting group itself, so co-observers
+    /// can aggregate it, plus the usual upward/led relay set) and leave
+    /// the removal to [`MembershipNode::process_cuts`].
+    fn report_cut(&mut self, ctx: &mut Context, peer: NodeId, level: u8) {
+        let Some(inc) = self
+            .directory
+            .read(|d| d.get(peer).map(|e| e.record.incarnation))
+        else {
+            // Nothing to report: the entry is already gone.
+            self.seqs.forget(peer);
+            return;
+        };
+        let now = ctx.now();
+        if self.record_cut_report(ctx, peer, inc, self.me, level, now) {
+            let mut levels = self.relay_levels(level);
+            levels.push(level);
+            self.relay_events(
+                ctx,
+                vec![MemberEvent::Alert {
+                    subject: peer,
+                    incarnation: inc,
+                    reporter: self.me,
+                }],
+                levels,
+            );
+        }
+    }
+
+    /// Record one cut-detection vote. Returns whether it was *new* —
+    /// a (subject, reporter) pair not already on the books at this
+    /// incarnation — which is what makes the corresponding `Alert`
+    /// worth relaying (and what resets the batch-quiescence clock). A
+    /// first vote against a subject also arms an advisory suspicion, so
+    /// the strict oracle's suspect-before-remove ordering holds and the
+    /// existing refutation machinery clears cut state on proof of life.
+    fn record_cut_report(
+        &mut self,
+        ctx: &mut Context,
+        subject: NodeId,
+        inc: u64,
+        reporter: NodeId,
+        level: u8,
+        now: u64,
+    ) -> bool {
+        let e = self.cuts.entry(subject).or_insert_with(|| CutState {
+            incarnation: inc,
+            level,
+            reporters: std::collections::BTreeMap::new(),
+        });
+        if inc < e.incarnation {
+            return false; // stale vote against an earlier life
+        }
+        if inc > e.incarnation {
+            e.incarnation = inc;
+            e.level = level;
+            e.reporters.clear();
+        }
+        if e.reporters.insert(reporter, now).is_some() {
+            return false; // refreshed an existing vote: no pattern change
+        }
+        self.cut_last_change = now;
+        self.counters.cut_reports += 1;
+        ctx.count("membership", "cut_reports", 1);
+        let already = self
+            .suspicions
+            .get(&subject)
+            .is_some_and(|s| s.incarnation >= inc);
+        if !already {
+            self.suspicions.insert(
+                subject,
+                Suspicion {
+                    incarnation: inc,
+                    level,
+                    since: now,
+                    window: 0,
+                    advisory: true,
+                },
+            );
+            self.counters.suspicions_raised += 1;
+            ctx.count("membership", "suspicions_raised", 1);
+            ctx.emit(ProtocolEvent::SuspicionArmed {
+                subject: subject.0,
+            });
+            ctx.observe_suspected(subject);
+        }
+        true
+    }
+
+    /// Sweep-time cut-detection processing: refute subjects we can
+    /// still hear, keep our own votes asserted, expire votes nobody
+    /// re-asserts, and apply the batched view change once the report
+    /// pattern is *stable* — every reported subject either reached the
+    /// (observer-clamped) high watermark or fell below the low
+    /// watermark, and no new vote has landed for `cut_batch_delay`.
+    /// A lone reporter (e.g. the near side of a one-way gray cut) stays
+    /// below the low watermark forever: it blocks nothing and removes
+    /// nothing, which is the almost-everywhere-agreement safety story.
+    fn process_cuts(&mut self, ctx: &mut Context) {
+        if self.cuts.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let ttl = self.cfg.cut_report_ttl;
+
+        // Fresh direct liveness is counter-evidence, not a vote: clear
+        // the subject's reports and refute on its behalf.
+        let alive: Vec<(NodeId, u64)> = self
+            .cuts
+            .iter()
+            .filter(|(n, _)| {
+                self.groups.iter().flatten().any(|g| {
+                    g.peers.get(n).is_some_and(|p| {
+                        now.saturating_sub(p.last_heard) <= 2 * self.cfg.heartbeat_period
+                    })
+                })
+            })
+            .map(|(&n, s)| (n, s.incarnation))
+            .collect();
+        for (n, inc) in alive {
+            self.cuts.remove(&n);
+            if self.refute_suspicion(ctx, n, inc, true) {
+                if let Some(rec) = self
+                    .directory
+                    .read(|d| d.get(n).map(|e| e.record.clone()))
+                {
+                    let levels = self.relay_levels_all();
+                    self.relay_events(ctx, vec![MemberEvent::Refute(rec)], levels);
+                }
+            }
+        }
+
+        // Our own vote stays asserted while the silence lasts (re-flood
+        // at half the TTL, so remote aggregators do not time it out
+        // under loss); votes nobody re-asserts expire. A subject whose
+        // last vote expires leaves the books without any removal.
+        let mut reflood: Vec<(NodeId, u64, u8)> = Vec::new();
+        for (&n, s) in self.cuts.iter_mut() {
+            if let Some(t) = s.reporters.get_mut(&self.me) {
+                if now.saturating_sub(*t) >= ttl / 2 {
+                    *t = now;
+                    reflood.push((n, s.incarnation, s.level));
+                }
+            }
+            s.reporters.retain(|_, &mut t| now.saturating_sub(t) < ttl);
+        }
+        self.cuts.retain(|_, s| !s.reporters.is_empty());
+        for (n, inc, level) in reflood {
+            let mut levels = self.relay_levels(level);
+            levels.push(level);
+            self.relay_events(
+                ctx,
+                vec![MemberEvent::Alert {
+                    subject: n,
+                    incarnation: inc,
+                    reporter: self.me,
+                }],
+                levels,
+            );
+        }
+
+        if self.cfg.removal_discipline != RemovalDiscipline::CutDetection {
+            return; // aggregation hygiene only; removal stays timeout-driven
+        }
+        if now.saturating_sub(self.cut_last_change) < self.cfg.cut_batch_delay {
+            return; // reports still arriving: wait for quiescence
+        }
+        let mut ready: Vec<(NodeId, u8)> = Vec::new();
+        for (&n, s) in self.cuts.iter() {
+            // Small groups cannot muster H distinct observers: clamp to
+            // the live observer count at the subject's level — but never
+            // below the low watermark, so a single observer (a leader
+            // watching a remote leader across a gray cut) can never
+            // confirm a cut alone.
+            let observers = 1 + self
+                .groups
+                .get(s.level as usize)
+                .and_then(|g| g.as_ref())
+                .map_or(0, |g| g.peers.len());
+            let h = self
+                .cfg
+                .cut_high_watermark
+                .min(observers.max(self.cfg.cut_low_watermark));
+            let votes = s.reporters.len();
+            if votes >= h {
+                ready.push((n, s.level));
+            } else if votes >= self.cfg.cut_low_watermark {
+                return; // unstable: almost-everywhere agreement pending
+            }
+        }
+        if ready.is_empty() {
+            return;
+        }
+        // The stable cut executes as one batched view change, in
+        // NodeId order (BTreeMap) for pool-width determinism.
+        self.counters.cut_batches += 1;
+        ctx.count("membership", "cut_batches", 1);
+        for (n, level) in ready {
+            self.cuts.remove(&n);
+            self.suspicions.remove(&n);
+            self.counters.suspicions_confirmed += 1;
+            ctx.count("membership", "suspicions_confirmed", 1);
+            ctx.emit(ProtocolEvent::SuspicionConfirmed { subject: n.0 });
+            self.declare_peer_dead(ctx, n, level);
+        }
     }
 
     /// Subtree quarantine: instead of purging everything a dead relayer
@@ -981,7 +1220,9 @@ impl MembershipNode {
         // The peer just left group coverage: entries it covered may now be
         // catch-all eligible, so re-arm the throttled scan.
         self.next_catchall = 0;
-        if self.cfg.suspicion_window == 0 {
+        if self.cfg.removal_discipline == RemovalDiscipline::CutDetection {
+            self.report_cut(ctx, peer, level);
+        } else if self.cfg.suspicion_window == 0 {
             self.declare_peer_dead(ctx, peer, level);
         } else {
             self.raise_suspicion(ctx, peer, level);
@@ -1178,6 +1419,7 @@ impl MembershipNode {
             }
         }
         self.process_suspicions(ctx);
+        self.process_cuts(ctx);
         self.process_quarantines(ctx);
         // Leadership invariant: we sit at level ℓ+1 only while leading ℓ.
         for level in self.active_levels() {
@@ -1650,6 +1892,25 @@ impl MembershipNode {
         self.update_probe();
     }
 
+    /// An accusation (leave / suspect / cut-detection alert) names us at
+    /// a current-or-future incarnation — a false positive. Refute by
+    /// re-incarnating (SWIM-style: the refutation must carry a strictly
+    /// higher incarnation to beat the accusation everywhere, not just
+    /// here) and return the `Refute` event to relay.
+    fn refute_self_accusation(&mut self, ctx: &mut Context, inc: u64) -> Option<MemberEvent> {
+        if inc < self.incarnation {
+            return None;
+        }
+        self.incarnation = inc + 1;
+        self.rebuild_record();
+        let me_rec = self.record.clone();
+        let now = ctx.now();
+        self.directory
+            .update(|d| (d.apply_join(me_rec, Provenance::Local, now).changed(), ()));
+        self.send_heartbeats(ctx);
+        Some(MemberEvent::Refute(self.record.clone()))
+    }
+
     fn handle_update(&mut self, ctx: &mut Context, meta: PacketMeta, u: &UpdateMsg) {
         if u.origin == self.me || u.events.is_empty() {
             return;
@@ -1687,19 +1948,20 @@ impl MembershipNode {
             match &ev.event {
                 // A leave or suspicion naming us with a current/future
                 // incarnation is a false positive — refute by
-                // re-incarnating (SWIM-style: the refutation must carry a
-                // strictly higher incarnation to beat the accusation
-                // everywhere, not just here).
+                // re-incarnating.
                 MemberEvent::Leave(n, inc) | MemberEvent::Suspect(n, inc) if *n == self.me => {
-                    if *inc >= self.incarnation {
-                        self.incarnation = inc + 1;
-                        self.rebuild_record();
-                        let me_rec = self.record.clone();
-                        self.directory.update(|d| {
-                            (d.apply_join(me_rec, Provenance::Local, now).changed(), ())
-                        });
-                        self.send_heartbeats(ctx);
-                        effective.push(MemberEvent::Refute(self.record.clone()));
+                    if let Some(refute) = self.refute_self_accusation(ctx, *inc) {
+                        effective.push(refute);
+                    }
+                    continue;
+                }
+                MemberEvent::Alert {
+                    subject,
+                    incarnation,
+                    ..
+                } if *subject == self.me => {
+                    if let Some(refute) = self.refute_self_accusation(ctx, *incarnation) {
+                        effective.push(refute);
                     }
                     continue;
                 }
@@ -1757,9 +2019,11 @@ impl MembershipNode {
                             continue;
                         }
                     }
-                    // A removal consumes any open suspicion: the origin
-                    // group confirmed what we (or the tree) suspected.
+                    // A removal consumes any open suspicion and any
+                    // pending cut votes: the origin confirmed what we
+                    // (or the tree) suspected.
                     self.suspicions.remove(n);
+                    self.cuts.remove(n);
                 }
                 MemberEvent::Suspect(n, inc) => {
                     let n = *n;
@@ -1808,6 +2072,44 @@ impl MembershipNode {
                         ctx.count("membership", "suspicions_raised", 1);
                         ctx.emit(ProtocolEvent::SuspicionArmed { subject: n.0 });
                         ctx.observe_suspected(n);
+                        effective.push(ev.event.clone());
+                    }
+                    continue;
+                }
+                MemberEvent::Alert {
+                    subject,
+                    incarnation,
+                    reporter,
+                } => {
+                    let (n, inc, rep) = (*subject, *incarnation, *reporter);
+                    // Counter-evidence beats a vote exactly as it beats a
+                    // relayed `Suspect`: fresh direct liveness (or a
+                    // refutation we already hold) answers with proof
+                    // instead of recording the report.
+                    let heard_recently = self.groups.iter().flatten().any(|g| {
+                        g.peers.get(&n).is_some_and(|p| {
+                            now.saturating_sub(p.last_heard) <= 2 * self.cfg.heartbeat_period
+                        })
+                    });
+                    if heard_recently || self.recently_refuted(n, inc, now) {
+                        if let Some(rec) = self.directory.read(|d| {
+                            d.get(n)
+                                .filter(|e| e.record.incarnation >= inc)
+                                .map(|e| e.record.clone())
+                        }) {
+                            effective.push(MemberEvent::Refute(rec));
+                        }
+                        continue;
+                    }
+                    // Aggregate the vote; a (subject, reporter) pair we
+                    // had not seen travels onward exactly once, which
+                    // terminates the flood.
+                    let known_at = self
+                        .directory
+                        .read(|d| d.get(n).map(|e| e.record.incarnation));
+                    if known_at.is_some_and(|k| k <= inc)
+                        && self.record_cut_report(ctx, n, inc, rep, arrival, now)
+                    {
                         effective.push(ev.event.clone());
                     }
                     continue;
@@ -2052,13 +2354,17 @@ impl Actor for MembershipNode {
             // DirectoryClient handles attached, like re-initializing the
             // same shm segment after a daemon restart).
             self.seqs = SeqTracker::new();
-            self.log =
-                UpdateLog::with_max_age(self.cfg.piggyback_window, self.cfg.tombstone_ttl / 2);
+            self.log = UpdateLog::with_max_age(
+                self.cfg.piggyback_window,
+                self.cfg.effective_tombstone_ttl() / 2,
+            );
             self.sync_polls.clear();
             self.suspicions.clear();
             self.refuted.clear();
             self.flap.clear();
             self.quarantine.clear();
+            self.cuts.clear();
+            self.cut_last_change = 0;
             for g in &mut self.groups {
                 *g = None;
             }
@@ -2070,7 +2376,7 @@ impl Actor for MembershipNode {
         self.directory
             .update(|d| (d.apply_join(me_rec, Provenance::Local, now).changed(), ()));
 
-        let ttl = self.cfg.tombstone_ttl;
+        let ttl = self.cfg.effective_tombstone_ttl();
         self.directory.update(|d| {
             d.set_tombstone_ttl(ttl);
             (false, ())

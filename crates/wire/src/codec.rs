@@ -193,6 +193,28 @@ fn write_event<S: Sink>(s: &mut S, e: &MemberEvent) {
             s.put_u8(3);
             write_record(s, r);
         }
+        MemberEvent::Alert {
+            subject,
+            incarnation,
+            reporter,
+        } => {
+            s.put_u8(4);
+            s.put_u32(subject.0);
+            s.put_u64(*incarnation);
+            s.put_u32(reporter.0);
+        }
+    }
+}
+
+fn write_swim_updates<S: Sink>(s: &mut S, updates: &[SwimUpdate]) {
+    s.put_u32(updates.len() as u32);
+    for u in updates {
+        s.put_u8(match u.state {
+            SwimState::Alive => 0,
+            SwimState::Suspect => 1,
+            SwimState::Confirm => 2,
+        });
+        write_record(s, &u.record);
     }
 }
 
@@ -340,6 +362,27 @@ fn write_message<S: Sink>(s: &mut S, msg: &Message) {
             s.put_u32(r.from.0);
             s.put_u8(u8::from(r.ok));
             write_bytes_field(s, &r.payload);
+        }
+        Message::SwimPing(p) => {
+            s.put_u8(0x0d);
+            s.put_u32(p.from.0);
+            s.put_u64(p.seq);
+            write_swim_updates(s, &p.updates);
+        }
+        Message::SwimAck(a) => {
+            s.put_u8(0x0e);
+            s.put_u32(a.from.0);
+            s.put_u32(a.subject.0);
+            s.put_u64(a.seq);
+            write_swim_updates(s, &a.updates);
+            write_swim_updates(s, &a.sync);
+        }
+        Message::SwimPingReq(q) => {
+            s.put_u8(0x0f);
+            s.put_u32(q.from.0);
+            s.put_u32(q.target.0);
+            s.put_u64(q.seq);
+            write_swim_updates(s, &q.updates);
         }
     }
 }
@@ -489,8 +532,35 @@ fn read_event(r: &mut Reader) -> Result<MemberEvent, DecodeError> {
             Ok(MemberEvent::Suspect(n, inc))
         }
         3 => Ok(MemberEvent::Refute(read_record(r)?)),
+        4 => {
+            let subject = read_node(r)?;
+            let incarnation = r.u64()?;
+            let reporter = read_node(r)?;
+            Ok(MemberEvent::Alert {
+                subject,
+                incarnation,
+                reporter,
+            })
+        }
         t => Err(DecodeError::BadTag(t)),
     }
+}
+
+fn read_swim_updates(r: &mut Reader) -> Result<Vec<SwimUpdate>, DecodeError> {
+    // Minimal element: state(1) + record node(4)+inc(8)+services(4)+attrs(4).
+    let n = r.count(21)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let state = match r.u8()? {
+            0 => SwimState::Alive,
+            1 => SwimState::Suspect,
+            2 => SwimState::Confirm,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        let record = read_record(r)?;
+        out.push(SwimUpdate { state, record });
+    }
+    Ok(out)
 }
 
 fn read_relayed(r: &mut Reader) -> Result<RelayedRecord, DecodeError> {
@@ -668,6 +738,24 @@ fn read_message(r: &mut Reader) -> Result<Message, DecodeError> {
             from: read_node(r)?,
             ok: r.u8()? != 0,
             payload: read_bytes_field(r)?,
+        })),
+        0x0d => Ok(Message::SwimPing(SwimPing {
+            from: read_node(r)?,
+            seq: r.u64()?,
+            updates: read_swim_updates(r)?,
+        })),
+        0x0e => Ok(Message::SwimAck(SwimAck {
+            from: read_node(r)?,
+            subject: read_node(r)?,
+            seq: r.u64()?,
+            updates: read_swim_updates(r)?,
+            sync: read_swim_updates(r)?,
+        })),
+        0x0f => Ok(Message::SwimPingReq(SwimPingReq {
+            from: read_node(r)?,
+            target: read_node(r)?,
+            seq: r.u64()?,
+            updates: read_swim_updates(r)?,
         })),
         t => Err(DecodeError::BadTag(t)),
     }
@@ -888,6 +976,90 @@ mod tests {
             ],
         });
         assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn swim_messages_roundtrip() {
+        let updates = vec![
+            SwimUpdate {
+                state: SwimState::Alive,
+                record: sample_record(),
+            },
+            SwimUpdate {
+                state: SwimState::Suspect,
+                record: NodeRecord::new(NodeId(3), 2),
+            },
+            SwimUpdate {
+                state: SwimState::Confirm,
+                record: NodeRecord::new(NodeId(9), 1),
+            },
+        ];
+        for msg in [
+            Message::SwimPing(SwimPing {
+                from: NodeId(1),
+                seq: 42,
+                updates: updates.clone(),
+            }),
+            Message::SwimAck(SwimAck {
+                from: NodeId(2),
+                subject: NodeId(5),
+                seq: 42,
+                updates: updates.clone(),
+                sync: vec![SwimUpdate {
+                    state: SwimState::Alive,
+                    record: NodeRecord::new(NodeId(7), 3),
+                }],
+            }),
+            Message::SwimPingReq(SwimPingReq {
+                from: NodeId(1),
+                target: NodeId(5),
+                seq: 43,
+                updates,
+            }),
+        ] {
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn alert_event_roundtrip_and_tag_distinct() {
+        let alert = Message::Update(UpdateMsg {
+            origin: NodeId(1),
+            events: vec![SeqEvent {
+                seq: 9,
+                event: MemberEvent::Alert {
+                    subject: NodeId(5),
+                    incarnation: 2,
+                    reporter: NodeId(1),
+                },
+            }],
+        });
+        assert_eq!(decode(&encode(&alert)).unwrap(), alert);
+        // An alert must never decode as a suspect (it carries no removal
+        // authority of its own).
+        let suspect = Message::Update(UpdateMsg {
+            origin: NodeId(1),
+            events: vec![SeqEvent {
+                seq: 9,
+                event: MemberEvent::Suspect(NodeId(5), 2),
+            }],
+        });
+        assert_ne!(encode(&alert), encode(&suspect));
+    }
+
+    #[test]
+    fn truncated_swim_rejected() {
+        let bytes = encode(&Message::SwimPing(SwimPing {
+            from: NodeId(1),
+            seq: 7,
+            updates: vec![SwimUpdate {
+                state: SwimState::Alive,
+                record: sample_record(),
+            }],
+        }));
+        for len in 0..bytes.len() {
+            assert!(decode(&bytes[..len]).is_err(), "prefix of {len} decoded");
+        }
     }
 
     #[test]

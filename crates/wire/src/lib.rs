@@ -39,7 +39,8 @@ pub use messages::{
     DcId, DigestEntry, DigestMsg, DirectoryExchange, ElectionMsg, Gossip, GossipEntry, Heartbeat,
     MemberEvent, Message, NodeId, NodeRecord, PartitionSet, ProxySummary, ProxyUpdate,
     RecordPayload, RelayedRecord, SeqEvent, ServiceAvail, ServiceDecl, ServiceRequest,
-    ServiceResponse, SummaryEvent, SyncRequest, SyncResponse, UpdateMsg,
+    ServiceResponse, SummaryEvent, SwimAck, SwimPing, SwimPingReq, SwimState, SwimUpdate,
+    SyncRequest, SyncResponse, UpdateMsg,
 };
 
 #[cfg(test)]
@@ -86,7 +87,29 @@ mod proptests {
         prop_oneof![
             arb_record().prop_map(MemberEvent::Join),
             (arb_node_id(), any::<u64>()).prop_map(|(n, i)| MemberEvent::Leave(n, i)),
+            (arb_node_id(), any::<u64>(), arb_node_id()).prop_map(|(n, i, rep)| {
+                MemberEvent::Alert {
+                    subject: n,
+                    incarnation: i,
+                    reporter: rep,
+                }
+            }),
         ]
+    }
+
+    fn arb_swim_updates() -> impl Strategy<Value = Vec<SwimUpdate>> {
+        proptest::collection::vec((any::<u8>(), arb_record()), 0..4).prop_map(|v| {
+            v.into_iter()
+                .map(|(s, record)| SwimUpdate {
+                    state: match s % 3 {
+                        0 => SwimState::Alive,
+                        1 => SwimState::Suspect,
+                        _ => SwimState::Confirm,
+                    },
+                    record,
+                })
+                .collect()
+        })
     }
 
     fn arb_message() -> impl Strategy<Value = Message> {
@@ -158,6 +181,18 @@ mod proptests {
                 };
                 Message::Election(kind)
             }),
+            (arb_node_id(), any::<u64>(), arb_swim_updates())
+                .prop_map(|(from, seq, updates)| Message::SwimPing(SwimPing { from, seq, updates })),
+            (arb_node_id(), arb_node_id(), any::<u64>(), arb_swim_updates()).prop_map(
+                |(from, target, seq, updates)| {
+                    Message::SwimPingReq(SwimPingReq {
+                        from,
+                        target,
+                        seq,
+                        updates,
+                    })
+                }
+            ),
         ]
     }
 

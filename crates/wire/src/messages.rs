@@ -286,6 +286,17 @@ pub enum MemberEvent {
     /// that receivers clear local suspicion state and keep relaying the
     /// refutation even when the record itself is already known.
     Refute(NodeRecord),
+    /// One observer's failure report in Rapid-style cut-detection mode
+    /// (docs/BASELINES.md): `reporter` timed out `subject` at
+    /// `incarnation`. Unlike `Suspect`, an alert never removes anything
+    /// on its own — nodes count *distinct reporters* per subject, and
+    /// only a stable report count crossing the high watermark turns into
+    /// a batched view change.
+    Alert {
+        subject: NodeId,
+        incarnation: u64,
+        reporter: NodeId,
+    },
 }
 
 impl MemberEvent {
@@ -295,6 +306,7 @@ impl MemberEvent {
             MemberEvent::Leave(n, _) => *n,
             MemberEvent::Suspect(n, _) => *n,
             MemberEvent::Refute(r) => r.node,
+            MemberEvent::Alert { subject, .. } => *subject,
         }
     }
 }
@@ -485,6 +497,65 @@ pub struct ServiceResponse {
     pub payload: Vec<u8>,
 }
 
+/// Member state carried by a SWIM piggyback update: the three-valued
+/// lattice of the SWIM dissemination component. For one incarnation,
+/// `Suspect` overrides `Alive`; `Confirm` (dead) overrides both; a higher
+/// incarnation overrides everything at a lower one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwimState {
+    Alive,
+    Suspect,
+    Confirm,
+}
+
+/// One piggybacked SWIM membership update. `Alive` carries the subject's
+/// full yellow-page record (it doubles as the join/refute path);
+/// `Suspect`/`Confirm` carry a minimal record (identity + incarnation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwimUpdate {
+    pub state: SwimState,
+    pub record: NodeRecord,
+}
+
+/// SWIM direct probe. The probed member answers with a [`SwimAck`]
+/// echoing `seq`. Updates ride along (SWIM disseminates membership
+/// changes exclusively by piggybacking on probe traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwimPing {
+    pub from: NodeId,
+    pub seq: u64,
+    pub updates: Vec<SwimUpdate>,
+}
+
+/// SWIM acknowledgement. `subject` is the member whose liveness this ack
+/// proves: for a direct ack it equals `from`; for an ack forwarded by a
+/// ping-req intermediary, `from` is the intermediary and `subject` the
+/// probed target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwimAck {
+    pub from: NodeId,
+    pub subject: NodeId,
+    pub seq: u64,
+    pub updates: Vec<SwimUpdate>,
+    /// State transfer, not gossip: the full member view handed to a
+    /// joining pinger (plus dead-list echoes). Applied without a
+    /// dissemination budget — re-gossiping every already-known member on
+    /// each pairwise first contact would flood the piggyback queues with
+    /// O(n·log n) stale retransmissions per node at boot.
+    pub sync: Vec<SwimUpdate>,
+}
+
+/// SWIM indirect-probe request: "ping `target` on my behalf". The
+/// intermediary probes `target` and forwards a successful ack back to
+/// `from` with the original `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwimPingReq {
+    pub from: NodeId,
+    pub target: NodeId,
+    pub seq: u64,
+    pub updates: Vec<SwimUpdate>,
+}
+
 /// One entry of a membership digest: just identity + incarnation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DigestEntry {
@@ -519,6 +590,9 @@ pub enum Message {
     ProxyUpdate(ProxyUpdate),
     ServiceRequest(ServiceRequest),
     ServiceResponse(ServiceResponse),
+    SwimPing(SwimPing),
+    SwimAck(SwimAck),
+    SwimPingReq(SwimPingReq),
 }
 
 impl Message {
@@ -537,6 +611,9 @@ impl Message {
             Message::ProxyUpdate(_) => "proxy-update",
             Message::ServiceRequest(_) => "svc-req",
             Message::ServiceResponse(_) => "svc-resp",
+            Message::SwimPing(_) => "swim-ping",
+            Message::SwimAck(_) => "swim-ack",
+            Message::SwimPingReq(_) => "swim-ping-req",
         }
     }
 }
