@@ -163,6 +163,42 @@ impl Actor for AllToAllNode {
         self.refresh_probe();
     }
 
+    /// Zero-copy receive: the protocol is heartbeat-only, and on the
+    /// steady-state refresh path (same incarnation, same content) the
+    /// sender's record never gets materialized — the directory's lazy
+    /// join compares through the borrowed view.
+    fn on_packet_view(
+        &mut self,
+        ctx: &mut Context,
+        _meta: PacketMeta,
+        view: &tamp_wire::MessageView<'_>,
+    ) {
+        let Some(hb) = view.as_heartbeat() else {
+            return;
+        };
+        if hb.from == self.me {
+            return;
+        }
+        let now = ctx.now();
+        self.last_heard.insert(hb.from, now);
+        let (was, applied) = self.directory.update(|d| {
+            let was = d.contains(hb.from);
+            let a = d.apply_join_with(
+                hb.record.node,
+                hb.record.incarnation,
+                Provenance::Direct,
+                now,
+                || hb.record.to_record(),
+                |e| hb.record.matches(e),
+            );
+            (a.changed(), (was, a))
+        });
+        if applied.changed() && !was {
+            ctx.observe_added(hb.from);
+        }
+        self.refresh_probe();
+    }
+
     fn on_timer(&mut self, ctx: &mut Context, token: u64) {
         match token {
             T_HEARTBEAT => {

@@ -415,9 +415,8 @@ impl SwimNode {
                     {
                         m.record = upd.record.clone();
                         let rec = upd.record.clone();
-                        self.directory.update(|d| {
-                            (d.apply_join(rec, Provenance::Direct, now).changed(), ())
-                        });
+                        self.directory
+                            .update(|d| (d.apply_join(rec, Provenance::Direct, now).changed(), ()));
                     }
                     return;
                 }
@@ -428,9 +427,8 @@ impl SwimNode {
                         m.record = upd.record.clone();
                         m.since = now;
                         let rec = upd.record.clone();
-                        self.directory.update(|d| {
-                            (d.apply_join(rec, Provenance::Direct, now).changed(), ())
-                        });
+                        self.directory
+                            .update(|d| (d.apply_join(rec, Provenance::Direct, now).changed(), ()));
                         if was_suspect {
                             ctx.count("swim", "suspicions_refuted", 1);
                             ctx.emit(ProtocolEvent::SuspicionRefuted { subject: subject.0 });
@@ -534,9 +532,7 @@ impl SwimNode {
             .seeds
             .iter()
             .copied()
-            .filter(|&s| {
-                s != me && !self.members.contains_key(&s) && !self.dead.contains_key(&s)
-            })
+            .filter(|&s| s != me && !self.members.contains_key(&s) && !self.dead.contains_key(&s))
             .collect();
         if !unseen.is_empty() {
             return Some(unseen[ctx.rand_below(unseen.len() as u64) as usize]);

@@ -1,0 +1,48 @@
+//! Wire-codec receive-path benches: the owned reference decoder vs the
+//! zero-copy `MessageView` parse, per corpus frame and over the whole
+//! corpus, plus the encode/`encoded_len` send-side costs the engine's
+//! wire modes pay.
+//!
+//! The corpus (`tamp_bench::codec_corpus`) covers the three shapes that
+//! dominate steady-state traffic: a 228-byte padded heartbeat, a
+//! 128-entry leader digest, and a 4-event piggyback update. The
+//! checked-in guard numbers live in `codec_baseline.txt` (see the
+//! opt-in test `codec_receive_within_ten_percent_of_baseline`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tamp_bench::{codec_corpus, codec_frames, owned_receive_pass, view_receive_pass};
+use tamp_wire::{codec, MessageView};
+
+fn bench_per_frame(c: &mut Criterion) {
+    let corpus = codec_corpus();
+    let names = ["heartbeat_228B", "digest_128", "update_4"];
+    for (name, msg) in names.iter().zip(&corpus) {
+        let bytes = codec::encode(msg);
+        let mut g = c.benchmark_group(format!("codec/{name}"));
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function("encode", |b| b.iter(|| codec::encode(msg)));
+        // Warm: the record payload's wire-length cache is populated, so
+        // this is the engine's steady-state in-memory send cost.
+        g.bench_function("encoded_len", |b| b.iter(|| codec::encoded_len(msg)));
+        g.bench_function("decode_owned", |b| {
+            b.iter(|| codec::decode(&bytes).unwrap())
+        });
+        g.bench_function("parse_view", |b| {
+            b.iter(|| MessageView::parse(&bytes).unwrap())
+        });
+        g.finish();
+    }
+}
+
+fn bench_receive_pass(c: &mut Criterion) {
+    let frames = codec_frames();
+    let total: usize = frames.iter().map(Vec::len).sum();
+    let mut g = c.benchmark_group("codec/receive_pass");
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("owned", |b| b.iter(|| owned_receive_pass(&frames)));
+    g.bench_function("view", |b| b.iter(|| view_receive_pass(&frames)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_frame, bench_receive_pass);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Anti-entropy digest benches: the per-tick snapshot a group leader
+//! takes (incrementally maintained vs full rescan) and the per-mutation
+//! bookkeeping the incremental path adds to directory writes.
+//!
+//! The checked-in guard numbers live in `digest_baseline.txt` (see the
+//! opt-in test `digest_tick_within_ten_percent_of_baseline`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tamp_bench::{
+    digest_directory, digest_snapshot_incremental, digest_snapshot_rescan, DIGEST_NODES,
+};
+use tamp_directory::Provenance;
+use tamp_wire::{NodeId, NodeRecord};
+
+fn bench_snapshot(c: &mut Criterion) {
+    let d = digest_directory();
+    let mut g = c.benchmark_group("digest/snapshot");
+    g.throughput(Throughput::Elements(u64::from(DIGEST_NODES)));
+    g.bench_function("incremental", |b| {
+        b.iter(|| digest_snapshot_incremental(&d))
+    });
+    g.bench_function("rescan", |b| b.iter(|| digest_snapshot_rescan(&d)));
+    g.finish();
+}
+
+/// The cost the incremental digest adds to the write path: a rejoin
+/// with a bumped incarnation updates the sorted digest in place
+/// (binary search + overwrite) on every apply. Incarnations increase
+/// monotonically across iterations so every apply takes the
+/// changed-record branch.
+fn bench_mutation_overhead(c: &mut Criterion) {
+    let mut d = digest_directory();
+    let mut inc = 1u64;
+    let mut g = c.benchmark_group("digest/mutation");
+    g.bench_function("rejoin_bumped_incarnation", |b| {
+        b.iter(|| {
+            inc += 1;
+            let node = NodeId(inc as u32 % DIGEST_NODES);
+            d.apply_join(NodeRecord::new(node, inc), Provenance::Direct, inc)
+                .changed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_mutation_overhead);
+criterion_main!(benches);

@@ -100,6 +100,159 @@ pub fn strict_sweep(jobs: usize, count: u64) -> tamp_chaos::SweepReport {
     )
 }
 
+/// The receive-path frame corpus shared by `benches/codec.rs` and the
+/// opt-in guard against `codec_baseline.txt`: the three message shapes
+/// that dominate steady-state traffic, at realistic sizes.
+///
+/// - a 228-byte padded heartbeat (the paper's measured packet),
+/// - a 128-entry leader anti-entropy digest,
+/// - a 4-event piggybacked update window.
+pub fn codec_corpus() -> Vec<tamp_wire::Message> {
+    use tamp_wire::{
+        DigestEntry, DigestMsg, Heartbeat, MemberEvent, Message, NodeId, NodeRecord, PartitionSet,
+        SeqEvent, ServiceDecl, UpdateMsg,
+    };
+    let mut rec = NodeRecord::new(NodeId(7), 3).with_service(ServiceDecl::new(
+        "index",
+        PartitionSet::from_iter([0, 1, 2]),
+    ));
+    rec.pad_to_encoded_size(228);
+    vec![
+        Message::Heartbeat(Heartbeat {
+            from: NodeId(7),
+            level: 0,
+            seq: 42,
+            is_leader: true,
+            backup: Some(NodeId(9)),
+            latest_update_seq: 17,
+            record: rec,
+        }),
+        Message::Digest(DigestMsg {
+            from: NodeId(3),
+            level: 1,
+            entries: (0..128)
+                .map(|i| DigestEntry {
+                    node: NodeId(i),
+                    incarnation: 1 + u64::from(i % 5),
+                })
+                .collect(),
+        }),
+        Message::Update(UpdateMsg {
+            origin: NodeId(11),
+            events: (0..4)
+                .map(|i| SeqEvent {
+                    seq: 30 + i,
+                    event: match i % 2 {
+                        0 => MemberEvent::Join(NodeRecord::new(NodeId(40 + i as u32), 2)),
+                        _ => MemberEvent::Leave(NodeId(40 + i as u32), 2),
+                    },
+                })
+                .collect(),
+        }),
+    ]
+}
+
+/// Encode the corpus once; both receive passes consume these frames.
+pub fn codec_frames() -> Vec<Vec<u8>> {
+    codec_corpus()
+        .iter()
+        .map(tamp_wire::codec::encode)
+        .collect()
+}
+
+/// The pre-existing receive path: fully decode every frame into an
+/// owned [`tamp_wire::Message`], then read the fields a membership
+/// actor reads. Returns a checksum so the work isn't optimized away.
+pub fn owned_receive_pass(frames: &[Vec<u8>]) -> u64 {
+    use tamp_wire::Message;
+    let mut sum = 0u64;
+    for f in frames {
+        match tamp_wire::codec::decode(f).expect("corpus frames decode") {
+            Message::Heartbeat(hb) => {
+                sum = sum
+                    .wrapping_add(u64::from(hb.from.0))
+                    .wrapping_add(hb.record.incarnation)
+                    .wrapping_add(hb.latest_update_seq);
+            }
+            Message::Digest(d) => {
+                for e in &d.entries {
+                    sum = sum
+                        .wrapping_add(u64::from(e.node.0))
+                        .wrapping_add(e.incarnation);
+                }
+            }
+            m => sum = sum.wrapping_add(m.kind().len() as u64),
+        }
+    }
+    sum
+}
+
+/// The zero-copy receive path: parse a borrowed [`tamp_wire::MessageView`]
+/// per frame and read the same fields in place — no owned `Message`, no
+/// per-record allocations. Computes the identical checksum to
+/// [`owned_receive_pass`] (the guard asserts it).
+pub fn view_receive_pass(frames: &[Vec<u8>]) -> u64 {
+    use tamp_wire::MessageView;
+    let mut sum = 0u64;
+    for f in frames {
+        let v = MessageView::parse(f).expect("corpus frames parse");
+        if let Some(hb) = v.as_heartbeat() {
+            sum = sum
+                .wrapping_add(u64::from(hb.from.0))
+                .wrapping_add(hb.record.incarnation)
+                .wrapping_add(hb.latest_update_seq);
+        } else if let Some(d) = v.as_digest() {
+            for e in d.entries() {
+                sum = sum
+                    .wrapping_add(u64::from(e.node.0))
+                    .wrapping_add(e.incarnation);
+            }
+        } else {
+            sum = sum.wrapping_add(v.kind().len() as u64);
+        }
+    }
+    sum
+}
+
+/// Directory size for the digest workloads below.
+pub const DIGEST_NODES: u32 = 1024;
+
+/// A populated directory for the digest benches: [`DIGEST_NODES`] live
+/// entries, each with one service declaration.
+pub fn digest_directory() -> tamp_directory::Directory {
+    use tamp_wire::{NodeId, NodeRecord, PartitionSet, ServiceDecl};
+    let mut d = tamp_directory::Directory::new();
+    for i in 0..DIGEST_NODES {
+        let rec = NodeRecord::new(NodeId(i), 1).with_service(ServiceDecl::new(
+            format!("svc{}", i % 10),
+            PartitionSet::from_iter([(i % 8) as u16]),
+        ));
+        d.apply_join(rec, tamp_directory::Provenance::Direct, 0);
+    }
+    d
+}
+
+/// One leader anti-entropy tick on the incremental path: copy the
+/// maintained digest out (what `own_digest_entries` now does). Returns
+/// a checksum over the entries.
+pub fn digest_snapshot_incremental(d: &tamp_directory::Directory) -> u64 {
+    let snap = d.digest().to_vec();
+    snap.iter().fold(0u64, |s, e| {
+        s.wrapping_add(u64::from(e.node.0))
+            .wrapping_add(e.incarnation)
+    })
+}
+
+/// The pre-existing per-tick cost: rebuild the digest by rescanning
+/// every directory entry. Same checksum as the incremental snapshot.
+pub fn digest_snapshot_rescan(d: &tamp_directory::Directory) -> u64 {
+    let snap = d.rescan_digest();
+    snap.iter().fold(0u64, |s, e| {
+        s.wrapping_add(u64::from(e.node.0))
+            .wrapping_add(e.incarnation)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +372,148 @@ mod tests {
                  outside band; if intentional, regenerate sweep_baseline.txt"
             );
         }
+    }
+
+    /// Both receive passes must observe the identical field values —
+    /// the checksum equality makes the bench workloads themselves a
+    /// small owned-vs-view differential.
+    #[test]
+    fn receive_passes_agree() {
+        let frames = codec_frames();
+        assert_eq!(owned_receive_pass(&frames), view_receive_pass(&frames));
+    }
+
+    /// The maintained digest and a full rescan summarize the same
+    /// entries (the deep structural check lives in `tamp-directory`;
+    /// this pins the bench workloads to each other).
+    #[test]
+    fn digest_snapshots_agree() {
+        let d = digest_directory();
+        assert_eq!(digest_snapshot_incremental(&d), digest_snapshot_rescan(&d));
+    }
+
+    /// Shared helper for the two wall-clock guards below: best (minimum)
+    /// ns per unit over `rounds` timed rounds of `passes` workload
+    /// passes. The minimum is the stable estimator for µs-scale loops —
+    /// interference only ever inflates a round, so the best round tracks
+    /// the true cost far more tightly than the median does on a shared
+    /// box.
+    fn best_ns(rounds: usize, passes: usize, units_per_pass: u64, mut f: impl FnMut()) -> f64 {
+        (0..rounds)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                for _ in 0..passes {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / (passes as u64 * units_per_pass) as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn read_baseline(file: &str) -> Vec<(String, f64)> {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| {
+                let mut parts = l.split_whitespace();
+                (
+                    parts.next().expect("baseline name").to_string(),
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("baseline number"),
+                )
+            })
+            .collect()
+    }
+
+    /// Opt-in wall-clock guard for the wire receive path: both decode
+    /// passes over the frame corpus must stay within ±10% of the
+    /// checked-in per-frame baselines (`codec_baseline.txt`, measured
+    /// in release on the reference box — regenerate there when the
+    /// codec legitimately changes). Also re-pins the view pass faster
+    /// than the owned pass: the zero-copy win itself is the regression
+    /// being guarded.
+    ///
+    /// ```sh
+    /// cargo test -p tamp-bench --release -- --ignored baseline
+    /// ```
+    #[test]
+    #[ignore = "wall-clock sensitive; run in release against codec_baseline.txt"]
+    fn codec_receive_within_ten_percent_of_baseline() {
+        if cfg!(debug_assertions) {
+            panic!("baseline is a release measurement; run with --release");
+        }
+        let frames = codec_frames();
+        let units = frames.len() as u64;
+        let mut measured = std::collections::HashMap::new();
+        for (name, base_ns) in read_baseline("codec_baseline.txt") {
+            let got = match name.as_str() {
+                "owned_receive" => best_ns(7, 50_000, units, || {
+                    std::hint::black_box(owned_receive_pass(&frames));
+                }),
+                "view_receive" => best_ns(7, 50_000, units, || {
+                    std::hint::black_box(view_receive_pass(&frames));
+                }),
+                other => panic!("unknown baseline entry {other}"),
+            };
+            let ratio = got / base_ns;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{name}: {got:.1} ns/frame vs baseline {base_ns:.1} (ratio {ratio:.3}) — \
+                 outside ±10%; if intentional, regenerate codec_baseline.txt"
+            );
+            measured.insert(name, got);
+        }
+        let (owned, view) = (measured["owned_receive"], measured["view_receive"]);
+        assert!(
+            view < owned,
+            "zero-copy pass ({view:.1} ns/frame) must beat owned decode ({owned:.1} ns/frame)"
+        );
+    }
+
+    /// Opt-in wall-clock guard for the anti-entropy digest tick: the
+    /// incremental snapshot and the full rescan must stay within ±10%
+    /// of `digest_baseline.txt` ([`DIGEST_NODES`]-entry directory,
+    /// release, reference box), and the incremental path must stay
+    /// faster than the rescan it replaced.
+    ///
+    /// ```sh
+    /// cargo test -p tamp-bench --release -- --ignored baseline
+    /// ```
+    #[test]
+    #[ignore = "wall-clock sensitive; run in release against digest_baseline.txt"]
+    fn digest_tick_within_ten_percent_of_baseline() {
+        if cfg!(debug_assertions) {
+            panic!("baseline is a release measurement; run with --release");
+        }
+        let d = digest_directory();
+        let mut measured = std::collections::HashMap::new();
+        for (name, base_ns) in read_baseline("digest_baseline.txt") {
+            let got = match name.as_str() {
+                "digest_incremental" => best_ns(7, 20_000, 1, || {
+                    std::hint::black_box(digest_snapshot_incremental(&d));
+                }),
+                "digest_rescan" => best_ns(7, 20_000, 1, || {
+                    std::hint::black_box(digest_snapshot_rescan(&d));
+                }),
+                other => panic!("unknown baseline entry {other}"),
+            };
+            let ratio = got / base_ns;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{name}: {got:.1} ns/tick vs baseline {base_ns:.1} (ratio {ratio:.3}) — \
+                 outside ±10%; if intentional, regenerate digest_baseline.txt"
+            );
+            measured.insert(name, got);
+        }
+        let (inc, rescan) = (measured["digest_incremental"], measured["digest_rescan"]);
+        assert!(
+            inc < rescan,
+            "incremental tick ({inc:.1} ns) must beat the rescan it replaced ({rescan:.1} ns)"
+        );
     }
 }

@@ -405,7 +405,10 @@ pub fn parse(text: &str) -> Result<Schedule, ParseError> {
                 if !crate::PROTOCOLS.contains(p) {
                     return err(
                         line,
-                        format!("unknown protocol {p:?} (want one of {:?})", crate::PROTOCOLS),
+                        format!(
+                            "unknown protocol {p:?} (want one of {:?})",
+                            crate::PROTOCOLS
+                        ),
                     );
                 }
                 schedule.protocol = Some(p.to_string());

@@ -8,7 +8,9 @@ use crate::schedule::{fmt_duration, Action, Schedule, ScheduledFault, Target};
 use crate::truth::GroundTruth;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode, SwimConfig, SwimNode};
+use tamp_baselines::{
+    AllToAllConfig, AllToAllNode, GossipConfig, GossipNode, SwimConfig, SwimNode,
+};
 use tamp_membership::{MembershipConfig, MembershipNode, Probe, RemovalDiscipline};
 use tamp_netsim::telemetry::{MetricsSnapshot, CLUSTER};
 use tamp_netsim::{Engine, EngineConfig, TraceLog, TraceRecord};

@@ -29,7 +29,7 @@ pub use lookup::{LookupQuery, Machine};
 pub use shared::{DirectoryClient, SharedDirectory};
 
 use std::collections::BTreeMap;
-use tamp_wire::{MemberEvent, NodeId, NodeRecord, RelayedRecord, ServiceAvail};
+use tamp_wire::{DigestEntry, MemberEvent, NodeId, NodeRecord, RelayedRecord, ServiceAvail};
 
 /// Nanosecond timestamps, matching `tamp_topology::Nanos`.
 pub type Nanos = u64;
@@ -94,6 +94,16 @@ pub struct Directory {
     /// (e.g. a healed partition), the node's own heartbeats re-add it
     /// once the tombstone ages out, without requiring re-incarnation.
     tombstone_ttl: Nanos,
+    /// Anti-entropy digest, maintained incrementally: one `(node,
+    /// incarnation)` pair per live entry, sorted by node id (the same
+    /// order the `entries` map iterates in). Every mutation path —
+    /// insert, incarnation bump, leave/tombstone, reconciliation
+    /// removal, expiry cascade, relayed purge — keeps it in sync, so
+    /// [`Directory::digest`] is a borrow instead of an O(members)
+    /// rescan per anti-entropy tick. Same-incarnation refreshes and
+    /// content republishes do not touch it: digest identity is the
+    /// `(node, incarnation)` pair only.
+    digest: Vec<DigestEntry>,
 }
 
 impl Default for Directory {
@@ -102,6 +112,7 @@ impl Default for Directory {
             entries: BTreeMap::new(),
             dead: BTreeMap::new(),
             tombstone_ttl: DEFAULT_TOMBSTONE_TTL,
+            digest: Vec::new(),
         }
     }
 }
@@ -168,32 +179,76 @@ impl Directory {
         provenance: Provenance,
         now: Nanos,
     ) -> Applied {
-        if let Some(&(dead_inc, at)) = self.dead.get(&record.node) {
-            if record.incarnation <= dead_inc && now.saturating_sub(at) < self.tombstone_ttl {
+        // `NodeRecord` clones are an Arc bump (copy-on-write payload),
+        // so routing through the generic path costs nothing extra.
+        self.apply_join_with(
+            record.node,
+            record.incarnation,
+            provenance,
+            now,
+            || record.clone(),
+            |e| *e == record,
+        )
+    }
+
+    /// Generic form of [`Directory::apply_join`]: the acceptance rules
+    /// run on `(node, incarnation)` alone, and the record is only
+    /// produced — via `make_record` — when it will actually be stored.
+    /// `same` is consulted on a same-incarnation collision and must
+    /// answer "is the offered record content-identical to this one?";
+    /// a `true` must imply `make_record()` equals the existing record.
+    ///
+    /// This is the single implementation both the owned path and the
+    /// borrowed wire-view path go through: a zero-copy caller passes
+    /// `make_record = || view.to_record()` and `same = |e|
+    /// view.matches(e)`, and skips materialization entirely on the
+    /// (dominant) same-incarnation refresh case. A conservative `same`
+    /// that answers `false` is safe: the record is materialized and
+    /// compared-by-storage, converging to the same final state.
+    pub fn apply_join_with(
+        &mut self,
+        node: NodeId,
+        incarnation: u64,
+        provenance: Provenance,
+        now: Nanos,
+        make_record: impl FnOnce() -> NodeRecord,
+        same: impl FnOnce(&NodeRecord) -> bool,
+    ) -> Applied {
+        if let Some(&(dead_inc, at)) = self.dead.get(&node) {
+            if incarnation <= dead_inc && now.saturating_sub(at) < self.tombstone_ttl {
                 return Applied::Ignored;
             }
         }
-        match self.entries.get_mut(&record.node) {
+        let applied = match self.entries.get_mut(&node) {
             None => {
+                let record = make_record();
+                debug_assert_eq!((record.node, record.incarnation), (node, incarnation));
                 self.entries.insert(
-                    record.node,
+                    node,
                     Entry {
                         record,
                         provenance,
                         last_refresh: now,
                     },
                 );
+                self.digest_upsert(node, incarnation);
                 Applied::Changed
             }
             Some(e) => {
-                if record.incarnation > e.record.incarnation
-                    || (record.incarnation == e.record.incarnation && record != e.record)
+                if incarnation > e.record.incarnation
+                    || (incarnation == e.record.incarnation && !same(&e.record))
                 {
+                    let record = make_record();
+                    debug_assert_eq!((record.node, record.incarnation), (node, incarnation));
+                    let inc_changed = e.record.incarnation != incarnation;
                     e.record = record;
                     e.provenance = provenance;
                     e.last_refresh = now;
+                    if inc_changed {
+                        self.digest_upsert(node, incarnation);
+                    }
                     Applied::Changed
-                } else if record.incarnation == e.record.incarnation {
+                } else if incarnation == e.record.incarnation {
                     e.last_refresh = now;
                     // Provenance re-stamping: relayed knowledge may be
                     // upgraded to direct, or re-attributed to a new
@@ -210,7 +265,9 @@ impl Directory {
                     Applied::Ignored
                 }
             }
-        }
+        };
+        self.debug_assert_digest_coherent();
+        applied
     }
 
     /// Declare `node`'s given incarnation dead. A stale leave (for an
@@ -220,13 +277,16 @@ impl Directory {
         if incarnation >= dead.0 {
             *dead = (incarnation, now);
         }
-        match self.entries.get(&node) {
+        let applied = match self.entries.get(&node) {
             Some(e) if e.record.incarnation <= incarnation => {
                 self.entries.remove(&node);
+                self.digest_remove(node);
                 Applied::Changed
             }
             _ => Applied::Ignored,
-        }
+        };
+        self.debug_assert_digest_coherent();
+        applied
     }
 
     /// Apply a wire event.
@@ -273,7 +333,12 @@ impl Directory {
     /// reconciliation, where the node may well be alive and simply no
     /// longer vouched for by this relayer.
     pub fn remove(&mut self, node: NodeId) -> Option<NodeRecord> {
-        self.entries.remove(&node).map(|e| e.record)
+        let removed = self.entries.remove(&node).map(|e| e.record);
+        if removed.is_some() {
+            self.digest_remove(node);
+        }
+        self.debug_assert_digest_coherent();
+        removed
     }
 
     /// Touch `node`'s entry (heartbeat received) without changing content.
@@ -340,6 +405,7 @@ impl Directory {
             let mut next = Vec::new();
             for n in frontier {
                 if let Some(e) = self.entries.remove(&n) {
+                    self.digest_remove(n);
                     // Cascade to everything this node relayed to us.
                     for (&m, me) in &self.entries {
                         if me.provenance.relayer() == Some(n) {
@@ -351,6 +417,7 @@ impl Directory {
             }
             frontier = next;
         }
+        self.debug_assert_digest_coherent();
         (removed, next_due)
     }
 
@@ -370,11 +437,13 @@ impl Directory {
                 .collect();
             for v in victims {
                 if let Some(e) = self.entries.remove(&v) {
+                    self.digest_remove(v);
                     removed.push(e.record);
                     frontier.push(v);
                 }
             }
         }
+        self.debug_assert_digest_coherent();
         removed
     }
 
@@ -410,6 +479,64 @@ impl Directory {
                 instances,
             })
             .collect()
+    }
+
+    /// The anti-entropy digest: one `(node, incarnation)` pair per live
+    /// entry, sorted by node id. Maintained incrementally by every
+    /// mutation, so this is a borrow — no per-tick rescan.
+    pub fn digest(&self) -> &[DigestEntry] {
+        &self.digest
+    }
+
+    /// Reference implementation of [`Directory::digest`]: rebuild the
+    /// digest from scratch by scanning the entries map. Used by the
+    /// differential tests (and the coherence debug-assert) to pin the
+    /// incremental digest against first principles.
+    pub fn rescan_digest(&self) -> Vec<DigestEntry> {
+        self.entries
+            .iter()
+            .map(|(&node, e)| DigestEntry {
+                node,
+                incarnation: e.record.incarnation,
+            })
+            .collect()
+    }
+
+    /// True iff the incremental digest matches a from-scratch rescan.
+    pub fn digest_is_coherent(&self) -> bool {
+        self.digest.len() == self.entries.len()
+            && self
+                .digest
+                .iter()
+                .zip(self.entries.iter())
+                .all(|(d, (&n, e))| d.node == n && d.incarnation == e.record.incarnation)
+    }
+
+    /// Insert or overwrite `node`'s digest entry, preserving sort order.
+    fn digest_upsert(&mut self, node: NodeId, incarnation: u64) {
+        match self.digest.binary_search_by_key(&node, |d| d.node) {
+            Ok(i) => self.digest[i].incarnation = incarnation,
+            Err(i) => self.digest.insert(i, DigestEntry { node, incarnation }),
+        }
+    }
+
+    fn digest_remove(&mut self, node: NodeId) {
+        if let Ok(i) = self.digest.binary_search_by_key(&node, |d| d.node) {
+            self.digest.remove(i);
+        }
+    }
+
+    /// Debug-profile tripwire: every mutation re-checks the incremental
+    /// digest against the entries map, so the whole chaos/property suite
+    /// (which runs in the debug profile) exercises the invariant after
+    /// every mutation batch. Release builds compile this away.
+    fn debug_assert_digest_coherent(&self) {
+        debug_assert!(
+            self.digest_is_coherent(),
+            "incremental digest diverged from entries: digest={:?} rescan={:?}",
+            self.digest,
+            self.rescan_digest()
+        );
     }
 
     /// Forget the dead-incarnation memory for nodes no longer present —
@@ -609,6 +736,89 @@ mod tests {
         assert_eq!(sum[1].name, "idx");
         assert_eq!(sum[1].instances, 2);
         assert_eq!(sum[1].partitions.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn digest_tracks_every_mutation_class() {
+        let mut d = Directory::new();
+        assert!(d.digest().is_empty());
+        d.apply_join(rec(2, 1), Provenance::Direct, 0);
+        d.apply_join(rec(1, 1), Provenance::Direct, 0);
+        d.apply_join(rec(3, 1), Provenance::Relayed(NodeId(1)), 0);
+        // Sorted by node regardless of insertion order.
+        let ids: Vec<u32> = d.digest().iter().map(|e| e.node.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Incarnation bump updates in place.
+        d.apply_join(rec(2, 5), Provenance::Direct, 1);
+        assert_eq!(d.digest()[1].incarnation, 5);
+        // Same-incarnation refresh leaves the digest alone.
+        d.apply_join(rec(2, 5), Provenance::Direct, 2);
+        assert_eq!(d.digest(), d.rescan_digest().as_slice());
+        // Leave removes; purge cascades; remove drops.
+        d.apply_leave(NodeId(2), 5, 3);
+        d.purge_relayed_by(NodeId(1));
+        d.remove(NodeId(1));
+        assert!(d.digest().is_empty());
+        assert!(d.digest_is_coherent());
+    }
+
+    #[test]
+    fn digest_survives_expiry_cascade() {
+        let mut d = Directory::new();
+        d.apply_join(rec(5, 1), Provenance::Direct, 0);
+        d.apply_join(rec(6, 1), Provenance::Relayed(NodeId(5)), 100);
+        d.apply_join(rec(8, 1), Provenance::Direct, 100);
+        d.expire(100, |e| if e.record.node == NodeId(5) { 50 } else { 500 });
+        let ids: Vec<u32> = d.digest().iter().map(|e| e.node.0).collect();
+        assert_eq!(ids, vec![8]);
+        assert_eq!(d.digest(), d.rescan_digest().as_slice());
+    }
+
+    #[test]
+    fn apply_join_with_skips_materialization_on_match() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 3), Provenance::Direct, 0);
+        // Same incarnation, `same` says identical: refresh only, the
+        // record must never be built.
+        let applied = d.apply_join_with(
+            NodeId(1),
+            3,
+            Provenance::Direct,
+            7,
+            || unreachable!("fast path must not materialize"),
+            |_| true,
+        );
+        assert_eq!(applied, Applied::Ignored);
+        assert_eq!(d.get(NodeId(1)).unwrap().last_refresh, 7);
+        // Older incarnation: also no materialization.
+        let applied = d.apply_join_with(
+            NodeId(1),
+            2,
+            Provenance::Direct,
+            8,
+            || unreachable!("stale join must not materialize"),
+            |_| false,
+        );
+        assert_eq!(applied, Applied::Ignored);
+        // Newer incarnation materializes and lands.
+        let applied =
+            d.apply_join_with(NodeId(1), 4, Provenance::Direct, 9, || rec(1, 4), |_| false);
+        assert!(applied.changed());
+        assert_eq!(d.get(NodeId(1)).unwrap().record.incarnation, 4);
+        assert_eq!(d.digest()[0].incarnation, 4);
+    }
+
+    #[test]
+    fn apply_join_with_conservative_same_still_converges() {
+        let mut d = Directory::new();
+        d.apply_join(rec(1, 3), Provenance::Direct, 0);
+        // `same` answering false on an identical record: re-stores (one
+        // wasted materialization) but final state is unchanged.
+        let applied =
+            d.apply_join_with(NodeId(1), 3, Provenance::Direct, 5, || rec(1, 3), |_| false);
+        assert!(applied.changed());
+        assert_eq!(d.get(NodeId(1)).unwrap().record, rec(1, 3));
+        assert!(d.digest_is_coherent());
     }
 
     #[test]

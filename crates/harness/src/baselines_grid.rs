@@ -106,7 +106,11 @@ pub fn grid_on(
 /// 0 when every cell's kill was detected by every survivor at zero loss.
 pub fn run_and_print(seed: u64, quick: bool, jobs: usize, schemes: &[Scheme]) -> i32 {
     let n = 40;
-    let rates: &[f64] = if quick { &[0.0, 0.20] } else { &[0.0, 0.10, 0.20] };
+    let rates: &[f64] = if quick {
+        &[0.0, 0.20]
+    } else {
+        &[0.0, 0.10, 0.20]
+    };
     let pool = Pool::new(jobs);
     let cells = grid_on(&pool, n, schemes, rates, seed);
     let mut t = crate::report::Table::new(

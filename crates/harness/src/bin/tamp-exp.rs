@@ -102,9 +102,9 @@ fn main() {
                     .unwrap_or_else(|| die("--datacenters needs a count >= 1"));
             }
             "--protocol" => {
-                let p = it
-                    .next()
-                    .unwrap_or_else(|| die("--protocol needs a name (tamp, tamp-rapid, alltoall, gossip, swim)"));
+                let p = it.next().unwrap_or_else(|| {
+                    die("--protocol needs a name (tamp, tamp-rapid, alltoall, gossip, swim)")
+                });
                 if common::Scheme::parse(p).is_none() {
                     die(&format!(
                         "unknown protocol {p:?} (want one of {:?})",

@@ -277,8 +277,11 @@ mod tests {
         let opts = ChaosOptions {
             seed: 4,
             scenario: Some(
-                concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/swim-restart.chaos")
-                    .to_string(),
+                concat!(
+                    env!("CARGO_MANIFEST_DIR"),
+                    "/../../scenarios/swim-restart.chaos"
+                )
+                .to_string(),
             ),
             sweep: None,
             broken: false,

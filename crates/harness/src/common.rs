@@ -1,6 +1,8 @@
 //! Shared cluster construction and measurement plumbing.
 
-use tamp_baselines::{AllToAllConfig, AllToAllNode, GossipConfig, GossipNode, SwimConfig, SwimNode};
+use tamp_baselines::{
+    AllToAllConfig, AllToAllNode, GossipConfig, GossipNode, SwimConfig, SwimNode,
+};
 use tamp_chaos::{dsl, random_schedule, GeneratorConfig, Schedule};
 use tamp_directory::DirectoryClient;
 use tamp_membership::{MembershipConfig, MembershipNode, RemovalDiscipline};

@@ -87,7 +87,10 @@ fn checked_in_regression_scenarios_pass_strict_for_new_protocols() {
         };
         let sequential = reports(&Pool::sequential());
         let parallel = reports(&Pool::new(4));
-        assert_eq!(sequential, parallel, "{file} verdicts changed with pool width");
+        assert_eq!(
+            sequential, parallel,
+            "{file} verdicts changed with pool width"
+        );
     }
 }
 

@@ -39,8 +39,23 @@ use tamp_wire::piggyback::UpdateLog;
 use tamp_wire::seqnum::SeqTracker;
 use tamp_wire::{
     DigestEntry, DigestMsg, DirectoryExchange, ElectionMsg, Heartbeat, MemberEvent, Message,
-    NodeId, NodeRecord, RelayedRecord, SeqEvent, SyncRequest, SyncResponse, UpdateMsg,
+    NodeId, NodeRecord, RelayedRecord, SyncRequest, SyncResponse, UpdateMsg,
 };
+
+/// The header fields of a heartbeat, copied out of either an owned
+/// [`Heartbeat`] or a borrowed [`tamp_wire::HeartbeatView`] — the part
+/// of the message the handler always needs, independent of whether the
+/// sender's record ever gets materialized.
+#[derive(Clone, Copy)]
+struct HeartbeatHeader {
+    from: NodeId,
+    level: u8,
+    is_leader: bool,
+    backup: Option<NodeId>,
+    latest_update_seq: u64,
+    rec_node: NodeId,
+    rec_incarnation: u64,
+}
 
 /// Timer tokens: kind in the low byte, group level in the next byte.
 const T_HEARTBEAT: u64 = 1;
@@ -442,15 +457,30 @@ impl MembershipNode {
         p.counters = self.counters;
     }
 
-    /// Apply a record heard *directly* (heartbeat or unicast from the
-    /// node itself); returns whether the directory changed and whether
-    /// the node is newly known.
-    fn apply_direct(&mut self, ctx: &mut Context, record: NodeRecord) -> (bool, bool) {
-        let node = record.node;
+    /// Apply a record heard *directly* (heartbeat from the node itself);
+    /// returns whether the directory changed and whether the node is
+    /// newly known. Routes through the directory's lazy-materialization
+    /// join so borrowed wire views skip decoding on the dominant
+    /// same-incarnation refresh path.
+    fn apply_direct_with(
+        &mut self,
+        ctx: &mut Context,
+        node: NodeId,
+        incarnation: u64,
+        make_record: &impl Fn() -> NodeRecord,
+        same: &impl Fn(&NodeRecord) -> bool,
+    ) -> (bool, bool) {
         let now = ctx.now();
         let (was_known, applied) = self.directory.update(|d| {
             let was = d.contains(node);
-            let applied = d.apply_join(record, Provenance::Direct, now);
+            let applied = d.apply_join_with(
+                node,
+                incarnation,
+                Provenance::Direct,
+                now,
+                make_record,
+                same,
+            );
             (applied.changed(), (was, applied))
         });
         if applied == Applied::Changed && !was_known {
@@ -760,9 +790,7 @@ impl MembershipNode {
             );
             self.counters.suspicions_raised += 1;
             ctx.count("membership", "suspicions_raised", 1);
-            ctx.emit(ProtocolEvent::SuspicionArmed {
-                subject: subject.0,
-            });
+            ctx.emit(ProtocolEvent::SuspicionArmed { subject: subject.0 });
             ctx.observe_suspected(subject);
         }
         true
@@ -801,10 +829,7 @@ impl MembershipNode {
         for (n, inc) in alive {
             self.cuts.remove(&n);
             if self.refute_suspicion(ctx, n, inc, true) {
-                if let Some(rec) = self
-                    .directory
-                    .read(|d| d.get(n).map(|e| e.record.clone()))
-                {
+                if let Some(rec) = self.directory.read(|d| d.get(n).map(|e| e.record.clone())) {
                     let levels = self.relay_levels_all();
                     self.relay_events(ctx, vec![MemberEvent::Refute(rec)], levels);
                 }
@@ -1054,19 +1079,10 @@ impl MembershipNode {
             return;
         }
         let now = ctx.now();
-        let mut seq_events: Vec<SeqEvent> = Vec::with_capacity(events.len());
-        for ev in events {
-            // `push` returns the current window; we only need the seq of
-            // the newly appended event (last in the window).
-            let window = self.log.push(ev, now);
-            seq_events.push(window.into_iter().last().unwrap());
-        }
-        // Prepend the piggyback window (older fresh events) for loss
-        // tolerance, dedup by seq.
-        let mut window = self.log.window_events(now);
-        window.retain(|w| !seq_events.iter().any(|e| e.seq == w.seq));
-        window.extend(seq_events);
-        window.sort_by_key(|e| e.seq);
+        // One batched log append returns the full piggyback window —
+        // older fresh events (loss tolerance) followed by the new batch,
+        // already deduped and seq-ordered.
+        let window = self.log.push_batch(events, now);
         let n_events = window.len() as u32;
         let msg = Message::Update(UpdateMsg {
             origin: self.me,
@@ -1509,17 +1525,9 @@ impl MembershipNode {
     }
 
     fn own_digest_entries(&self) -> Vec<DigestEntry> {
-        self.directory.read(|d| {
-            let mut v: Vec<DigestEntry> = d
-                .entries()
-                .map(|e| DigestEntry {
-                    node: e.record.node,
-                    incarnation: e.record.incarnation,
-                })
-                .collect();
-            v.sort_by_key(|e| e.node);
-            v
-        })
+        // The directory maintains this incrementally (sorted by node id);
+        // per tick we only pay for the copy into the outgoing message.
+        self.directory.read(|d| d.digest().to_vec())
     }
 
     /// Anti-entropy tick: multicast an (id, incarnation) digest into
@@ -1546,24 +1554,34 @@ impl MembershipNode {
     /// Reconcile against a leader's digest: pull what we miss, drop what
     /// this relayer no longer vouches for.
     fn handle_digest(&mut self, ctx: &mut Context, meta: PacketMeta, d: &DigestMsg) {
-        if d.from == self.me {
+        self.handle_digest_generic(ctx, meta, d.from, d.level, d.entries.iter().copied());
+    }
+
+    /// The single digest implementation behind both the owned path and
+    /// the borrowed wire view (whose entry iterator decodes 12-byte
+    /// chunks in place — no `Vec<DigestEntry>` is ever allocated).
+    fn handle_digest_generic(
+        &mut self,
+        ctx: &mut Context,
+        meta: PacketMeta,
+        from: NodeId,
+        level: u8,
+        entries: impl Iterator<Item = DigestEntry> + Clone,
+    ) {
+        if from == self.me {
             return;
         }
-        if let Some(g) = self
-            .groups
-            .get_mut(d.level as usize)
-            .and_then(|g| g.as_mut())
-        {
-            g.heard(d.from, ctx.now(), false, 0);
+        if let Some(g) = self.groups.get_mut(level as usize).and_then(|g| g.as_mut()) {
+            g.heard(from, ctx.now(), false, 0);
         }
         let in_digest: std::collections::HashMap<NodeId, u64> =
-            d.entries.iter().map(|e| (e.node, e.incarnation)).collect();
+            entries.clone().map(|e| (e.node, e.incarnation)).collect();
         // A digest is the leader vouching for everything it lists:
         // refresh matching entries so vouched-for relayed knowledge never
         // hits the staleness expiry below (sweep's relayed-entry rot).
         let now = ctx.now();
         self.directory.update(|dir| {
-            for e in &d.entries {
+            for e in entries.clone() {
                 if dir
                     .get(e.node)
                     .is_some_and(|have| have.record.incarnation == e.incarnation)
@@ -1587,8 +1605,8 @@ impl MembershipNode {
         // considered confirmed.
         let settled = 3 * self.cfg.heartbeat_period;
         let dead_listed: Vec<(NodeId, u64)> = self.directory.read(|dir| {
-            d.entries
-                .iter()
+            entries
+                .clone()
                 .filter(|e| !dir.contains(e.node))
                 .filter_map(|e| {
                     dir.tombstone_of(e.node).and_then(|(dead_inc, at)| {
@@ -1606,7 +1624,7 @@ impl MembershipNode {
                 events.push(window.into_iter().last().unwrap());
             }
             ctx.send_unicast(
-                d.from,
+                from,
                 Message::Update(UpdateMsg {
                     origin: self.me,
                     events,
@@ -1618,7 +1636,7 @@ impl MembershipNode {
         // older incarnation) is worth a full pull — ignoring nodes whose
         // death we just pushed back.
         let missing = self.directory.read(|dir| {
-            d.entries.iter().any(|e| {
+            entries.clone().any(|e| {
                 e.node != self.me
                     && dir
                         .fresh_tombstone(e.node, now)
@@ -1629,7 +1647,7 @@ impl MembershipNode {
             })
         });
         if missing {
-            self.maybe_sync_poll(ctx, d.from);
+            self.maybe_sync_poll(ctx, from);
         }
         // Entries we hold *on this leader's word* that it no longer
         // vouches for are orphans: drop them (no tombstone — the node may
@@ -1641,7 +1659,7 @@ impl MembershipNode {
         let orphans: Vec<NodeId> = self.directory.read(|dir| {
             dir.entries()
                 .filter(|e| {
-                    e.provenance == Provenance::Relayed(d.from)
+                    e.provenance == Provenance::Relayed(from)
                         && !in_digest.contains_key(&e.record.node)
                         && e.last_refresh <= stale_before
                 })
@@ -1660,7 +1678,7 @@ impl MembershipNode {
                     events.push(MemberEvent::Leave(n, rec.incarnation));
                 }
             }
-            let levels = self.relay_levels(d.level);
+            let levels = self.relay_levels(level);
             self.relay_events(ctx, events, levels);
         }
 
@@ -1671,10 +1689,10 @@ impl MembershipNode {
         // member → leader direction at the leader's side.
         if meta.channel.is_some() {
             ctx.send_unicast(
-                d.from,
+                from,
                 Message::Digest(DigestMsg {
                     from: self.me,
-                    level: d.level,
+                    level,
                     entries: self.own_digest_entries(),
                 }),
             );
@@ -1685,6 +1703,56 @@ impl MembershipNode {
     // ---------------------------------------------------------- handlers
 
     fn handle_heartbeat(&mut self, ctx: &mut Context, hb: &Heartbeat) {
+        self.handle_heartbeat_generic(
+            ctx,
+            HeartbeatHeader {
+                from: hb.from,
+                level: hb.level,
+                is_leader: hb.is_leader,
+                backup: hb.backup,
+                latest_update_seq: hb.latest_update_seq,
+                rec_node: hb.record.node,
+                rec_incarnation: hb.record.incarnation,
+            },
+            || hb.record.clone(),
+            |e| *e == hb.record,
+        );
+    }
+
+    /// Zero-copy heartbeat entry point: header fields come straight off
+    /// the borrowed view; the record is only materialized when the
+    /// directory actually stores it (first join, incarnation bump,
+    /// content republish) or a refutation must carry it.
+    fn handle_heartbeat_view(&mut self, ctx: &mut Context, hb: &tamp_wire::HeartbeatView<'_>) {
+        self.handle_heartbeat_generic(
+            ctx,
+            HeartbeatHeader {
+                from: hb.from,
+                level: hb.level,
+                is_leader: hb.is_leader,
+                backup: hb.backup,
+                latest_update_seq: hb.latest_update_seq,
+                rec_node: hb.record.node,
+                rec_incarnation: hb.record.incarnation,
+            },
+            || hb.record.to_record(),
+            |e| hb.record.matches(e),
+        );
+    }
+
+    /// The single heartbeat implementation behind both the owned and
+    /// the borrowed paths. `make_record` materializes the sender's
+    /// record (cheap Arc bump when owned, a decode when borrowed) and
+    /// `same` answers content-equality against a stored record without
+    /// materializing; a conservative `false` only costs one
+    /// materialization.
+    fn handle_heartbeat_generic(
+        &mut self,
+        ctx: &mut Context,
+        hb: HeartbeatHeader,
+        make_record: impl Fn() -> NodeRecord,
+        same: impl Fn(&NodeRecord) -> bool,
+    ) {
         if hb.from == self.me {
             return;
         }
@@ -1696,7 +1764,7 @@ impl MembershipNode {
             return;
         };
         let now = ctx.now();
-        g.heard_heartbeat(hb.from, now, hb.is_leader, hb.record.incarnation);
+        g.heard_heartbeat(hb.from, now, hb.is_leader, hb.rec_incarnation);
 
         // Leader adoption & rivalry resolution.
         let mut reassert = false;
@@ -1767,11 +1835,21 @@ impl MembershipNode {
             );
         }
 
-        // Yellow-page maintenance + join detection.
-        let (changed, _is_new) = self.apply_direct(ctx, hb.record.clone());
+        // Yellow-page maintenance + join detection. On the dominant
+        // same-incarnation refresh path the record is never built: the
+        // directory's generic join only calls `make_record` when it
+        // stores. A relayed Join reuses the freshly stored record (an
+        // Arc bump) instead of materializing again.
+        let (changed, _is_new) =
+            self.apply_direct_with(ctx, hb.rec_node, hb.rec_incarnation, &make_record, &same);
         if changed {
-            let levels = self.relay_levels(level);
-            self.relay_events(ctx, vec![MemberEvent::Join(hb.record.clone())], levels);
+            let stored = self
+                .directory
+                .read(|d| d.get(hb.rec_node).map(|e| e.record.clone()));
+            if let Some(rec) = stored {
+                let levels = self.relay_levels(level);
+                self.relay_events(ctx, vec![MemberEvent::Join(rec)], levels);
+            }
         }
 
         // Proof of life: a heartbeat from a node we (or the tree) suspect
@@ -1779,9 +1857,9 @@ impl MembershipNode {
         // suspicion travelled — for a plain member the relay set is
         // empty, so only leaders speak for their members upward (the
         // "group leader refutes on the suspect's behalf" path).
-        if self.refute_suspicion(ctx, hb.from, hb.record.incarnation, true) {
+        if self.refute_suspicion(ctx, hb.from, hb.rec_incarnation, true) {
             let levels = self.relay_levels(level);
-            self.relay_events(ctx, vec![MemberEvent::Refute(hb.record.clone())], levels);
+            self.relay_events(ctx, vec![MemberEvent::Refute(make_record())], levels);
         }
 
         // Bootstrap pull: first leader heard on this channel.
@@ -2413,6 +2491,26 @@ impl Actor for MembershipNode {
             Message::Digest(d) => self.handle_digest(ctx, meta, d),
             // Proxy / gossip / RPC traffic is handled by other actors.
             _ => {}
+        }
+    }
+
+    /// Zero-copy receive: heartbeats — the overwhelming share of packets
+    /// — and digests are read straight off the wire bytes; both funnel
+    /// into the same generic handlers as the owned path, so the two
+    /// codec modes cannot diverge. Everything else materializes once and
+    /// takes the owned dispatch.
+    fn on_packet_view(
+        &mut self,
+        ctx: &mut Context,
+        meta: PacketMeta,
+        view: &tamp_wire::MessageView<'_>,
+    ) {
+        if let Some(hb) = view.as_heartbeat() {
+            self.handle_heartbeat_view(ctx, &hb);
+        } else if let Some(d) = view.as_digest() {
+            self.handle_digest_generic(ctx, meta, d.from, d.level, d.entries());
+        } else {
+            self.on_packet(ctx, meta, &view.to_owned());
         }
     }
 

@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use tamp_telemetry::{Counter, Histogram, Registry, Sample, CLUSTER};
 use tamp_topology::{HostId, Nanos, SegmentId, Topology};
-use tamp_wire::Message;
+use tamp_wire::{CodecKind, Message};
 
 /// Probabilistic packet loss. Applied independently per (packet,
 /// receiver) pair, which models the dominant loss causes in the paper
@@ -78,6 +78,17 @@ pub struct EngineConfig {
     /// [`SchedulerKind::TimerWheel`]; the reference binary heap exists
     /// only so differential tests can pin the wheel against it.
     pub scheduler: SchedulerKind,
+    /// Opt-in wire-codec delivery mode. `None` (the default) passes the
+    /// in-memory [`Message`] straight to [`Actor::on_packet`] — the
+    /// fastest simulation path, since only `encoded_len` runs per send.
+    /// `Some(kind)` encodes every send once (shared by all multicast
+    /// receivers) and delivers raw bytes through
+    /// [`Actor::on_wire_packet`], exercising the full codec —
+    /// [`CodecKind::Borrowed`] via zero-copy views,
+    /// [`CodecKind::Owned`] via the reference decoder — end-to-end
+    /// under simulation. Differential tests pin the three modes against
+    /// each other.
+    pub wire_codec: Option<CodecKind>,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +105,7 @@ impl Default for EngineConfig {
             trace: TraceConfig::default(),
             metrics: false,
             scheduler: SchedulerKind::default(),
+            wire_codec: None,
         }
     }
 }
@@ -156,6 +168,10 @@ pub enum Control {
 struct Pkt {
     src: HostId,
     msg: Message,
+    /// The encoded frame, present only in wire-codec mode
+    /// ([`EngineConfig::wire_codec`]): encoded once at send, shared by
+    /// every delivery of this packet.
+    bytes: Option<Vec<u8>>,
     /// Encoded size + header overhead.
     size: u32,
     /// Multicast metadata, `None` for unicast.
@@ -749,7 +765,12 @@ impl Engine {
             ttl: pkt.channel.map(|(_, t)| t),
             size: pkt.size,
         };
-        self.run_callback(to, |actor, ctx| actor.on_packet(ctx, meta, &pkt.msg));
+        match (self.config.wire_codec, &pkt.bytes) {
+            (Some(kind), Some(bytes)) => self.run_callback(to, |actor, ctx| {
+                actor.on_wire_packet(ctx, meta, bytes, kind)
+            }),
+            _ => self.run_callback(to, |actor, ctx| actor.on_packet(ctx, meta, &pkt.msg)),
+        }
     }
 
     /// A host's nominal timer delay as simulated time: a clock running
@@ -872,7 +893,18 @@ impl Engine {
     }
 
     fn send(&mut self, src: HostId, dest: Destination, msg: Message) {
-        let size = tamp_wire::codec::encoded_len(&msg) as u32 + self.config.header_overhead;
+        // Wire-codec mode encodes exactly once per send — the frame is
+        // shared by every receiver of a multicast — and the frame length
+        // doubles as the size accounting. The default mode only counts.
+        let bytes = self
+            .config
+            .wire_codec
+            .map(|_| tamp_wire::codec::encode(&msg));
+        let payload_len = match &bytes {
+            Some(b) => b.len(),
+            None => tamp_wire::codec::encoded_len(&msg),
+        };
+        let size = payload_len as u32 + self.config.header_overhead;
         let kind = msg.kind();
         let channel = match dest {
             Destination::Unicast(_) => None,
@@ -1031,6 +1063,7 @@ impl Engine {
                 Pkt {
                     src,
                     msg,
+                    bytes,
                     size,
                     channel,
                     sent_at: self.clock,

@@ -492,6 +492,39 @@ impl Actor for ProxyNode {
         }
     }
 
+    /// Zero-copy receive mirroring [`ProxyNode::on_packet`]'s dispatch
+    /// order: proxy-channel heartbeats only need the sender id (peeked
+    /// off the view — no record decode), WAN proxy messages materialize
+    /// once, and everything else flows to the embedded membership node's
+    /// own zero-copy path.
+    fn on_packet_view(
+        &mut self,
+        ctx: &mut Context,
+        meta: PacketMeta,
+        view: &tamp_wire::MessageView<'_>,
+    ) {
+        if meta.channel == Some(self.cfg.proxy_channel) {
+            if let Some(hb) = view.as_heartbeat() {
+                if hb.from != self.me {
+                    self.proxy_peers.insert(hb.from, ctx.now());
+                    self.evaluate_leadership(ctx.now());
+                }
+                return;
+            }
+        }
+        match view.kind() {
+            "proxy-summary" | "proxy-update" | "svc-req" | "svc-resp" => match view.to_owned() {
+                Message::ProxySummary(s) => self.handle_summary(ctx, meta, &s),
+                Message::ProxyUpdate(u) => self.handle_proxy_update(ctx, meta, &u),
+                Message::ServiceRequest(r) => self.handle_request(ctx, &r),
+                Message::ServiceResponse(r) => self.handle_response(ctx, &r),
+                _ => unreachable!("kind/tag agreement is fuzz-locked"),
+            },
+            _ if meta.channel == Some(self.cfg.proxy_channel) => {}
+            _ => self.inner.on_packet_view(ctx, meta, view),
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Context, token: u64) {
         if token & PROXY_TOKEN_MASK == 0 {
             return self.inner.on_timer(ctx, token);

@@ -48,7 +48,7 @@ use std::time::{Duration, Instant};
 use tamp_netsim::telemetry::{Counter, MetricsSnapshot, Registry};
 use tamp_netsim::{Actor, ChannelId, Context, Destination, Effect, Nanos, PacketMeta};
 use tamp_topology::{HostId, SegmentId, Topology};
-use tamp_wire::codec;
+use tamp_wire::{codec, CodecKind};
 
 /// Wire framing for the emulated fabric: src(4) | channel(2) | ttl(1),
 /// then the encoded message. Channel 0xffff marks plain unicast.
@@ -241,6 +241,7 @@ pub struct Runtime {
     threads: Vec<std::thread::JoinHandle<()>>,
     stops: HashMap<HostId, Arc<AtomicBool>>,
     registry: Registry,
+    codec: CodecKind,
 }
 
 impl Runtime {
@@ -252,7 +253,17 @@ impl Runtime {
             threads: Vec::new(),
             stops: HashMap::new(),
             registry: Registry::new(),
+            codec: CodecKind::default(),
         }
+    }
+
+    /// Select how the receive loop decodes datagrams. The default
+    /// [`CodecKind::Borrowed`] parses a zero-copy [`tamp_wire::MessageView`]
+    /// over the receive buffer; [`CodecKind::Owned`] is the reference
+    /// decoder kept as an escape hatch (and for differential runs).
+    /// Takes effect for nodes spawned after the call.
+    pub fn set_codec(&mut self, codec: CodecKind) {
+        self.codec = codec;
     }
 
     /// Hosts of the underlying topology.
@@ -283,9 +294,10 @@ impl Runtime {
         let meters = HostMeters::new(&self.registry, host);
         let fabric = self.fabric.clone();
         let epoch = self.epoch;
+        let codec = self.codec;
         let handle = std::thread::Builder::new()
             .name(format!("tamp-{host}"))
-            .spawn(move || drive(host, actor, socket, fabric, epoch, stop, meters))
+            .spawn(move || drive(host, actor, socket, fabric, epoch, stop, meters, codec))
             .expect("spawn driver thread");
         self.threads.push(handle);
     }
@@ -354,6 +366,7 @@ impl Drop for Runtime {
 
 /// Driver loop: interleave socket reads with due timers, applying actor
 /// effects as they are produced.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     host: HostId,
     mut actor: Box<dyn Actor>,
@@ -362,6 +375,7 @@ fn drive(
     epoch: Instant,
     stop: Arc<AtomicBool>,
     meters: HostMeters,
+    codec: CodecKind,
 ) {
     let mut rng = StdRng::seed_from_u64(host.0 as u64 ^ 0x7a3f);
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
@@ -406,20 +420,22 @@ fn drive(
                 let src = HostId(u32::from_le_bytes(buf[0..4].try_into().unwrap()));
                 let ch = u16::from_le_bytes(buf[4..6].try_into().unwrap());
                 let ttl = buf[6];
-                if let Ok(msg) = codec::decode(&buf[HDR_LEN..len]) {
-                    let meta = PacketMeta {
-                        src,
-                        channel: (ch != UNICAST_CHANNEL).then_some(ChannelId(ch)),
-                        ttl: (ch != UNICAST_CHANNEL).then_some(ttl),
-                        size: len as u32,
-                    };
-                    let mut effects = Vec::new();
-                    {
-                        let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
-                        actor.on_packet(&mut ctx, meta, &msg);
-                    }
-                    apply(host, &fabric, &socket, &meters, &mut timers, effects);
+                let meta = PacketMeta {
+                    src,
+                    channel: (ch != UNICAST_CHANNEL).then_some(ChannelId(ch)),
+                    ttl: (ch != UNICAST_CHANNEL).then_some(ttl),
+                    size: len as u32,
+                };
+                let mut effects = Vec::new();
+                {
+                    let mut ctx = Context::new(now_nanos(epoch), host, &mut rng, &mut effects);
+                    // `on_wire_packet` decodes per the configured codec
+                    // — zero-copy views by default — and drops frames
+                    // that fail validation, as the old inline decode
+                    // did.
+                    actor.on_wire_packet(&mut ctx, meta, &buf[HDR_LEN..len], codec);
                 }
+                apply(host, &fabric, &socket, &meters, &mut timers, effects);
             }
             _ => {} // timeout or short datagram
         }

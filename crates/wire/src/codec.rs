@@ -53,6 +53,18 @@ trait Sink {
     fn put_u32(&mut self, v: u32);
     fn put_u64(&mut self, v: u64);
     fn put_slice(&mut self, v: &[u8]);
+
+    /// Emit a record's payload section (services + attrs). Writing
+    /// sinks walk it; the size counter overrides this with the payload's
+    /// cached wire length, which makes `encoded_len` of a heartbeat O(1)
+    /// in the steady state — the per-send size accounting is the one
+    /// codec walk the simulator cannot avoid.
+    fn put_record_payload(&mut self, p: &RecordPayload)
+    where
+        Self: Sized,
+    {
+        write_payload(self, p);
+    }
 }
 
 impl Sink for BytesMut {
@@ -93,6 +105,24 @@ impl Sink for Counter {
     fn put_slice(&mut self, v: &[u8]) {
         self.0 += v.len();
     }
+    fn put_record_payload(&mut self, p: &RecordPayload) {
+        self.0 += payload_wire_len(p);
+    }
+}
+
+/// Wire length of a payload section, answered from the payload's cache
+/// when valid and recomputed (then cached) otherwise. Mutation through
+/// `NodeRecord`'s `DerefMut` invalidates the cache, so a stale answer is
+/// impossible; the `encoded_len == encode().len()` property test pins
+/// this for every message kind.
+fn payload_wire_len(p: &RecordPayload) -> usize {
+    if let Some(n) = p.cached_wire_len() {
+        return n;
+    }
+    let mut c = Counter::default();
+    write_payload(&mut c, p);
+    p.store_wire_len(c.0);
+    c.0
 }
 
 /// Encode a message to bytes.
@@ -163,14 +193,18 @@ fn write_service_decl<S: Sink>(s: &mut S, d: &ServiceDecl) {
     write_kv(s, &d.attrs);
 }
 
+fn write_payload<S: Sink>(s: &mut S, p: &RecordPayload) {
+    s.put_u32(p.services.len() as u32);
+    for d in &p.services {
+        write_service_decl(s, d);
+    }
+    write_kv(s, &p.attrs);
+}
+
 fn write_record<S: Sink>(s: &mut S, r: &NodeRecord) {
     s.put_u32(r.node.0);
     s.put_u64(r.incarnation);
-    s.put_u32(r.services.len() as u32);
-    for d in &r.services {
-        write_service_decl(s, d);
-    }
-    write_kv(s, &r.attrs);
+    s.put_record_payload(r);
 }
 
 fn write_event<S: Sink>(s: &mut S, e: &MemberEvent) {
@@ -515,6 +549,29 @@ fn read_record(r: &mut Reader) -> Result<NodeRecord, DecodeError> {
         services.push(read_service_decl(r)?);
     }
     let attrs = read_kv(r)?;
+    Ok(NodeRecord::from_parts(node, incarnation, services, attrs))
+}
+
+/// Materialize a record from identity fields plus its raw payload
+/// section (services + attrs bytes). The borrowed views use this so a
+/// view-materialized record is produced by the same reader routines as
+/// `decode` — identical values by construction. The whole section must
+/// be consumed.
+pub(crate) fn decode_record_parts(
+    node: NodeId,
+    incarnation: u64,
+    body: &[u8],
+) -> Result<NodeRecord, DecodeError> {
+    let mut r = Reader { data: body, pos: 0 };
+    let n = r.count(12)?;
+    let mut services = Vec::with_capacity(n);
+    for _ in 0..n {
+        services.push(read_service_decl(&mut r)?);
+    }
+    let attrs = read_kv(&mut r)?;
+    if r.pos != r.data.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
     Ok(NodeRecord::from_parts(node, incarnation, services, attrs))
 }
 

@@ -34,6 +34,9 @@ pub mod codec;
 mod messages;
 pub mod piggyback;
 pub mod seqnum;
+pub mod view;
+
+pub use view::{CodecKind, DigestView, HeartbeatView, MessageView, RecordView};
 
 pub use messages::{
     DcId, DigestEntry, DigestMsg, DirectoryExchange, ElectionMsg, Gossip, GossipEntry, Heartbeat,
@@ -43,176 +46,6 @@ pub use messages::{
     SyncRequest, SyncResponse, UpdateMsg,
 };
 
-#[cfg(test)]
-mod proptests {
-    use crate::codec;
-    use crate::messages::*;
-    use proptest::prelude::*;
-
-    fn arb_node_id() -> impl Strategy<Value = NodeId> {
-        any::<u32>().prop_map(NodeId)
-    }
-
-    fn arb_partitions() -> impl Strategy<Value = PartitionSet> {
-        proptest::collection::vec(0u16..512, 0..8).prop_map(|v| {
-            let mut p = PartitionSet::empty();
-            for x in v {
-                p.insert(x);
-            }
-            p
-        })
-    }
-
-    fn arb_service_decl() -> impl Strategy<Value = ServiceDecl> {
-        ("[a-z]{1,12}", arb_partitions()).prop_map(|(name, partitions)| ServiceDecl {
-            name,
-            partitions,
-            attrs: vec![],
-        })
-    }
-
-    fn arb_record() -> impl Strategy<Value = NodeRecord> {
-        (
-            arb_node_id(),
-            any::<u64>(),
-            proptest::collection::vec(arb_service_decl(), 0..4),
-            proptest::collection::vec(("[a-z]{1,8}", "[a-z0-9]{0,16}"), 0..4),
-        )
-            .prop_map(|(node, incarnation, services, attrs)| {
-                NodeRecord::from_parts(node, incarnation, services, attrs)
-            })
-    }
-
-    fn arb_event() -> impl Strategy<Value = MemberEvent> {
-        prop_oneof![
-            arb_record().prop_map(MemberEvent::Join),
-            (arb_node_id(), any::<u64>()).prop_map(|(n, i)| MemberEvent::Leave(n, i)),
-            (arb_node_id(), any::<u64>(), arb_node_id()).prop_map(|(n, i, rep)| {
-                MemberEvent::Alert {
-                    subject: n,
-                    incarnation: i,
-                    reporter: rep,
-                }
-            }),
-        ]
-    }
-
-    fn arb_swim_updates() -> impl Strategy<Value = Vec<SwimUpdate>> {
-        proptest::collection::vec((any::<u8>(), arb_record()), 0..4).prop_map(|v| {
-            v.into_iter()
-                .map(|(s, record)| SwimUpdate {
-                    state: match s % 3 {
-                        0 => SwimState::Alive,
-                        1 => SwimState::Suspect,
-                        _ => SwimState::Confirm,
-                    },
-                    record,
-                })
-                .collect()
-        })
-    }
-
-    fn arb_message() -> impl Strategy<Value = Message> {
-        prop_oneof![
-            (
-                arb_node_id(),
-                any::<u8>(),
-                any::<u64>(),
-                any::<bool>(),
-                proptest::option::of(arb_node_id()),
-                any::<u64>(),
-                arb_record()
-            )
-                .prop_map(|(from, level, seq, is_leader, backup, latest, record)| {
-                    Message::Heartbeat(Heartbeat {
-                        from,
-                        level,
-                        seq,
-                        is_leader,
-                        backup,
-                        latest_update_seq: latest,
-                        record,
-                    })
-                }),
-            (
-                arb_node_id(),
-                proptest::collection::vec((any::<u64>(), arb_event()), 0..5)
-            )
-                .prop_map(|(origin, evs)| {
-                    Message::Update(UpdateMsg {
-                        origin,
-                        events: evs
-                            .into_iter()
-                            .map(|(seq, event)| SeqEvent { seq, event })
-                            .collect(),
-                    })
-                }),
-            (
-                arb_node_id(),
-                any::<bool>(),
-                proptest::collection::vec(
-                    (arb_record(), proptest::option::of(arb_node_id())),
-                    0..4
-                )
-            )
-                .prop_map(|(from, reply_wanted, recs)| {
-                    Message::DirectoryExchange(DirectoryExchange {
-                        from,
-                        reply_wanted,
-                        latest_seq: recs.len() as u64,
-                        records: recs
-                            .into_iter()
-                            .map(|(record, relayed_by)| RelayedRecord { record, relayed_by })
-                            .collect(),
-                    })
-                }),
-            (arb_node_id(), any::<u64>()).prop_map(|(from, since_seq)| Message::SyncRequest(
-                SyncRequest { from, since_seq }
-            )),
-            (arb_node_id(), any::<u8>(), any::<u8>()).prop_map(|(from, level, kind)| {
-                let kind = match kind % 3 {
-                    0 => ElectionMsg::Election { from, level },
-                    1 => ElectionMsg::Alive { from, level },
-                    _ => ElectionMsg::Coordinator {
-                        from,
-                        level,
-                        backup: None,
-                    },
-                };
-                Message::Election(kind)
-            }),
-            (arb_node_id(), any::<u64>(), arb_swim_updates())
-                .prop_map(|(from, seq, updates)| Message::SwimPing(SwimPing { from, seq, updates })),
-            (arb_node_id(), arb_node_id(), any::<u64>(), arb_swim_updates()).prop_map(
-                |(from, target, seq, updates)| {
-                    Message::SwimPingReq(SwimPingReq {
-                        from,
-                        target,
-                        seq,
-                        updates,
-                    })
-                }
-            ),
-        ]
-    }
-
-    proptest! {
-        #[test]
-        fn roundtrip(msg in arb_message()) {
-            let bytes = codec::encode(&msg);
-            let back = codec::decode(&bytes).unwrap();
-            prop_assert_eq!(msg, back);
-        }
-
-        #[test]
-        fn decode_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let _ = codec::decode(&data);
-        }
-
-        #[test]
-        fn encoded_len_matches(msg in arb_message()) {
-            let bytes = codec::encode(&msg);
-            prop_assert_eq!(bytes.len(), codec::encoded_len(&msg));
-        }
-    }
-}
+// Property and fuzz/differential tests for the codec and the borrowed
+// views live in `tests/fuzz_codec.rs` (all message kinds, adversarial
+// byte mutations, owned-vs-borrowed rejection equivalence).

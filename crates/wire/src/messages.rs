@@ -151,12 +151,79 @@ impl ServiceDecl {
 /// refcounted pointer so that copying a record between directories (which
 /// a 10k-node simulation does millions of times) is a pointer bump, not a
 /// deep clone of every string.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecordPayload {
     pub services: Vec<ServiceDecl>,
     /// Machine configuration key-value pairs (the `/proc`-derived data in
     /// the paper's implementation).
     pub attrs: Vec<(String, String)>,
+    /// Cached wire length of this payload section, 0 = not computed (a
+    /// real payload encodes to at least 8 bytes of counts, so 0 is free
+    /// as the sentinel). The codec's size counter fills it; any mutable
+    /// access through [`NodeRecord`]'s `DerefMut` clears it. Atomic so
+    /// shared payloads stay `Sync`; identity-irrelevant, so every trait
+    /// below ignores it.
+    wire_len: std::sync::atomic::AtomicU32,
+}
+
+impl RecordPayload {
+    /// The cached wire length, if one has been computed since the last
+    /// mutation.
+    pub(crate) fn cached_wire_len(&self) -> Option<usize> {
+        match self.wire_len.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => None,
+            n => Some(n as usize),
+        }
+    }
+
+    pub(crate) fn store_wire_len(&self, n: usize) {
+        if let Ok(n) = u32::try_from(n) {
+            self.wire_len.store(n, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn invalidate_wire_len(&mut self) {
+        *self.wire_len.get_mut() = 0;
+    }
+}
+
+impl Clone for RecordPayload {
+    fn clone(&self) -> Self {
+        RecordPayload {
+            services: self.services.clone(),
+            attrs: self.attrs.clone(),
+            // The clone has identical content, so the cache stays valid.
+            wire_len: std::sync::atomic::AtomicU32::new(
+                self.wire_len.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+impl PartialEq for RecordPayload {
+    fn eq(&self, other: &Self) -> bool {
+        self.services == other.services && self.attrs == other.attrs
+    }
+}
+
+impl Eq for RecordPayload {}
+
+impl Default for RecordPayload {
+    fn default() -> Self {
+        RecordPayload {
+            services: Vec::new(),
+            attrs: Vec::new(),
+            wire_len: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for RecordPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordPayload")
+            .field("services", &self.services)
+            .field("attrs", &self.attrs)
+            .finish()
+    }
 }
 
 /// Everything the membership directory stores about one node: the "yellow
@@ -188,7 +255,13 @@ impl std::ops::Deref for NodeRecord {
 
 impl std::ops::DerefMut for NodeRecord {
     fn deref_mut(&mut self) -> &mut RecordPayload {
-        std::sync::Arc::make_mut(&mut self.payload)
+        let p = std::sync::Arc::make_mut(&mut self.payload);
+        // `payload` is private, so every mutation flows through here:
+        // conservatively drop the cached wire length before handing out
+        // the mutable reference. (A shared payload was cloned by
+        // `make_mut` first — the original keeps its valid cache.)
+        p.invalidate_wire_len();
+        p
     }
 }
 
@@ -223,7 +296,11 @@ impl NodeRecord {
         NodeRecord {
             node,
             incarnation,
-            payload: std::sync::Arc::new(RecordPayload { services, attrs }),
+            payload: std::sync::Arc::new(RecordPayload {
+                services,
+                attrs,
+                ..Default::default()
+            }),
         }
     }
 

@@ -104,6 +104,47 @@ impl UpdateLog {
         self.window_events(now)
     }
 
+    /// Append a batch of events at time `now` and return the combined
+    /// transmit window in one pass: every fresh retained predecessor
+    /// followed by every new event, oldest first. Equivalent to calling
+    /// [`UpdateLog::push`] per event, deduplicating against
+    /// [`UpdateLog::window_events`], and sorting by sequence — without
+    /// the per-event window materialization or the quadratic dedup.
+    /// This is the batched piggyback assembly the relay path uses, so
+    /// one multicast's event window is built exactly once.
+    pub fn push_batch(
+        &mut self,
+        events: impl IntoIterator<Item = MemberEvent>,
+        now: Nanos,
+    ) -> Vec<SeqEvent> {
+        // Predecessors are everything logged before this batch; at the
+        // saturation boundary new events repeat `u64::MAX`, and the
+        // strict `<` below drops the older duplicates exactly like the
+        // per-event dedup did.
+        let first_new_seq = self.next_seq.saturating_add(1);
+        let mut new_events: Vec<SeqEvent> = Vec::new();
+        for event in events {
+            self.next_seq = self.next_seq.saturating_add(1);
+            let se = SeqEvent {
+                seq: self.next_seq,
+                event,
+            };
+            if self.recent.len() == self.window {
+                self.recent.pop_front();
+            }
+            self.recent.push_back((se.clone(), now));
+            new_events.push(se);
+        }
+        let mut out: Vec<SeqEvent> = self
+            .recent
+            .iter()
+            .filter(|(e, t)| e.seq < first_new_seq && self.fresh(*t, now))
+            .map(|(e, _)| e.clone())
+            .collect();
+        out.extend(new_events);
+        out
+    }
+
     /// The sequence number of the most recent event (0 if none yet).
     pub fn latest_seq(&self) -> u64 {
         self.next_seq
@@ -258,6 +299,66 @@ mod tests {
         let w = log.push(leave(1), 0);
         assert_eq!(w[0].seq, 101);
         assert_eq!(log.latest_seq(), 101);
+    }
+
+    /// `push_batch` must be indistinguishable from the per-event
+    /// reference (push each, dedup the final window against the new
+    /// events, sort by seq) — log state and returned window alike.
+    fn reference_batch(log: &mut UpdateLog, events: Vec<MemberEvent>, now: Nanos) -> Vec<SeqEvent> {
+        let mut seq_events = Vec::new();
+        for ev in events {
+            let w = log.push(ev, now);
+            seq_events.push(w.last().unwrap().clone());
+        }
+        let seen: Vec<u64> = seq_events.iter().map(|e| e.seq).collect();
+        let mut window = log.window_events(now);
+        window.retain(|e| !seen.contains(&e.seq));
+        window.extend(seq_events);
+        window.sort_by_key(|e| e.seq);
+        window
+    }
+
+    #[test]
+    fn push_batch_matches_per_event_reference() {
+        for batch_len in [1usize, 2, 3, 4, 6, 9] {
+            let mut a = UpdateLog::with_max_age(4, 1_000);
+            let mut b = a.clone();
+            // Pre-populate with history at varying ages.
+            for i in 0..5 {
+                a.push(leave(i), i as u64 * 100);
+                b.push(leave(i), i as u64 * 100);
+            }
+            let evs: Vec<MemberEvent> = (10..10 + batch_len as u32).map(leave).collect();
+            let got = a.push_batch(evs.clone(), 450);
+            let want = reference_batch(&mut b, evs, 450);
+            assert_eq!(got, want, "batch of {batch_len} diverges");
+            assert_eq!(a.latest_seq(), b.latest_seq());
+            assert_eq!(a.window_events(450), b.window_events(450));
+        }
+    }
+
+    #[test]
+    fn push_batch_at_saturation_drops_duplicate_predecessors() {
+        let mut a = UpdateLog::with_next_seq(4, 0, u64::MAX - 1);
+        let mut b = a.clone();
+        a.push(leave(1), 0); // seq MAX-... saturating toward MAX
+        b.push(leave(1), 0);
+        a.push(leave(2), 0); // seq MAX
+        b.push(leave(2), 0);
+        let evs = vec![leave(3), leave(4)]; // both land on MAX
+        let got = a.push_batch(evs.clone(), 1);
+        let want = reference_batch(&mut b, evs, 1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn push_batch_empty_returns_current_window() {
+        let mut log = UpdateLog::new(4);
+        for i in 0..3 {
+            log.push(leave(i), 0);
+        }
+        assert_eq!(log.push_batch([], 0), log.window_events(0));
+        assert_eq!(log.latest_seq(), 3, "no sequence consumed");
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Differential lock on the zero-copy wire path: the engine's three
+//! delivery modes must be *indistinguishable* — not just "all correct".
+//!
+//! - `wire_codec: None` — the reference in-memory mode: actors receive
+//!   the sender's `Message` value; only `encoded_len` runs per send.
+//! - `Some(CodecKind::Owned)` — every send is encoded once, every
+//!   delivery runs the owned reference decoder.
+//! - `Some(CodecKind::Borrowed)` — same encode-once sends, but
+//!   deliveries parse a zero-copy `MessageView` and take the actors'
+//!   borrowed fast paths (lazy record materialization, in-place digest
+//!   iteration).
+//!
+//! Identical seeds must yield byte-identical event traces, final
+//! per-node directory views, telemetry snapshots, and traffic totals,
+//! at every size, with a mid-run crash and revival in the schedule.
+//! Any divergence means the borrowed views read bytes differently than
+//! the owned decoder, or a zero-copy fast path changed protocol
+//! behaviour — exactly the bug class this refactor must exclude.
+//!
+//! The runs execute in the debug profile, so every directory mutation
+//! also re-checks the incremental anti-entropy digest against a full
+//! rescan (a `debug_assert` in `tamp-directory`): the same sweep
+//! doubles as the chaos-grade digest differential.
+
+use tamp::directory::Provenance;
+use tamp::netsim::telemetry::snapshot_to_csv;
+use tamp::netsim::TraceConfig;
+use tamp::prelude::*;
+use tamp::wire::CodecKind;
+
+/// One directory entry, flattened for comparison.
+type ViewEntry = (u32, u64, String, u64);
+
+/// Everything observable about a finished run.
+struct Fingerprint {
+    trace: Vec<String>,
+    total_recorded: u64,
+    views: Vec<Vec<ViewEntry>>,
+    metrics_csv: String,
+    totals: (u64, u64, u64, u64, u64),
+}
+
+const MODES: [Option<CodecKind>; 3] = [None, Some(CodecKind::Owned), Some(CodecKind::Borrowed)];
+
+fn mode_name(mode: Option<CodecKind>) -> &'static str {
+    match mode {
+        None => "in-memory",
+        Some(CodecKind::Owned) => "wire-owned",
+        Some(CodecKind::Borrowed) => "wire-borrowed",
+    }
+}
+
+fn run_cluster(n: usize, seed: u64, mode: Option<CodecKind>) -> Fingerprint {
+    let segments = (n / 20).max(1);
+    let topo = generators::star_of_segments(segments, n / segments);
+    let cfg = EngineConfig {
+        trace: TraceConfig {
+            capacity: 400_000,
+            include_timers: true,
+            ..TraceConfig::all()
+        },
+        metrics: true,
+        wire_codec: mode,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(topo, cfg, seed);
+    let mut clients = Vec::new();
+    for h in engine.hosts() {
+        let node = MembershipNode::new(NodeId(h.0), MembershipConfig::default());
+        clients.push(node.directory_client());
+        engine.add_actor(h, Box::new(node));
+    }
+    // Crash the last host mid-run and revive it: exercises the rejoin
+    // path (bootstrap exchanges, refutations) under every codec mode.
+    let victim = HostId(n as u32 - 1);
+    engine.schedule(12 * SECS, Control::Kill(victim));
+    engine.schedule(15 * SECS, Control::Revive(victim));
+    engine.start();
+    engine.run_until(18 * SECS);
+
+    let views = clients
+        .iter()
+        .map(|c| {
+            c.read(|d| {
+                let mut v: Vec<ViewEntry> = d
+                    .entries()
+                    .map(|e| {
+                        let prov = match e.provenance {
+                            Provenance::Local => "local".to_string(),
+                            p => format!("{p:?}"),
+                        };
+                        (e.record.node.0, e.record.incarnation, prov, e.last_refresh)
+                    })
+                    .collect();
+                v.sort();
+                v
+            })
+        })
+        .collect();
+    let t = engine.stats().totals();
+    Fingerprint {
+        trace: engine
+            .trace_log()
+            .records()
+            .map(tamp::netsim::TraceLog::render)
+            .collect(),
+        total_recorded: engine.trace_log().total_recorded(),
+        views,
+        metrics_csv: snapshot_to_csv(&engine.registry().snapshot()),
+        totals: (
+            t.sent_pkts,
+            t.sent_bytes,
+            t.recv_pkts,
+            t.recv_bytes,
+            t.dropped_pkts,
+        ),
+    }
+}
+
+/// Run every (seed, mode) triple for one size across a worker pool
+/// (width from `TAMP_JOBS`, default `available_parallelism`; the runs
+/// are sealed deterministic worlds, so any width yields the same
+/// fingerprints), then compare both wire modes against the in-memory
+/// reference per seed in order.
+fn assert_identical_all(n: usize) {
+    let pool = tamp::par::Pool::from_env();
+    let seeds: Vec<u64> = SEEDS.collect();
+    let fps = pool.ordered_map(seeds.len() * MODES.len(), |i| {
+        run_cluster(n, seeds[i / MODES.len()], MODES[i % MODES.len()])
+    });
+    for (si, triple) in fps.chunks(MODES.len()).enumerate() {
+        let reference = &triple[0];
+        for (mi, got) in triple.iter().enumerate().skip(1) {
+            compare(n, seeds[si], mode_name(MODES[mi]), reference, got);
+        }
+    }
+}
+
+fn compare(n: usize, seed: u64, mode: &str, reference: &Fingerprint, got: &Fingerprint) {
+    assert_eq!(
+        reference.total_recorded, got.total_recorded,
+        "n={n} seed={seed} {mode}: trace event counts diverge"
+    );
+    if reference.trace != got.trace {
+        let i = reference
+            .trace
+            .iter()
+            .zip(&got.trace)
+            .position(|(a, b)| a != b)
+            .unwrap_or(reference.trace.len().min(got.trace.len()));
+        let lo = i.saturating_sub(2);
+        let hi = (i + 3).min(reference.trace.len()).min(got.trace.len());
+        panic!(
+            "n={n} seed={seed} {mode}: traces diverge at record {i}\n  in-memory: {:#?}\n  {mode}: {:#?}",
+            &reference.trace[lo..hi],
+            &got.trace[lo..hi],
+        );
+    }
+    for (host, (w, h)) in reference.views.iter().zip(&got.views).enumerate() {
+        assert_eq!(
+            w, h,
+            "n={n} seed={seed} {mode}: host {host} final view diverges"
+        );
+    }
+    assert_eq!(
+        reference.metrics_csv, got.metrics_csv,
+        "n={n} seed={seed} {mode}: telemetry snapshots diverge"
+    );
+    assert_eq!(
+        reference.totals, got.totals,
+        "n={n} seed={seed} {mode}: traffic totals diverge"
+    );
+}
+
+const SEEDS: std::ops::Range<u64> = 2005..2015;
+
+#[test]
+fn codec_modes_indistinguishable_n20() {
+    assert_identical_all(20);
+}
+
+#[test]
+fn codec_modes_indistinguishable_n60() {
+    assert_identical_all(60);
+}
+
+#[test]
+fn codec_modes_indistinguishable_n100() {
+    assert_identical_all(100);
+}
