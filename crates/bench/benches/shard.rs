@@ -1,0 +1,38 @@
+//! Sharded-vs-sequential engine wall clock on the A9 scale workload:
+//! the same warm-started hierarchical cluster measurement at
+//! n ∈ {980, 3920, 10164}, run on a sequential engine and on one split
+//! across `SHARD_COUNT` topology shards (`--shards 4`). The cross-column
+//! ratio is the parallel-simulation speedup, recorded in
+//! `results/bench_shard.json`.
+//!
+//! The workload produces byte-identical measurements at every shard
+//! count — locked by `crates/netsim/tests/differential_shard.rs` and
+//! the `tamp_harness::scale` tests — so this bench measures pure wall
+//! clock, never behavior. On a single-core box the sharded column
+//! measures pure barrier/exchange overhead, not parallelism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tamp_bench::{shard_scale_ms, SHARD_COUNT, SHARD_SIZES};
+use tamp_harness::scale::SizeSetup;
+use tamp_netsim::ShardingKind;
+
+fn bench_shard(c: &mut Criterion) {
+    let columns = [
+        ("sequential", ShardingKind::Sequential),
+        ("sharded4", ShardingKind::Sharded(SHARD_COUNT)),
+    ];
+    for nodes in SHARD_SIZES {
+        let setup = SizeSetup::new(nodes);
+        let mut g = c.benchmark_group(format!("shard/scale_a9_n{nodes}"));
+        g.sample_size(10);
+        for (name, sharding) in columns {
+            g.bench_function(name, |b| {
+                b.iter(|| shard_scale_ms(&setup, sharding));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

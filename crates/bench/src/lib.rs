@@ -214,6 +214,28 @@ pub fn view_receive_pass(frames: &[Vec<u8>]) -> u64 {
     sum
 }
 
+/// The A9 sizes the shard benches sweep (requested; the topology grid
+/// rounds them to 980 / 3920 / 10164 hosts).
+pub const SHARD_SIZES: [usize; 3] = [1000, 4000, 10000];
+
+/// Worker shards for the sharded column (matches `--shards 4` and the
+/// CI shard-smoke job).
+pub const SHARD_COUNT: usize = 4;
+
+/// One full A9 scale measurement — warm-started hierarchical cluster,
+/// steady-state bandwidth window, worst-case kill, removal propagation
+/// (`tamp_harness::scale::measure_with_sharding`) — on a `sharding`
+/// engine; returns host wall-clock ms. Every measured quantity is
+/// byte-identical across `sharding` values (pinned by the scale and
+/// netsim differential tests); only this wall clock moves, which is
+/// exactly what the shard bench compares.
+pub fn shard_scale_ms(
+    setup: &tamp_harness::scale::SizeSetup,
+    sharding: tamp_netsim::ShardingKind,
+) -> u64 {
+    tamp_harness::scale::measure_with_sharding(setup, 2005, sharding).wall_ms
+}
+
 /// Directory size for the digest workloads below.
 pub const DIGEST_NODES: u32 = 1024;
 
@@ -371,6 +393,59 @@ mod tests {
                 "{name}: {got:.2} ms/seed vs baseline {base_ms:.2} (ratio {ratio:.3}) — \
                  outside band; if intentional, regenerate sweep_baseline.txt"
             );
+        }
+    }
+
+    /// Opt-in wall-clock guard for the sharded engine: sequential A9
+    /// runs must stay inside the -20%/+25% band of the checked-in
+    /// per-size baselines (`shard_baseline.txt`, release, reference
+    /// box), and — on a box with at least 4 cores — the Sharded(4) run
+    /// must not lose to sequential by more than 10% at n ≥ 3920 (at
+    /// n=980 the per-epoch barrier cost can legitimately dominate).
+    /// Single-core boxes only check the sequential band: there sharding
+    /// measures pure overhead, not parallelism.
+    ///
+    /// ```sh
+    /// cargo test -p tamp-bench --release -- --ignored baseline
+    /// ```
+    #[test]
+    #[ignore = "wall-clock sensitive; run in release against shard_baseline.txt"]
+    fn sharded_scale_within_band_of_baseline() {
+        use tamp_harness::scale::SizeSetup;
+        use tamp_netsim::ShardingKind;
+        if cfg!(debug_assertions) {
+            panic!("baseline is a release measurement; run with --release");
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let median3 = |f: &dyn Fn() -> u64| {
+            let mut r: Vec<u64> = (0..3).map(|_| f()).collect();
+            r.sort_unstable();
+            r[1]
+        };
+        for (name, base_ms) in read_baseline("shard_baseline.txt") {
+            let nodes = match name.as_str() {
+                "n980" => 1000,
+                "n3920" => 4000,
+                "n10164" => 10000,
+                other => panic!("unknown baseline entry {other}"),
+            };
+            let setup = SizeSetup::new(nodes);
+            let seq = median3(&|| shard_scale_ms(&setup, ShardingKind::Sequential)) as f64;
+            let ratio = seq / base_ms;
+            assert!(
+                (0.8..=1.25).contains(&ratio),
+                "{name}: sequential {seq:.0} ms vs baseline {base_ms:.0} (ratio {ratio:.3}) — \
+                 outside band; if intentional, regenerate shard_baseline.txt"
+            );
+            if cores >= 4 && nodes >= 4000 {
+                let sharded =
+                    median3(&|| shard_scale_ms(&setup, ShardingKind::Sharded(SHARD_COUNT))) as f64;
+                assert!(
+                    sharded <= seq * 1.10,
+                    "{name}: Sharded({SHARD_COUNT}) {sharded:.0} ms vs sequential {seq:.0} ms \
+                     on a {cores}-core box — sharding must not lose more than 10%"
+                );
+            }
         }
     }
 

@@ -60,6 +60,7 @@ fn main() {
     let mut update = false;
     let mut protocol: Option<String> = None;
     let mut jobs = tamp_par::default_jobs();
+    let mut shards: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -129,6 +130,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--jobs needs a worker count >= 1"));
+            }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--shards needs a shard count (1 = sequential)")),
+                );
             }
             "--nodes" => {
                 nodes = Some(
@@ -211,7 +219,7 @@ fn main() {
                 None if quick => vec![1000],
                 None => scale::SWEEP_SIZES.to_vec(),
             };
-            scale::run_and_print(&sizes, seed, jobs);
+            scale::run_and_print(&sizes, seed, jobs, common::sharding_from(shards));
         }
         "load" => {
             let code = load::run_and_print(&load::LoadOptions {
@@ -224,6 +232,7 @@ fn main() {
                 scenario,
                 quick,
                 jobs,
+                sharding: common::sharding_from(shards),
             });
             std::process::exit(code);
         }
@@ -239,6 +248,7 @@ fn main() {
                 adversarial,
                 jobs,
                 protocol: protocol.clone(),
+                sharding: common::sharding_from(shards),
             });
             std::process::exit(code);
         }
@@ -301,6 +311,9 @@ fn print_help() {
          \u{20}         --trials <n>    fig12/fig13: statistics over n seeds\n\
          \u{20}         --jobs <n>      worker threads for sweeps/grids (default: cores;\n\
          \u{20}                         output is byte-identical at any width)\n\
+         \u{20}         --shards <n>    scale/chaos/load: split the *simulation itself* into\n\
+         \u{20}                         n topology shards run concurrently (default: TAMP_SHARDS\n\
+         \u{20}                         env, else 1 = sequential; output is byte-identical)\n\
          chaos:    --scenario <f>  run a fault-scenario DSL file\n\
          \u{20}         --sweep <n>     sweep n seeds, shrink first failure\n\
          \u{20}         --proxy         multi-datacenter proxy deployment\n\

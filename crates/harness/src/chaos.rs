@@ -10,6 +10,7 @@ use tamp_chaos::{
     Schedule,
 };
 use tamp_membership::MembershipConfig;
+use tamp_netsim::ShardingKind;
 use tamp_par::Pool;
 
 /// Options for the `chaos` subcommand.
@@ -40,6 +41,9 @@ pub struct ChaosOptions {
     /// Which protocol the cluster runs (`--protocol`); `None` keeps the
     /// default (tamp). A schedule's own `protocol` directive still wins.
     pub protocol: Option<String>,
+    /// Engine sharding (`--shards`): run the simulation itself split
+    /// across topology shards. Byte-identical output at any setting.
+    pub sharding: ShardingKind,
 }
 
 fn membership(broken: bool) -> MembershipConfig {
@@ -64,6 +68,7 @@ fn scenario_config(seed: u64, opts: &ChaosOptions) -> ScenarioConfig {
     };
     cfg.membership = membership(opts.broken);
     cfg.strict = opts.strict;
+    cfg.engine.sharding = opts.sharding;
     if let Some(p) = opts.protocol.as_deref() {
         cfg.protocol = tamp_chaos::Protocol::parse(p).unwrap_or_else(|| {
             eprintln!(
@@ -120,6 +125,7 @@ pub fn run(opts: &ChaosOptions) -> i32 {
             strict: opts.strict,
             ..ProxyScenarioConfig::two_dcs(opts.seed)
         };
+        cfg.engine.sharding = opts.sharding;
         if opts.trace {
             cfg.engine.trace = chaos_trace_config();
         }
@@ -170,11 +176,12 @@ fn proxy_sweep(opts: &ChaosOptions, count: u64) -> i32 {
         seeds.len(),
         |i| {
             let seed = seeds[i];
-            let cfg = ProxyScenarioConfig {
+            let mut cfg = ProxyScenarioConfig {
                 membership: membership(opts.broken),
                 strict: opts.strict,
                 ..ProxyScenarioConfig::two_dcs(seed)
             };
+            cfg.engine.sharding = opts.sharding;
             let schedule = random_schedule(seed, &gen_cfg);
             run_proxy_scenario(&cfg, &schedule)
         },
@@ -233,6 +240,7 @@ mod tests {
             strict: false,
             adversarial: false,
             jobs: 1,
+            sharding: ShardingKind::Sequential,
             protocol: None,
         };
         assert_eq!(run(&opts), 0);
@@ -250,6 +258,7 @@ mod tests {
             strict: true,
             adversarial: false,
             jobs: 1,
+            sharding: ShardingKind::Sequential,
             protocol: None,
         };
         assert_eq!(run(&opts), 0);
@@ -267,6 +276,7 @@ mod tests {
             strict: true,
             adversarial: true,
             jobs: 1,
+            sharding: ShardingKind::Sequential,
             protocol: None,
         };
         assert_eq!(run(&opts), 0);
@@ -290,6 +300,7 @@ mod tests {
             strict: true,
             adversarial: false,
             jobs: 1,
+            sharding: ShardingKind::Sequential,
             protocol: None,
         };
         assert_eq!(run(&opts), 0);
@@ -309,6 +320,7 @@ mod tests {
             strict: true,
             adversarial: false,
             jobs: 1,
+            sharding: ShardingKind::Sequential,
             protocol: Some("tamp-rapid".to_string()),
         };
         assert_eq!(run(&opts), 0);
@@ -326,6 +338,7 @@ mod tests {
             strict: false,
             adversarial: false,
             jobs: 1,
+            sharding: ShardingKind::Sequential,
             protocol: None,
         };
         assert_eq!(run(&opts), 1);

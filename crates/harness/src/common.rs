@@ -6,7 +6,7 @@ use tamp_baselines::{
 use tamp_chaos::{dsl, random_schedule, GeneratorConfig, Schedule};
 use tamp_directory::DirectoryClient;
 use tamp_membership::{MembershipConfig, MembershipNode, RemovalDiscipline};
-use tamp_netsim::{Engine, EngineConfig, SimTime, TraceConfig, SECS};
+use tamp_netsim::{Engine, EngineConfig, ShardingKind, SimTime, TraceConfig, SECS};
 use tamp_topology::{generators, HostId, Topology};
 use tamp_wire::{NodeId, PartitionSet, ServiceDecl};
 
@@ -187,6 +187,23 @@ pub fn build_cluster(scheme: Scheme, topo: Topology, seed: u64, cfg: EngineConfi
 
 /// How long clusters get to reach steady state before measurements.
 pub const SETTLE: SimTime = 30 * SECS;
+
+/// Resolve the `--shards` flag into a [`ShardingKind`]: the flag wins,
+/// then the `TAMP_SHARDS` environment variable, then `Sequential`.
+/// `0` and `1` both mean sequential (no worker shards), so scripts can
+/// sweep `TAMP_SHARDS=1,2,4,...` uniformly. The engine's output is
+/// byte-identical either way — this is purely a wall-clock knob.
+pub fn sharding_from(flag: Option<usize>) -> ShardingKind {
+    let n = flag.or_else(|| {
+        std::env::var("TAMP_SHARDS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+    });
+    match n {
+        Some(n) if n >= 2 => ShardingKind::Sharded(n),
+        _ => ShardingKind::Sequential,
+    }
+}
 
 /// The one scenario-loading path every `tamp-exp` subcommand shares
 /// (`chaos`, `load`): parse the `.chaos` DSL file at `path` when given,

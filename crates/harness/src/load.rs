@@ -16,7 +16,7 @@ use tamp_load::{
     run_campaign, run_one, ArrivalMode, Campaign, CampaignFault, FaultOutcome, LoadScenarioConfig,
     RunSummary, Skew, WorkloadConfig,
 };
-use tamp_netsim::SECS;
+use tamp_netsim::{ShardingKind, SECS};
 use tamp_par::Pool;
 
 /// The three stock chaos-under-load scenarios, embedded so the binary
@@ -54,6 +54,9 @@ pub struct LoadOptions {
     pub quick: bool,
     /// Worker threads for campaign runs (`--jobs`; 1 = sequential).
     pub jobs: usize,
+    /// Engine sharding (`--shards`): split the simulation itself across
+    /// per-datacenter shards. Byte-identical output at any setting.
+    pub sharding: ShardingKind,
 }
 
 impl Default for LoadOptions {
@@ -68,6 +71,7 @@ impl Default for LoadOptions {
             scenario: None,
             quick: false,
             jobs: 1,
+            sharding: ShardingKind::Sequential,
         }
     }
 }
@@ -81,6 +85,8 @@ pub struct LoadRun {
     /// Campaign outputs (`--campaign` only).
     pub campaign_report: Option<String>,
     pub campaign_csv: Option<String>,
+    /// Open-loop saturation sweep (`--open` only, no campaign).
+    pub saturation_csv: Option<String>,
 }
 
 fn scenario_config(opts: &LoadOptions, skew: Skew) -> LoadScenarioConfig {
@@ -93,6 +99,7 @@ fn scenario_config(opts: &LoadOptions, skew: Skew) -> LoadScenarioConfig {
         users: opts.users,
         datacenters: opts.datacenters,
         seed: opts.seed,
+        sharding: opts.sharding,
         workload: WorkloadConfig {
             skew,
             mode,
@@ -154,6 +161,81 @@ fn campaign_for(opts: &LoadOptions) -> Campaign {
 
 fn ms(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Rate multipliers for the open-loop saturation mini-sweep. ×1 is the
+/// configured rate and doubles as the run the SLO report describes; the
+/// tail multipliers push the offered load past the service capacity so
+/// the goodput knee is visible in `saturation.csv`.
+const SATURATION_MULTS: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+const SATURATION_MULTS_QUICK: [f64; 3] = [1.0, 4.0, 8.0];
+
+/// Offered (arrival) rate of `cfg` scaled by `mult`, req/s.
+fn offered_rps(cfg: &LoadScenarioConfig, mult: f64) -> f64 {
+    cfg.users as f64 * mult / (cfg.workload.think_mean as f64 / SECS as f64)
+}
+
+/// Run the open-loop scenario once per multiplier (think time scaled
+/// down ⇒ arrival rate scaled up), across the pool, in multiplier
+/// order. Deterministic: each multiplier is an independent seeded run.
+fn saturation_sweep(
+    cfg: &LoadScenarioConfig,
+    campaign: &Campaign,
+    quick: bool,
+    jobs: usize,
+) -> (Vec<f64>, Vec<FaultOutcome>) {
+    let mults: Vec<f64> = if quick {
+        SATURATION_MULTS_QUICK.to_vec()
+    } else {
+        SATURATION_MULTS.to_vec()
+    };
+    let schedule = tamp_chaos::Schedule::new(Vec::new());
+    let runs = Pool::new(jobs).ordered_map(mults.len(), |i| {
+        let mut c = cfg.clone();
+        c.workload.think_mean = ((c.workload.think_mean as f64 / mults[i]).round() as u64).max(1);
+        run_one(&c, &schedule, campaign)
+    });
+    (mults, runs)
+}
+
+fn saturation_csv(cfg: &LoadScenarioConfig, mults: &[f64], runs: &[FaultOutcome]) -> String {
+    let mut out = String::from("multiplier,offered_rps,completed_rps,failed,p99_ns\n");
+    for (&m, r) in mults.iter().zip(runs) {
+        let s = &r.summary;
+        out.push_str(&format!(
+            "{m},{:.1},{:.1},{},{}\n",
+            offered_rps(cfg, m),
+            s.baseline_rate(),
+            s.failed,
+            s.overall.quantile(0.99),
+        ));
+    }
+    out
+}
+
+/// The saturation verdict line: the largest multiplier whose goodput
+/// still tracks the offered rate (within 10%), i.e. the knee of the
+/// throughput curve — or a note that the sweep never saturated.
+fn saturation_knee(cfg: &LoadScenarioConfig, mults: &[f64], runs: &[FaultOutcome]) -> String {
+    let tracks = |m: f64, r: &FaultOutcome| r.summary.baseline_rate() >= 0.9 * offered_rps(cfg, m);
+    let knee = mults
+        .iter()
+        .zip(runs)
+        .take_while(|&(&m, r)| tracks(m, r))
+        .last();
+    match knee {
+        Some((&m, r)) if m < *mults.last().unwrap() => format!(
+            "saturation: goodput knee at x{m} offered ({:.0} req/s completed); \
+             beyond it completions fall behind arrivals\n",
+            r.summary.baseline_rate()
+        ),
+        Some((&m, r)) => format!(
+            "saturation: goodput tracked offered load through x{m} ({:.0} req/s) — \
+             no knee inside the sweep\n",
+            r.summary.baseline_rate()
+        ),
+        None => "saturation: goodput below 90% of offered at every multiplier\n".to_string(),
+    }
 }
 
 fn slo_rows(summary: &RunSummary) -> Vec<(String, &tamp_netsim::telemetry::HistogramSnapshot)> {
@@ -298,12 +380,19 @@ pub fn collect(opts: &LoadOptions) -> Result<LoadRun, String> {
         cfg.users, mode, opts.skew, opts.datacenters, opts.seed
     );
 
-    let (baseline, outcomes) = if opts.campaign {
+    let (baseline, outcomes, saturation) = if opts.campaign {
         let outcomes = run_campaign(&cfg, &campaign, &Pool::new(opts.jobs));
-        (outcomes[0].clone(), Some(outcomes))
+        (outcomes[0].clone(), Some(outcomes), None)
+    } else if opts.open {
+        // Open-loop runs become a saturation mini-sweep: the ×1 run is
+        // the baseline the SLO report describes, the rest map goodput
+        // against offered rate.
+        let (mults, runs) = saturation_sweep(&cfg, &campaign, opts.quick, opts.jobs);
+        let base = mults.iter().position(|&m| m == 1.0).expect("x1 in sweep");
+        (runs[base].clone(), None, Some((mults, runs)))
     } else {
         let schedule = tamp_chaos::Schedule::new(Vec::new());
-        (run_one(&cfg, &schedule, &campaign), None)
+        (run_one(&cfg, &schedule, &campaign), None, None)
     };
 
     summary.push_str(&render_counters(&baseline.summary));
@@ -312,6 +401,9 @@ pub fn collect(opts: &LoadOptions) -> Result<LoadRun, String> {
         "steady rate {nominal:.0} req/s nominal, {:.0} req/s measured\n",
         baseline.summary.baseline_rate()
     ));
+    if let Some((mults, runs)) = &saturation {
+        summary.push_str(&saturation_knee(&cfg, mults, runs));
+    }
     summary.push_str(&render_slo_table(&baseline.summary));
 
     let (campaign_report, campaign_csv) = match &outcomes {
@@ -328,6 +420,9 @@ pub fn collect(opts: &LoadOptions) -> Result<LoadRun, String> {
         timeline_csv: timeline_csv(&baseline.summary),
         campaign_report,
         campaign_csv,
+        saturation_csv: saturation
+            .as_ref()
+            .map(|(mults, runs)| saturation_csv(&cfg, mults, runs)),
     })
 }
 
@@ -359,6 +454,9 @@ pub fn run_and_print(opts: &LoadOptions) -> i32 {
     if let (Some(csv), Some(report)) = (&run.campaign_csv, &run.campaign_report) {
         files.push(("campaign.csv", csv));
         files.push(("campaign-report.txt", report));
+    }
+    if let Some(csv) = &run.saturation_csv {
+        files.push(("saturation.csv", csv));
     }
     for (name, body) in files {
         let path = dir.join(name);
@@ -445,6 +543,21 @@ mod tests {
         // Path-attribution rows ride along without changing the schema.
         assert!(run.slo_csv.lines().any(|l| l.starts_with("proxied,")));
         assert!(run.slo_csv.lines().any(|l| l.starts_with("direct,")));
+    }
+
+    #[test]
+    fn open_run_adds_saturation_sweep() {
+        let opts = LoadOptions {
+            open: true,
+            ..quick_opts()
+        };
+        let run = collect(&opts).unwrap();
+        let csv = run.saturation_csv.expect("open run produced no sweep");
+        assert!(csv.starts_with("multiplier,offered_rps,completed_rps,"));
+        assert_eq!(csv.lines().count(), 1 + SATURATION_MULTS_QUICK.len());
+        assert!(run.summary.contains("saturation:"), "{}", run.summary);
+        // Closed-loop runs stay sweep-free.
+        assert!(collect(&quick_opts()).unwrap().saturation_csv.is_none());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use tamp_analysis::{hierarchical, ModelParams};
 use tamp_directory::{Directory, Provenance};
 use tamp_membership::{MembershipConfig, MembershipNode};
-use tamp_netsim::{Control, Engine, EngineConfig, SimTime, MILLIS, SECS};
+use tamp_netsim::{Control, Engine, EngineConfig, ShardingKind, SimTime, MILLIS, SECS};
 use tamp_par::Pool;
 use tamp_topology::{generators, HostId, Topology};
 use tamp_wire::NodeId;
@@ -184,12 +184,23 @@ pub fn measure(nodes: usize, seed: u64) -> ScaleRow {
 /// [`measure`] against a prebuilt [`SizeSetup`], for callers running
 /// several seeds at one size.
 pub fn measure_with(setup: &SizeSetup, seed: u64) -> ScaleRow {
+    measure_with_sharding(setup, seed, ShardingKind::Sequential)
+}
+
+/// [`measure_with`] on a sharded engine. Every measured quantity is
+/// byte-identical to the sequential run — sharding only moves the wall
+/// clock (`wall_ms`).
+pub fn measure_with_sharding(setup: &SizeSetup, seed: u64, sharding: ShardingKind) -> ScaleRow {
     let wall = std::time::Instant::now();
     let n = setup.topo.num_hosts();
     let segments = setup.topo.num_segments();
     let group_size = setup.group_size;
 
-    let mut engine = Engine::new(setup.topo.clone(), EngineConfig::default(), seed);
+    let cfg = EngineConfig {
+        sharding,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(setup.topo.clone(), cfg, seed);
     for i in 0..n {
         let mut m = MembershipNode::new(NodeId(i as u32), scale_config());
         m.preload_directory(&setup.templates[setup.seg_of[i] as usize]);
@@ -251,18 +262,23 @@ pub fn measure_with(setup: &SizeSetup, seed: u64) -> ScaleRow {
     }
 }
 
-/// The A9 sweep sizes (requested; the topology grid rounds them).
-pub const SWEEP_SIZES: [usize; 3] = [1000, 4000, 10000];
+/// The A9 sweep sizes (requested; the topology grid rounds them). The
+/// §4 model argues the scheme stays cheap to tens of thousands of
+/// nodes — the sweep now drives the simulator to ≈100k to check it.
+pub const SWEEP_SIZES: [usize; 5] = [1000, 4000, 10000, 50000, 100000];
 
 pub fn sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
-    sweep_on(&Pool::sequential(), sizes, seed)
+    sweep_on(&Pool::sequential(), sizes, seed, ShardingKind::Sequential)
 }
 
 /// [`sweep`] with one worker per size: every size is an independent
 /// deterministic run, and rows come back in `sizes` order, so the table
-/// (minus the wall-clock column) is identical at any pool width.
-pub fn sweep_on(pool: &Pool, sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
-    pool.ordered_map(sizes.len(), |i| measure(sizes[i], seed))
+/// (minus the wall-clock column) is identical at any pool width — and,
+/// with `sharding` set, at any shard count.
+pub fn sweep_on(pool: &Pool, sizes: &[usize], seed: u64, sharding: ShardingKind) -> Vec<ScaleRow> {
+    pool.ordered_map(sizes.len(), |i| {
+        measure_with_sharding(&SizeSetup::new(sizes[i]), seed, sharding)
+    })
 }
 
 /// Render rows to the A9 table (shared by the CLI and the golden test).
@@ -303,8 +319,8 @@ pub fn table(rows: &[ScaleRow]) -> crate::report::Table {
 
 /// CLI entry: run the sweep, print/export the table, and enforce the
 /// 15% model envelope on bandwidth and detection.
-pub fn run_and_print(sizes: &[usize], seed: u64, jobs: usize) {
-    let rows = sweep_on(&Pool::new(jobs), sizes, seed);
+pub fn run_and_print(sizes: &[usize], seed: u64, jobs: usize, sharding: ShardingKind) {
+    let rows = sweep_on(&Pool::new(jobs), sizes, seed, sharding);
     let t = table(&rows);
     t.print();
     let _ = t.write_csv("scale");
@@ -414,11 +430,36 @@ mod tests {
             )
         };
         let seq = sweep(&[60, 80], 7);
-        let par = sweep_on(&Pool::new(4), &[60, 80], 7);
+        let par = sweep_on(&Pool::new(4), &[60, 80], 7, ShardingKind::Sequential);
         assert_eq!(
             seq.iter().map(fields).collect::<Vec<_>>(),
             par.iter().map(fields).collect::<Vec<_>>(),
             "parallel A9 sweep diverges from sequential"
+        );
+    }
+
+    /// Sharding the engine itself (the `--shards` path) changes nothing
+    /// measured: the full warm-start membership pipeline on a sharded
+    /// engine is bit-equal to the sequential run.
+    #[test]
+    fn sharded_measure_matches_sequential() {
+        let fields = |r: &ScaleRow| {
+            (
+                r.n,
+                r.segments,
+                r.agg_recv_bytes_per_s.to_bits(),
+                r.detect_s.to_bits(),
+                r.converge_s.to_bits(),
+                r.observers,
+            )
+        };
+        let setup = SizeSetup::new(80);
+        let seq = measure_with_sharding(&setup, 7, ShardingKind::Sequential);
+        let sharded = measure_with_sharding(&setup, 7, ShardingKind::Sharded(4));
+        assert_eq!(
+            fields(&seq),
+            fields(&sharded),
+            "sharded A9 measurement diverges from sequential"
         );
     }
 

@@ -13,7 +13,7 @@ use crate::telemetry::LoadTelemetry;
 use crate::workload::WorkloadConfig;
 use tamp_membership::{MembershipConfig, Probe};
 use tamp_neptune::{ProviderConfig, ProviderNode};
-use tamp_netsim::{Engine, EngineConfig, Nanos, MICROS, MILLIS, SECS};
+use tamp_netsim::{Engine, EngineConfig, Nanos, ShardingKind, MICROS, MILLIS, SECS};
 use tamp_proxy::{ProxyConfig, ProxyNode, RemoteView, VipTable};
 use tamp_topology::{generators, HostId};
 use tamp_wire::{DcId, NodeId, PartitionSet, ServiceDecl};
@@ -39,6 +39,9 @@ pub struct LoadScenarioConfig {
     /// Engine seed (the workload stream is seeded separately from
     /// `workload.seed`).
     pub seed: u64,
+    /// Engine partitioning ([`ShardingKind`]): `Sharded(n)` runs the one
+    /// simulation across n per-datacenter shards, byte-identically.
+    pub sharding: ShardingKind,
 }
 
 impl Default for LoadScenarioConfig {
@@ -56,6 +59,7 @@ impl Default for LoadScenarioConfig {
             index_time: 200 * MICROS,
             doc_time: 500 * MICROS,
             seed: 2005,
+            sharding: ShardingKind::Sequential,
         }
     }
 }
@@ -93,6 +97,7 @@ pub fn build(cfg: &LoadScenarioConfig) -> LoadScenario {
     let engine_cfg = EngineConfig {
         series_bucket: SECS,
         metrics: true,
+        sharding: cfg.sharding,
         ..Default::default()
     };
     let mut engine = Engine::new(topo, engine_cfg, cfg.seed);

@@ -650,6 +650,16 @@ impl MembershipNode {
     /// genuine same-incarnation `Leave` travelling right behind it in
     /// the same backfill, leaving the dead node in the directory past
     /// every tombstone and resurrecting it cluster-wide.
+    ///
+    /// Cut-detection vote books follow the same rule: only fresh proof
+    /// or a newer incarnation clears them. Every directory in the
+    /// cluster still carries a just-died node's record at its last
+    /// incarnation, so the Alert flood's own echo (sync-poll snapshots,
+    /// piggyback backfill) re-vouches the subject within milliseconds
+    /// of the votes landing — letting that wipe the aggregation would
+    /// race every batch against its own dissemination. Genuinely alive
+    /// subjects are cleared by the direct-liveness sweep, and votes
+    /// nobody re-asserts expire via `cut_report_ttl`.
     fn refute_suspicion(&mut self, ctx: &mut Context, node: NodeId, inc: u64, fresh: bool) -> bool {
         let Some(s) = self.suspicions.get(&node).copied() else {
             return false;
@@ -658,7 +668,9 @@ impl MembershipNode {
             return false; // stale proof: an older incarnation's liveness
         }
         self.suspicions.remove(&node);
-        self.cuts.remove(&node);
+        if fresh || inc > s.incarnation {
+            self.cuts.remove(&node);
+        }
         self.counters.suspicions_refuted += 1;
         ctx.count("membership", "suspicions_refuted", 1);
         ctx.emit(ProtocolEvent::SuspicionRefuted { subject: node.0 });

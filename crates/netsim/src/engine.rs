@@ -1,17 +1,27 @@
-//! The discrete-event engine.
+//! The discrete-event engine: configuration, fault controls, and the
+//! public [`Engine`] facade.
+//!
+//! The event-loop mechanics live in [`crate::shard`]. An `Engine` owns
+//! one [`Shard`] per partition of the topology (one, by default — the
+//! classic sequential engine) and, when sharded, drives them
+//! concurrently under a conservative-lookahead epoch protocol whose
+//! merged output is byte-identical to the sequential run. See the
+//! `shard` module docs for the synchronization scheme and
+//! `tamp_topology::sharding` for the partition planner.
 
-use crate::actor::{Actor, Context, Effect};
-use crate::packet::{ChannelId, Destination, PacketMeta};
-use crate::scheduler::{EventQueue, Scheduled, SchedulerKind};
-use crate::stats::{Observation, Stats};
-use crate::trace::{DropReason, TraceConfig, TraceEvent, TraceLog};
+use crate::actor::Actor;
+use crate::scheduler::SchedulerKind;
+use crate::shard::{Descriptor, DrainBatch, Shard, ShardMsg, ShardReply, Tag, CONTROL_SEQ_BASE};
+use crate::stats::Stats;
+use crate::trace::{TraceConfig, TraceEvent, TraceLog};
 use crate::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use tamp_telemetry::{Counter, Histogram, Registry, Sample, CLUSTER};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tamp_par::Pool;
+use tamp_telemetry::Registry;
+use tamp_topology::sharding::{plan_shards, ShardPlan};
 use tamp_topology::{HostId, Nanos, SegmentId, Topology};
-use tamp_wire::{CodecKind, Message};
+use tamp_wire::CodecKind;
 
 /// Probabilistic packet loss. Applied independently per (packet,
 /// receiver) pair, which models the dominant loss causes in the paper
@@ -41,6 +51,25 @@ pub struct LossBurst {
     pub until: SimTime,
     /// Drop probability in `[0, 1]` while the burst is active.
     pub rate: f64,
+}
+
+/// How to partition the simulation across worker threads.
+///
+/// The default, `Sequential`, is the single event loop. `Sharded(n)`
+/// asks the planner ([`tamp_topology::sharding::plan_shards`]) for up
+/// to `n` segment-atomic shards and runs them concurrently with
+/// conservative lookahead; output is byte-identical to `Sequential` in
+/// either case, so this is purely a wall-clock knob. Plans that cannot
+/// support safe concurrency (a single populated segment, or a
+/// zero-latency cross-shard link) silently collapse to one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardingKind {
+    /// One event loop, no worker threads (the classic engine).
+    #[default]
+    Sequential,
+    /// Split into at most this many shards (clamped to ≥ 1 and to the
+    /// populated-segment count).
+    Sharded(usize),
 }
 
 /// Engine tuning knobs.
@@ -79,16 +108,23 @@ pub struct EngineConfig {
     /// only so differential tests can pin the wheel against it.
     pub scheduler: SchedulerKind,
     /// Opt-in wire-codec delivery mode. `None` (the default) passes the
-    /// in-memory [`Message`] straight to [`Actor::on_packet`] — the
-    /// fastest simulation path, since only `encoded_len` runs per send.
-    /// `Some(kind)` encodes every send once (shared by all multicast
-    /// receivers) and delivers raw bytes through
-    /// [`Actor::on_wire_packet`], exercising the full codec —
+    /// in-memory [`tamp_wire::Message`] straight to
+    /// [`Actor::on_packet`] — the fastest simulation path, since only
+    /// `encoded_len` runs per send. `Some(kind)` encodes every send once
+    /// (shared by all multicast receivers) and delivers raw bytes
+    /// through [`Actor::on_wire_packet`], exercising the full codec —
     /// [`CodecKind::Borrowed`] via zero-copy views,
     /// [`CodecKind::Owned`] via the reference decoder — end-to-end
     /// under simulation. Differential tests pin the three modes against
     /// each other.
     pub wire_codec: Option<CodecKind>,
+    /// Topology partitioning for parallel execution (see
+    /// [`ShardingKind`]). Byte-identical output either way.
+    pub sharding: ShardingKind,
+    /// Worker threads for the sharded epoch loop. `None` uses
+    /// [`tamp_par::default_jobs`] (the `TAMP_JOBS` environment variable,
+    /// else the machine's parallelism). Ignored under `Sequential`.
+    pub shard_jobs: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -106,12 +142,14 @@ impl Default for EngineConfig {
             metrics: false,
             scheduler: SchedulerKind::default(),
             wire_codec: None,
+            sharding: ShardingKind::Sequential,
+            shard_jobs: None,
         }
     }
 }
 
 impl EngineConfig {
-    fn capacity_for_trace(&self) -> usize {
+    pub(crate) fn capacity_for_trace(&self) -> usize {
         if self.trace.enabled {
             self.trace.capacity
         } else {
@@ -149,7 +187,7 @@ pub enum Control {
     /// Take a layer-3 router down: every segment-pair distance is
     /// re-scoped around it (dynamic topology). Pairs with no redundant
     /// path become unreachable; in-flight and future packets between
-    /// them drop with [`DropReason::Unroutable`].
+    /// them drop with [`crate::trace::DropReason::Unroutable`].
     RouterDown(u16),
     /// Bring a router back and restore build-time TTL scoping.
     RouterUp(u16),
@@ -163,217 +201,44 @@ pub enum Control {
     SetLinkLoss(SegmentId, SegmentId, f64),
 }
 
-/// An in-flight packet (shared across all its multicast receivers).
-#[derive(Debug)]
-struct Pkt {
-    src: HostId,
-    msg: Message,
-    /// The encoded frame, present only in wire-codec mode
-    /// ([`EngineConfig::wire_codec`]): encoded once at send, shared by
-    /// every delivery of this packet.
-    bytes: Option<Vec<u8>>,
-    /// Encoded size + header overhead.
-    size: u32,
-    /// Multicast metadata, `None` for unicast.
-    channel: Option<(ChannelId, u8)>,
-    /// Send instant, for the delivery-latency histogram.
-    sent_at: SimTime,
-}
-
-/// Refcounted packet arena: one send interns its payload once, every
-/// scheduled delivery holds a `u32` handle instead of an `Arc` clone,
-/// and slots are recycled through a free list so the steady-state hot
-/// path allocates nothing. The refcount is the number of still-pending
-/// deliveries; the last one returns the slot.
-#[derive(Debug, Default)]
-struct PktArena {
-    slots: Vec<(Option<Pkt>, u32)>,
-    free: Vec<u32>,
-}
-
-impl PktArena {
-    fn insert(&mut self, pkt: Pkt, refs: u32) -> u32 {
-        debug_assert!(refs > 0, "arena packet with no deliveries");
-        match self.free.pop() {
-            Some(id) => {
-                let slot = &mut self.slots[id as usize];
-                slot.0 = Some(pkt);
-                slot.1 = refs;
-                id
-            }
-            None => {
-                self.slots.push((Some(pkt), refs));
-                (self.slots.len() - 1) as u32
-            }
-        }
-    }
-
-    /// Move the packet out for one delivery (the engine needs it by
-    /// value so the actor callback can borrow the engine mutably).
-    fn checkout(&mut self, id: u32) -> Pkt {
-        let slot = &mut self.slots[id as usize];
-        slot.1 -= 1;
-        slot.0.take().expect("packet checked out twice")
-    }
-
-    /// Return the packet after a delivery; frees the slot when this was
-    /// the last pending reference.
-    fn restore(&mut self, id: u32, pkt: Pkt) {
-        let slot = &mut self.slots[id as usize];
-        if slot.1 == 0 {
-            self.free.push(id);
-        } else {
-            slot.0 = Some(pkt);
-        }
-    }
-}
-
-/// Cached per-host telemetry handles (no-op handles when metrics are
-/// disabled, so the hot path is a branch + relaxed `fetch_add`).
-#[derive(Clone, Default)]
-struct HostMeters {
-    sent_pkts: Counter,
-    sent_bytes: Counter,
-    recv_pkts: Counter,
-    recv_bytes: Counter,
-    dropped_pkts: Counter,
-}
-
-/// Cluster-wide telemetry handles and lazily-built per-kind /
-/// per-channel counters.
-struct NetMeters {
-    hosts: Vec<HostMeters>,
-    /// `(pkts, bytes)` per message kind, node = [`CLUSTER`].
-    by_kind: BTreeMap<&'static str, (Counter, Counter)>,
-    /// `(pkts, bytes)` per multicast channel, node = [`CLUSTER`].
-    by_channel: BTreeMap<u16, (Counter, Counter)>,
-    /// Drop counts by reason (loss / dead-host / partition / gray /
-    /// unroutable).
-    drop_loss: Counter,
-    drop_dead: Counter,
-    drop_partition: Counter,
-    drop_gray: Counter,
-    drop_unroutable: Counter,
-    /// Send→deliver latency in ns, cluster-wide.
-    delivery_ns: Histogram,
-}
-
-impl NetMeters {
-    fn new(registry: &Registry, n: usize) -> Self {
-        let hosts = (0..n)
-            .map(|i| {
-                let node = i as u32;
-                HostMeters {
-                    sent_pkts: registry.counter(node, "net", "sent_pkts"),
-                    sent_bytes: registry.counter(node, "net", "sent_bytes"),
-                    recv_pkts: registry.counter(node, "net", "recv_pkts"),
-                    recv_bytes: registry.counter(node, "net", "recv_bytes"),
-                    dropped_pkts: registry.counter(node, "net", "dropped_pkts"),
-                }
-            })
-            .collect();
-        NetMeters {
-            hosts,
-            by_kind: BTreeMap::new(),
-            by_channel: BTreeMap::new(),
-            drop_loss: registry.counter(CLUSTER, "net", "drop.loss"),
-            drop_dead: registry.counter(CLUSTER, "net", "drop.dead_host"),
-            drop_partition: registry.counter(CLUSTER, "net", "drop.partition"),
-            drop_gray: registry.counter(CLUSTER, "net", "drop.gray"),
-            drop_unroutable: registry.counter(CLUSTER, "net", "drop.unroutable"),
-            delivery_ns: registry.histogram(CLUSTER, "net", "delivery_ns"),
-        }
-    }
-
-    fn on_drop(&self, host: HostId, reason: DropReason) {
-        self.hosts[host.index()].dropped_pkts.inc();
-        match reason {
-            DropReason::Loss => self.drop_loss.inc(),
-            DropReason::DeadHost => self.drop_dead.inc(),
-            DropReason::Partition => self.drop_partition.inc(),
-            DropReason::Gray => self.drop_gray.inc(),
-            DropReason::Unroutable => self.drop_unroutable.inc(),
-        }
-    }
-}
-
-#[derive(Debug)]
-enum EventKind {
-    Deliver {
-        to: HostId,
-        epoch: u32,
-        /// Handle into the packet arena.
-        pkt: u32,
-    },
-    Timer {
-        host: HostId,
-        epoch: u32,
-        token: u64,
-    },
-    Control(Control),
-}
-
-impl EventKind {
-    /// The `(time, key, seq)` tie-break key: control events first, then
-    /// hosts in id order. See `scheduler` module docs.
-    fn order_key(&self) -> u32 {
-        match self {
-            EventKind::Deliver { to, .. } => to.0 + 1,
-            EventKind::Timer { host, .. } => host.0 + 1,
-            EventKind::Control(_) => 0,
-        }
+/// The host a control acts on, when it acts on exactly one. Such
+/// controls are routed to the owning shard only; everything else is
+/// global state and is applied identically on every shard.
+fn control_target(c: &Control) -> Option<HostId> {
+    match c {
+        Control::Kill(h) | Control::Revive(h) | Control::SetSkew(h, _) => Some(*h),
+        _ => None,
     }
 }
 
 /// The deterministic discrete-event simulator. See the crate docs for an
 /// overview and `DESIGN.md` for how it substitutes for the paper's
 /// physical testbed.
+///
+/// With [`ShardingKind::Sequential`] (the default) this is a thin
+/// wrapper over a single [`Shard`] — the classic engine, no threads,
+/// no buffering. With [`ShardingKind::Sharded`] it runs one shard per
+/// topology partition on a [`tamp_par::Pool`] rendezvous and merges
+/// their tagged outputs, producing byte-identical traces, stats,
+/// observations and telemetry at every public API boundary.
 pub struct Engine {
-    topo: Topology,
-    config: EngineConfig,
+    shards: Vec<Shard>,
+    /// Shard index per host.
+    owner_of: Arc<Vec<u32>>,
+    /// Smallest possible cross-shard delivery latency (`None` =
+    /// unbounded: single shard, or no reachable cross pair).
+    lookahead: Option<SimTime>,
+    pool: Pool,
     clock: SimTime,
-    seq: u64,
-    queue: EventQueue<EventKind>,
-    arena: PktArena,
-    actors: Vec<Option<Box<dyn Actor>>>,
-    alive: Vec<bool>,
-    /// Bumped on every kill/revive; stale events are discarded by epoch.
-    epoch: Vec<u32>,
-    subs: BTreeMap<ChannelId, BTreeSet<HostId>>,
-    /// Multicast fan-out cache: `(channel, src segment, ttl)` → the
-    /// subscriber list a send from that segment reaches (sorted by host
-    /// id, sender included — skipped at use). Invalidated whenever the
-    /// underlying subscription sets change.
-    mcast_cache: HashMap<(u16, u16, u8), Vec<HostId>>,
-    /// Reusable per-send buffer of `(receiver, deliver_at)` pairs.
-    deliver_buf: Vec<(HostId, SimTime)>,
-    blocked: HashSet<(u16, u16)>,
-    /// Gray partitions: `(from, to)` directed segment pairs whose
-    /// traffic is severed in that direction only.
-    gray_blocked: HashSet<(u16, u16)>,
-    /// Per-host clock skew in ppm (fast > 0, slow < 0). Scales timer
-    /// delays at arm time.
-    skew_ppm: Vec<i64>,
-    /// Directed inter-segment link bandwidth caps in bytes/sec, plus
-    /// when each capped link's transmit queue drains.
-    link_bw: HashMap<(u16, u16), u64>,
-    link_free: HashMap<(u16, u16), SimTime>,
-    /// Directed per-link loss floors (max of this and the global rate).
-    link_loss: HashMap<(u16, u16), f64>,
-    /// Reusable per-send map of link-queue delay already charged to a
-    /// directed segment pair (one multicast crosses each link once).
-    link_extra_buf: HashMap<(u16, u16), SimTime>,
-    rng: StdRng,
-    stats: Stats,
+    /// Sequence counter for driver-injected controls (schedule /
+    /// control_now): gives every control a globally-agreed tie-break.
+    driver_ctr: u64,
     started: bool,
-    effects_buf: Vec<Effect>,
+    /// Master measurement state, used only in multi-shard mode (a
+    /// single shard owns its stats/tracelog directly).
+    stats: Stats,
     tracelog: TraceLog,
     registry: Registry,
-    meters: Option<NetMeters>,
-    /// Egress-NIC serialization model: when each host's transmit queue
-    /// drains. A burst of sends from one host goes on the wire
-    /// back-to-back, not simultaneously.
-    egress_free: Vec<SimTime>,
 }
 
 impl Engine {
@@ -384,41 +249,79 @@ impl Engine {
         } else {
             Registry::disabled()
         };
-        let meters = config.metrics.then(|| NetMeters::new(&registry, n));
+        let plan = match config.sharding {
+            ShardingKind::Sequential => ShardPlan::single(topo.num_segments()),
+            ShardingKind::Sharded(k) => {
+                let p = plan_shards(&topo, k.max(1));
+                // A zero-latency cross-shard link admits no safe
+                // concurrency window (epochs would have length zero).
+                if p.lookahead == Some(0) {
+                    ShardPlan::single(topo.num_segments())
+                } else {
+                    p
+                }
+            }
+        };
+        let nshards = plan.shards;
+        let shard_of_seg = Arc::new(plan.seg_shard);
+        let owner_of: Arc<Vec<u32>> = Arc::new(
+            (0..n)
+                .map(|i| shard_of_seg[topo.segment_of(HostId(i as u32)).0 as usize])
+                .collect(),
+        );
+        let topo = Arc::new(topo);
+        let jobs = config.shard_jobs.unwrap_or_else(tamp_par::default_jobs);
+        let shards: Vec<Shard> = (0..nshards)
+            .map(|id| {
+                Shard::new(
+                    id as u32,
+                    nshards,
+                    Arc::clone(&topo),
+                    Arc::clone(&shard_of_seg),
+                    Arc::clone(&owner_of),
+                    config.clone(),
+                    seed,
+                    registry.clone(),
+                )
+            })
+            .collect();
         Engine {
             stats: Stats::new(n, config.series_bucket),
             tracelog: TraceLog::new(config.capacity_for_trace()),
             registry,
-            meters,
-            queue: EventQueue::new(config.scheduler),
-            topo,
-            config,
+            shards,
+            owner_of,
+            lookahead: plan.lookahead,
+            pool: Pool::new(jobs),
             clock: 0,
-            seq: 0,
-            arena: PktArena::default(),
-            actors: (0..n).map(|_| None).collect(),
-            alive: vec![true; n],
-            epoch: vec![0; n],
-            subs: BTreeMap::new(),
-            mcast_cache: HashMap::new(),
-            deliver_buf: Vec::new(),
-            blocked: HashSet::new(),
-            gray_blocked: HashSet::new(),
-            skew_ppm: vec![0; n],
-            link_bw: HashMap::new(),
-            link_free: HashMap::new(),
-            link_loss: HashMap::new(),
-            link_extra_buf: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            driver_ctr: 0,
             started: false,
-            effects_buf: Vec::new(),
-            egress_free: vec![0; n],
         }
+    }
+
+    fn multi(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// Number of shards actually running (1 under `Sequential`, or when
+    /// the plan collapsed).
+    pub fn effective_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead the epoch protocol runs with, when
+    /// sharded (`None` = single shard or unbounded).
+    pub fn lookahead(&self) -> Option<SimTime> {
+        self.lookahead
     }
 
     /// The trace log (empty unless tracing was enabled in the config).
     pub fn trace_log(&self) -> &TraceLog {
-        &self.tracelog
+        if self.multi() {
+            &self.tracelog
+        } else {
+            self.shards[0].trace_log()
+        }
     }
 
     /// The telemetry registry (disabled — hands out no-op handles and
@@ -427,17 +330,12 @@ impl Engine {
         &self.registry
     }
 
-    fn trace(&mut self, ev: TraceEvent) {
-        if self.config.trace.wants(&ev) {
-            self.tracelog.push(self.clock, ev);
-        }
-    }
-
     /// Install the protocol endpoint for a host. Must be called before
     /// [`Engine::start`]. Hosts without actors are inert.
     pub fn add_actor(&mut self, host: HostId, actor: Box<dyn Actor>) {
         assert!(!self.started, "add_actor after start");
-        self.actors[host.index()] = Some(actor);
+        let s = self.owner_of[host.index()] as usize;
+        self.shards[s].install(host, actor);
     }
 
     /// Current virtual time.
@@ -447,27 +345,39 @@ impl Engine {
 
     /// The topology under simulation.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.shards[0].topo
     }
 
     /// All host ids.
     pub fn hosts(&self) -> Vec<HostId> {
-        self.topo.hosts().collect()
+        self.shards[0].topo.hosts().collect()
     }
 
     pub fn is_alive(&self, h: HostId) -> bool {
-        self.alive[h.index()]
+        // Only the owner's liveness vector is authoritative: kills are
+        // routed to the owning shard.
+        self.shards[self.owner_of[h.index()] as usize].alive[h.index()]
     }
 
     /// Collected measurements.
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        if self.multi() {
+            &self.stats
+        } else {
+            self.shards[0].stats()
+        }
     }
 
     /// Mutable access (e.g. to reset counters at the start of the
-    /// measurement window).
+    /// measurement window). In sharded mode the shards' pending deltas
+    /// are always fully drained at public API boundaries, so a reset
+    /// here behaves exactly as sequentially.
     pub fn stats_mut(&mut self) -> &mut Stats {
-        &mut self.stats
+        if self.multi() {
+            &mut self.stats
+        } else {
+            self.shards[0].stats_mut()
+        }
     }
 
     /// Run `on_start` for every installed actor. Idempotent.
@@ -476,43 +386,165 @@ impl Engine {
             return;
         }
         self.started = true;
-        for h in 0..self.actors.len() {
-            if self.actors[h].is_some() {
-                self.run_callback(HostId(h as u32), |actor, ctx| actor.on_start(ctx));
-            }
+        for s in &mut self.shards {
+            s.start_phase();
+        }
+        if self.multi() {
+            self.sync_exchange();
         }
     }
 
     /// Schedule a fault-injection action at absolute time `t`.
     pub fn schedule(&mut self, t: SimTime, control: Control) {
         assert!(t >= self.clock, "cannot schedule in the past");
-        self.push(t, EventKind::Control(control));
+        self.driver_ctr += 1;
+        let seq = CONTROL_SEQ_BASE | self.driver_ctr;
+        match control_target(&control) {
+            // Host-specific controls run only where the host lives;
+            // global ones run everywhere with the same (time, key, seq)
+            // so every shard applies them in the same epoch, at the same
+            // point of its local order.
+            Some(h) => {
+                let s = self.owner_of[h.index()] as usize;
+                self.shards[s].push_control(t, seq, control);
+            }
+            None => {
+                for s in &mut self.shards {
+                    s.push_control(t, seq, control);
+                }
+            }
+        }
     }
 
     /// Crash a host right now.
     pub fn kill_now(&mut self, h: HostId) {
-        self.apply_control(Control::Kill(h));
+        self.control_now(Control::Kill(h));
     }
 
     /// Revive a host right now.
     pub fn revive_now(&mut self, h: HostId) {
-        self.apply_control(Control::Revive(h));
+        self.control_now(Control::Revive(h));
     }
 
     /// Apply any fault-injection action right now (the immediate form of
     /// [`Engine::schedule`]).
     pub fn control_now(&mut self, c: Control) {
-        self.apply_control(c);
+        self.driver_ctr += 1;
+        let seq = CONTROL_SEQ_BASE | self.driver_ctr;
+        match control_target(&c) {
+            Some(h) => {
+                let s = self.owner_of[h.index()] as usize;
+                self.shards[s].apply_control_now(seq, c);
+            }
+            None => {
+                for s in &mut self.shards {
+                    s.apply_control_now(seq, c);
+                }
+            }
+        }
+        if self.multi() {
+            // A revive's on_start may have sent cross-shard packets, and
+            // the control's trace record sits in a shard buffer.
+            self.sync_exchange();
+        }
     }
 
     /// Process every event up to and including time `t`, then advance the
     /// clock to exactly `t`.
+    ///
+    /// Sharded mode runs conservative-lookahead epochs: every shard
+    /// executes up to `min(t, next_event + lookahead − 1)`, the shards
+    /// exchange cross-shard sends as tag-stamped descriptors at the
+    /// barrier, and the buffered measurements merge into the master
+    /// copies in global tag order. See [`crate::shard`].
     pub fn run_until(&mut self, t: SimTime) {
         assert!(self.started, "call start() before run_until()");
-        while let Some(ev) = self.queue.pop_before(t) {
-            self.clock = ev.time;
-            self.dispatch(ev.payload);
+        if !self.multi() {
+            self.shards[0].run_epoch(t);
+            self.clock = t;
+            return;
         }
+        let n = self.shards.len();
+        let owner_of = Arc::clone(&self.owner_of);
+        let lookahead = self.lookahead;
+        let pool = self.pool;
+        let stats = &mut self.stats;
+        let tracelog = &mut self.tracelog;
+        pool.rendezvous(&mut self.shards, Shard::handle, |rounds| {
+            let mut next: Option<SimTime> = rounds
+                .round(vec![ShardMsg::Probe; n])
+                .into_iter()
+                .filter_map(|r| match r {
+                    ShardReply::NextTime(nt) => nt,
+                    _ => unreachable!("probe reply"),
+                })
+                .min();
+            while let Some(nx) = next {
+                if nx > t {
+                    break;
+                }
+                // The epoch horizon: events at `until` may still send
+                // packets that arrive at `nx + lookahead > until`, so
+                // every cross-shard delivery lands strictly beyond the
+                // horizon (`saturating_add` guards nx = 0; lookahead is
+                // ≥ 1 because zero-lookahead plans collapse to one
+                // shard at construction).
+                let until = match lookahead {
+                    None => t,
+                    Some(l) => t.min(nx.saturating_add(l - 1)),
+                };
+                let outboxes: Vec<Vec<Descriptor>> = rounds
+                    .round(vec![ShardMsg::Run { until }; n])
+                    .into_iter()
+                    .map(|r| match r {
+                        ShardReply::RunDone { outbox } => outbox,
+                        _ => unreachable!("run reply"),
+                    })
+                    .collect();
+                let (any, inbound) = route_outboxes(n, &owner_of, outboxes);
+                let mut patch_sum: HashMap<u64, u32> = HashMap::new();
+                if any {
+                    let reqs = inbound
+                        .into_iter()
+                        .map(|batch| ShardMsg::Expand { batch })
+                        .collect();
+                    for r in rounds.round(reqs) {
+                        let ShardReply::ExpandDone { patches } = r else {
+                            unreachable!("expand reply")
+                        };
+                        for (k, v) in patches {
+                            *patch_sum.entry(k).or_default() += v;
+                        }
+                    }
+                }
+                // Multicast receiver-count patches go back to the sender
+                // shard (the send key's high half is the sender host).
+                let mut per_shard: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+                for (k, v) in patch_sum {
+                    per_shard[owner_of[(k >> 32) as usize] as usize].push((k, v));
+                }
+                let reqs = per_shard
+                    .into_iter()
+                    .map(|patches| ShardMsg::Drain { patches })
+                    .collect();
+                next = None;
+                let mut batches = Vec::with_capacity(n);
+                for r in rounds.round(reqs) {
+                    let ShardReply::Drained { batch, next: sn } = r else {
+                        unreachable!("drain reply")
+                    };
+                    next = match (next, sn) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    batches.push(batch);
+                }
+                merge_drain(stats, tracelog, batches);
+            }
+            // No events remain at or before `t`: advance every shard's
+            // clock to exactly `t` (executes nothing).
+            let _ = rounds.round(vec![ShardMsg::Run { until: t }; n]);
+        });
         self.clock = t;
     }
 
@@ -523,576 +555,105 @@ impl Engine {
 
     // ------------------------------------------------------------ internals
 
-    fn push(&mut self, time: SimTime, kind: EventKind) {
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            time,
-            key: kind.order_key(),
-            seq: self.seq,
-            payload: kind,
-        });
-    }
-
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Deliver { to, epoch, pkt } => self.deliver(to, epoch, pkt),
-            EventKind::Timer { host, epoch, token } => {
-                let idx = host.index();
-                if !self.alive[idx] || self.epoch[idx] != epoch {
-                    return;
-                }
-                self.trace(TraceEvent::Timer { host, token });
-                self.run_callback(host, |actor, ctx| actor.on_timer(ctx, token));
-            }
-            EventKind::Control(c) => self.apply_control(c),
-        }
-    }
-
-    fn apply_control(&mut self, c: Control) {
-        match c {
-            Control::Kill(h) => {
-                let idx = h.index();
-                if !self.alive[idx] {
-                    return;
-                }
-                self.alive[idx] = false;
-                self.epoch[idx] += 1;
-                self.egress_free[idx] = 0;
-                self.trace(TraceEvent::Fault("kill", h));
-                for set in self.subs.values_mut() {
-                    set.remove(&h);
-                }
-                self.mcast_cache.clear();
-                if let Some(actor) = self.actors[idx].as_mut() {
-                    actor.on_crash();
+    /// Inline (pool-less) barrier used by `start` and `control_now` in
+    /// sharded mode: exchange any pending cross-shard descriptors and
+    /// drain every shard's buffers into the master copies.
+    fn sync_exchange(&mut self) {
+        let n = self.shards.len();
+        let outboxes: Vec<Vec<Descriptor>> =
+            self.shards.iter_mut().map(|s| s.take_outbox()).collect();
+        let (any, inbound) = route_outboxes(n, &self.owner_of, outboxes);
+        let mut patch_sum: HashMap<u64, u32> = HashMap::new();
+        if any {
+            for (i, batch) in inbound.into_iter().enumerate() {
+                for (k, v) in self.shards[i].expand(batch) {
+                    *patch_sum.entry(k).or_default() += v;
                 }
             }
-            Control::Revive(h) => {
-                let idx = h.index();
-                if self.alive[idx] {
-                    return;
-                }
-                self.alive[idx] = true;
-                self.epoch[idx] += 1;
-                self.trace(TraceEvent::Fault("revive", h));
-                if self.actors[idx].is_some() {
-                    self.run_callback(h, |actor, ctx| actor.on_start(ctx));
-                }
-            }
-            Control::BlockSegments(a, b) => {
-                self.blocked.insert((a.0.min(b.0), a.0.max(b.0)));
-                self.trace(TraceEvent::Net(
-                    "partition",
-                    format!("seg{}–seg{}", a.0, b.0),
-                ));
-            }
-            Control::UnblockSegments(a, b) => {
-                self.blocked.remove(&(a.0.min(b.0), a.0.max(b.0)));
-                self.trace(TraceEvent::Net("heal", format!("seg{}–seg{}", a.0, b.0)));
-            }
-            Control::SetLoss(rate) => {
-                self.config.loss.rate = rate.clamp(0.0, 1.0);
-                self.trace(TraceEvent::Net("loss", format!("rate={rate:.3}")));
-            }
-            Control::BlockDirection(from, to) => {
-                self.gray_blocked.insert((from.0, to.0));
-                self.trace(TraceEvent::Net(
-                    "gray-partition",
-                    format!("seg{}→seg{}", from.0, to.0),
-                ));
-            }
-            Control::UnblockDirection(from, to) => {
-                self.gray_blocked.remove(&(from.0, to.0));
-                self.trace(TraceEvent::Net(
-                    "gray-heal",
-                    format!("seg{}→seg{}", from.0, to.0),
-                ));
-            }
-            Control::SetSkew(h, ppm) => {
-                // A clock cannot run backwards faster than time itself.
-                let ppm = ppm.max(-999_999);
-                self.skew_ppm[h.index()] = ppm;
-                self.trace(TraceEvent::Net("skew", format!("{h} {ppm:+}ppm")));
-            }
-            Control::RouterDown(r) => {
-                if self.topo.set_router_down(tamp_topology::RouterId(r)) {
-                    // Every cached fan-out list was computed under the old
-                    // scoping.
-                    self.mcast_cache.clear();
-                    self.trace(TraceEvent::Net("router-down", format!("r{r}")));
-                }
-            }
-            Control::RouterUp(r) => {
-                if self.topo.set_router_up(tamp_topology::RouterId(r)) {
-                    self.mcast_cache.clear();
-                    self.trace(TraceEvent::Net("router-up", format!("r{r}")));
-                }
-            }
-            Control::SetLinkBandwidth(from, to, bytes_per_sec) => {
-                let key = (from.0, to.0);
-                if bytes_per_sec == 0 {
-                    self.link_bw.remove(&key);
-                    self.link_free.remove(&key);
-                } else {
-                    self.link_bw.insert(key, bytes_per_sec);
-                }
-                self.trace(TraceEvent::Net(
-                    "bandwidth",
-                    format!("seg{}→seg{} {bytes_per_sec} B/s", from.0, to.0),
-                ));
-            }
-            Control::SetLinkLoss(from, to, rate) => {
-                let key = (from.0, to.0);
-                if rate <= 0.0 {
-                    self.link_loss.remove(&key);
-                } else {
-                    self.link_loss.insert(key, rate.clamp(0.0, 1.0));
-                }
-                self.trace(TraceEvent::Net(
-                    "link-loss",
-                    format!("seg{}→seg{} rate={rate:.3}", from.0, to.0),
-                ));
-            }
         }
+        let mut per_shard: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+        for (k, v) in patch_sum {
+            per_shard[self.owner_of[(k >> 32) as usize] as usize].push((k, v));
+        }
+        let mut batches = Vec::with_capacity(n);
+        for (i, patches) in per_shard.iter().enumerate() {
+            self.shards[i].apply_patches(patches);
+            batches.push(self.shards[i].take_drain());
+        }
+        merge_drain(&mut self.stats, &mut self.tracelog, batches);
     }
+}
 
-    /// The drop probability in force right now: the base rate, raised by
-    /// any active burst window.
-    fn effective_loss(&self) -> f64 {
-        let mut rate = self.config.loss.rate;
-        for b in &self.config.loss_bursts {
-            if b.from <= self.clock && self.clock < b.until {
-                rate = rate.max(b.rate);
-            }
-        }
-        rate
-    }
-
-    fn segments_blocked(&self, a: HostId, b: HostId) -> bool {
-        if self.blocked.is_empty() {
-            return false;
-        }
-        let (sa, sb) = (self.topo.segment_of(a).0, self.topo.segment_of(b).0);
-        self.blocked.contains(&(sa.min(sb), sa.max(sb)))
-    }
-
-    /// Directional: is traffic *from* `a` *to* `b` gray-severed?
-    fn gray_blocked_towards(&self, a: HostId, b: HostId) -> bool {
-        if self.gray_blocked.is_empty() {
-            return false;
-        }
-        let (sa, sb) = (self.topo.segment_of(a).0, self.topo.segment_of(b).0);
-        self.gray_blocked.contains(&(sa, sb))
-    }
-
-    /// Is `b` currently routable from `a` (routers permitting)?
-    fn routable(&self, a: HostId, b: HostId) -> bool {
-        let (sa, sb) = (self.topo.segment_of(a), self.topo.segment_of(b));
-        sa == sb || self.topo.segment_hops(sa, sb) != u8::MAX
-    }
-
-    fn deliver(&mut self, to: HostId, epoch: u32, pkt_id: u32) {
-        // Move the packet out of the arena for the duration of the
-        // callback (the engine must stay mutably borrowable); the last
-        // pending delivery recycles the slot.
-        let pkt = self.arena.checkout(pkt_id);
-        self.deliver_pkt(to, epoch, &pkt);
-        self.arena.restore(pkt_id, pkt);
-    }
-
-    fn deliver_pkt(&mut self, to: HostId, epoch: u32, pkt: &Pkt) {
-        let idx = to.index();
-        let channel = pkt.channel.map(|(c, _)| c.0);
-        if !self.alive[idx] || self.epoch[idx] != epoch {
-            self.stats.on_drop(to);
-            if let Some(m) = &self.meters {
-                m.on_drop(to, DropReason::DeadHost);
-            }
-            self.trace(TraceEvent::Drop {
-                src: pkt.src,
-                dst: to,
-                channel,
-                kind: pkt.msg.kind(),
-                reason: DropReason::DeadHost,
-            });
-            return;
-        }
-        // Partitions that appeared while the packet was in flight still
-        // block it: the check happens at delivery time. Gray partitions
-        // and router loss are checked the same way, each with its own
-        // drop reason so the taxonomy stays exact.
-        let blocked_reason = if self.segments_blocked(pkt.src, to) {
-            Some(DropReason::Partition)
-        } else if self.gray_blocked_towards(pkt.src, to) {
-            Some(DropReason::Gray)
-        } else if !self.routable(pkt.src, to) {
-            Some(DropReason::Unroutable)
-        } else {
-            None
-        };
-        if let Some(reason) = blocked_reason {
-            self.stats.on_drop(to);
-            if let Some(m) = &self.meters {
-                m.on_drop(to, reason);
-            }
-            self.trace(TraceEvent::Drop {
-                src: pkt.src,
-                dst: to,
-                channel,
-                kind: pkt.msg.kind(),
-                reason,
-            });
-            return;
-        }
-        let cpu = self.config.cpu_per_packet + self.config.cpu_per_byte * pkt.size as u64;
-        self.stats.on_recv(self.clock, to, pkt.size as u64, cpu);
-        if let Some(m) = &self.meters {
-            let hm = &m.hosts[idx];
-            hm.recv_pkts.inc();
-            hm.recv_bytes.add(pkt.size as u64);
-            m.delivery_ns.record(self.clock - pkt.sent_at);
-        }
-        self.trace(TraceEvent::Deliver {
-            src: pkt.src,
-            dst: to,
-            channel,
-            kind: pkt.msg.kind(),
-            bytes: pkt.size,
-        });
-        let meta = PacketMeta {
-            src: pkt.src,
-            channel: pkt.channel.map(|(c, _)| c),
-            ttl: pkt.channel.map(|(_, t)| t),
-            size: pkt.size,
-        };
-        match (self.config.wire_codec, &pkt.bytes) {
-            (Some(kind), Some(bytes)) => self.run_callback(to, |actor, ctx| {
-                actor.on_wire_packet(ctx, meta, bytes, kind)
-            }),
-            _ => self.run_callback(to, |actor, ctx| actor.on_packet(ctx, meta, &pkt.msg)),
-        }
-    }
-
-    /// A host's nominal timer delay as simulated time: a clock running
-    /// `+ppm` fast measures out `delay` nominal ns in
-    /// `delay · 10⁶ / (10⁶ + ppm)` real ns. Zero skew is the identity.
-    fn skewed_delay(&self, host: HostId, delay: SimTime) -> SimTime {
-        let ppm = self.skew_ppm[host.index()];
-        if ppm == 0 {
-            return delay;
-        }
-        let denom = (1_000_000 + ppm) as u128;
-        ((delay as u128 * 1_000_000) / denom) as SimTime
-    }
-
-    /// Invoke an actor callback and apply its effects. The actor is moved
-    /// out of the slot during the call so the engine stays borrowable.
-    fn run_callback<F>(&mut self, host: HostId, f: F)
-    where
-        F: FnOnce(&mut dyn Actor, &mut Context),
-    {
-        let idx = host.index();
-        let Some(mut actor) = self.actors[idx].take() else {
-            return;
-        };
-        let mut effects = std::mem::take(&mut self.effects_buf);
-        {
-            let mut ctx = Context::new(self.clock, host, &mut self.rng, &mut effects);
-            f(actor.as_mut(), &mut ctx);
-        }
-        self.actors[idx] = Some(actor);
-        for e in effects.drain(..) {
-            self.apply_effect(host, e);
-        }
-        self.effects_buf = effects;
-    }
-
-    fn apply_effect(&mut self, host: HostId, e: Effect) {
-        match e {
-            Effect::Send { dest, msg } => self.send(host, dest, msg),
-            Effect::SetTimer { delay, token } => {
-                let epoch = self.epoch[host.index()];
-                let delay = self.skewed_delay(host, delay);
-                self.push(self.clock + delay, EventKind::Timer { host, epoch, token });
-            }
-            Effect::Subscribe(c) => {
-                self.subs.entry(c).or_default().insert(host);
-                self.mcast_cache.retain(|k, _| k.0 != c.0);
-            }
-            Effect::Unsubscribe(c) => {
-                if let Some(set) = self.subs.get_mut(&c) {
-                    set.remove(&host);
-                }
-                self.mcast_cache.retain(|k, _| k.0 != c.0);
-            }
-            Effect::Observe(kind) => {
-                self.stats.observe(Observation {
-                    time: self.clock,
-                    observer: host,
-                    kind,
-                });
-            }
-            Effect::Count { subsystem, name, n } => {
-                self.registry
-                    .apply(host.0, Sample::Count { subsystem, name, n });
-            }
-            Effect::Record {
-                subsystem,
-                name,
-                value,
-            } => {
-                self.registry.apply(
-                    host.0,
-                    Sample::Record {
-                        subsystem,
-                        name,
-                        value,
-                    },
-                );
-            }
-            Effect::Emit(event) => {
-                self.registry.counter(host.0, "events", event.name()).inc();
-                self.trace(TraceEvent::Protocol { node: host, event });
-            }
-        }
-    }
-
-    /// The subscriber list a multicast from `src` reaches, from the
-    /// fan-out cache (built on miss). The list is keyed and filtered by
-    /// the *segment* of `src` — TTL distance is segment-based — so one
-    /// list serves every sender on the segment. It may contain `src`
-    /// itself; callers skip it (no multicast loopback). Taken out of the
-    /// cache by value to keep the engine borrowable; return via
-    /// [`Engine::stash_receivers`].
-    fn take_receivers(&mut self, channel: ChannelId, src: HostId, ttl: u8) -> Vec<HostId> {
-        let src_seg = self.topo.segment_of(src);
-        let key = (channel.0, src_seg.0, ttl);
-        if let Some(list) = self.mcast_cache.get_mut(&key) {
-            return std::mem::take(list);
-        }
-        match self.subs.get(&channel) {
-            None => Vec::new(),
-            Some(set) => set
-                .iter()
-                .copied()
-                .filter(|&h| {
-                    let hs = self.topo.segment_of(h);
-                    let dist = if hs == src_seg {
-                        1
-                    } else {
-                        self.topo.segment_hops(src_seg, hs).saturating_add(1)
-                    };
-                    dist <= ttl
-                })
-                .collect(),
-        }
-    }
-
-    fn stash_receivers(&mut self, channel: ChannelId, src_seg: u16, ttl: u8, list: Vec<HostId>) {
-        self.mcast_cache.insert((channel.0, src_seg, ttl), list);
-    }
-
-    fn send(&mut self, src: HostId, dest: Destination, msg: Message) {
-        // Wire-codec mode encodes exactly once per send — the frame is
-        // shared by every receiver of a multicast — and the frame length
-        // doubles as the size accounting. The default mode only counts.
-        let bytes = self
-            .config
-            .wire_codec
-            .map(|_| tamp_wire::codec::encode(&msg));
-        let payload_len = match &bytes {
-            Some(b) => b.len(),
-            None => tamp_wire::codec::encoded_len(&msg),
-        };
-        let size = payload_len as u32 + self.config.header_overhead;
-        let kind = msg.kind();
-        let channel = match dest {
-            Destination::Unicast(_) => None,
-            Destination::Multicast { channel, ttl } => Some((channel, ttl)),
-        };
-        // One NIC transmission regardless of receiver count (multicast is
-        // switch-replicated, exactly why the paper prefers it).
-        self.stats.on_send(self.clock, src, size as u64, kind);
-        if let Some(m) = &mut self.meters {
-            let hm = &m.hosts[src.index()];
-            hm.sent_pkts.inc();
-            hm.sent_bytes.add(size as u64);
-            let (kp, kb) = m.by_kind.entry(kind).or_insert_with(|| {
-                (
-                    self.registry
-                        .counter(CLUSTER, "net", format!("sent_pkts.{kind}")),
-                    self.registry
-                        .counter(CLUSTER, "net", format!("sent_bytes.{kind}")),
-                )
-            });
-            kp.inc();
-            kb.add(size as u64);
-            if let Some((ch, _)) = channel {
-                let (cp, cb) = m.by_channel.entry(ch.0).or_insert_with(|| {
-                    (
-                        self.registry
-                            .counter(CLUSTER, "net", format!("mcast_pkts.ch{}", ch.0)),
-                        self.registry
-                            .counter(CLUSTER, "net", format!("mcast_bytes.ch{}", ch.0)),
-                    )
-                });
-                cp.inc();
-                cb.add(size as u64);
-            }
-        }
-
-        let receivers: Option<Vec<HostId>> = match dest {
-            Destination::Unicast(_) => None,
-            Destination::Multicast { channel, ttl } => Some(self.take_receivers(channel, src, ttl)),
-        };
-        let receiver_count = match (&receivers, dest) {
-            (None, _) => 1,
-            (Some(list), _) => list.len() - list.binary_search(&src).is_ok() as usize,
-        };
-        // Serialize onto the wire after any transmissions already
-        // queued at this host's NIC.
-        let tx_start = self.egress_free[src.index()].max(self.clock);
-        let on_wire = tx_start + self.config.wire_time_per_byte * size as u64;
-        self.egress_free[src.index()] = on_wire;
-        let serialize = on_wire - self.clock;
-        self.trace(TraceEvent::Send {
-            src,
-            multicast: channel.map(|(c, t)| (c.0, t)),
-            kind,
-            bytes: size,
-            receivers: receiver_count as u32,
-        });
-        // Roll loss and jitter per receiver (in ascending host order —
-        // the RNG consumption order is part of the determinism contract)
-        // into a reusable buffer of scheduled deliveries.
-        let loss = self.effective_loss();
-        self.link_extra_buf.clear();
-        let mut pending = std::mem::take(&mut self.deliver_buf);
-        pending.clear();
-        {
-            let schedule_one = |eng: &mut Engine, to: HostId, buf: &mut Vec<(HostId, SimTime)>| {
-                // A receiver with no router path (dynamic topology) never
-                // gets a delivery scheduled; no RNG is consumed for it.
-                if !eng.routable(src, to) {
-                    eng.stats.on_drop(to);
-                    if let Some(m) = &eng.meters {
-                        m.on_drop(to, DropReason::Unroutable);
-                    }
-                    eng.trace(TraceEvent::Drop {
-                        src,
-                        dst: to,
-                        channel: channel.map(|(c, _)| c.0),
-                        kind,
-                        reason: DropReason::Unroutable,
-                    });
-                    return;
-                }
-                let mut p = loss;
-                if !eng.link_loss.is_empty() {
-                    let (sa, sb) = (eng.topo.segment_of(src).0, eng.topo.segment_of(to).0);
-                    if sa != sb {
-                        if let Some(&link) = eng.link_loss.get(&(sa, sb)) {
-                            p = p.max(link);
+/// Route each shard's outbound descriptors to their receiving shards:
+/// unicast to the target's owner, multicast to every shard but the
+/// sender (the expander computes its local fan-out, which may be
+/// empty). Each inbound batch is sorted by tag — the order the journal
+/// replay walks it in.
+fn route_outboxes(
+    n: usize,
+    owner_of: &[u32],
+    outboxes: Vec<Vec<Descriptor>>,
+) -> (bool, Vec<Vec<Descriptor>>) {
+    let mut inbound: Vec<Vec<Descriptor>> = (0..n).map(|_| Vec::new()).collect();
+    let mut any = false;
+    for (src_shard, obx) in outboxes.into_iter().enumerate() {
+        for d in obx {
+            any = true;
+            match d.channel {
+                None => inbound[owner_of[d.to.index()] as usize].push(d),
+                Some(_) => {
+                    for (tgt, batch) in inbound.iter_mut().enumerate() {
+                        if tgt != src_shard {
+                            batch.push(d.clone());
                         }
                     }
                 }
-                if p > 0.0 && eng.rng.gen::<f64>() < p {
-                    eng.stats.on_drop(to);
-                    if let Some(m) = &eng.meters {
-                        m.on_drop(to, DropReason::Loss);
-                    }
-                    eng.trace(TraceEvent::Drop {
-                        src,
-                        dst: to,
-                        channel: channel.map(|(c, _)| c.0),
-                        kind,
-                        reason: DropReason::Loss,
-                    });
-                    return;
-                }
-                let jitter = if eng.config.latency_jitter > 0 {
-                    eng.rng.gen_range(0..eng.config.latency_jitter)
-                } else {
-                    0
-                };
-                let mut at = eng.clock + serialize + eng.topo.latency(src, to) + jitter;
-                if !eng.link_bw.is_empty() {
-                    let (sa, sb) = (eng.topo.segment_of(src).0, eng.topo.segment_of(to).0);
-                    if sa != sb {
-                        if let Some(&bw) = eng.link_bw.get(&(sa, sb)).filter(|&&bw| bw > 0) {
-                            // One multicast occupies the link once; every
-                            // receiver behind it shares the queue delay.
-                            let extra = match eng.link_extra_buf.get(&(sa, sb)) {
-                                Some(&e) => e,
-                                None => {
-                                    let depart = eng.clock + serialize;
-                                    let start =
-                                        depart.max(*eng.link_free.get(&(sa, sb)).unwrap_or(&0));
-                                    let tx = (size as u128 * 1_000_000_000 / bw as u128) as SimTime;
-                                    eng.link_free.insert((sa, sb), start + tx);
-                                    let e = start + tx - depart;
-                                    eng.link_extra_buf.insert((sa, sb), e);
-                                    e
-                                }
-                            };
-                            at += extra;
-                        }
-                    }
-                }
-                buf.push((to, at));
-            };
-            match (&receivers, dest) {
-                (None, Destination::Unicast(to)) => schedule_one(self, to, &mut pending),
-                (Some(list), _) => {
-                    for &to in list {
-                        // No multicast loopback: senders do not receive
-                        // their own packets.
-                        if to != src {
-                            schedule_one(self, to, &mut pending);
-                        }
-                    }
-                }
-                (None, Destination::Multicast { .. }) => unreachable!(),
             }
         }
-        if let (Some(list), Destination::Multicast { channel, ttl }) = (receivers, dest) {
-            self.stash_receivers(channel, self.topo.segment_of(src).0, ttl, list);
+    }
+    if any {
+        for b in &mut inbound {
+            b.sort_unstable_by_key(|d| d.tag());
         }
-        if !pending.is_empty() {
-            let pkt_id = self.arena.insert(
-                Pkt {
-                    src,
-                    msg,
-                    bytes,
-                    size,
-                    channel,
-                    sent_at: self.clock,
-                },
-                pending.len() as u32,
-            );
-            for &(to, at) in pending.iter() {
-                let epoch = self.epoch[to.index()];
-                self.push(
-                    at,
-                    EventKind::Deliver {
-                        to,
-                        epoch,
-                        pkt: pkt_id,
-                    },
-                );
-            }
+    }
+    (any, inbound)
+}
+
+/// Merge one barrier's worth of shard drains into the master stats and
+/// trace log. Trace records and observations are tagged with their
+/// global total order; a single sort over the concatenation reproduces
+/// the sequential emission order exactly (tags are unique within a
+/// barrier, so the unstable sort is deterministic).
+fn merge_drain(stats: &mut Stats, tracelog: &mut TraceLog, batches: Vec<DrainBatch>) {
+    let mut trace: Vec<(Tag, TraceEvent)> = Vec::new();
+    let mut obs = Vec::new();
+    for b in batches {
+        trace.extend(b.trace);
+        obs.extend(b.obs);
+        for (h, d) in b.hosts {
+            stats.merge_host(h as usize, &d);
         }
-        pending.clear();
-        self.deliver_buf = pending;
+        stats.merge_series(b.series_from, &b.series);
+        stats.merge_kinds(b.kinds);
+    }
+    trace.sort_unstable_by_key(|a| a.0);
+    for (tag, ev) in trace {
+        tracelog.push(tag.time, ev);
+    }
+    obs.sort_unstable_by_key(|a| a.0);
+    for (_, ob) in obs {
+        stats.observe(ob);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor::Context;
+    use crate::packet::{ChannelId, PacketMeta};
     use crate::SECS;
     use tamp_topology::generators;
-    use tamp_wire::SyncRequest;
+    use tamp_wire::{Message, SyncRequest};
 
     /// Test actor: every second, multicasts a tiny message with a
     /// configured TTL; counts everything it receives.
@@ -1746,6 +1307,8 @@ mod tests {
 #[cfg(test)]
 mod egress_tests {
     use super::*;
+    use crate::actor::Context;
+    use crate::packet::PacketMeta;
     use crate::SECS;
     use tamp_topology::generators;
     use tamp_wire::{Message, NodeId, ServiceRequest};

@@ -23,9 +23,13 @@
 //! timer, subscribe) through [`Context`]. The same actor code can be
 //! driven by `tamp-runtime` over real UDP sockets.
 //!
-//! Everything is deterministic: one seeded RNG, a totally-ordered event
-//! queue (time, then insertion sequence), and ordered multicast fan-out.
-//! Running the same scenario twice produces identical traces.
+//! Everything is deterministic: per-host seeded RNGs plus stateless
+//! hash-derived loss/jitter noise, a totally-ordered event queue
+//! (time, then a globally-unique key/sequence), and ordered multicast
+//! fan-out. Running the same scenario twice produces identical traces —
+//! and so does running it sharded across threads
+//! ([`EngineConfig::sharding`]): the parallel engine is byte-identical
+//! to the sequential one by construction.
 //!
 //! ```
 //! use tamp_netsim::{Engine, EngineConfig, Actor, Context, PacketMeta, SECS};
@@ -53,11 +57,12 @@ mod actor;
 mod engine;
 mod packet;
 pub mod scheduler;
+mod shard;
 mod stats;
 pub mod trace;
 
 pub use actor::{collect_effects, Actor, Context, Effect};
-pub use engine::{Control, Engine, EngineConfig, LossBurst, LossModel};
+pub use engine::{Control, Engine, EngineConfig, LossBurst, LossModel, ShardingKind};
 pub use packet::{ChannelId, Destination, PacketMeta};
 pub use scheduler::SchedulerKind;
 pub use stats::{HostStats, Observation, ObservationKind, SeriesPoint, Stats};

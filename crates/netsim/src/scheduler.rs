@@ -23,8 +23,15 @@
 //!   uses `0` for control events and `host_id + 1` for deliveries and
 //!   timers), so that equal-timestamp events at *different hosts* fire
 //!   in host order rather than in whatever order they were inserted;
-//! * `seq` — the global insertion sequence number, breaking the
-//!   remaining ties (same instant, same host) in causal insertion order.
+//! * `seq` — a creator-derived sequence number breaking the remaining
+//!   ties (same instant, same host) in causal creation order. The
+//!   engine derives it from `(creating host, per-host action counter)`
+//!   so the value is independent of global execution interleaving —
+//!   that independence is what lets the sharded engine reproduce the
+//!   sequential event order exactly. `seq` doubles as the cancellation
+//!   handle, so it must be unique among events that are ever cancelled;
+//!   the engine never cancels (epochs make stale events inert), and the
+//!   property suites assign their own unique seqs.
 //!
 //! Both schedulers implement exactly this order; the proptest suite in
 //! `tests/timer_wheel_props.rs` pins the wheel against a sorted-vec
@@ -122,6 +129,20 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// The due time of the globally-next event, without removing it.
+    /// Takes `&mut self` because the wheel may have to cascade frames
+    /// (and both schedulers purge cancelled debris) to find the head —
+    /// the same state changes a `pop_before` probe would make. The
+    /// sharded engine uses this to fast-forward epochs across event
+    /// gaps instead of stepping one lookahead window at a time.
+    #[inline]
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Wheel(w) => w.next_time(),
+            EventQueue::Heap(h) => h.next_time(),
+        }
+    }
+
     pub fn len(&self) -> usize {
         match self {
             EventQueue::Wheel(w) => w.len(),
@@ -178,6 +199,19 @@ impl<T> ReferenceHeap<T> {
                 continue;
             }
             return Some(ev);
+        }
+        None
+    }
+
+    /// Due time of the next live event, without removing it. Cancelled
+    /// entries at the head are discarded on the way.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if self.cancelled.is_empty() || !self.cancelled.contains(&head.seq) {
+                return Some(head.time);
+            }
+            let Reverse(ev) = self.heap.pop().unwrap();
+            self.cancelled.remove(&ev.seq);
         }
         None
     }
@@ -361,6 +395,28 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// Due time of the next live event, without removing it. Cascades
+    /// frames exactly as a `pop_before` probe would until the head
+    /// reaches the `ready` staging deque; cancelled debris found at the
+    /// front is discarded on the way.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        loop {
+            if let Some(front) = self.ready.front() {
+                if !self.cancelled.is_empty() && self.cancelled.contains(&front.seq) {
+                    let ev = self.ready.pop_front().unwrap();
+                    self.len -= 1;
+                    self.cancelled.remove(&ev.seq);
+                    continue;
+                }
+                return Some(front.time);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
     /// Drain the next occupied tick into `ready`, cascading higher
     /// levels / overflow down as frames open. Only called when `ready`
     /// is empty and at least one event is pending.
@@ -531,6 +587,29 @@ mod tests {
             std::iter::from_fn(|| h.pop_before(u64::MAX).map(|e| e.seq)).collect();
         assert_eq!(got_w, vec![1, 3]);
         assert_eq!(got_h, vec![1, 3]);
+    }
+
+    #[test]
+    fn next_time_peeks_without_consuming() {
+        for kind in [SchedulerKind::TimerWheel, SchedulerKind::ReferenceHeap] {
+            let mut q = EventQueue::new(kind);
+            assert_eq!(q.next_time(), None, "{kind:?}: empty queue");
+            // Spread across wheel levels and the overflow heap so the
+            // peek has to cascade.
+            for (i, t) in [70_000u64, 16_900_000, 5_000_000_000, 2 * 3600 * crate::SECS]
+                .into_iter()
+                .enumerate()
+            {
+                q.push(ev(t, 0, i as u64));
+            }
+            assert_eq!(q.next_time(), Some(70_000), "{kind:?}");
+            assert_eq!(q.next_time(), Some(70_000), "{kind:?}: peek must not pop");
+            assert_eq!(q.len(), 4, "{kind:?}");
+            assert_eq!(q.pop_before(u64::MAX).unwrap().time, 70_000, "{kind:?}");
+            assert_eq!(q.next_time(), Some(16_900_000), "{kind:?}");
+            while q.pop_before(u64::MAX).is_some() {}
+            assert_eq!(q.next_time(), None, "{kind:?}: drained");
+        }
     }
 
     #[test]

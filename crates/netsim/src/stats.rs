@@ -245,6 +245,86 @@ impl Stats {
         self.sent_by_kind.iter().map(|(&k, &v)| (k, v))
     }
 
+    // --- sharded-engine delta plumbing -------------------------------
+    //
+    // Each shard of the sharded engine keeps a private `Stats` and
+    // drains it as *deltas* into the facade's master copy at every
+    // epoch barrier, so the master is byte-identical to a sequential
+    // run at any public API boundary (including after `reset_traffic`).
+
+    /// Take one host's counters as a delta, zeroing them in place.
+    pub(crate) fn take_host(&mut self, idx: usize) -> HostStats {
+        std::mem::take(&mut self.per_host[idx])
+    }
+
+    /// Add a host delta from a shard drain.
+    pub(crate) fn merge_host(&mut self, idx: usize, d: &HostStats) {
+        let s = &mut self.per_host[idx];
+        s.sent_pkts += d.sent_pkts;
+        s.sent_bytes += d.sent_bytes;
+        s.recv_pkts += d.recv_pkts;
+        s.recv_bytes += d.recv_bytes;
+        s.dropped_pkts += d.dropped_pkts;
+        s.cpu_ns += d.cpu_ns;
+    }
+
+    /// Clone the series tail starting at bucket `from` and zero it in
+    /// place — length is kept so later buckets land at their absolute
+    /// index. The boundary bucket may be drained twice (pre- and
+    /// post-barrier increments); the merge adds both halves.
+    pub(crate) fn drain_series(&mut self, from: usize) -> Vec<SeriesPoint> {
+        if from >= self.series.len() {
+            return Vec::new();
+        }
+        let mut out = self.series[from..].to_vec();
+        for p in &mut self.series[from..] {
+            *p = SeriesPoint::default();
+        }
+        // Trim trailing all-zero points: the sequential series always
+        // ends at the last bucket an increment touched, and shipping
+        // zero tails (possible after `reset_traffic`) would leave the
+        // master copy longer than that.
+        while out.last().is_some_and(|p| {
+            p.recv_pkts == 0 && p.recv_bytes == 0 && p.sent_pkts == 0 && p.sent_bytes == 0
+        }) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Add series deltas starting at bucket `from`.
+    pub(crate) fn merge_series(&mut self, from: usize, pts: &[SeriesPoint]) {
+        if pts.is_empty() {
+            return;
+        }
+        if self.series.len() < from + pts.len() {
+            self.series.resize(from + pts.len(), SeriesPoint::default());
+        }
+        for (i, p) in pts.iter().enumerate() {
+            let b = &mut self.series[from + i];
+            b.recv_pkts += p.recv_pkts;
+            b.recv_bytes += p.recv_bytes;
+            b.sent_pkts += p.sent_pkts;
+            b.sent_bytes += p.sent_bytes;
+        }
+    }
+
+    /// Take the per-kind send counters as a delta, clearing them.
+    pub(crate) fn take_kinds(&mut self) -> Vec<(&'static str, (u64, u64))> {
+        let v = self.sent_by_kind.iter().map(|(&k, &v)| (k, v)).collect();
+        self.sent_by_kind.clear();
+        v
+    }
+
+    /// Add per-kind send deltas.
+    pub(crate) fn merge_kinds(&mut self, kinds: Vec<(&'static str, (u64, u64))>) {
+        for (k, (p, b)) in kinds {
+            let e = self.sent_by_kind.entry(k).or_insert((0, 0));
+            e.0 += p;
+            e.1 += b;
+        }
+    }
+
     /// Reset traffic counters and series (observations kept). Used by the
     /// harness to measure only the steady-state window of a run.
     pub fn reset_traffic(&mut self) {

@@ -195,6 +195,142 @@ impl Pool {
         });
         out
     }
+
+    /// Pin one long-lived worker to each contiguous chunk of `items` and
+    /// let `drive` run any number of synchronous request/reply *rounds*
+    /// against them. Built for barrier-style engines (the sharded netsim
+    /// epoch loop) where per-round thread spawning would dominate: the
+    /// workers persist across every [`Rounds::round`] call that `drive`
+    /// makes, each owning its `&mut` chunk for the whole session.
+    ///
+    /// Per round, request `i` is handed to the worker owning `items[i]`
+    /// as `work(i, &mut items[i], req)`, and the replies come back as a
+    /// `Vec` **in index order** — never in completion order — so
+    /// anything `drive` derives from them is byte-identical at any
+    /// worker count. With `jobs == 1` (or fewer than two items) no
+    /// threads are spawned at all: rounds run as a plain inline loop,
+    /// the exact sequential code path.
+    ///
+    /// A panic inside `work` is re-raised out of the `round` call once
+    /// all replies are in, lowest index first (like
+    /// [`Pool::ordered_scan`]), with the item index prepended.
+    pub fn rendezvous<T, Q, R, Out, W, F>(&self, items: &mut [T], work: W, drive: F) -> Out
+    where
+        T: Send,
+        Q: Send,
+        R: Send,
+        W: Fn(usize, &mut T, Q) -> R + Sync,
+        F: FnOnce(&mut Rounds<'_, Q, R>) -> Out,
+    {
+        let n = items.len();
+        if self.jobs == 1 || n <= 1 {
+            // Sequential fast path: no threads, no unwind-catching.
+            let work = &work;
+            let mut inline = move |reqs: Vec<Q>| -> Vec<R> {
+                assert_eq!(reqs.len(), n, "rendezvous round size mismatch");
+                reqs.into_iter()
+                    .enumerate()
+                    .map(|(i, q)| work(i, &mut items[i], q))
+                    .collect()
+            };
+            let mut rounds = Rounds {
+                inner: RoundsInner::Inline(&mut inline),
+            };
+            return drive(&mut rounds);
+        }
+
+        type Caught<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+        let workers = self.jobs.min(n);
+        let chunk = n.div_ceil(workers);
+        let (reply_tx, reply_rx) = mpsc::channel::<(usize, Caught<R>)>();
+        std::thread::scope(|s| {
+            let mut req_txs = Vec::with_capacity(workers);
+            for (w, chunk_items) in items.chunks_mut(chunk).enumerate() {
+                let base = w * chunk;
+                let (tx, rx) = mpsc::channel::<Vec<(usize, Q)>>();
+                req_txs.push(tx);
+                let reply_tx = reply_tx.clone();
+                let work = &work;
+                s.spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        for (local, q) in batch {
+                            // Catch instead of unwinding the worker so
+                            // the round still completes (every reply
+                            // arrives) and the *lowest* panicking index
+                            // is the one re-raised, as sequentially.
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                work(base + local, &mut chunk_items[local], q)
+                            }));
+                            if reply_tx.send((base + local, r)).is_err() {
+                                return; // driver gone (unwinding)
+                            }
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+            let mut rounds = Rounds {
+                inner: RoundsInner::Threaded {
+                    dispatch: Box::new(move |reqs: Vec<Q>| {
+                        assert_eq!(reqs.len(), n, "rendezvous round size mismatch");
+                        let mut batches: Vec<Vec<(usize, Q)>> =
+                            (0..req_txs.len()).map(|_| Vec::new()).collect();
+                        for (i, q) in reqs.into_iter().enumerate() {
+                            batches[i / chunk].push((i % chunk, q));
+                        }
+                        for (w, batch) in batches.into_iter().enumerate() {
+                            req_txs[w]
+                                .send(batch)
+                                .expect("rendezvous worker exited early");
+                        }
+                        let mut out: Vec<Option<Caught<R>>> = (0..n).map(|_| None).collect();
+                        for _ in 0..n {
+                            let (i, r) = reply_rx.recv().expect("rendezvous worker lost");
+                            out[i] = Some(r);
+                        }
+                        let mut results = Vec::with_capacity(n);
+                        for (i, slot) in out.into_iter().enumerate() {
+                            match slot.expect("duplicate rendezvous reply") {
+                                Ok(v) => results.push(v),
+                                Err(payload) => rethrow(i, payload),
+                            }
+                        }
+                        results
+                    }),
+                },
+            };
+            drive(&mut rounds)
+            // `rounds` drops here, closing the request channels; the
+            // scope then joins every worker (they exit on recv error).
+        })
+    }
+}
+
+/// Round handle passed to the `drive` closure of [`Pool::rendezvous`].
+pub struct Rounds<'a, Q, R> {
+    inner: RoundsInner<'a, Q, R>,
+}
+
+enum RoundsInner<'a, Q, R> {
+    /// `jobs == 1`: the inline loop over the items, no threads.
+    Inline(&'a mut dyn FnMut(Vec<Q>) -> Vec<R>),
+    /// Dispatch a round to the persistent workers and re-sequence the
+    /// replies.
+    Threaded {
+        dispatch: Box<dyn FnMut(Vec<Q>) -> Vec<R> + 'a>,
+    },
+}
+
+impl<Q, R> Rounds<'_, Q, R> {
+    /// Run one barrier round: request `i` goes to `items[i]`'s worker,
+    /// and the replies return in index order. `reqs.len()` must equal
+    /// the item count.
+    pub fn round(&mut self, reqs: Vec<Q>) -> Vec<R> {
+        match &mut self.inner {
+            RoundsInner::Inline(f) => f(reqs),
+            RoundsInner::Threaded { dispatch } => dispatch(reqs),
+        }
+    }
 }
 
 impl Default for Pool {
@@ -349,6 +485,93 @@ mod tests {
     #[test]
     fn zero_jobs_clamps_to_one() {
         assert_eq!(Pool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn rendezvous_rounds_match_sequential_at_any_width() {
+        // Each item is an accumulator; each round adds the request and
+        // replies with the running total. Whatever the worker count,
+        // every round's reply vector must equal the jobs=1 run.
+        let run = |jobs: usize| -> Vec<Vec<u64>> {
+            let mut items: Vec<u64> = (0..13).map(|i| i as u64).collect();
+            Pool::new(jobs).rendezvous(
+                &mut items,
+                |_i, acc: &mut u64, q: u64| {
+                    *acc += q;
+                    *acc
+                },
+                |rounds| {
+                    (0..5)
+                        .map(|r| rounds.round((0..13).map(|i| (r * i) as u64).collect()))
+                        .collect()
+                },
+            )
+        };
+        let expected = run(1);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(run(jobs), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn rendezvous_workers_persist_state_across_rounds() {
+        let mut items = vec![0u64; 4];
+        let totals = Pool::new(4).rendezvous(
+            &mut items,
+            |i, acc: &mut u64, q: u64| {
+                *acc += q + i as u64;
+                *acc
+            },
+            |rounds| {
+                rounds.round(vec![10; 4]);
+                rounds.round(vec![100; 4])
+            },
+        );
+        // Two rounds accumulated into the same per-item state.
+        assert_eq!(totals, vec![110, 112, 114, 116]);
+        assert_eq!(items, vec![110, 112, 114, 116]);
+    }
+
+    #[test]
+    fn rendezvous_panic_carries_lowest_index() {
+        for jobs in [2, 8] {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut items = vec![(); 20];
+                Pool::new(jobs).rendezvous(
+                    &mut items,
+                    |i, _item: &mut (), _q: ()| {
+                        if i == 5 || i == 17 {
+                            panic!("round boom {i}");
+                        }
+                    },
+                    |rounds| {
+                        rounds.round(vec![(); 20]);
+                    },
+                );
+            }))
+            .expect_err("rendezvous must re-raise the worker panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("string panic payload");
+            assert!(
+                msg.contains("parallel job 5") && msg.contains("round boom 5"),
+                "jobs={jobs}: unexpected panic message: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "round size mismatch")]
+    fn rendezvous_rejects_wrong_round_size() {
+        let mut items = vec![0u8; 3];
+        Pool::new(2).rendezvous(
+            &mut items,
+            |_i, _item: &mut u8, _q: u8| (),
+            |rounds| {
+                rounds.round(vec![1, 2]); // 2 requests for 3 items
+            },
+        );
     }
 
     #[test]

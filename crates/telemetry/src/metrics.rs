@@ -503,6 +503,61 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
 
+    /// [`MetricsSnapshot::merge`] must be order-insensitive: folding
+    /// per-run snapshots in every permutation yields the identical
+    /// aggregate. Parallel sweeps and the sharded engine's master-side
+    /// merge both lean on this; a key must keep one metric kind across
+    /// snapshots (the registry enforces that), since kind clashes
+    /// resolve first-wins and would break commutativity.
+    #[test]
+    fn snapshot_merge_is_order_insensitive() {
+        let parts: Vec<MetricsSnapshot> = (0..4u32)
+            .map(|i| {
+                let reg = Registry::new();
+                // Disjoint per-node keys plus keys shared by every part,
+                // across all three kinds.
+                reg.counter(i, "net", "sent").add(10 + u64::from(i));
+                reg.counter(9, "net", "sent").add(u64::from(i) + 1);
+                reg.gauge(i, "net", "queue").set(u64::from(i));
+                let h = reg.histogram(9, "load", "latency");
+                for v in 0..(5 + u64::from(i)) {
+                    h.record(v * 1_000 + u64::from(i));
+                }
+                reg.snapshot()
+            })
+            .collect();
+
+        let fold = |order: &[usize]| {
+            let mut acc = MetricsSnapshot::default();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let reference = fold(&[0, 1, 2, 3]);
+        assert_eq!(reference.counter_total("net", "sent"), 56);
+        assert!(reference.histogram(9, "load", "latency").is_some());
+
+        let mut perms = 0;
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let p = [a, b, c, d];
+                        let mut sorted = p;
+                        sorted.sort_unstable();
+                        if sorted != [0, 1, 2, 3] {
+                            continue;
+                        }
+                        perms += 1;
+                        assert_eq!(fold(&p), reference, "merge order {p:?} diverged");
+                    }
+                }
+            }
+        }
+        assert_eq!(perms, 24);
+    }
+
     #[test]
     fn counters_and_gauges_record() {
         let reg = Registry::new();

@@ -57,6 +57,20 @@ pub fn chain_of_segments(segments: usize, hosts_per_segment: usize) -> Topology 
 /// * `depth = 2, fanout = 2` gives 4 leaf segments where sibling leaves
 ///   are 2 TTL apart and cousins 4 TTL apart.
 pub fn tree_of_segments(depth: usize, fanout: usize, hosts_per_leaf: usize) -> Topology {
+    tree_of_segments_with_latency(depth, fanout, hosts_per_leaf, None)
+}
+
+/// [`tree_of_segments`] with an explicit per-link fabric latency
+/// (`None` = the builder default). Deep trees with heavier links give
+/// cross-subtree paths a large latency floor, which is what the sharded
+/// engine's conservative lookahead feeds on — the A9 frontier sweep
+/// uses this to model multi-building campus fabrics.
+pub fn tree_of_segments_with_latency(
+    depth: usize,
+    fanout: usize,
+    hosts_per_leaf: usize,
+    link_latency: Option<crate::Nanos>,
+) -> Topology {
     assert!(depth >= 1 && fanout >= 1);
     let mut b = TopologyBuilder::new();
     let root = b.add_router();
@@ -67,7 +81,7 @@ pub fn tree_of_segments(depth: usize, fanout: usize, hosts_per_leaf: usize) -> T
         for &parent in &frontier {
             for _ in 0..fanout {
                 let r = b.add_router();
-                b.link_routers(parent, r, None);
+                b.link_routers(parent, r, link_latency);
                 next.push(r);
             }
         }
@@ -76,7 +90,7 @@ pub fn tree_of_segments(depth: usize, fanout: usize, hosts_per_leaf: usize) -> T
     for &leaf_router in &frontier {
         for _ in 0..fanout {
             let s = b.add_segment();
-            b.link_segment_router(s, leaf_router, None);
+            b.link_segment_router(s, leaf_router, link_latency);
             b.add_hosts(s, hosts_per_leaf);
         }
     }

@@ -38,12 +38,13 @@ mod generators_impl;
 mod graph;
 mod ids;
 mod parse;
+pub mod sharding;
 
 pub mod generators {
     //! Ready-made topology shapes used by the experiments.
     pub use crate::generators_impl::{
         chain_of_segments, fat_tree, multi_datacenter, non_transitive_triangle, ring_of_segments,
-        single_segment, star_of_segments, tree_of_segments,
+        single_segment, star_of_segments, tree_of_segments, tree_of_segments_with_latency,
     };
 }
 
@@ -143,6 +144,21 @@ impl Topology {
     /// Router hops between two segments (`u8::MAX` if unreachable).
     pub fn segment_hops(&self, a: SegmentId, b: SegmentId) -> u8 {
         self.seg_hops[a.0 as usize][b.0 as usize]
+    }
+
+    /// A host's NIC-to-switch one-way link latency.
+    pub fn host_link(&self, h: HostId) -> Nanos {
+        self.host_link_latency[h.0 as usize]
+    }
+
+    /// One-way switch-fabric latency between two segments along the best
+    /// currently-routable path, excluding the host links on both ends
+    /// (0 for `a == b`). Taking a router down can only lengthen this —
+    /// detours replace shortcuts — so a value read with every router up
+    /// is a lower bound for the whole run. The [`sharding`] planner
+    /// relies on exactly that to derive conservative lookahead floors.
+    pub fn segment_latency(&self, a: SegmentId, b: SegmentId) -> Nanos {
+        self.seg_latency[a.0 as usize][b.0 as usize]
     }
 
     /// One-way network latency from host `a` to host `b`.

@@ -1,0 +1,263 @@
+//! Segment → shard assignment for the sharded netsim engine.
+//!
+//! The sharded engine runs one event loop per shard and synchronizes
+//! them with conservative lookahead: a shard may execute ahead of the
+//! others by up to the smallest latency any cross-shard packet can
+//! possibly have. That floor is a pure topology quantity — for hosts
+//! `a`, `b` in different shards, delivery latency is at least
+//! `host_link(a) + segment_latency(seg(a), seg(b)) + host_link(b)` —
+//! so the planner's two jobs live here:
+//!
+//! 1. **Assignment** ([`plan_shards`]): partition segments into `k`
+//!    shards so that cross-shard latency floors are as *large* as
+//!    possible (bigger floor ⇒ longer epochs ⇒ fewer barriers). Greedy
+//!    k-center over the inter-segment fabric latencies: pick `k`
+//!    mutually-far seed segments, then attach every segment to its
+//!    nearest seed, breaking ties toward the least-loaded shard so
+//!    host counts stay balanced.
+//! 2. **Lookahead extraction**: the minimum floor over every pair of
+//!    populated segments that ended up in different shards.
+//!
+//! The plan must be computed on the pristine topology (all routers
+//! up). Router faults only *lengthen* segment latencies — a detour
+//! replaces a shortcut or the pair becomes unreachable — so the
+//! build-time floor stays a valid lower bound for the whole run.
+//!
+//! A segment is *atomic*: all its hosts land on one shard. Same-segment
+//! traffic (TTL 1, the bulk of the paper's heartbeat load) therefore
+//! never crosses a shard boundary.
+
+use crate::{Nanos, SegmentId, Topology};
+
+/// A segment→shard partition plus the conservative lookahead it allows.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Shard index per segment (dense `0..shards`). Segments with no
+    /// hosts are parked on shard 0; they originate no traffic.
+    pub seg_shard: Vec<u32>,
+    /// Number of shards actually used (≥ 1, ≤ the requested count).
+    pub shards: usize,
+    /// Smallest possible latency of a cross-shard delivery:
+    /// `min over cross-shard populated pairs (a, b)` of
+    /// `min_host_link(a) + segment_latency(a, b) + min_host_link(b)`.
+    /// `None` when there is a single shard, or when no cross-shard pair
+    /// is mutually reachable (lookahead is then unbounded).
+    pub lookahead: Option<Nanos>,
+}
+
+impl ShardPlan {
+    /// The trivial plan: everything on one shard, unbounded lookahead.
+    pub fn single(num_segments: usize) -> Self {
+        ShardPlan {
+            seg_shard: vec![0; num_segments],
+            shards: 1,
+            lookahead: None,
+        }
+    }
+}
+
+/// Partition `topo`'s segments into at most `want` shards (see the
+/// module docs for the method). Degenerates to [`ShardPlan::single`]
+/// when `want <= 1` or fewer than two segments have hosts.
+pub fn plan_shards(topo: &Topology, want: usize) -> ShardPlan {
+    let ns = topo.num_segments();
+    let populated: Vec<u16> = (0..ns as u16)
+        .filter(|&s| !topo.hosts_on(SegmentId(s)).is_empty())
+        .collect();
+    let k = want.min(populated.len());
+    if k <= 1 {
+        return ShardPlan::single(ns);
+    }
+
+    let host_count: Vec<usize> = populated
+        .iter()
+        .map(|&s| topo.hosts_on(SegmentId(s)).len())
+        .collect();
+    let min_link: Vec<Nanos> = populated
+        .iter()
+        .map(|&s| {
+            topo.hosts_on(SegmentId(s))
+                .iter()
+                .map(|&h| topo.host_link(h))
+                .min()
+                .unwrap_or(0)
+        })
+        .collect();
+    // Fabric distance for clustering: `None` = unreachable (infinitely
+    // far — exactly what a k-center seed wants to grab first).
+    let fab = |a: u16, b: u16| -> Option<Nanos> {
+        if topo.segment_hops(SegmentId(a), SegmentId(b)) == u8::MAX {
+            None
+        } else {
+            Some(topo.segment_latency(SegmentId(a), SegmentId(b)))
+        }
+    };
+    // Rank where unreachable sorts above every finite distance.
+    let rank = |d: Option<Nanos>| -> u128 {
+        match d {
+            Some(v) => v as u128,
+            None => u128::MAX,
+        }
+    };
+
+    // Greedy k-center seeds: start from the largest segment, then
+    // repeatedly take the segment farthest from every seed so far
+    // (max-min distance; ties toward the lowest segment id).
+    let first = (0..populated.len())
+        .max_by_key(|&p| (host_count[p], usize::MAX - p))
+        .unwrap();
+    let mut seeds: Vec<usize> = vec![first];
+    let mut dist_to_seeds: Vec<u128> = populated
+        .iter()
+        .map(|&s| rank(fab(populated[first], s)))
+        .collect();
+    while seeds.len() < k {
+        let next = (0..populated.len())
+            .filter(|p| !seeds.contains(p))
+            .max_by_key(|&p| (dist_to_seeds[p], usize::MAX - p))
+            .unwrap();
+        seeds.push(next);
+        for (p, d) in dist_to_seeds.iter_mut().enumerate() {
+            *d = (*d).min(rank(fab(populated[next], populated[p])));
+        }
+    }
+
+    // Assign each populated segment (in id order) to the nearest seed;
+    // ties go to the least-loaded shard by host count, then the lowest
+    // shard index.
+    let mut seg_shard = vec![0u32; ns];
+    let mut load = vec![0usize; k];
+    for (p, &s) in populated.iter().enumerate() {
+        let best = (0..k)
+            .min_by_key(|&si| (rank(fab(populated[seeds[si]], s)), load[si], si))
+            .unwrap();
+        seg_shard[s as usize] = best as u32;
+        load[best] += host_count[p];
+    }
+
+    // Renumber densely in case equal-distance ties drained a seed's
+    // shard empty of segments.
+    let mut remap = vec![u32::MAX; k];
+    let mut shards = 0u32;
+    for &s in &populated {
+        let old = seg_shard[s as usize] as usize;
+        if remap[old] == u32::MAX {
+            remap[old] = shards;
+            shards += 1;
+        }
+        seg_shard[s as usize] = remap[old];
+    }
+    for (s, slot) in seg_shard.iter_mut().enumerate() {
+        if topo.hosts_on(SegmentId(s as u16)).is_empty() {
+            *slot = 0;
+        }
+    }
+    if shards <= 1 {
+        return ShardPlan::single(ns);
+    }
+
+    // Conservative lookahead: the smallest latency any cross-shard
+    // delivery can have.
+    let mut lookahead: Option<Nanos> = None;
+    for i in 0..populated.len() {
+        for j in (i + 1)..populated.len() {
+            if seg_shard[populated[i] as usize] == seg_shard[populated[j] as usize] {
+                continue;
+            }
+            if let Some(f) = fab(populated[i], populated[j]) {
+                let floor = min_link[i] + f + min_link[j];
+                lookahead = Some(lookahead.map_or(floor, |x| x.min(floor)));
+            }
+        }
+    }
+    ShardPlan {
+        seg_shard,
+        shards: shards as usize,
+        lookahead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, DEFAULT_FABRIC_LATENCY, DEFAULT_HOST_LATENCY, MILLIS};
+
+    #[test]
+    fn single_segment_collapses_to_one_shard() {
+        let t = generators::single_segment(10);
+        let plan = plan_shards(&t, 8);
+        assert_eq!(plan.shards, 1);
+        assert_eq!(plan.lookahead, None);
+    }
+
+    #[test]
+    fn want_one_is_the_trivial_plan() {
+        let t = generators::star_of_segments(4, 5);
+        let plan = plan_shards(&t, 1);
+        assert_eq!(plan.shards, 1);
+        assert!(plan.seg_shard.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn star_splits_evenly_with_default_floor() {
+        let t = generators::star_of_segments(8, 10);
+        let plan = plan_shards(&t, 4);
+        assert_eq!(plan.shards, 4);
+        // All pairwise fabric distances are equal, so load balancing
+        // must spread the 8 segments 2-per-shard.
+        let mut per_shard = vec![0usize; 4];
+        for s in 0..8 {
+            per_shard[plan.seg_shard[s] as usize] += t.hosts_on(SegmentId(s as u16)).len();
+        }
+        assert_eq!(per_shard, vec![20; 4]);
+        // Floor: host + (seg–core + core–seg) + host.
+        assert_eq!(
+            plan.lookahead,
+            Some(2 * DEFAULT_HOST_LATENCY + 2 * DEFAULT_FABRIC_LATENCY)
+        );
+    }
+
+    #[test]
+    fn want_above_segment_count_clamps() {
+        let t = generators::star_of_segments(3, 2);
+        let plan = plan_shards(&t, 16);
+        assert_eq!(plan.shards, 3);
+    }
+
+    #[test]
+    fn wan_split_lands_on_the_wan_floor() {
+        // Two DCs joined by a 45 ms WAN chain: a 2-way split must put
+        // one DC per shard, and the lookahead must be WAN-scale — that
+        // is the whole point of sharding by datacenter.
+        let (t, groups) = generators::multi_datacenter(&[(2, 5), (2, 5)], 45 * MILLIS);
+        let plan = plan_shards(&t, 2);
+        assert_eq!(plan.shards, 2);
+        let shard_of = |h: crate::HostId| plan.seg_shard[t.segment_of(h).0 as usize];
+        let s0 = shard_of(groups[0][0]);
+        assert!(groups[0].iter().all(|&h| shard_of(h) == s0));
+        assert!(groups[1].iter().all(|&h| shard_of(h) != s0));
+        let la = plan.lookahead.expect("reachable cross pair");
+        assert!(la >= 40 * MILLIS, "WAN floor too small: {la}");
+    }
+
+    #[test]
+    fn empty_segments_do_not_constrain_lookahead() {
+        let mut b = crate::TopologyBuilder::new();
+        let core = b.add_router();
+        // Two populated segments plus one empty one hanging off the
+        // same core; the empty segment must not drag the floor down or
+        // grab a seed.
+        for n in [3usize, 3, 0] {
+            let s = b.add_segment();
+            b.link_segment_router(s, core, None);
+            b.add_hosts(s, n);
+        }
+        let t = b.build();
+        let plan = plan_shards(&t, 3);
+        assert_eq!(plan.shards, 2);
+        assert_eq!(
+            plan.lookahead,
+            Some(2 * DEFAULT_HOST_LATENCY + 2 * DEFAULT_FABRIC_LATENCY)
+        );
+    }
+}
